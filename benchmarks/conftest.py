@@ -1,0 +1,19 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every file in this directory regenerates one artifact of the paper
+(figure, theorem, or analytical cost claim) per the experiment index
+in DESIGN.md.  Each benchmark both *times* the central operation
+(pytest-benchmark) and *asserts the reproduced shape* — who wins, by
+roughly what factor — so ``pytest benchmarks/ --benchmark-only`` is the
+full reproduction run.  ``python -m benchmarks.report`` prints the
+EXPERIMENTS.md tables from the same code paths.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `from benchmarks.report import ...` when pytest runs from the
+# repository root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))

@@ -1,0 +1,617 @@
+"""Data generation for every experiment in DESIGN.md's index.
+
+Each ``exp_*`` function computes one experiment's result rows; the
+pytest benchmarks in this directory time and assert them, and
+``python -m benchmarks.report`` prints the full set (the source of the
+numbers recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis import (
+    ProtocolMetrics,
+    comparison_table,
+    exponential_gadget,
+    hard_history,
+    measure_exact,
+)
+from repro.core import (
+    check_admissible,
+    check_m_linearizability,
+    check_m_sequential_consistency,
+    extended_relation,
+    is_legal,
+    is_legal_sequence,
+    msc_order,
+    object_order,
+    process_order,
+    reads_from_order,
+    real_time_order,
+    rw_pairs,
+    satisfies_ww,
+)
+from repro.core.admissibility import SearchBudgetExceeded
+from repro.db import (
+    is_strict_view_serializable,
+    random_schedule,
+    random_serializable_schedule,
+    reduction_decides,
+)
+from repro.protocols import (
+    aggregate_cluster,
+    mlin_cluster,
+    msc_cluster,
+    server_cluster,
+)
+from repro.sim import UniformLatency
+from repro.workloads import (
+    HistoryShape,
+    corrupt_history,
+    figure1,
+    figure2_h1,
+    figure3_legal_order,
+    figure3_s1_order,
+    figure5_scenario,
+    figure7_scenario,
+    random_serial_history,
+    random_workloads,
+)
+
+DEFAULT_OBJECTS = ["x", "y", "z"]
+
+
+# ----------------------------------------------------------------------
+# F1 — Figure 1: the Section-2 example history
+# ----------------------------------------------------------------------
+
+
+def exp_f1() -> Dict[str, bool]:
+    """Every relation instance the paper calls out for Figure 1."""
+    h = figure1()
+    po = process_order(h)
+    rf = reads_from_order(h)
+    rt = real_time_order(h)
+    oo = object_order(h)
+    return {
+        "alpha ~P1 beta": (1, 2) in po,
+        "alpha ~rf delta": (1, 4) in rf,
+        "eta ~rf delta": (3, 4) in rf,
+        "alpha ~t mu": (1, 5) in rt,
+        "eta ~t beta": (3, 2) in rt,
+        "eta ~X beta": (3, 2) in oo,
+        "m-linearizable": check_m_linearizability(h, method="exact").holds,
+    }
+
+
+# ----------------------------------------------------------------------
+# F2/F3 — Figures 2 and 3: WW-constraint and ~rw
+# ----------------------------------------------------------------------
+
+
+def exp_f2_f3() -> Dict[str, bool]:
+    h, base = figure2_h1()
+    closure = base.transitive_closure()
+    ext = extended_relation(h, base)
+    return {
+        "H1 satisfies WW": satisfies_ww(h, closure),
+        "H1 legal": is_legal(h, closure),
+        "S1 extension not legal": not is_legal_sequence(
+            h, figure3_s1_order()
+        ),
+        "beta ~rw delta derived": (2, 4) in rw_pairs(h, closure),
+        "~H+ acyclic": ext.is_acyclic(),
+        "~H+ forbids S1": (2, 4) in ext,
+        "legal order exists": is_legal_sequence(
+            h, figure3_legal_order()
+        ),
+        "H1 m-sequentially consistent": check_m_sequential_consistency(
+            h
+        ).holds,
+    }
+
+
+# ----------------------------------------------------------------------
+# F4/F6 — the two protocols on a common workload
+# ----------------------------------------------------------------------
+
+
+def run_protocol(
+    factory: Callable,
+    *,
+    n: int = 4,
+    ops: int = 8,
+    seed: int = 11,
+    latency=None,
+    **kwargs,
+):
+    cluster = factory(
+        n,
+        DEFAULT_OBJECTS,
+        seed=seed,
+        latency=latency or UniformLatency(0.5, 1.5),
+        **kwargs,
+    )
+    workloads = random_workloads(
+        n, DEFAULT_OBJECTS, ops, seed=seed + 1
+    )
+    return cluster.run(workloads)
+
+
+def exp_f4() -> ProtocolMetrics:
+    result = run_protocol(msc_cluster)
+    assert check_m_sequential_consistency(
+        result.history, extra_pairs=result.ww_pairs()
+    ).holds
+    return ProtocolMetrics.of("fig4-msc", result)
+
+
+def exp_f6(**kwargs) -> ProtocolMetrics:
+    result = run_protocol(mlin_cluster, **kwargs)
+    assert check_m_linearizability(
+        result.history, extra_pairs=result.ww_pairs()
+    ).holds
+    label = "fig6-mlin" + (
+        "-slim" if kwargs.get("reply_relevant_only") else ""
+    )
+    return ProtocolMetrics.of(label, result)
+
+
+# ----------------------------------------------------------------------
+# F5/F7 — the scenario executions
+# ----------------------------------------------------------------------
+
+
+def exp_f5() -> Dict[str, object]:
+    outcome = figure5_scenario()
+    return {
+        "reads": [(round(i, 2), v) for i, _r, v in outcome.reads],
+        "commits": tuple(round(c, 2) for c in outcome.commit_times),
+        "stale_reads": len(outcome.stale_reads),
+        "m-sc": check_m_sequential_consistency(
+            outcome.history, method="exact"
+        ).holds,
+        "m-lin": check_m_linearizability(
+            outcome.history, method="exact"
+        ).holds,
+    }
+
+
+def exp_f7() -> Dict[str, object]:
+    outcome = figure7_scenario()
+    return {
+        "reads": [(round(i, 2), v) for i, _r, v in outcome.reads],
+        "stale_reads": len(outcome.stale_reads),
+        "m-lin": check_m_linearizability(
+            outcome.history, method="exact"
+        ).holds,
+    }
+
+
+# ----------------------------------------------------------------------
+# T1 — NP-completeness: checker scaling
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class T1Row:
+    label: str
+    size: int
+    seconds: float
+    nodes: int
+    verdict: Optional[bool]
+
+
+def exp_t1(
+    gadget_sizes: Tuple[int, ...] = (1, 2, 3, 4, 5),
+    constrained_sizes: Tuple[int, ...] = (30, 60, 120, 240),
+    node_limit: int = 2_000_000,
+) -> List[T1Row]:
+    """Exact-checker blow-up vs. polynomial constrained path.
+
+    * The crafted gadget family: exponential node growth.
+    * The Theorem-7 path on WW-constrained histories of growing size:
+      polynomial (legality is O(triples)).
+    """
+    rows: List[T1Row] = []
+    for k in gadget_sizes:
+        h = exponential_gadget(k)
+        start = time.perf_counter()
+        try:
+            res = check_admissible(h, msc_order(h), node_limit=node_limit)
+            nodes, verdict = res.stats.nodes, res.admissible
+        except SearchBudgetExceeded:
+            nodes, verdict = node_limit, None
+        rows.append(
+            T1Row(
+                "exact/gadget", len(h), time.perf_counter() - start,
+                nodes, verdict,
+            )
+        )
+    for n in constrained_sizes:
+        shape = HistoryShape(
+            n_processes=4, n_objects=4, n_mops=n, query_fraction=0.4
+        )
+        h = random_serial_history(shape, seed=n)
+        # Serial generation order doubles as the ~ww synchronization.
+        updates = [m.uid for m in h.mops if m.is_update]
+        ww = list(zip(updates, updates[1:]))
+        start = time.perf_counter()
+        verdict = check_m_sequential_consistency(
+            h, method="constrained", extra_pairs=ww
+        ).holds
+        rows.append(
+            T1Row(
+                "constrained/ww", len(h), time.perf_counter() - start,
+                0, verdict,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# T2 — the reduction biconditional
+# ----------------------------------------------------------------------
+
+
+def exp_t2(n_seeds: int = 60) -> Dict[str, int]:
+    agree = svs_count = 0
+    for seed in range(n_seeds):
+        if seed % 2:
+            s = random_schedule(3, 2, 3, seed=seed)
+        else:
+            s = random_serializable_schedule(3, 2, 3, seed=seed)
+        svs = is_strict_view_serializable(s).serializable
+        mlin = reduction_decides(s)
+        agree += svs == mlin
+        svs_count += svs
+    return {
+        "schedules": n_seeds,
+        "agreements": agree,
+        "strict_view_serializable": svs_count,
+    }
+
+
+# ----------------------------------------------------------------------
+# T7 — legality <=> admissibility under WW
+# ----------------------------------------------------------------------
+
+
+def exp_t7(n_seeds: int = 40) -> Dict[str, int]:
+    """Agreement of the Theorem-7 test with exact search, and a
+    counterexample count without the constraint."""
+    checked = agree = 0
+    unconstrained_gap = 0
+    for seed in range(n_seeds):
+        shape = HistoryShape(
+            n_processes=3, n_objects=2, n_mops=8, query_fraction=0.4
+        )
+        h = random_serial_history(shape, seed=seed)
+        h = corrupt_history(h, seed=seed) or h
+        updates = [m.uid for m in h.mops if m.is_update]
+        ww = list(zip(updates, updates[1:]))
+        base = msc_order(h)
+        for a, b in ww:
+            base.add(a, b)
+        closure = base.transitive_closure()
+        if not closure.is_acyclic():
+            continue
+        assert satisfies_ww(h, closure)
+        checked += 1
+        legal = is_legal(h, closure)
+        admissible = check_admissible(h, base).admissible
+        agree += legal == admissible
+        # Without WW edges, legality is necessary but NOT sufficient:
+        base0 = msc_order(h)
+        closure0 = base0.transitive_closure()
+        if is_legal(h, closure0) and not check_admissible(
+            h, base0
+        ).admissible:
+            unconstrained_gap += 1
+    return {
+        "checked": checked,
+        "agreements": agree,
+        "legal_but_inadmissible_without_ww": unconstrained_gap,
+    }
+
+
+# ----------------------------------------------------------------------
+# T15/T20 — protocol correctness sweeps
+# ----------------------------------------------------------------------
+
+
+def exp_t15(n_seeds: int = 15) -> Dict[str, int]:
+    violations = 0
+    for seed in range(n_seeds):
+        result = run_protocol(msc_cluster, n=3, ops=5, seed=seed)
+        ok = check_m_sequential_consistency(
+            result.history, method="exact"
+        ).holds
+        fast_ok = check_m_sequential_consistency(
+            result.history, extra_pairs=result.ww_pairs()
+        ).holds
+        assert ok == fast_ok
+        violations += not ok
+    return {"runs": n_seeds, "violations": violations}
+
+
+def exp_t20(n_seeds: int = 15) -> Dict[str, int]:
+    violations = 0
+    for seed in range(n_seeds):
+        result = run_protocol(mlin_cluster, n=3, ops=5, seed=seed)
+        ok = check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+        violations += not ok
+    return {"runs": n_seeds, "violations": violations}
+
+
+# ----------------------------------------------------------------------
+# A1 — aggregate-object baseline comparison
+# ----------------------------------------------------------------------
+
+
+def exp_a1(seed: int = 11) -> List[ProtocolMetrics]:
+    metrics = []
+    for label, factory in [
+        ("fig4-msc", msc_cluster),
+        ("fig6-mlin", mlin_cluster),
+        ("aggregate", aggregate_cluster),
+        ("single-server", server_cluster),
+    ]:
+        result = run_protocol(factory, seed=seed)
+        metrics.append(ProtocolMetrics.of(label, result))
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# A2 — response-time decomposition
+# ----------------------------------------------------------------------
+
+
+def exp_a2(seed: int = 11) -> Dict[str, Dict[str, float]]:
+    mean_delay = UniformLatency(0.5, 1.5).mean()
+    out: Dict[str, Dict[str, float]] = {"one_way_delay": {"mean": mean_delay}}
+    for label, factory in [
+        ("fig4-msc", msc_cluster),
+        ("fig6-mlin", mlin_cluster),
+        ("aggregate", aggregate_cluster),
+    ]:
+        result = run_protocol(factory, seed=seed)
+        metrics = ProtocolMetrics.of(label, result)
+        out[label] = {
+            "query_mean": metrics.query_latency.mean,
+            "update_mean": metrics.update_latency.mean,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# A3 — relevant-objects query optimization
+# ----------------------------------------------------------------------
+
+
+def exp_a3(seed: int = 11) -> Dict[str, float]:
+    full = run_protocol(mlin_cluster, seed=seed)
+    slim = run_protocol(mlin_cluster, seed=seed, reply_relevant_only=True)
+    full_bytes = full.net_stats.size_by_kind.get("query-resp", 0)
+    slim_bytes = slim.net_stats.size_by_kind.get("query-resp", 0)
+    return {
+        "full_reply_units": full_bytes,
+        "slim_reply_units": slim_bytes,
+        "ratio": slim_bytes / full_bytes if full_bytes else float("nan"),
+    }
+
+
+# ----------------------------------------------------------------------
+# A4 — causal trade-off (extension)
+# ----------------------------------------------------------------------
+
+
+def exp_a4(seed: int = 11) -> Dict[str, object]:
+    from repro.core import check_m_causal_consistency
+    from repro.protocols import causal_cluster
+    from repro.workloads import BLIND_MIX
+
+    latency = UniformLatency(0.5, 1.5)
+    workloads = random_workloads(
+        3, DEFAULT_OBJECTS, 6, seed=seed, mix=BLIND_MIX
+    )
+    causal = causal_cluster(
+        3, DEFAULT_OBJECTS, seed=seed, latency=latency
+    ).run(workloads)
+    msc = msc_cluster(3, DEFAULT_OBJECTS, seed=seed, latency=latency).run(
+        workloads
+    )
+    causal_metrics = ProtocolMetrics.of("causal", causal)
+    msc_metrics = ProtocolMetrics.of("fig4-msc", msc)
+    return {
+        "causal_update_mean": causal_metrics.update_latency.mean,
+        "msc_update_mean": msc_metrics.update_latency.mean,
+        "causal_msgs": causal.net_stats.sent,
+        "msc_msgs": msc.net_stats.sent,
+        "causal_run_is_m_causal": check_m_causal_consistency(
+            causal.history
+        ).holds,
+        "causal_run_is_m_sc": check_m_sequential_consistency(
+            causal.history, method="exact"
+        ).holds,
+    }
+
+
+# ----------------------------------------------------------------------
+# A5 — span scaling: WW route vs OO route (extension)
+# ----------------------------------------------------------------------
+
+
+def exp_a5() -> List[Tuple[int, float, float]]:
+    from repro.objects import m_assign
+    from repro.protocols import lock_cluster
+
+    objects = [f"o{i}" for i in range(8)]
+    latency = UniformLatency(0.9, 1.1)
+    rows = []
+    for span in (1, 2, 4, 8):
+        values = iter(range(1, 1000))
+
+        def programs():
+            return [
+                m_assign({obj: next(values) for obj in objects[:span]})
+                for _ in range(4)
+            ]
+
+        lock = lock_cluster(
+            3, objects, seed=13, latency=latency, think_jitter=0.0
+        ).run([programs(), [], []])
+        bcast = msc_cluster(
+            3, objects, seed=13, latency=latency, think_jitter=0.0
+        ).run([programs(), [], []])
+        mean = lambda xs: sum(xs) / len(xs)
+        rows.append(
+            (span, mean(lock.latencies()), mean(bcast.latencies()))
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# M0 / MC / SV — motivation, model checking, runtime verification
+# ----------------------------------------------------------------------
+
+
+def exp_m0(n_seeds: int = 8) -> Dict[str, object]:
+    from repro.objects import m_assign, m_read
+    from repro.protocols import traditional_cluster
+
+    violations = 0
+    for seed in range(n_seeds):
+        cluster = traditional_cluster(
+            3,
+            ["x", "y"],
+            seed=seed,
+            latency=UniformLatency(0.2, 2.0),
+            think_jitter=0.05,
+        )
+        values = iter(range(1, 100))
+        workloads = [
+            [m_assign({"x": next(values), "y": next(values)})
+             for _ in range(3)],
+            [m_read(["x", "y"]) for _ in range(4)],
+            [m_assign({"x": next(values), "y": next(values)})
+             for _ in range(3)],
+        ]
+        result = cluster.run(workloads)
+        violations += not check_m_sequential_consistency(
+            result.history, method="exact"
+        ).holds
+    return {"runs": n_seeds, "m_sc_violations": violations}
+
+
+def exp_mc() -> Dict[str, object]:
+    from repro.objects import read_reg, write_reg
+    from repro.sim.explore import explore, explore_factory
+
+    factory = explore_factory(msc_cluster, 2, ["x"])
+    t15_total = t15_bad = 0
+    for result in explore(
+        factory,
+        [[write_reg("x", 1), read_reg("x")], [write_reg("x", 2)]],
+    ):
+        t15_total += 1
+        t15_bad += not check_m_sequential_consistency(
+            result.history, method="exact"
+        ).holds
+    factory = explore_factory(mlin_cluster, 2, ["x"])
+    t20_total = t20_bad = 0
+    for result in explore(factory, [[write_reg("x", 1)], [read_reg("x")]]):
+        t20_total += 1
+        t20_bad += not check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+    return {
+        "fig4_interleavings": t15_total,
+        "fig4_violations": t15_bad,
+        "fig6_interleavings": t20_total,
+        "fig6_violations": t20_bad,
+    }
+
+
+def exp_sv() -> Dict[str, object]:
+    from repro.core.monitor import verify_stream
+
+    cluster = msc_cluster(6, ["x", "y", "z", "u", "v"], seed=77)
+    result = cluster.run(
+        random_workloads(6, ["x", "y", "z", "u", "v"], 40, seed=78)
+    )
+    start = time.perf_counter()
+    verifier = verify_stream(result, condition="m-sc")
+    elapsed = time.perf_counter() - start
+    return {
+        "operations_monitored": verifier.observed,
+        "violations": len(verifier.violations),
+        "seconds": round(elapsed, 4),
+    }
+
+
+# ----------------------------------------------------------------------
+# Report entry point
+# ----------------------------------------------------------------------
+
+
+def main() -> None:  # pragma: no cover - exercised manually
+    print("== F1: Figure 1 relation instances ==")
+    for key, value in exp_f1().items():
+        print(f"  {key}: {value}")
+    print("\n== F2/F3: WW-constraint and ~rw ==")
+    for key, value in exp_f2_f3().items():
+        print(f"  {key}: {value}")
+    print("\n== F5: Fig-4 protocol scenario (stale reads allowed) ==")
+    for key, value in exp_f5().items():
+        print(f"  {key}: {value}")
+    print("\n== F7: Fig-6 protocol scenario (no stale reads) ==")
+    for key, value in exp_f7().items():
+        print(f"  {key}: {value}")
+    print("\n== T1: checker scaling ==")
+    for row in exp_t1():
+        verdict = "BUDGET" if row.verdict is None else row.verdict
+        print(
+            f"  {row.label:<16} mops={row.size:<4} "
+            f"t={row.seconds:.4f}s nodes={row.nodes:<9} {verdict}"
+        )
+    print("\n== T2: reduction biconditional ==")
+    print(f"  {exp_t2()}")
+    print("\n== T7: legality <=> admissibility under WW ==")
+    print(f"  {exp_t7()}")
+    print("\n== T15: Fig-4 protocol m-SC sweep ==")
+    print(f"  {exp_t15()}")
+    print("\n== T20: Fig-6 protocol m-lin sweep ==")
+    print(f"  {exp_t20()}")
+    print("\n== A1: protocol comparison ==")
+    print(comparison_table(exp_a1()))
+    print("\n== A2: response-time decomposition ==")
+    for key, value in exp_a2().items():
+        print(f"  {key}: {value}")
+    print("\n== A3: query-reply optimization ==")
+    print(f"  {exp_a3()}")
+    print("\n== A4: causal trade-off (extension) ==")
+    for key, value in exp_a4().items():
+        print(f"  {key}: {value}")
+    print("\n== A5: span scaling, locking vs broadcast (extension) ==")
+    print(f"  {'span':>5} {'locking':>10} {'broadcast':>10}")
+    for span, lock, bcast in exp_a5():
+        print(f"  {span:>5} {lock:>10.2f} {bcast:>10.2f}")
+    print("\n== M0: traditional DSM (per-object atomicity) ==")
+    for key, value in exp_m0().items():
+        print(f"  {key}: {value}")
+    print("\n== MC: exhaustive interleaving enumeration ==")
+    for key, value in exp_mc().items():
+        print(f"  {key}: {value}")
+    print("\n== SV: streaming runtime verification ==")
+    for key, value in exp_sv().items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

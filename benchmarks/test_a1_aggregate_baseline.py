@@ -1,0 +1,48 @@
+"""Experiment A1 — the aggregate-object strawman loses concurrency.
+
+Section 1: modelling multi-methods as one big object "results in loss
+of locality and concurrency".  Measured on identical workloads and
+network:
+
+* the Fig-4 protocol's queries are local, so its throughput dominates;
+* the aggregate baseline globally orders *everything*, making queries
+  as expensive as updates;
+* the Fig-6 protocol pays round-trip queries but never serializes
+  them through the broadcast layer.
+"""
+
+from benchmarks.report import exp_a1
+from repro.analysis import comparison_table
+
+
+def test_a1_shapes():
+    metrics = {m.label: m for m in exp_a1()}
+    fig4 = metrics["fig4-msc"]
+    fig6 = metrics["fig6-mlin"]
+    agg = metrics["aggregate"]
+
+    # Aggregate queries cost as much as its updates (everything is
+    # broadcast); Fig-4 queries are ~free.
+    assert agg.query_latency.mean > 0.5 * agg.update_latency.mean
+    assert fig4.query_latency.mean < 0.01
+    assert agg.query_latency.mean > 100 * fig4.query_latency.mean
+
+    # Lost concurrency shows up as throughput: Fig-4 completes the
+    # same workload much faster than the aggregate encoding.
+    assert fig4.throughput > 1.5 * agg.throughput
+
+    # Fig-6 queries pay a round trip but both protocols' updates cost
+    # the same broadcast.
+    assert fig6.query_latency.mean > 1.0
+    assert abs(fig6.update_latency.mean - agg.update_latency.mean) < 1.0
+
+
+def test_a1_table_prints(capsys):
+    table = comparison_table(exp_a1())
+    print(table)
+    assert "aggregate" in table
+
+
+def test_a1_benchmark(benchmark):
+    metrics = benchmark(exp_a1)
+    assert len(metrics) == 4

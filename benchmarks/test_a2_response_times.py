@@ -1,0 +1,54 @@
+"""Experiment A2 — response-time decomposition (Attiya-Welch style).
+
+The paper's cost story, measured: with mean one-way delay ``d``,
+
+* Fig-4 queries ~ 0 (local); Fig-4 updates ~ 2d + queueing (request
+  to sequencer + relay);
+* Fig-6 queries ~ 2d + straggler effect (max over n-1 round trips);
+  Fig-6 updates identical to Fig-4's;
+* the aggregate baseline's queries ~ its updates ~ 2d.
+"""
+
+from benchmarks.report import exp_a2, run_protocol
+from repro.abcast import LamportAbcast
+from repro.analysis import ProtocolMetrics
+from repro.protocols import mlin_cluster, msc_cluster
+
+
+def test_a2_shapes():
+    results = exp_a2()
+    d = results["one_way_delay"]["mean"]
+
+    fig4 = results["fig4-msc"]
+    fig6 = results["fig6-mlin"]
+    agg = results["aggregate"]
+
+    assert fig4["query_mean"] < 0.05 * d
+    # Updates: request + relay = 2 one-way delays on the critical
+    # path, plus sequencer queueing; allow [1.5d, 4d].
+    for protocol in (fig4, fig6, agg):
+        assert 1.5 * d <= protocol["update_mean"] <= 4 * d
+    # Fig-6 queries: a full round trip governed by the slowest of the
+    # n-1 peers; at least 2d, bounded by the uniform model's worst
+    # case of 3d.
+    assert 2 * d <= fig6["query_mean"] <= 3 * d
+    # Aggregate queries are broadcast like updates.
+    assert 1.5 * d <= agg["query_mean"] <= 4 * d
+
+
+def test_a2_lamport_updates_cost_same_delays_more_messages():
+    seq = run_protocol(msc_cluster, seed=31)
+    lam = run_protocol(msc_cluster, seed=31, abcast_factory=LamportAbcast)
+    seq_metrics = ProtocolMetrics.of("seq", seq)
+    lam_metrics = ProtocolMetrics.of("lam", lam)
+    # Both reach ~2 one-way delays per update (same critical path)...
+    assert abs(
+        seq_metrics.update_latency.mean - lam_metrics.update_latency.mean
+    ) < 1.5
+    # ...but the decentralised algorithm sends O(n^2) messages.
+    assert lam_metrics.messages > 2 * seq_metrics.messages
+
+
+def test_a2_benchmark(benchmark):
+    results = benchmark(exp_a2)
+    assert "fig6-mlin" in results

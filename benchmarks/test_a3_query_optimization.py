@@ -1,0 +1,53 @@
+"""Experiment A3 — Section 5.2's closing optimization.
+
+"It is easy to verify that the protocol is still correct if only the
+relevant copies of the shared objects and their timestamp is sent."
+Measured: query replies shrink proportionally to the fraction of the
+store the query touches, and correctness (Theorem 20) is preserved —
+asserted by experiment T20's ``relevant_only`` variant and re-checked
+here on a wider store.
+"""
+
+from benchmarks.report import exp_a3
+from repro.core import check_m_linearizability
+from repro.objects import read_reg, write_reg
+from repro.protocols import mlin_cluster
+
+
+def test_a3_replies_shrink():
+    results = exp_a3()
+    assert results["slim_reply_units"] < results["full_reply_units"]
+    assert results["ratio"] < 0.9
+
+
+def test_a3_saving_grows_with_store_size():
+    """With a 12-object store and single-object reads, the slim reply
+    carries ~1/12 of the data."""
+    objects = [f"o{i:02d}" for i in range(12)]
+
+    def run(relevant_only):
+        cluster = mlin_cluster(
+            3,
+            objects,
+            seed=5,
+            reply_relevant_only=relevant_only,
+        )
+        workloads = [
+            [write_reg("o00", 1), read_reg("o00"), read_reg("o01")],
+            [read_reg("o02"), read_reg("o03"), read_reg("o04")],
+            [write_reg("o05", 2), read_reg("o05")],
+        ]
+        result = cluster.run(workloads)
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+        return result.net_stats.size_by_kind.get("query-resp", 0)
+
+    full = run(False)
+    slim = run(True)
+    assert slim < full / 4
+
+
+def test_a3_benchmark(benchmark):
+    results = benchmark(exp_a3)
+    assert results["ratio"] < 1.0

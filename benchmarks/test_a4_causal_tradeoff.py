@@ -1,0 +1,92 @@
+"""Experiment A4 (extension) — weaker guarantees, better performance.
+
+Section 4 of the paper gestures at the alternative to system-enforced
+constraints: "The system can then provide weaker guarantees and have
+better performance."  The causal protocol makes that trade concrete
+against the Fig-4 protocol on identical blind-write workloads:
+
+* causal updates respond locally (no broadcast round trip): write
+  latency collapses from ~2 one-way delays to the local delay;
+* messages per update drop from n+1 (sequencer) to n-1 (one multicast);
+* the price: executions are m-causally consistent but, with enough
+  write concurrency, **not** m-sequentially consistent — and the
+  checkers prove both directions on the very same runs.
+"""
+
+import pytest
+
+from repro.analysis import ProtocolMetrics
+from repro.core import (
+    check_m_causal_consistency,
+    check_m_sequential_consistency,
+)
+from repro.protocols import causal_cluster, msc_cluster
+from repro.sim import UniformLatency
+from repro.workloads import BLIND_MIX, random_workloads
+
+OBJECTS = ["x", "y"]
+
+
+def run_pair(seed, *, n=3, ops=6):
+    latency = UniformLatency(0.2, 2.5)
+    workloads = random_workloads(
+        n, OBJECTS, ops, seed=seed + 300, mix=BLIND_MIX
+    )
+    causal = causal_cluster(n, OBJECTS, seed=seed, latency=latency).run(
+        workloads
+    )
+    msc = msc_cluster(n, OBJECTS, seed=seed, latency=latency).run(
+        workloads
+    )
+    return causal, msc
+
+
+def test_a4_write_latency_collapses():
+    causal, msc = run_pair(4)
+    causal_metrics = ProtocolMetrics.of("causal", causal)
+    msc_metrics = ProtocolMetrics.of("fig4-msc", msc)
+    assert causal_metrics.update_latency.mean < 0.01
+    assert msc_metrics.update_latency.mean > 1.0
+    assert (
+        msc_metrics.update_latency.mean
+        > 100 * causal_metrics.update_latency.mean
+    )
+
+
+def test_a4_fewer_messages():
+    causal, msc = run_pair(4)
+    assert causal.net_stats.sent < msc.net_stats.sent
+
+
+def test_a4_consistency_downgrade_is_real():
+    """Same workloads: causal always m-causal; m-SC violations occur."""
+    causal_ok = 0
+    msc_violations = 0
+    runs = 10
+    for seed in range(runs):
+        causal, _msc = run_pair(seed)
+        if check_m_causal_consistency(causal.history).holds:
+            causal_ok += 1
+        if not check_m_sequential_consistency(
+            causal.history, method="exact"
+        ).holds:
+            msc_violations += 1
+    assert causal_ok == runs
+    assert msc_violations > 0
+
+
+def test_a4_fig4_still_stronger_on_same_workloads():
+    for seed in range(5):
+        _causal, msc = run_pair(seed)
+        assert check_m_sequential_consistency(
+            msc.history, extra_pairs=msc.ww_pairs()
+        ).holds
+
+
+def test_a4_benchmark_causal_run(benchmark):
+    def run():
+        causal, _ = run_pair(7)
+        return check_m_causal_consistency(causal.history)
+
+    verdict = benchmark(run)
+    assert verdict.holds

@@ -1,0 +1,131 @@
+"""Experiment AW — the paper's Attiya-Welch contrast, measured.
+
+Section 1's comparison: Attiya-Welch's linearizable implementation
+"assumes that clocks are perfectly synchronized and there is an upper
+bound on the delay of the message"; the paper's Fig-6 protocol "does
+not make any assumptions about clock synchronization or the message
+delay".  Both halves of that sentence become experiments:
+
+* **Inside its assumptions** the clock-based protocol is excellent:
+  queries are local (~0) *and* updates cost exactly ``delta`` — it
+  beats Fig-6's gather-round queries outright.  All runs
+  m-linearizable.
+* **Outside them** it silently breaks: with heavy-tailed latency the
+  delay bound is violated (counted as ``late_applies``), replicas
+  diverge, and the exact checker rejects runs.  The Fig-6 protocol on
+  the *identical* network keeps m-linearizability — no assumptions,
+  no failure mode.
+
+The trade the paper describes is therefore: Fig-6 pays a query round
+trip to buy independence from timing assumptions.
+"""
+
+import pytest
+
+from repro.analysis import ProtocolMetrics
+from repro.core import check_m_linearizability
+from repro.errors import ReproError
+from repro.protocols import aw_cluster, mlin_cluster
+from repro.sim import ExponentialLatency, UniformLatency
+from repro.workloads import BLIND_MIX, random_workloads
+
+OBJECTS = ["x", "y"]
+BOUNDED = UniformLatency(0.5, 1.5)   # respects delta = 2.0
+HEAVY = ExponentialLatency(1.5)      # unbounded tail; delta = 1.0 lies
+
+
+def run_aw(seed, *, delta, latency, blind=False):
+    cluster = aw_cluster(
+        3, OBJECTS, delta=delta, seed=seed, latency=latency
+    )
+    workloads = random_workloads(
+        3, OBJECTS, 5, seed=seed + 10, mix=BLIND_MIX if blind else None
+    )
+    result = cluster.run(workloads)
+    return cluster, result
+
+
+class TestInsideAssumptions:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_linearizable_when_bound_holds(self, seed):
+        cluster, result = run_aw(seed, delta=2.0, latency=BOUNDED)
+        assert cluster.total_late_applies() == 0
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+
+    def test_cost_profile_beats_fig6(self):
+        _cluster, aw = run_aw(11, delta=2.0, latency=BOUNDED)
+        fig6 = mlin_cluster(
+            3, OBJECTS, seed=11, latency=BOUNDED
+        ).run(random_workloads(3, OBJECTS, 5, seed=21))
+        aw_metrics = ProtocolMetrics.of("attiya-welch", aw)
+        fig6_metrics = ProtocolMetrics.of("fig6", fig6)
+        # Queries: local vs a gather round trip.
+        assert aw_metrics.query_latency.mean < 0.01
+        assert fig6_metrics.query_latency.mean > 1.0
+        # Updates: exactly delta vs ~2 one-way delays — same ballpark.
+        assert abs(aw_metrics.update_latency.mean - 2.0) < 1e-6
+
+
+class TestOutsideAssumptions:
+    def test_bound_violations_happen_and_break_linearizability(self):
+        late_total = violations = runs = 0
+        for seed in range(10):
+            try:
+                cluster, result = run_aw(
+                    seed, delta=1.0, latency=HEAVY, blind=True
+                )
+            except ReproError:
+                # Divergence made the observations inexpressible as a
+                # history at all — an even stronger inconsistency.
+                violations += 1
+                continue
+            runs += 1
+            late_total += cluster.total_late_applies()
+            if not check_m_linearizability(
+                result.history, method="exact"
+            ).holds:
+                violations += 1
+        assert late_total > 0, "the heavy tail never broke the bound?"
+        assert violations > 0, "bound violations never became visible"
+
+    def test_fig6_on_identical_network_keeps_guarantee(self):
+        for seed in range(6):
+            cluster = mlin_cluster(3, OBJECTS, seed=seed, latency=HEAVY)
+            result = cluster.run(
+                random_workloads(
+                    3, OBJECTS, 5, seed=seed + 10, mix=BLIND_MIX
+                )
+            )
+            assert check_m_linearizability(
+                result.history, method="exact"
+            ).holds
+
+    def test_generous_delta_restores_correctness_at_latency_cost(self):
+        """Raising delta buys back correctness but every update pays
+        the worst case, not the average."""
+        ok = 0
+        for seed in range(4):
+            cluster, result = run_aw(
+                seed, delta=25.0, latency=HEAVY, blind=True
+            )
+            if cluster.total_late_applies() == 0:
+                assert check_m_linearizability(
+                    result.history, method="exact"
+                ).holds
+                ok += 1
+                updates = result.latencies(updates=True)
+                assert min(updates) >= 25.0 - 1e-9  # fp tolerance
+        assert ok > 0
+
+
+def test_aw_benchmark_bounded(benchmark):
+    def run():
+        _c, result = run_aw(3, delta=2.0, latency=BOUNDED)
+        return check_m_linearizability(
+            result.history, extra_pairs=[]
+        )
+
+    verdict = benchmark(run)
+    assert verdict.holds

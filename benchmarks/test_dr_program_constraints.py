@@ -1,0 +1,151 @@
+"""Experiment DR — Section 4's programmer-side constraints (DRF/CWF).
+
+"An alternate approach is to impose constraints on the program
+execution (data race free (DRF) and concurrent write free (CWF)).
+The system can then provide weaker guarantees and have better
+performance.  The onus of enforcing these constraints then lies with
+the programmer which makes application building more difficult."
+
+Every clause measured, on a write-all protocol that provides *no*
+global synchronization (no atomic broadcast — just effects shipped to
+all replicas with response-after-acks):
+
+* **"weaker guarantees"**: with dense racing workloads the protocol
+  violates m-sequential consistency (replicas apply overlapping
+  writes in different orders);
+* **"the onus lies with the programmer"**: the *same system*, fed
+  executions that happen to be DRF, is m-linearizable — every
+  filtered DRF run passes the exact checker;
+* **"better performance"**: updates cost one direct round trip
+  (~2 one-way delays, 2(n-1) messages, no sequencer detour) and
+  queries stay local — matching the Fig-4 protocol's update latency
+  while dropping the broadcast machinery entirely.
+"""
+
+import pytest
+
+from repro.analysis import ProtocolMetrics
+from repro.core import (
+    check_m_linearizability,
+    check_m_sequential_consistency,
+    is_concurrent_write_free,
+    is_data_race_free,
+)
+from repro.protocols import msc_cluster, writeall_cluster
+from repro.sim import UniformLatency
+from repro.workloads import BLIND_MIX, random_workloads
+
+OBJECTS = ["x", "y"]
+
+
+def dense_run(seed):
+    cluster = writeall_cluster(
+        3,
+        OBJECTS,
+        seed=seed,
+        latency=UniformLatency(0.2, 2.5),
+        think_jitter=0.1,
+    )
+    return cluster.run(
+        random_workloads(3, OBJECTS, 5, seed=seed + 9, mix=BLIND_MIX)
+    )
+
+
+def sparse_run(seed):
+    cluster = writeall_cluster(
+        3,
+        OBJECTS,
+        seed=seed,
+        latency=UniformLatency(0.2, 1.5),
+        think_jitter=18.0,
+        start_jitter=6.0,
+    )
+    return cluster.run(
+        random_workloads(3, OBJECTS, 3, seed=seed + 9, mix=BLIND_MIX)
+    )
+
+
+def test_dr_racing_programs_break_the_weak_system():
+    violations = racy = 0
+    for seed in range(20):
+        result = dense_run(seed)
+        if is_data_race_free(result.history):
+            continue
+        racy += 1
+        violations += not check_m_sequential_consistency(
+            result.history, method="exact"
+        ).holds
+    assert racy >= 10
+    assert violations > 0
+
+
+def test_dr_drf_programs_are_linearizable_on_the_weak_system():
+    drf_runs = 0
+    for seed in range(30):
+        result = sparse_run(seed)
+        if not is_data_race_free(result.history):
+            continue
+        drf_runs += 1
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+    assert drf_runs >= 5  # the filter must actually fire
+
+
+def test_dr_drf_implies_cwf():
+    for seed in range(10):
+        result = sparse_run(seed)
+        if is_data_race_free(result.history):
+            assert is_concurrent_write_free(result.history)
+
+
+def test_dr_cwf_is_weaker_than_drf():
+    """Some execution is CWF but not DRF (a read racing a write).
+
+    Needs a read-heavy regime: frequent reads make read/write overlap
+    likely while rare writes keep write/write overlap away.
+    """
+    from repro.workloads import WorkloadMix
+
+    read_heavy = WorkloadMix(
+        read=6, write=1, m_read=2, m_assign=0.5,
+        dcas=0, transfer=0, audit=1, sum=0,
+    )
+    found = 0
+    for seed in range(40):
+        cluster = writeall_cluster(
+            3,
+            OBJECTS,
+            seed=seed,
+            latency=UniformLatency(0.2, 2.0),
+            think_jitter=2.0,
+        )
+        result = cluster.run(
+            random_workloads(3, OBJECTS, 4, seed=seed + 9, mix=read_heavy)
+        )
+        if is_concurrent_write_free(
+            result.history
+        ) and not is_data_race_free(result.history):
+            found += 1
+    assert found >= 5
+
+
+def test_dr_performance_matches_fig4_updates_without_broadcast():
+    workloads = random_workloads(3, OBJECTS, 5, seed=12, mix=BLIND_MIX)
+    latency = UniformLatency(0.5, 1.5)
+    weak = writeall_cluster(3, OBJECTS, seed=3, latency=latency).run(
+        workloads
+    )
+    fig4 = msc_cluster(3, OBJECTS, seed=3, latency=latency).run(workloads)
+    weak_metrics = ProtocolMetrics.of("write-all", weak)
+    fig4_metrics = ProtocolMetrics.of("fig4", fig4)
+    # Same ballpark update latency (direct round trip vs sequencer)...
+    assert weak_metrics.update_latency.mean < fig4_metrics.update_latency.mean * 1.5
+    # ...queries local for both; fewer messages without the broadcast.
+    assert weak_metrics.query_latency.mean < 0.01
+    assert weak.net_stats.sent <= fig4.net_stats.sent
+
+
+def test_dr_benchmark(benchmark):
+    result = benchmark(lambda: sparse_run(2))
+    assert len(result.recorder.records) == 9

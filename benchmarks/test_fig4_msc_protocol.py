@@ -1,0 +1,33 @@
+"""Experiment F4 — the Figure-4 (m-sequential-consistency) protocol.
+
+Runs the protocol on a randomized multi-object workload, verifies
+Theorem 15 via the recorded ``~ww`` fast path, and benchmarks a full
+run.  The asserted shape: queries are local (<< one network delay),
+updates pay the atomic-broadcast latency (>= 2 one-way delays through
+the sequencer on average).
+"""
+
+from benchmarks.report import exp_f4, run_protocol
+from repro.core import check_m_sequential_consistency
+from repro.protocols import msc_cluster
+
+
+def test_f4_metrics_shape():
+    metrics = exp_f4()
+    assert metrics.query_latency.mean < 0.01
+    assert metrics.update_latency.mean > 1.0
+    assert metrics.throughput > 0
+
+
+def test_f4_benchmark_run_and_verify(benchmark):
+    def run():
+        result = run_protocol(msc_cluster, seed=21)
+        verdict = check_m_sequential_consistency(
+            result.history, extra_pairs=result.ww_pairs()
+        )
+        return result, verdict
+
+    result, verdict = benchmark(run)
+    assert verdict.holds
+    assert verdict.method_used == "constrained"
+    assert result.abcast_violation is None

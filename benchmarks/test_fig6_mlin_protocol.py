@@ -1,0 +1,30 @@
+"""Experiment F6 — the Figure-6 (m-linearizability) protocol.
+
+Runs the protocol on the same workload as F4, verifies Theorem 20,
+and benchmarks a full run.  Asserted shape: queries now pay a round
+trip (>= 2 one-way delays, governed by the slowest replica) — the
+price of linearizability without synchronized clocks.
+"""
+
+from benchmarks.report import exp_f6, run_protocol
+from repro.core import check_m_linearizability
+from repro.protocols import mlin_cluster
+
+
+def test_f6_metrics_shape():
+    metrics = exp_f6()
+    assert metrics.query_latency.mean > 1.0  # ~ 2 x mean one-way delay
+    assert metrics.update_latency.mean > 1.0
+
+
+def test_f6_benchmark_run_and_verify(benchmark):
+    def run():
+        result = run_protocol(mlin_cluster, seed=21)
+        verdict = check_m_linearizability(
+            result.history, extra_pairs=result.ww_pairs()
+        )
+        return result, verdict
+
+    result, verdict = benchmark(run)
+    assert verdict.holds
+    assert result.abcast_violation is None

@@ -1,0 +1,30 @@
+"""Experiment F7 — Figure 7: a worked execution of the Fig-6 protocol.
+
+Same workload and network as F5, but the query's gather phase always
+collects a copy at least as fresh as any completed update: zero stale
+reads, m-linearizable — at round-trip cost per read.
+"""
+
+from benchmarks.report import exp_f7
+from repro.workloads import figure5_scenario, figure7_scenario
+
+
+def test_f7_shape():
+    results = exp_f7()
+    assert results["stale_reads"] == 0
+    assert results["m-lin"] is True
+
+
+def test_f7_reads_cost_round_trips():
+    fast = figure5_scenario()
+    slow = figure7_scenario()
+    fast_latency = max(r - i for i, r, _v in fast.reads)
+    slow_latency = min(r - i for i, r, _v in slow.reads)
+    # The Fig-6 query pays the far replica's round trip; the Fig-4
+    # query is local.  Orders of magnitude apart by construction.
+    assert slow_latency > 100 * fast_latency
+
+
+def test_f7_benchmark(benchmark):
+    outcome = benchmark(figure7_scenario)
+    assert outcome.stale_reads == []

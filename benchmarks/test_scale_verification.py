@@ -1,0 +1,72 @@
+"""Scale — the practical payoff of the Section-4/5 program.
+
+The reason the paper cares about constraints at all: runtime
+verification must keep up with real executions.  This benchmark runs
+clusters far larger than anything the exact checker should be pointed
+at (hundreds of m-operations) and verifies them through the recorded
+``~ww`` order in polynomial time — the complete pipeline the paper
+implies: protocol enforces WW ⟶ history records ~ww ⟶ Theorem 7
+reduces checking to legality.
+"""
+
+import pytest
+
+from repro.core import check_m_linearizability, check_m_sequential_consistency
+from repro.protocols import mlin_cluster, msc_cluster
+from repro.workloads import random_workloads
+
+OBJECTS = ["x", "y", "z", "u", "v"]
+
+
+def big_run(factory, *, n=6, ops=40, seed=123):
+    cluster = factory(n, OBJECTS, seed=seed)
+    workloads = random_workloads(n, OBJECTS, ops, seed=seed + 1)
+    return cluster.run(workloads)
+
+
+def test_scale_msc_240_mops_verify_constrained():
+    result = big_run(msc_cluster)
+    assert len(result.history) == 240
+    verdict = check_m_sequential_consistency(
+        result.history, extra_pairs=result.ww_pairs()
+    )
+    assert verdict.holds
+    assert verdict.method_used == "constrained"
+
+
+def test_scale_mlin_240_mops_verify_constrained():
+    result = big_run(mlin_cluster)
+    verdict = check_m_linearizability(
+        result.history, extra_pairs=result.ww_pairs()
+    )
+    assert verdict.holds
+    assert verdict.method_used == "constrained"
+
+
+def test_scale_witness_is_usable():
+    """The constrained path hands back a full legal linearization."""
+    from repro.core import is_legal_sequence
+
+    result = big_run(msc_cluster, ops=20)
+    verdict = check_m_sequential_consistency(
+        result.history, extra_pairs=result.ww_pairs()
+    )
+    assert verdict.witness is not None
+    assert is_legal_sequence(result.history, verdict.witness)
+
+
+@pytest.mark.parametrize("ops", [10, 20, 40])
+def test_scale_benchmark_verification(benchmark, ops):
+    result = big_run(msc_cluster, ops=ops)
+
+    verdict = benchmark(
+        lambda: check_m_sequential_consistency(
+            result.history, extra_pairs=result.ww_pairs()
+        )
+    )
+    assert verdict.holds
+
+
+def test_scale_benchmark_simulation(benchmark):
+    result = benchmark(lambda: big_run(msc_cluster, ops=20))
+    assert len(result.history) == 120

@@ -1,0 +1,48 @@
+"""Experiment T15 — Theorem 15: every Fig-4 execution is m-SC.
+
+Randomized sweep over seeds and workload mixes; each recorded history
+is verified by the exact checker *and* by the ``~ww`` constrained fast
+path, and the two verdicts must coincide.  Expected: zero violations.
+"""
+
+import pytest
+
+from benchmarks.report import exp_t15, run_protocol
+from repro.abcast import LamportAbcast
+from repro.core import check_m_sequential_consistency
+from repro.protocols import msc_cluster
+from repro.sim import ExponentialLatency
+
+
+def test_t15_zero_violations():
+    results = exp_t15()
+    assert results["violations"] == 0
+    assert results["runs"] >= 10
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_t15_heavy_reordering(seed):
+    result = run_protocol(
+        msc_cluster,
+        n=4,
+        ops=6,
+        seed=seed,
+        latency=ExponentialLatency(1.0),
+    )
+    assert check_m_sequential_consistency(
+        result.history, method="exact"
+    ).holds
+
+
+def test_t15_lamport_abcast_variant():
+    result = run_protocol(
+        msc_cluster, n=3, ops=5, seed=2, abcast_factory=LamportAbcast
+    )
+    assert check_m_sequential_consistency(
+        result.history, method="exact"
+    ).holds
+
+
+def test_t15_benchmark_sweep(benchmark):
+    results = benchmark(lambda: exp_t15(n_seeds=3))
+    assert results["violations"] == 0

@@ -1,0 +1,76 @@
+"""Experiment T1 — Theorems 1/2: verification is NP-complete.
+
+An asymptotic claim can only be *evidenced* by measurement; this
+benchmark exhibits the dichotomy the paper builds Section 4 on:
+
+* the exact checker's node count grows exponentially on the crafted
+  gadget family (x5-x7 per added toggle pair);
+* the Theorem-7 constrained path on WW-constrained histories scales
+  polynomially (legality is a cubic-bounded triple scan, quadratic in
+  practice on the rf-indexed enumeration).
+"""
+
+import pytest
+
+from benchmarks.report import exp_t1
+from repro.analysis import exponential_gadget, hard_history
+from repro.core import (
+    check_admissible,
+    check_m_sequential_consistency,
+    msc_order,
+)
+from repro.workloads import HistoryShape, random_serial_history
+
+
+def test_t1_exponential_growth_on_gadget():
+    rows = [r for r in exp_t1() if r.label == "exact/gadget"]
+    nodes = [r.nodes for r in rows]
+    # Strictly exploding: each added toggle multiplies work.
+    for smaller, larger in zip(nodes, nodes[1:]):
+        assert larger >= 4 * smaller
+    assert nodes[-1] > 1000 * nodes[0]
+
+
+def test_t1_constrained_path_stays_polynomial():
+    rows = [r for r in exp_t1() if r.label == "constrained/ww"]
+    assert all(r.verdict for r in rows)
+    # Doubling the history size must not blow up the constrained
+    # checker: time grows by at most ~8x per doubling (cubic bound),
+    # far from the gadget's exponential growth.  Compare the largest
+    # and smallest (robust to timer noise on tiny inputs).
+    smallest, largest = rows[0], rows[-1]
+    size_ratio = largest.size / smallest.size
+    time_ratio = max(largest.seconds, 1e-9) / max(smallest.seconds, 1e-9)
+    assert time_ratio < size_ratio**3.5
+
+
+@pytest.mark.parametrize("toggles", [2, 3, 4])
+def test_t1_benchmark_exact_gadget(benchmark, toggles):
+    h = exponential_gadget(toggles)
+    base = msc_order(h)
+    result = benchmark(lambda: check_admissible(h, base))
+    assert not result.admissible
+
+
+@pytest.mark.parametrize("n_mops", [40, 80, 160])
+def test_t1_benchmark_constrained(benchmark, n_mops):
+    shape = HistoryShape(
+        n_processes=4, n_objects=4, n_mops=n_mops, query_fraction=0.4
+    )
+    h = random_serial_history(shape, seed=n_mops)
+    updates = [m.uid for m in h.mops if m.is_update]
+    ww = list(zip(updates, updates[1:]))
+    verdict = benchmark(
+        lambda: check_m_sequential_consistency(
+            h, method="constrained", extra_pairs=ww
+        )
+    )
+    assert verdict.holds
+
+
+def test_t1_benchmark_exact_on_easy_instances(benchmark):
+    """The exact checker is fine on non-adversarial histories."""
+    h = hard_history(30, seed=30)
+    base = msc_order(h)
+    result = benchmark(lambda: check_admissible(h, base))
+    assert result.admissible

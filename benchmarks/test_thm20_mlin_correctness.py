@@ -1,0 +1,66 @@
+"""Experiment T20 — Theorem 20: every Fig-6 execution is m-linearizable.
+
+Randomized sweep (zero violations expected) plus the differential
+claim: the Fig-4 protocol on identical workloads/network is *not*
+m-linearizable in general (F5 exhibits it deterministically), so the
+Fig-6 query phase is load-bearing, not decorative.
+"""
+
+import pytest
+
+from benchmarks.report import exp_t20, run_protocol
+from repro.abcast import LamportAbcast
+from repro.core import check_m_linearizability
+from repro.protocols import mlin_cluster
+from repro.sim import ExponentialLatency
+from repro.workloads import figure5_scenario
+
+
+def test_t20_zero_violations():
+    results = exp_t20()
+    assert results["violations"] == 0
+    assert results["runs"] >= 10
+
+
+def test_t20_fig4_on_same_conditions_fails():
+    outcome = figure5_scenario()
+    assert not check_m_linearizability(
+        outcome.history, method="exact"
+    ).holds
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_t20_heavy_reordering(seed):
+    result = run_protocol(
+        mlin_cluster,
+        n=4,
+        ops=6,
+        seed=seed,
+        latency=ExponentialLatency(1.0),
+    )
+    assert check_m_linearizability(
+        result.history, method="exact"
+    ).holds
+
+
+def test_t20_lamport_abcast_variant():
+    result = run_protocol(
+        mlin_cluster, n=3, ops=5, seed=2, abcast_factory=LamportAbcast
+    )
+    assert check_m_linearizability(
+        result.history, method="exact"
+    ).holds
+
+
+def test_t20_relevant_only_variant():
+    result = run_protocol(
+        mlin_cluster, n=3, ops=5, seed=2, reply_relevant_only=True
+    )
+    assert check_m_linearizability(
+        result.history, method="exact"
+    ).holds
+
+
+def test_t20_benchmark_sweep(benchmark):
+    results = benchmark(lambda: exp_t20(n_seeds=3))
+    assert results["violations"] == 0

@@ -1,0 +1,55 @@
+"""Experiment T7 — Theorem 7: legality <=> admissibility under OO/WW.
+
+On WW-constrained histories (randomized, including corrupted ones) the
+cheap legality test must agree exactly with the exponential search;
+without the constraint, legality is necessary but *not* sufficient —
+the sweep also counts legal-but-inadmissible instances to prove the
+constraint is doing real work.
+"""
+
+from benchmarks.report import exp_t7
+from repro.core import (
+    check_admissible,
+    is_legal,
+    msc_order,
+    satisfies_ww,
+)
+from repro.workloads import HistoryShape, corrupt_history, random_serial_history
+
+
+def test_t7_equivalence_holds():
+    results = exp_t7()
+    assert results["checked"] >= 10
+    assert results["agreements"] == results["checked"]
+
+
+def test_t7_constraint_is_load_bearing():
+    results = exp_t7(n_seeds=120)
+    assert results["legal_but_inadmissible_without_ww"] > 0
+
+
+def _ww_instance(seed):
+    shape = HistoryShape(
+        n_processes=3, n_objects=2, n_mops=12, query_fraction=0.4
+    )
+    h = random_serial_history(shape, seed=seed)
+    h = corrupt_history(h, seed=seed) or h
+    base = msc_order(h)
+    updates = [m.uid for m in h.mops if m.is_update]
+    for a, b in zip(updates, updates[1:]):
+        base.add(a, b)
+    return h, base
+
+
+def test_t7_benchmark_legality_path(benchmark):
+    h, base = _ww_instance(seed=4)
+    closure = base.transitive_closure()
+    assert satisfies_ww(h, closure)
+    verdict = benchmark(lambda: is_legal(h, base.transitive_closure()))
+    assert verdict in (True, False)
+
+
+def test_t7_benchmark_exact_path(benchmark):
+    h, base = _ww_instance(seed=4)
+    result = benchmark(lambda: check_admissible(h, base))
+    assert result.admissible == is_legal(h, base.transitive_closure())

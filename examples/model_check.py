@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Model checking the protocol theorems, live.
+
+Random testing samples message orderings; this script *enumerates*
+them.  For each protocol it runs a small contended workload under
+every possible delivery order and tallies the consistency verdicts —
+Theorems 15 and 20 checked exhaustively at this scale, and the
+traditional-DSM baseline's torn interleaving found (not sampled).
+
+Run:  python examples/model_check.py
+"""
+
+from repro import (
+    check_m_linearizability,
+    check_m_sequential_consistency,
+    m_assign,
+    m_read,
+    mlin_cluster,
+    msc_cluster,
+    read_reg,
+    write_reg,
+)
+from repro.protocols import traditional_cluster
+from repro.sim import explore, explore_factory
+
+
+def enumerate_and_check(title, factory, workloads, checker, limit=20_000):
+    print(f"== {title} ==")
+    total = violations = 0
+    first_violation = None
+    for result in explore(factory, workloads, limit=limit):
+        total += 1
+        if not checker(result):
+            violations += 1
+            if first_violation is None:
+                first_violation = (total, result)
+    print(f"   executions enumerated: {total}")
+    print(f"   violations:            {violations}")
+    if first_violation is not None:
+        index, result = first_violation
+        print(f"   first violation at execution #{index}:")
+        for rec in sorted(result.recorder.records, key=lambda r: r.inv):
+            print(
+                f"     t={rec.inv:5.1f} P{rec.process} "
+                f"{rec.name:<14} -> {rec.result}"
+            )
+    print()
+    return total, violations
+
+
+def main() -> None:
+    total, violations = enumerate_and_check(
+        "Theorem 15 — Fig-4 protocol, two racing writers + reader",
+        explore_factory(msc_cluster, 2, ["x"]),
+        [[write_reg("x", 1), read_reg("x")], [write_reg("x", 2)]],
+        lambda r: check_m_sequential_consistency(
+            r.history, method="exact"
+        ).holds,
+    )
+    assert violations == 0 and total == 80
+
+    total, violations = enumerate_and_check(
+        "Theorem 20 — Fig-6 protocol, write racing a gather-query",
+        explore_factory(mlin_cluster, 2, ["x"]),
+        [[write_reg("x", 1)], [read_reg("x")]],
+        lambda r: check_m_linearizability(r.history, method="exact").holds,
+    )
+    assert violations == 0 and total == 20
+
+    print(
+        "Control: the traditional DSM (per-object atomicity only) on an\n"
+        "atomic 2-object update racing a 2-object snapshot.  Searching\n"
+        "the interleaving tree for the torn case...\n"
+    )
+    factory = explore_factory(traditional_cluster, 2, ["x", "y"])
+    for index, result in enumerate(
+        explore(
+            factory,
+            [[m_assign({"x": 1, "y": 1})], [m_read(["x", "y"])]],
+            limit=10_000_000,
+        ),
+        start=1,
+    ):
+        if not check_m_sequential_consistency(
+            result.history, method="exact"
+        ).holds:
+            snap = result.results_by_uid()[2]
+            print(f"== torn interleaving found at execution #{index} ==")
+            print(f"   the snapshot observed {snap} — half an atomic update.")
+            print(
+                "   (deep in the tree: small random sweeps could miss it;\n"
+                "   exhaustion cannot.)"
+            )
+            break
+    else:
+        raise AssertionError("no torn interleaving found")
+
+    print("\nOK: theorems exhaustively confirmed; the control falsified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+"""repro — Consistency Conditions for Multi-Object Distributed Operations.
+
+A from-scratch Python reproduction of Mittal & Garg's 1998 framework
+for consistency of *m-operations* (atomic operations spanning multiple
+objects):
+
+* the formal model — m-operations, histories, legality, admissibility
+  (:mod:`repro.core`);
+* the consistency conditions **m-sequential consistency**,
+  **m-linearizability** and **m-normality**, with exact (NP-complete)
+  and constrained polynomial-time checkers (:mod:`repro.core`);
+* the Theorem-2 reduction between strict view serializability and
+  m-linearizability (:mod:`repro.db`);
+* a discrete-event simulation of an asynchronous distributed system
+  with atomic broadcast (:mod:`repro.sim`, :mod:`repro.abcast`);
+* the paper's two replication protocols (Figures 4 and 6) plus
+  baselines (:mod:`repro.protocols`);
+* the motivating multi-object operations — DCAS, CASN, atomic
+  m-register assignment, transfers (:mod:`repro.objects`);
+* workload generators, the paper's figures as executable scenarios,
+  and analysis helpers (:mod:`repro.workloads`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import (
+        mlin_cluster, transfer, balance_total,
+        check_m_linearizability,
+    )
+
+    cluster = mlin_cluster(3, ["acct_a", "acct_b"],
+                           initial_values={"acct_a": 100, "acct_b": 100},
+                           seed=1)
+    result = cluster.run([
+        [transfer("acct_a", "acct_b", 30)],
+        [balance_total(["acct_a", "acct_b"])],
+        [transfer("acct_b", "acct_a", 10)],
+    ])
+    assert check_m_linearizability(result.history).holds
+"""
+
+from repro.core import (
+    ConsistencyVerdict,
+    History,
+    MOperation,
+    Operation,
+    Relation,
+    check_admissible,
+    check_m_linearizability,
+    check_m_normality,
+    check_m_sequential_consistency,
+    is_m_linearizable,
+    is_m_normal,
+    is_m_sequentially_consistent,
+    make_mop,
+    read,
+    write,
+)
+from repro.db import (
+    Schedule,
+    is_conflict_serializable,
+    is_strict_view_serializable,
+    is_view_serializable,
+    schedule_from_string,
+    schedule_to_history,
+)
+from repro.errors import ReproError
+from repro.objects import (
+    balance_total,
+    casn,
+    compare_and_swap,
+    dcas,
+    fetch_add,
+    m_assign,
+    m_read,
+    read_reg,
+    sum_of,
+    swap_objects,
+    transfer,
+    write_reg,
+)
+from repro.core import (
+    history_from_json,
+    history_to_json,
+    load_history,
+    save_history,
+)
+from repro.protocols import (
+    Cluster,
+    MProgram,
+    RunResult,
+    aggregate_cluster,
+    causal_cluster,
+    local_cluster,
+    lock_cluster,
+    mlin_cluster,
+    msc_cluster,
+    server_cluster,
+)
+from repro.workloads import (
+    figure1,
+    figure2_h1,
+    figure5_scenario,
+    figure7_scenario,
+    random_workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ConsistencyVerdict",
+    "History",
+    "MOperation",
+    "MProgram",
+    "Operation",
+    "Relation",
+    "ReproError",
+    "RunResult",
+    "Schedule",
+    "__version__",
+    "aggregate_cluster",
+    "causal_cluster",
+    "balance_total",
+    "casn",
+    "check_admissible",
+    "check_m_linearizability",
+    "check_m_normality",
+    "check_m_sequential_consistency",
+    "compare_and_swap",
+    "dcas",
+    "fetch_add",
+    "figure1",
+    "figure2_h1",
+    "figure5_scenario",
+    "figure7_scenario",
+    "is_conflict_serializable",
+    "is_m_linearizable",
+    "is_m_normal",
+    "is_m_sequentially_consistent",
+    "is_strict_view_serializable",
+    "is_view_serializable",
+    "history_from_json",
+    "history_to_json",
+    "load_history",
+    "local_cluster",
+    "lock_cluster",
+    "m_assign",
+    "m_read",
+    "make_mop",
+    "mlin_cluster",
+    "msc_cluster",
+    "random_workloads",
+    "read",
+    "read_reg",
+    "schedule_from_string",
+    "save_history",
+    "schedule_to_history",
+    "server_cluster",
+    "sum_of",
+    "swap_objects",
+    "transfer",
+    "write",
+    "write_reg",
+]

@@ -1,0 +1,119 @@
+"""Atomic (total-order) broadcast interface (substrate S11).
+
+Both protocols in Section 5 assume an atomic broadcast primitive:
+"atomic broadcast ensures that all processes apply all update
+m-operations in the same order".  The required properties are the
+classic ones:
+
+* **Validity** — a message broadcast by a correct process is
+  eventually delivered by every process (channels are reliable).
+* **Integrity** — each message is delivered at most once, and only if
+  it was broadcast.
+* **Total order** — any two processes deliver any two messages in the
+  same relative order.
+
+This module defines the implementation-independent interface; the
+concrete algorithms live in :mod:`repro.abcast.sequencer` and
+:mod:`repro.abcast.lamport` and are validated against these properties
+by their test suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.sim.network import Network
+
+#: Delivery callback: (sender_pid, payload) -> None.
+DeliverFn = Callable[[int, Any], None]
+
+
+class AtomicBroadcast:
+    """Base class for total-order broadcast implementations.
+
+    Lifecycle: construct with the network, then each participant calls
+    :meth:`attach` exactly once with its delivery callback, and
+    afterwards may call :meth:`broadcast`.
+
+    Implementations deliver every broadcast payload exactly once at
+    every participant, in one global order.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._deliver: Dict[int, DeliverFn] = {}
+        #: per-pid delivery logs (sender, payload), kept for property
+        #: checking in tests; cheap relative to simulation cost.
+        self.delivery_log: Dict[int, List[Tuple[int, Any]]] = {}
+
+    @property
+    def n(self) -> int:
+        """Number of participants."""
+        return self.network.n
+
+    def attach(self, pid: int, deliver: DeliverFn) -> None:
+        """Register participant ``pid``'s delivery callback."""
+        if pid in self._deliver:
+            raise ProtocolError(f"participant {pid} already attached")
+        self._deliver[pid] = deliver
+        self.delivery_log[pid] = []
+
+    def broadcast(self, sender: int, payload: Any) -> None:
+        """Atomically broadcast ``payload`` on behalf of ``sender``."""
+        raise NotImplementedError
+
+    def handles(self, kind: str) -> bool:
+        """True iff this layer owns network messages of this kind."""
+        raise NotImplementedError
+
+    def handle(self, pid: int, src: int, message: Any) -> None:
+        """Process a layer-owned message arriving at endpoint ``pid``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers for implementations
+    # ------------------------------------------------------------------
+
+    def _local_deliver(
+        self, pid: int, sender: int, payload: Any, msg_id: Any
+    ) -> None:
+        """Invoke ``pid``'s callback and record the delivery.
+
+        ``msg_id`` is an implementation-assigned identifier unique per
+        broadcast; it powers the integrity check below.
+        """
+        deliver = self._deliver.get(pid)
+        if deliver is None:
+            raise ProtocolError(f"delivery at unattached participant {pid}")
+        self.delivery_log[pid].append((sender, msg_id))
+        deliver(sender, payload)
+
+    # ------------------------------------------------------------------
+    # Property checking (used by tests and by protocol self-checks)
+    # ------------------------------------------------------------------
+
+    def check_total_order(self) -> Optional[str]:
+        """Verify the delivery logs satisfy total order + integrity.
+
+        Returns None when the properties hold, else a human-readable
+        description of the first violation.  A run may end mid-flight,
+        so participants may have delivered different-length logs; with
+        total order the logs must then agree element-wise on common
+        prefixes, and integrity forbids duplicate message ids within
+        one log.
+        """
+        logs = [self.delivery_log.get(pid, []) for pid in range(self.n)]
+        longest = max(logs, key=len, default=[])
+        for pid, log in enumerate(logs):
+            for i, entry in enumerate(log):
+                if entry != longest[i]:
+                    return (
+                        f"participant {pid} delivered {entry} at position "
+                        f"{i} but another delivered {longest[i]}"
+                    )
+            ids = [msg_id for _sender, msg_id in log]
+            if len(ids) != len(set(ids)):
+                return f"participant {pid} delivered a message twice"
+        return None

@@ -1,0 +1,117 @@
+"""Fixed-sequencer atomic broadcast.
+
+The simplest total-order broadcast over reliable channels: a designated
+*sequencer* process assigns consecutive sequence numbers.
+
+* To broadcast, a process sends ``abc-req`` to the sequencer.
+* The sequencer stamps the payload with the next sequence number and
+  sends ``abc-seq`` to every participant (including the sender and
+  itself).
+* Each participant buffers out-of-order arrivals (the network is
+  non-FIFO) and delivers in sequence-number order.
+
+Message cost per broadcast: ``1 + n`` point-to-point messages and two
+message delays on the critical path (request to sequencer + relay),
+or one delay when the sender *is* the sequencer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Tuple
+
+from repro.abcast.interface import AtomicBroadcast
+from repro.errors import ProtocolError
+from repro.sim.network import Message, Network
+
+#: Message kinds used on the wire.
+REQ = "abc-req"
+SEQ = "abc-seq"
+
+
+class SequencerAbcast(AtomicBroadcast):
+    """Fixed-sequencer total-order broadcast.
+
+    Args:
+        network: the simulated network; all ``network.n`` endpoints
+            participate.
+        sequencer: pid of the sequencing process (default 0).
+
+    The implementation piggybacks on the endpoints' handlers: it wires
+    itself into the network via :meth:`handle`, which the owning
+    process must call for messages whose kind starts with ``"abc-"``.
+    """
+
+    def __init__(self, network: Network, *, sequencer: int = 0) -> None:
+        super().__init__(network)
+        if not 0 <= sequencer < network.n:
+            raise ProtocolError(f"sequencer pid {sequencer} out of range")
+        self.sequencer = sequencer
+        self._next_seq = itertools.count()
+        self._next_msg_id = itertools.count()
+        # Per-participant delivery cursor and out-of-order buffer.
+        self._expected: Dict[int, int] = {pid: 0 for pid in range(network.n)}
+        self._buffer: Dict[int, Dict[int, Tuple[int, Any, int]]] = {
+            pid: {} for pid in range(network.n)
+        }
+
+    # ------------------------------------------------------------------
+    # AtomicBroadcast API
+    # ------------------------------------------------------------------
+
+    def broadcast(self, sender: int, payload: Any) -> None:
+        """Send the payload to the sequencer for ordering."""
+        msg_id = next(self._next_msg_id)
+        self.network.send(
+            sender,
+            self.sequencer,
+            Message(REQ, {"sender": sender, "payload": payload, "id": msg_id}),
+        )
+
+    # ------------------------------------------------------------------
+    # Wire protocol
+    # ------------------------------------------------------------------
+
+    def handles(self, kind: str) -> bool:
+        """True iff this layer owns messages of the given kind."""
+        return kind in (REQ, SEQ)
+
+    def handle(self, pid: int, src: int, message: Message) -> None:
+        """Process an ``abc-*`` message arriving at endpoint ``pid``."""
+        if message.kind == REQ:
+            if pid != self.sequencer:
+                raise ProtocolError(
+                    f"abc-req arrived at non-sequencer {pid}"
+                )
+            self._sequence(message.payload)
+        elif message.kind == SEQ:
+            body = message.payload
+            self._buffer[pid][body["seq"]] = (
+                body["sender"],
+                body["payload"],
+                body["id"],
+            )
+            self._drain(pid)
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unexpected message kind {message.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _sequence(self, request: Dict[str, Any]) -> None:
+        seq = next(self._next_seq)
+        stamped = {
+            "seq": seq,
+            "sender": request["sender"],
+            "payload": request["payload"],
+            "id": request["id"],
+        }
+        self.network.send_to_all(self.sequencer, Message(SEQ, stamped))
+
+    def _drain(self, pid: int) -> None:
+        buffer = self._buffer[pid]
+        while self._expected[pid] in buffer:
+            sender, payload, msg_id = buffer.pop(self._expected[pid])
+            self._expected[pid] += 1
+            self._local_deliver(pid, sender, payload, msg_id)

@@ -1,0 +1,27 @@
+"""Metrics and checker-scaling analysis (S19)."""
+
+from repro.analysis.complexity import (
+    ScalingPoint,
+    exponential_gadget,
+    hard_history,
+    measure,
+    measure_exact,
+    scaling_table,
+)
+from repro.analysis.metrics import (
+    LatencySummary,
+    ProtocolMetrics,
+    comparison_table,
+)
+
+__all__ = [
+    "LatencySummary",
+    "ProtocolMetrics",
+    "ScalingPoint",
+    "comparison_table",
+    "exponential_gadget",
+    "hard_history",
+    "measure",
+    "measure_exact",
+    "scaling_table",
+]

@@ -1,0 +1,129 @@
+"""Response-time and message-cost metrics (S19, experiments A1-A3).
+
+The paper argues its protocols' costs analytically, in the style of
+the Attiya-Welch analysis it cites: m-SC queries are local, m-lin
+queries pay one round trip, updates pay the atomic-broadcast latency
+under both.  These helpers turn protocol :class:`RunResult` objects
+into comparable summaries so the benchmarks can report those shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.protocols.base import RunResult
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample.
+
+    Attributes:
+        count: sample size.
+        mean: arithmetic mean.
+        p50: median.
+        p95: 95th percentile (nearest-rank).
+        maximum: largest observation.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def of(cls, sample: Sequence[float]) -> "LatencySummary":
+        """Summarise a (possibly empty) latency sample."""
+        if not sample:
+            return cls(0, math.nan, math.nan, math.nan, math.nan)
+        ordered = sorted(sample)
+        n = len(ordered)
+
+        def rank(q: float) -> float:
+            return ordered[min(n - 1, max(0, math.ceil(q * n) - 1))]
+
+        return cls(
+            count=n,
+            mean=sum(ordered) / n,
+            p50=rank(0.50),
+            p95=rank(0.95),
+            maximum=ordered[-1],
+        )
+
+    def __str__(self) -> str:
+        if self.count == 0:
+            return "n=0"
+        return (
+            f"n={self.count} mean={self.mean:.3f} p50={self.p50:.3f} "
+            f"p95={self.p95:.3f} max={self.maximum:.3f}"
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolMetrics:
+    """One protocol run, reduced to the numbers the paper argues about.
+
+    Attributes:
+        label: protocol name for report rows.
+        query_latency: response-time summary over query m-operations.
+        update_latency: over update m-operations.
+        duration: virtual makespan of the run.
+        messages: total network messages sent.
+        message_size: total estimated payload units sent.
+        messages_by_kind: per message-kind counts.
+        throughput: completed m-operations per virtual time unit.
+    """
+
+    label: str
+    query_latency: LatencySummary
+    update_latency: LatencySummary
+    duration: float
+    messages: int
+    message_size: int
+    messages_by_kind: Dict[str, int]
+    throughput: float
+
+    @classmethod
+    def of(cls, label: str, result: RunResult) -> "ProtocolMetrics":
+        """Extract metrics from a completed run."""
+        completed = len(result.recorder.records)
+        duration = max(result.duration, 1e-12)
+        return cls(
+            label=label,
+            query_latency=LatencySummary.of(result.latencies(updates=False)),
+            update_latency=LatencySummary.of(result.latencies(updates=True)),
+            duration=result.duration,
+            messages=result.net_stats.sent,
+            message_size=result.net_stats.total_size,
+            messages_by_kind=dict(result.net_stats.by_kind),
+            throughput=completed / duration,
+        )
+
+    def row(self) -> str:
+        """One formatted report row (used by benchmark printouts)."""
+        return (
+            f"{self.label:<22} "
+            f"query[{self.query_latency}]  "
+            f"update[{self.update_latency}]  "
+            f"msgs={self.messages} "
+            f"tput={self.throughput:.2f}/s"
+        )
+
+
+def comparison_table(metrics: Sequence[ProtocolMetrics]) -> str:
+    """A plain-text comparison table of several protocol runs."""
+    lines = [
+        f"{'protocol':<22} {'query mean':>11} {'query p95':>10} "
+        f"{'update mean':>12} {'msgs':>8} {'msg units':>10} {'tput':>8}"
+    ]
+    for m in metrics:
+        lines.append(
+            f"{m.label:<22} "
+            f"{m.query_latency.mean:>11.3f} {m.query_latency.p95:>10.3f} "
+            f"{m.update_latency.mean:>12.3f} {m.messages:>8} "
+            f"{m.message_size:>10} {m.throughput:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Core model of Mittal & Garg's multi-object consistency framework.
+
+Sub-modules:
+
+* :mod:`repro.core.operation` — operations and m-operations.
+* :mod:`repro.core.history` — histories and the reads-from map.
+* :mod:`repro.core.relations` — relation algebra.
+* :mod:`repro.core.orders` — process/reads-from/real-time/object order.
+* :mod:`repro.core.legality` — conflict, interference, legality.
+* :mod:`repro.core.constraints` — OO/WW/WO constraints, ``~rw``, ``~H+``.
+* :mod:`repro.core.admissibility` — exact (NP-complete) admissibility.
+* :mod:`repro.core.consistency` — m-SC / m-lin / m-norm checkers.
+"""
+
+from repro.core.admissibility import (
+    AdmissibilityResult,
+    SearchBudgetExceeded,
+    SearchStats,
+    check_admissible,
+    count_legal_linearizations,
+)
+from repro.core.consistency import (
+    ConsistencyVerdict,
+    ConstraintNotSatisfied,
+    check_m_linearizability,
+    check_m_normality,
+    check_m_sequential_consistency,
+    is_m_linearizable,
+    is_m_normal,
+    is_m_sequentially_consistent,
+)
+from repro.core.causal import (
+    CausalVerdict,
+    causal_order,
+    check_m_causal_consistency,
+    check_m_causal_serializability,
+    is_m_causally_consistent,
+    is_m_causally_serializable,
+    restrict_history,
+)
+from repro.core.constraints import (
+    constraint_report,
+    is_concurrent_write_free,
+    is_data_race_free,
+    extended_relation,
+    rw_pairs,
+    satisfies_oo,
+    satisfies_wo,
+    satisfies_ww,
+)
+from repro.core.diagnostics import Explanation, explain
+from repro.core.history import History
+from repro.core.legality import (
+    conflict,
+    interfere,
+    interfering_triples,
+    is_legal,
+    is_legal_sequence,
+)
+from repro.core.monitor import (
+    LiveMonitor,
+    MonitorUsageError,
+    ObservedOp,
+    StreamingVerifier,
+    StreamViolation,
+    verify_stream,
+)
+from repro.core.operation import (
+    INIT_UID,
+    MOperation,
+    OpKind,
+    Operation,
+    initial_mop,
+    make_mop,
+    read,
+    write,
+)
+from repro.core.orders import (
+    base_order,
+    mlin_order,
+    mnorm_order,
+    msc_order,
+    object_order,
+    process_order,
+    reads_from_order,
+    real_time_order,
+)
+from repro.core.relations import Relation, relation_from_sequence
+from repro.core.serialize import (
+    history_from_dict,
+    history_from_json,
+    history_to_dict,
+    history_to_json,
+    load_history,
+    save_history,
+)
+
+__all__ = [
+    "AdmissibilityResult",
+    "CausalVerdict",
+    "ConsistencyVerdict",
+    "ConstraintNotSatisfied",
+    "History",
+    "INIT_UID",
+    "LiveMonitor",
+    "MOperation",
+    "MonitorUsageError",
+    "ObservedOp",
+    "OpKind",
+    "Operation",
+    "Relation",
+    "SearchBudgetExceeded",
+    "SearchStats",
+    "StreamViolation",
+    "StreamingVerifier",
+    "base_order",
+    "causal_order",
+    "check_admissible",
+    "check_m_linearizability",
+    "check_m_normality",
+    "check_m_causal_consistency",
+    "check_m_causal_serializability",
+    "check_m_sequential_consistency",
+    "conflict",
+    "constraint_report",
+    "count_legal_linearizations",
+    "Explanation",
+    "explain",
+    "extended_relation",
+    "history_from_dict",
+    "history_from_json",
+    "history_to_dict",
+    "history_to_json",
+    "initial_mop",
+    "interfere",
+    "interfering_triples",
+    "is_concurrent_write_free",
+    "is_data_race_free",
+    "is_legal",
+    "is_legal_sequence",
+    "is_m_causally_consistent",
+    "is_m_causally_serializable",
+    "is_m_linearizable",
+    "is_m_normal",
+    "is_m_sequentially_consistent",
+    "load_history",
+    "make_mop",
+    "mlin_order",
+    "mnorm_order",
+    "msc_order",
+    "object_order",
+    "process_order",
+    "read",
+    "reads_from_order",
+    "real_time_order",
+    "relation_from_sequence",
+    "restrict_history",
+    "save_history",
+    "rw_pairs",
+    "satisfies_oo",
+    "satisfies_wo",
+    "satisfies_ww",
+    "verify_stream",
+    "write",
+]

@@ -1,0 +1,226 @@
+"""The paper's consistency conditions (Section 2.3) and their checkers.
+
+* **m-sequential consistency** — admissible w.r.t. process order and
+  reads-from relation.
+* **m-linearizability** — admissible w.r.t. process order, reads-from
+  relation and real-time order.
+* **m-normality** — admissible w.r.t. process order, reads-from
+  relation and object order (weaker than m-linearizability: two
+  non-overlapping m-operations are ordered only if they share an
+  object).
+
+Each checker comes in three methods:
+
+* ``"exact"`` — the branch-and-bound of
+  :mod:`repro.core.admissibility` (ground truth; worst-case
+  exponential, per Theorems 1 and 2).
+* ``"constrained"`` — the Theorem-7 polynomial path: *requires* the
+  history to satisfy the OO- or WW-constraint, under which legality is
+  necessary and sufficient for admissibility.  Raises
+  :class:`ConstraintNotSatisfied` when the precondition fails.
+* ``"auto"`` (default) — use the constrained path when the constraint
+  holds, fall back to exact search otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.admissibility import (
+    AdmissibilityResult,
+    SearchStats,
+    check_admissible,
+)
+from repro.core.constraints import (
+    extended_relation,
+    satisfies_oo,
+    satisfies_ww,
+)
+from repro.core.history import History
+from repro.core.legality import is_legal
+from repro.core.orders import mlin_order, mnorm_order, msc_order
+from repro.core.relations import Relation
+from repro.errors import ReproError
+
+#: Checker method names accepted by the public functions.
+METHODS = ("auto", "exact", "constrained")
+
+
+class ConstraintNotSatisfied(ReproError):
+    """The constrained (Theorem 7) checker was invoked on a history
+    whose base order satisfies neither the OO- nor the WW-constraint."""
+
+
+@dataclass
+class ConsistencyVerdict:
+    """Result of a consistency check.
+
+    Attributes:
+        holds: whether the consistency condition is satisfied.
+        condition: which condition was checked (``"m-sc"``,
+            ``"m-lin"`` or ``"m-norm"``).
+        method_used: ``"exact"`` or ``"constrained"``.
+        witness: a legal linearization (uids) when available.  The
+            constrained path produces one via the extended relation's
+            topological order; the exact path returns the search
+            witness.
+        stats: exact-search statistics (zeroed for constrained runs).
+    """
+
+    holds: bool
+    condition: str
+    method_used: str
+    witness: Optional[List[int]] = None
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _check(
+    history: History,
+    base: Relation,
+    condition: str,
+    method: str,
+    node_limit: Optional[int],
+) -> ConsistencyVerdict:
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+
+    closure = base.transitive_closure()
+    constrained_ok = satisfies_ww(history, closure) or satisfies_oo(
+        history, closure
+    )
+
+    if method == "constrained" and not constrained_ok:
+        raise ConstraintNotSatisfied(
+            "history does not satisfy the OO- or WW-constraint under "
+            f"the {condition} order; the Theorem-7 fast path does not "
+            "apply"
+        )
+
+    if method == "constrained" or (method == "auto" and constrained_ok):
+        return _check_constrained(history, base, closure, condition)
+
+    result = check_admissible(history, base, node_limit=node_limit)
+    return ConsistencyVerdict(
+        holds=result.admissible,
+        condition=condition,
+        method_used="exact",
+        witness=result.witness,
+        stats=result.stats,
+    )
+
+
+def _check_constrained(
+    history: History, base: Relation, closure: Relation, condition: str
+) -> ConsistencyVerdict:
+    """Theorem 7: under OO/WW, admissible ⟺ legal.
+
+    When legal, Lemmas 3-5 guarantee the extended relation ``~H+`` is
+    an irreflexive partial order any of whose linear extensions is a
+    legal sequential history — so we also return such a witness.
+    """
+    if not closure.is_acyclic():
+        return ConsistencyVerdict(False, condition, "constrained")
+    if not is_legal(history, closure):
+        return ConsistencyVerdict(False, condition, "constrained")
+    extended = extended_relation(history, base)
+    witness = extended.topological_order()
+    assert witness is not None, (
+        "Lemma 3/4 violated: extended relation of a legal constrained "
+        "history is cyclic"
+    )
+    return ConsistencyVerdict(True, condition, "constrained", witness=witness)
+
+
+def _merge_extra(
+    history: History,
+    base: Relation,
+    extra_pairs: Iterable[Tuple[int, int]],
+) -> Relation:
+    merged = base.copy()
+    for a, b in extra_pairs:
+        if a != b:
+            merged.add(a, b)
+    return merged
+
+
+def check_m_sequential_consistency(
+    history: History,
+    *,
+    method: str = "auto",
+    node_limit: Optional[int] = None,
+    extra_pairs: Iterable[Tuple[int, int]] = (),
+) -> ConsistencyVerdict:
+    """Is the history m-sequentially consistent? (Section 2.3)
+
+    Admissibility with respect to process orders and the reads-from
+    relation.  With m-operations restricted to a single read or write
+    this reduces to Lamport's sequential consistency.
+
+    ``extra_pairs`` adds implementation-level synchronization edges to
+    the base order — typically a protocol run's recorded ``~ww``
+    delivery order (D 5.3), under which the order satisfies the
+    WW-constraint and the check runs in polynomial time (Theorem 7).
+    Note the check then becomes *sufficient* rather than exact:
+    admissibility w.r.t. a larger order implies m-sequential
+    consistency, but not conversely.
+    """
+    base = _merge_extra(history, msc_order(history), extra_pairs)
+    return _check(history, base, "m-sc", method, node_limit)
+
+
+def check_m_linearizability(
+    history: History,
+    *,
+    method: str = "auto",
+    node_limit: Optional[int] = None,
+    extra_pairs: Iterable[Tuple[int, int]] = (),
+) -> ConsistencyVerdict:
+    """Is the history m-linearizable? (Section 2.3)
+
+    Admissibility with respect to process orders, reads-from relation
+    and real-time order: every m-operation appears to take effect at
+    an instant between its invocation and response, and the order of
+    non-overlapping m-operations is preserved.  Requires a timed
+    history.  See :func:`check_m_sequential_consistency` for
+    ``extra_pairs``.
+    """
+    base = _merge_extra(history, mlin_order(history), extra_pairs)
+    return _check(history, base, "m-lin", method, node_limit)
+
+
+def check_m_normality(
+    history: History,
+    *,
+    method: str = "auto",
+    node_limit: Optional[int] = None,
+    extra_pairs: Iterable[Tuple[int, int]] = (),
+) -> ConsistencyVerdict:
+    """Is the history m-normal? (Section 2.3)
+
+    Like m-linearizability but two non-overlapping m-operations are
+    ordered only when they act on a common object (object order ``~x``
+    instead of real-time order ``~t``).  m-linearizability implies
+    m-normality implies m-sequential consistency.  See
+    :func:`check_m_sequential_consistency` for ``extra_pairs``.
+    """
+    base = _merge_extra(history, mnorm_order(history), extra_pairs)
+    return _check(history, base, "m-norm", method, node_limit)
+
+
+def is_m_sequentially_consistent(history: History, **kwargs) -> bool:
+    """Boolean shorthand for :func:`check_m_sequential_consistency`."""
+    return check_m_sequential_consistency(history, **kwargs).holds
+
+
+def is_m_linearizable(history: History, **kwargs) -> bool:
+    """Boolean shorthand for :func:`check_m_linearizability`."""
+    return check_m_linearizability(history, **kwargs).holds
+
+
+def is_m_normal(history: History, **kwargs) -> bool:
+    """Boolean shorthand for :func:`check_m_normality`."""
+    return check_m_normality(history, **kwargs).holds

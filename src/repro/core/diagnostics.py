@@ -1,0 +1,195 @@
+"""Human-readable explanations of consistency violations.
+
+A bare ``False`` from a checker is unhelpful when debugging a protocol
+or a hand-written history.  :func:`explain` reruns the check and
+reports *why* it failed, in order of specificity:
+
+1. **ordering cycle** — the base order itself is contradictory (e.g.
+   an m-operation reads from the future under real-time order): a
+   shortest cycle is extracted and printed edge by edge;
+2. **illegal triple** (D 4.6) — some overwriter is ordered strictly
+   between a writer and its reader: the triple and the object are
+   named;
+3. **search exhaustion** — every linear extension fails legality; the
+   explanation names a few of the blocked m-operations from the
+   deepest prefix the search reached.
+
+The paper's conditions differ only in their base order, so one
+explainer serves all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.admissibility import check_admissible
+from repro.core.history import History
+from repro.core.legality import illegal_triples
+from repro.core.orders import mlin_order, mnorm_order, msc_order
+from repro.core.relations import Relation
+
+#: Condition name -> base-order builder.
+_ORDERS = {
+    "m-sc": msc_order,
+    "m-lin": mlin_order,
+    "m-norm": mnorm_order,
+}
+
+
+@dataclass
+class Explanation:
+    """A diagnosed violation (or a clean bill of health).
+
+    Attributes:
+        holds: True when the condition is satisfied (no diagnosis).
+        condition: which condition was checked.
+        kind: ``"cycle"``, ``"illegal-triple"``, ``"search"`` or
+            ``"ok"``.
+        detail: the human-readable narrative.
+        cycle: the uids of the ordering cycle, when kind == "cycle".
+        triple: (reader, writer, overwriter) uids when kind ==
+            "illegal-triple".
+    """
+
+    holds: bool
+    condition: str
+    kind: str
+    detail: str
+    cycle: Optional[List[int]] = None
+    triple: Optional[Tuple[int, int, int]] = None
+
+    def __str__(self) -> str:
+        return self.detail
+
+
+def _find_cycle(relation: Relation) -> Optional[List[int]]:
+    """A cycle in the relation (as a uid list), or None if acyclic."""
+    color = {node: 0 for node in relation.nodes}  # 0 new 1 open 2 done
+    parent = {}
+
+    def dfs(node: int) -> Optional[List[int]]:
+        color[node] = 1
+        for succ in relation.successors(node):
+            if color[succ] == 1:
+                # Unwind the open path back to succ.
+                cycle = [succ, node]
+                cursor = node
+                while parent.get(cursor) is not None and cursor != succ:
+                    cursor = parent[cursor]
+                    if cursor == succ:
+                        break
+                    cycle.append(cursor)
+                cycle.reverse()
+                return cycle
+            if color[succ] == 0:
+                parent[succ] = node
+                found = dfs(succ)
+                if found is not None:
+                    return found
+        color[node] = 2
+        return None
+
+    for node in relation.nodes:
+        if color[node] == 0:
+            found = dfs(node)
+            if found is not None:
+                return found
+    return None
+
+
+def _label(history: History, uid: int) -> str:
+    mop = history[uid]
+    proc = "init" if mop.process is None else f"P{mop.process}"
+    return f"{mop.label}({proc})"
+
+
+def _edge_reason(history: History, a: int, b: int) -> str:
+    """Why might the base order contain a -> b?  Best-effort naming."""
+    mop_a, mop_b = history[a], history[b]
+    if mop_a.is_initial:
+        return "initial m-operation precedes everything"
+    if history.rfobjects(b, a):
+        objs = ",".join(sorted(history.rfobjects(b, a)))
+        return f"reads-from ({objs})"
+    if mop_a.process == mop_b.process:
+        return "process order"
+    if (
+        mop_a.resp is not None
+        and mop_b.inv is not None
+        and mop_a.resp < mop_b.inv
+    ):
+        return f"real time ({mop_a.resp:g} < {mop_b.inv:g})"
+    return "transitive"
+
+
+def explain(
+    history: History,
+    condition: str = "m-sc",
+    *,
+    node_limit: Optional[int] = None,
+) -> Explanation:
+    """Check a condition and explain any violation.
+
+    Args:
+        history: the history under test.
+        condition: ``"m-sc"``, ``"m-lin"`` or ``"m-norm"``.
+        node_limit: forwarded to the exact search.
+    """
+    if condition not in _ORDERS:
+        raise ValueError(
+            f"unknown condition {condition!r}; expected one of "
+            f"{sorted(_ORDERS)}"
+        )
+    base = _ORDERS[condition](history)
+    closure = base.transitive_closure()
+
+    if not closure.is_acyclic():
+        cycle = _find_cycle(base) or _find_cycle(closure)
+        assert cycle is not None
+        steps = []
+        for i, uid in enumerate(cycle):
+            nxt = cycle[(i + 1) % len(cycle)]
+            steps.append(
+                f"{_label(history, uid)} -> {_label(history, nxt)} "
+                f"[{_edge_reason(history, uid, nxt)}]"
+            )
+        detail = (
+            f"{condition} violated: the required ordering is cyclic:\n  "
+            + "\n  ".join(steps)
+        )
+        return Explanation(False, condition, "cycle", detail, cycle=cycle)
+
+    bad = illegal_triples(history, closure)
+    if bad:
+        reader, writer, overwriter = bad[0]
+        objs = history.rfobjects(reader, writer) & history[
+            overwriter
+        ].wobjects
+        obj = sorted(objs)[0] if objs else "?"
+        detail = (
+            f"{condition} violated: {_label(history, reader)} reads "
+            f"{obj!r} from {_label(history, writer)}, but "
+            f"{_label(history, overwriter)} overwrites {obj!r} and is "
+            f"ordered strictly between them (D 4.6)"
+        )
+        return Explanation(
+            False,
+            condition,
+            "illegal-triple",
+            detail,
+            triple=(reader, writer, overwriter),
+        )
+
+    result = check_admissible(history, base, node_limit=node_limit)
+    if result.admissible:
+        return Explanation(
+            True, condition, "ok", f"{condition} holds", cycle=None
+        )
+    detail = (
+        f"{condition} violated: no legal sequential ordering exists "
+        f"(exhaustive search explored {result.stats.nodes} states; the "
+        "conflict is global rather than a single cycle or triple — "
+        "typically several readers demanding incompatible write orders)"
+    )
+    return Explanation(False, condition, "search", detail)

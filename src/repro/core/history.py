@@ -1,0 +1,417 @@
+"""Histories: executions of a concurrent system (Section 2.2).
+
+A history is modelled as a set of m-operations together with a
+reads-from map.  The various partial orders the paper layers on top of
+a history (process order, reads-from order, real-time order, object
+order) are derived by :mod:`repro.core.orders`.
+
+The paper assumes an imaginary initial m-operation that writes every
+object before any process runs (Section 2.1); :class:`History` always
+materialises it (uid :data:`~repro.core.operation.INIT_UID`), so the
+reads-from map is total on external reads.
+
+Reads-from derivation
+---------------------
+
+When every write in a history carries a globally unique value —
+which all workload generators in this package guarantee — the
+reads-from relation is derivable by value matching.  When values are
+ambiguous the caller must pass an explicit ``reads_from`` map;
+otherwise :class:`~repro.errors.ReadsFromError` is raised.  Histories
+recorded from protocol runs (:mod:`repro.protocols.recorder`) always
+supply the exact map obtained from version vectors (D 5.1 / D 5.6).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.operation import INIT_UID, MOperation, initial_mop
+from repro.errors import MalformedHistoryError, ReadsFromError
+
+#: A reads-from map: ``(reader_uid, object) -> writer_uid``.
+ReadsFromMap = Mapping[Tuple[int, str], int]
+
+
+class History:
+    """An execution history ``(op(H), ~H)`` (Section 2.2).
+
+    The relation ``~H`` itself is *not* stored here: the paper
+    parameterises each consistency condition by a different ``~H``
+    (process order and reads-from for m-sequential consistency; plus
+    real-time order for m-linearizability; plus object order for
+    m-normality).  :mod:`repro.core.orders` builds each of these from
+    the data held in this class.
+
+    Use :meth:`History.from_mops` rather than the raw constructor; it
+    derives the reads-from map and validates well-formedness.
+    """
+
+    __slots__ = (
+        "_mops",
+        "_by_uid",
+        "_init",
+        "_reads_from",
+        "_objects",
+    )
+
+    def __init__(
+        self,
+        mops: Sequence[MOperation],
+        init: MOperation,
+        reads_from: ReadsFromMap,
+    ) -> None:
+        self._mops: Tuple[MOperation, ...] = tuple(mops)
+        self._init = init
+        self._reads_from: Dict[Tuple[int, str], int] = dict(reads_from)
+        self._by_uid: Dict[int, MOperation] = {init.uid: init}
+        for mop in self._mops:
+            if mop.uid in self._by_uid:
+                raise MalformedHistoryError(
+                    f"duplicate m-operation uid {mop.uid}"
+                )
+            self._by_uid[mop.uid] = mop
+        self._objects: FrozenSet[str] = frozenset(init.wobjects).union(
+            *(mop.objects for mop in self._mops)
+        ) if self._mops else frozenset(init.wobjects)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_mops(
+        cls,
+        mops: Sequence[MOperation],
+        *,
+        initial_values: Optional[Mapping[str, Any]] = None,
+        default_initial: Any = 0,
+        reads_from: Optional[ReadsFromMap] = None,
+    ) -> "History":
+        """Build a history from m-operations.
+
+        Args:
+            mops: the m-operations of the execution (uid > 0 each).
+            initial_values: value written by the imaginary initial
+                m-operation, per object.  Objects not mentioned get
+                ``default_initial`` (the paper's convention is 0).
+            default_initial: see above.
+            reads_from: explicit ``(reader_uid, obj) -> writer_uid``
+                map.  If omitted, derived by unique-value matching.
+
+        Raises:
+            MalformedHistoryError: ill-formed structure.
+            ReadsFromError: the reads-from map cannot be derived.
+        """
+        objects = sorted(set().union(*(m.objects for m in mops)) if mops else set())
+        init_values = {obj: default_initial for obj in objects}
+        if initial_values:
+            for obj, value in initial_values.items():
+                init_values[obj] = value
+        init = initial_mop(init_values)
+        if reads_from is None:
+            reads_from = _derive_reads_from(mops, init)
+        else:
+            reads_from = _complete_reads_from(mops, init, reads_from)
+        return cls(mops, init, reads_from)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def mops(self) -> Tuple[MOperation, ...]:
+        """The m-operations of the history, excluding the initial one."""
+        return self._mops
+
+    @property
+    def init(self) -> MOperation:
+        """The imaginary initial m-operation (writes all objects)."""
+        return self._init
+
+    @property
+    def all_mops(self) -> Tuple[MOperation, ...]:
+        """Initial m-operation followed by the real ones."""
+        return (self._init,) + self._mops
+
+    @property
+    def uids(self) -> Tuple[int, ...]:
+        """uids of all m-operations including the initial one."""
+        return tuple(m.uid for m in self.all_mops)
+
+    @property
+    def objects(self) -> FrozenSet[str]:
+        """Every shared object touched in the history."""
+        return self._objects
+
+    @property
+    def processes(self) -> Tuple[int, ...]:
+        """Sorted process ids appearing in the history."""
+        return tuple(
+            sorted({m.process for m in self._mops if m.process is not None})
+        )
+
+    @property
+    def is_timed(self) -> bool:
+        """True iff every m-operation carries inv/resp timestamps."""
+        return all(m.inv is not None for m in self._mops)
+
+    def __len__(self) -> int:
+        return len(self._mops)
+
+    def __getitem__(self, uid: int) -> MOperation:
+        try:
+            return self._by_uid[uid]
+        except KeyError:
+            raise MalformedHistoryError(f"no m-operation with uid {uid}") from None
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._by_uid
+
+    def subhistory(self, process: int) -> Tuple[MOperation, ...]:
+        """``H|P``: this process's m-operations in issue order.
+
+        Issue order is timestamp order when the history is timed, and
+        listing order otherwise.
+        """
+        own = [m for m in self._mops if m.process == process]
+        if all(m.inv is not None for m in own):
+            own.sort(key=lambda m: m.inv)  # type: ignore[arg-type, return-value]
+        return tuple(own)
+
+    # ------------------------------------------------------------------
+    # Reads-from queries (D 4.3)
+    # ------------------------------------------------------------------
+
+    @property
+    def reads_from_map(self) -> Mapping[Tuple[int, str], int]:
+        """``(reader_uid, obj) -> writer_uid`` for every external read."""
+        return dict(self._reads_from)
+
+    def writer_of(self, reader_uid: int, obj: str) -> int:
+        """The uid of the m-operation ``reader`` reads ``obj`` from."""
+        try:
+            return self._reads_from[(reader_uid, obj)]
+        except KeyError:
+            raise ReadsFromError(
+                f"m-operation {reader_uid} performs no external read of "
+                f"{obj!r}"
+            ) from None
+
+    def rfobjects(self, reader_uid: int, writer_uid: int) -> FrozenSet[str]:
+        """``rfobjects(H, a, b)``: objects that ``a`` reads from ``b``."""
+        return frozenset(
+            obj
+            for (r, obj), w in self._reads_from.items()
+            if r == reader_uid and w == writer_uid
+        )
+
+    def reads_from_pairs(self) -> FrozenSet[Tuple[int, int]]:
+        """``(writer_uid, reader_uid)`` pairs of the ``~rf`` relation."""
+        return frozenset(
+            (w, r) for (r, _obj), w in self._reads_from.items() if w != r
+        )
+
+    # ------------------------------------------------------------------
+    # Equivalence (Section 2.2)
+    # ------------------------------------------------------------------
+
+    def equivalent_to(self, other: "History") -> bool:
+        """Section 2.2 equivalence: same process subhistories + same ~rf.
+
+        Two histories are equivalent iff for every process the process
+        subhistories coincide (same m-operations, same per-process
+        order) and the reads-from relations are identical.
+        """
+        if set(self.uids) != set(other.uids):
+            return False
+        procs = set(self.processes) | set(other.processes)
+        for proc in procs:
+            mine = tuple(m.uid for m in self.subhistory(proc))
+            theirs = tuple(m.uid for m in other.subhistory(proc))
+            if mine != theirs:
+                return False
+        for uid in self.uids:
+            if tuple(self[uid].ops) != tuple(other[uid].ops):
+                return False
+        return dict(self._reads_from) == dict(other._reads_from)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        self._validate_uids()
+        self._validate_well_formedness()
+        self._validate_reads_from()
+
+    def _validate_uids(self) -> None:
+        if self._init.uid != INIT_UID:
+            raise MalformedHistoryError(
+                f"initial m-operation must have uid {INIT_UID}"
+            )
+        for mop in self._mops:
+            if mop.uid == INIT_UID:
+                raise MalformedHistoryError(
+                    f"uid {INIT_UID} is reserved for the initial m-operation"
+                )
+            if mop.process is None:
+                raise MalformedHistoryError(
+                    f"m-operation {mop.label} has no issuing process"
+                )
+
+    def _validate_well_formedness(self) -> None:
+        """Each process subhistory must be sequential (Section 2.2).
+
+        For timed histories this means the intervals of one process's
+        m-operations are pairwise disjoint.
+        """
+        if not self.is_timed:
+            return
+        for proc in self.processes:
+            seq = self.subhistory(proc)
+            for earlier, later in zip(seq, seq[1:]):
+                assert earlier.resp is not None and later.inv is not None
+                if not earlier.resp < later.inv:
+                    raise MalformedHistoryError(
+                        f"process P{proc} is not sequential: "
+                        f"{earlier.label} (resp={earlier.resp}) overlaps "
+                        f"{later.label} (inv={later.inv})"
+                    )
+
+    def _validate_reads_from(self) -> None:
+        for (reader_uid, obj), writer_uid in self._reads_from.items():
+            reader = self._by_uid.get(reader_uid)
+            writer = self._by_uid.get(writer_uid)
+            if reader is None or writer is None:
+                raise MalformedHistoryError(
+                    f"reads-from entry ({reader_uid}, {obj!r}) -> "
+                    f"{writer_uid} references unknown m-operations"
+                )
+            if obj not in reader.external_reads:
+                raise MalformedHistoryError(
+                    f"{reader.label} has no external read of {obj!r} but "
+                    "the reads-from map says it does"
+                )
+            if obj not in writer.external_writes:
+                raise MalformedHistoryError(
+                    f"{writer.label} has no external write of {obj!r} but "
+                    f"{reader.label} claims to read {obj!r} from it"
+                )
+            expected = writer.external_writes[obj]
+            actual = reader.external_reads[obj]
+            if expected != actual:
+                raise MalformedHistoryError(
+                    f"{reader.label} reads {obj!r}={actual!r} but its "
+                    f"reads-from writer {writer.label} wrote {expected!r}"
+                )
+        # Every external read must be covered.
+        for mop in self._mops:
+            for obj in mop.external_reads:
+                if (mop.uid, obj) not in self._reads_from:
+                    raise MalformedHistoryError(
+                        f"{mop.label}: external read of {obj!r} has no "
+                        "reads-from entry"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"History({len(self._mops)} m-operations, "
+            f"{len(self._objects)} objects, "
+            f"{len(self.processes)} processes)"
+        )
+
+    def pretty(self) -> str:
+        """A multi-line human-readable rendering, grouped by process."""
+        lines: List[str] = [repr(self)]
+        for proc in self.processes:
+            parts = []
+            for mop in self.subhistory(proc):
+                if mop.inv is not None:
+                    parts.append(f"{mop} @[{mop.inv:g},{mop.resp:g}]")
+                else:
+                    parts.append(str(mop))
+            lines.append(f"  P{proc}: " + "; ".join(parts))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Reads-from derivation helpers
+# ----------------------------------------------------------------------
+
+
+def _derive_reads_from(
+    mops: Sequence[MOperation], init: MOperation
+) -> Dict[Tuple[int, str], int]:
+    """Derive the reads-from map by unique-value matching."""
+    writers: Dict[Tuple[str, Any], List[int]] = {}
+    for mop in (init,) + tuple(mops):
+        for obj, value in mop.external_writes.items():
+            writers.setdefault((obj, value), []).append(mop.uid)
+    result: Dict[Tuple[int, str], int] = {}
+    for mop in mops:
+        for obj, value in mop.external_reads.items():
+            candidates = writers.get((obj, value), [])
+            candidates = [uid for uid in candidates if uid != mop.uid]
+            if not candidates:
+                raise ReadsFromError(
+                    f"{mop.label} reads {obj!r}={value!r} but no "
+                    "m-operation writes that value"
+                )
+            if len(candidates) > 1:
+                raise ReadsFromError(
+                    f"{mop.label} reads {obj!r}={value!r} which is written "
+                    f"by {len(candidates)} m-operations; pass an explicit "
+                    "reads_from map to disambiguate"
+                )
+            result[(mop.uid, obj)] = candidates[0]
+    return result
+
+
+def _complete_reads_from(
+    mops: Sequence[MOperation],
+    init: MOperation,
+    explicit: ReadsFromMap,
+) -> Dict[Tuple[int, str], int]:
+    """Fill gaps in an explicit reads-from map by value matching.
+
+    Entries supplied by the caller win; missing entries are derived
+    when unambiguous.
+    """
+    result: Dict[Tuple[int, str], int] = dict(explicit)
+    writers: Dict[Tuple[str, Any], List[int]] = {}
+    for mop in (init,) + tuple(mops):
+        for obj, value in mop.external_writes.items():
+            writers.setdefault((obj, value), []).append(mop.uid)
+    for mop in mops:
+        for obj, value in mop.external_reads.items():
+            key = (mop.uid, obj)
+            if key in result:
+                continue
+            candidates = [
+                uid for uid in writers.get((obj, value), []) if uid != mop.uid
+            ]
+            if not candidates:
+                raise ReadsFromError(
+                    f"{mop.label} reads {obj!r}={value!r} but no "
+                    "m-operation writes that value"
+                )
+            if len(candidates) > 1:
+                raise ReadsFromError(
+                    f"{mop.label} reads {obj!r}={value!r} which is written "
+                    f"by {len(candidates)} m-operations; supply a complete "
+                    "reads_from map to disambiguate"
+                )
+            result[key] = candidates[0]
+    return result

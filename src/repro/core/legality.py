@@ -1,0 +1,162 @@
+"""Conflict, interference and legality (Section 2.2, D 4.1-D 4.7).
+
+The paper's central predicates:
+
+* ``conflict(a, b)``   (D 4.1): the m-operations act on a common
+  object and at least one writes it.
+* ``interfere(H, a, b, c)`` (D 4.2): ``c`` writes some object that
+  ``a`` reads from ``b``.
+* ``legal(H)``         (D 4.6): for every interfering triple, ``c`` is
+  not ordered strictly between ``b`` and ``a`` under ``~H``.
+* ``legal`` for *sequential* histories has the direct reading: every
+  external read returns the value of the most recent preceding
+  external write.
+
+D 4.6 is phrased against a transitive relation; all functions here
+accept the *closure* of the order under consideration and document it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.history import History
+from repro.core.operation import MOperation
+from repro.core.relations import Relation
+
+InterferingTriple = Tuple[int, int, int]
+
+
+def conflict(a: MOperation, b: MOperation) -> bool:
+    """D 4.1: distinct, sharing an object at least one of them writes."""
+    if a.uid == b.uid:
+        return False
+    return bool(a.wobjects & b.objects) or bool(b.wobjects & a.objects)
+
+
+def interfere(history: History, a_uid: int, b_uid: int, c_uid: int) -> bool:
+    """D 4.2: ``c`` writes some object that ``a`` reads from ``b``.
+
+    Requires the three m-operations to be pairwise distinct.
+    """
+    if len({a_uid, b_uid, c_uid}) != 3:
+        return False
+    c = history[c_uid]
+    return bool(history.rfobjects(a_uid, b_uid) & c.wobjects)
+
+
+def interfering_triples(history: History) -> Iterator[InterferingTriple]:
+    """Enumerate all interfering triples ``(a, b, c)`` of the history.
+
+    Iterates the reads-from map rather than all ``n^3`` triples: for
+    every reads-from edge ``b --x--> a`` and every other m-operation
+    ``c`` writing ``x``, the triple interferes.
+    """
+    writers_of: Dict[str, List[int]] = {}
+    for mop in history.all_mops:
+        for obj in mop.wobjects:
+            writers_of.setdefault(obj, []).append(mop.uid)
+    seen = set()
+    for (a_uid, obj), b_uid in history.reads_from_map.items():
+        if a_uid == b_uid:
+            continue
+        for c_uid in writers_of.get(obj, ()):
+            if c_uid in (a_uid, b_uid):
+                continue
+            triple = (a_uid, b_uid, c_uid)
+            if triple not in seen:
+                seen.add(triple)
+                yield triple
+
+
+def is_legal(history: History, closure: Relation) -> bool:
+    """D 4.6 legality of a history against a transitively closed order.
+
+    ``legal(H) ≡ ∀ a,b,c interfering: ¬(b ~H c) ∨ ¬(c ~H a)`` — no
+    overwriting m-operation may sit strictly between a writer and its
+    reader.
+
+    Args:
+        history: the history under test.
+        closure: the transitive closure of the order ``~H`` under
+            consideration.  Passing a non-closed relation gives a
+            weaker (unsound) test, so callers must close first.
+    """
+    for a_uid, b_uid, c_uid in interfering_triples(history):
+        if (b_uid, c_uid) in closure and (c_uid, a_uid) in closure:
+            return False
+    return True
+
+
+def illegal_triples(
+    history: History, closure: Relation
+) -> List[InterferingTriple]:
+    """All interfering triples that violate D 4.6 — for diagnostics."""
+    return [
+        (a, b, c)
+        for a, b, c in interfering_triples(history)
+        if (b, c) in closure and (c, a) in closure
+    ]
+
+
+def is_legal_sequence(history: History, order: Sequence[int]) -> bool:
+    """Directly check legality of a total order of the history's uids.
+
+    Replays ``order`` left to right, tracking the last external writer
+    of every object, and checks each m-operation's external reads
+    against the current last writer.  This is the operational reading
+    of a "legal sequential history" (Section 2.2) and is used both by
+    the exact admissibility search and as an independent oracle in
+    tests.
+
+    Args:
+        history: the history whose m-operations are being sequenced.
+        order: a permutation of ``history.uids``; the initial
+            m-operation may be omitted, in which case it is implicitly
+            first.
+
+    Returns:
+        True iff every external read in the sequence reads from the
+        most recent preceding external write on its object.
+    """
+    order = list(order)
+    if history.init.uid not in order:
+        order = [history.init.uid] + order
+    if set(order) != set(history.uids) or len(order) != len(history.uids):
+        return False
+    if order[0] != history.init.uid:
+        return False
+    last_writer: Dict[str, int] = {}
+    for uid in order:
+        mop = history[uid]
+        for obj in mop.external_reads:
+            expected = history.writer_of(uid, obj)
+            if last_writer.get(obj) != expected:
+                return False
+        for obj in mop.external_writes:
+            last_writer[obj] = uid
+    return True
+
+
+def first_illegal_read(
+    history: History, order: Sequence[int]
+) -> Optional[Tuple[int, str, int, Optional[int]]]:
+    """Diagnostic twin of :func:`is_legal_sequence`.
+
+    Returns ``(reader_uid, obj, expected_writer, actual_last_writer)``
+    for the first violated read, or None if the sequence is legal.
+    """
+    order = list(order)
+    if history.init.uid not in order:
+        order = [history.init.uid] + order
+    last_writer: Dict[str, int] = {}
+    for uid in order:
+        mop = history[uid]
+        for obj in mop.external_reads:
+            expected = history.writer_of(uid, obj)
+            actual = last_writer.get(obj)
+            if actual != expected:
+                return (uid, obj, expected, actual)
+        for obj in mop.external_writes:
+            last_writer[obj] = uid
+    return None

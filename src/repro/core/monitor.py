@@ -1,0 +1,408 @@
+"""Streaming verification of WW-constrained executions (S28).
+
+The constrained checker (Theorem 7) already avoids the NP-complete
+search, but it reruns an O(n²)-ish legality scan over the whole
+history.  For *monitoring* — checking each m-operation as it
+completes — the same theory supports an incremental formulation that
+is the operational twin of the paper's Section-5 timestamp reasoning:
+
+Under the WW-constraint the updates carry a total order (``~ww``
+positions).  For a completed m-operation ``a``, the set of update
+m-operations ordered before ``a`` by the closure of
+``~p ∪ ~rf ∪ ~ww`` (plus ``~t`` for the m-linearizability variant) is
+exactly ``{u : pos(u) <= M(a)}`` where the *mark* ``M(a)`` is the
+maximum update position reachable through ``a``'s direct
+predecessors:
+
+* the writers of ``a``'s external reads,
+* the issuing process's previous m-operation (cumulative per-process
+  mark),
+* for m-linearizability: every m-operation that responded before
+  ``inv(a)`` (a cumulative global mark, queried by binary search on
+  response times),
+* for an update: its own position (every earlier update precedes it
+  via ``~ww``).
+
+Legality (D 4.6) then collapses to a per-read check: *the latest
+writer of object ``x`` at or below the mark must be exactly the
+writer the read reads from* — one ``bisect`` per read.  A read whose
+writer sits *above* an update's own position is a reads-from-the-
+future cycle and is likewise flagged.
+
+The verdicts coincide with the batch constrained checker
+(``check_*(extra_pairs=ww_pairs)``) — cross-validated over randomized
+and corrupted streams in the test suite — at O((reads + writes)·log n)
+per m-operation instead of a whole-history rescan per query.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.operation import INIT_UID
+from repro.errors import ReproError
+
+#: Position assigned to the imaginary initial m-operation.
+INIT_POS = -1
+
+
+class MonitorUsageError(ReproError):
+    """The streaming verifier was fed an out-of-contract stream."""
+
+
+@dataclass(frozen=True)
+class StreamViolation:
+    """One detected inconsistency.
+
+    Attributes:
+        uid: the m-operation whose completion exposed the violation.
+        obj: the object whose read is illegal.
+        expected_writer: the writer the read claims.
+        actual_writer: the latest visible writer at the mark.
+        detail: human-readable narrative.
+    """
+
+    uid: int
+    obj: str
+    expected_writer: int
+    actual_writer: Optional[int]
+    detail: str
+
+    def __str__(self) -> str:
+        return self.detail
+
+
+@dataclass
+class ObservedOp:
+    """What the verifier needs to know about one completed m-operation.
+
+    Attributes:
+        uid: m-operation uid (> 0, unique).
+        process: issuing process id.
+        inv: invocation time.
+        resp: response time (observations must arrive in resp order).
+        reads_from: obj -> writer uid for every external read
+            (``INIT_UID`` for initial values).
+        writes: objects written.
+        is_update: whether the m-operation occupies a ``~ww`` slot
+            (it must have been announced via :meth:`StreamingVerifier.
+            observe_ww` before being observed).
+    """
+
+    uid: int
+    process: int
+    inv: float
+    resp: float
+    reads_from: Dict[str, int]
+    writes: Tuple[str, ...]
+    is_update: bool
+
+
+class StreamingVerifier:
+    """Incremental m-SC / m-linearizability verification.
+
+    Args:
+        condition: ``"m-sc"`` (marks from process order and reads-from)
+            or ``"m-lin"`` (additionally the global response-time
+            mark).
+
+    Contract: updates are announced in broadcast-delivery order via
+    :meth:`observe_ww` (before or at their own observation);
+    completed m-operations are fed to :meth:`observe` in response-time
+    order.  Violations are returned as they are exposed and collected
+    in :attr:`violations`; the stream may continue afterwards.
+    """
+
+    def __init__(self, condition: str = "m-sc") -> None:
+        if condition not in ("m-sc", "m-lin"):
+            raise MonitorUsageError(
+                f"unknown condition {condition!r}; expected 'm-sc' or "
+                "'m-lin'"
+            )
+        self.condition = condition
+        self._ww_pos: Dict[int, int] = {INIT_UID: INIT_POS}
+        self._next_pos = 0
+        # Per object: parallel arrays of (position, writer uid),
+        # positions strictly increasing.
+        self._write_pos: Dict[str, List[int]] = {}
+        self._write_uid: Dict[str, List[int]] = {}
+        self._proc_mark: Dict[int, int] = {}
+        # Global mark history: response times and the cumulative mark
+        # after each observation (both non-decreasing).
+        self._resp_times: List[float] = []
+        self._marks_after: List[float] = []
+        self._global_mark = INIT_POS
+        self._last_resp = float("-inf")
+        self.observed = 0
+        self.violations: List[StreamViolation] = []
+
+    # ------------------------------------------------------------------
+    # Feeding the stream
+    # ------------------------------------------------------------------
+
+    def observe_ww(self, uid: int, writes: Tuple[str, ...] = ()) -> None:
+        """Announce the next update in atomic-broadcast order.
+
+        ``writes`` is the update's (deterministic) write set, known at
+        delivery time in any replica — *before* any reader can depend
+        on it.  Registering writes here rather than at the update's
+        own response matters: responses of different issuers can
+        arrive out of broadcast order, but deliveries cannot.
+        """
+        if uid in self._ww_pos:
+            raise MonitorUsageError(f"uid {uid} already has a ww position")
+        position = self._next_pos
+        self._ww_pos[uid] = position
+        self._next_pos += 1
+        for obj in writes:
+            self._write_pos.setdefault(obj, []).append(position)
+            self._write_uid.setdefault(obj, []).append(uid)
+
+    def observe(self, op: ObservedOp) -> Optional[StreamViolation]:
+        """Feed one completed m-operation; return its violation if any."""
+        if op.resp < self._last_resp:
+            raise MonitorUsageError(
+                "observations must arrive in response-time order"
+            )
+        self._last_resp = op.resp
+
+        if op.is_update and op.uid not in self._ww_pos:
+            raise MonitorUsageError(
+                f"update {op.uid} observed before its ww position was "
+                "announced"
+            )
+        own_pos = self._ww_pos.get(op.uid)
+
+        # Assemble the mark.
+        mark = self._proc_mark.get(op.process, INIT_POS)
+        if self.condition == "m-lin":
+            mark = max(mark, self._global_mark_at(op.inv))
+        violation: Optional[StreamViolation] = None
+        for obj, writer in op.reads_from.items():
+            writer_pos = self._ww_pos.get(writer)
+            if writer_pos is None:
+                raise MonitorUsageError(
+                    f"{op.uid} reads {obj!r} from {writer}, which has no "
+                    "ww position (non-update writers are impossible)"
+                )
+            if op.is_update and writer_pos > own_pos:
+                violation = violation or StreamViolation(
+                    uid=op.uid,
+                    obj=obj,
+                    expected_writer=writer,
+                    actual_writer=None,
+                    detail=(
+                        f"m#{op.uid} (update, ww position {own_pos}) "
+                        f"reads {obj!r} from m#{writer} which is "
+                        f"broadcast *later* (position {writer_pos}) — "
+                        "a reads-from-the-future cycle"
+                    ),
+                )
+            mark = max(mark, writer_pos)
+        if op.is_update:
+            mark = max(mark, own_pos)
+
+        # Per-read legality at the mark.
+        for obj, writer in op.reads_from.items():
+            if violation is not None:
+                break
+            limit = mark
+            if op.is_update and obj in op.writes:
+                # The reader's own write is not a predecessor.
+                limit = min(limit, own_pos - 1) if own_pos is not None else limit
+            actual = self._latest_writer(obj, limit)
+            if actual != writer:
+                violation = StreamViolation(
+                    uid=op.uid,
+                    obj=obj,
+                    expected_writer=writer,
+                    actual_writer=actual,
+                    detail=(
+                        f"m#{op.uid} reads {obj!r} from m#{writer}, but "
+                        f"the latest write of {obj!r} it is ordered "
+                        f"after comes from "
+                        f"m#{actual if actual is not None else '?'} "
+                        "(D 4.6 violated under the recorded ~ww order)"
+                    ),
+                )
+
+        # Advance the marks.
+        self._proc_mark[op.process] = max(
+            self._proc_mark.get(op.process, INIT_POS), mark
+        )
+        self._global_mark = max(self._global_mark, mark)
+        self._resp_times.append(op.resp)
+        self._marks_after.append(self._global_mark)
+
+        self.observed += 1
+        if violation is not None:
+            self.violations.append(violation)
+        return violation
+
+    # ------------------------------------------------------------------
+    # Verdict
+    # ------------------------------------------------------------------
+
+    @property
+    def consistent(self) -> bool:
+        """True iff no violation has been detected so far."""
+        return not self.violations
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _global_mark_at(self, time: float) -> int:
+        """The cumulative mark of operations that responded before ``time``."""
+        index = bisect.bisect_left(self._resp_times, time)
+        if index == 0:
+            return INIT_POS
+        return int(self._marks_after[index - 1])
+
+    def _latest_writer(self, obj: str, limit: int) -> Optional[int]:
+        """uid of the latest write of ``obj`` at position <= ``limit``.
+
+        ``None`` means no broadcast write is visible; the object still
+        holds the initial value (writer ``INIT_UID``).
+        """
+        positions = self._write_pos.get(obj)
+        if not positions:
+            return INIT_UID
+        index = bisect.bisect_right(positions, limit)
+        if index == 0:
+            return INIT_UID
+        return self._write_uid[obj][index - 1]
+
+
+class LiveMonitor:
+    """Order-tolerant front end for live (in-run) verification.
+
+    In a running cluster the two event streams are only *locally*
+    ordered: a reader can complete before the monitor's ``~ww`` tap
+    (pid 0's delivery) has announced the update it read from.  This
+    wrapper buffers completed operations until every uid they depend
+    on has a broadcast position — then releases them to the underlying
+    :class:`StreamingVerifier` in their original response order.
+
+    Attach via ``Cluster(..., monitor=LiveMonitor("m-sc"))``; the
+    cluster feeds deliveries and completions automatically and the
+    verdict is available as :attr:`consistent` during and after the
+    run (also surfaced on the :class:`RunResult`).
+
+    Release discipline: completions are queued in response order, and
+    the head is released only once (a) its dependencies are announced
+    and (b) the clock has passed ``head.resp + slack`` — with a
+    response-clamping protocol (see ``BaseProcess.respond``) a later
+    completion can carry an *earlier* response time by up to the local
+    delay, so the slack window guarantees no earlier-response
+    straggler is still coming.  ``flush()`` (called by the cluster at
+    finalize) releases the remainder.
+    """
+
+    def __init__(self, condition: str = "m-sc", *, slack: float = 1e-3) -> None:
+        self.verifier = StreamingVerifier(condition)
+        self._queue: List[ObservedOp] = []
+        self._now = float("-inf")
+        self.slack = slack
+
+    # -- feed ----------------------------------------------------------
+
+    def announce(self, uid: int, writes: Tuple[str, ...]) -> None:
+        """An update was delivered (in total order) with this write set."""
+        self.verifier.observe_ww(uid, writes)
+        self._drain()
+
+    def complete(self, op: ObservedOp, *, now: Optional[float] = None) -> None:
+        """An m-operation completed at (simulated) wall time ``now``."""
+        if now is not None:
+            self._now = max(self._now, now)
+        bisect.insort(self._queue, op, key=lambda o: o.resp)
+        self._drain()
+
+    def flush(self) -> None:
+        """Release every buffered completion (end of run)."""
+        self._now = float("inf")
+        self._drain()
+        if self._queue:  # pragma: no cover - usage error surface
+            raise MonitorUsageError(
+                f"{len(self._queue)} completions still blocked on "
+                "unannounced broadcast positions at flush"
+            )
+
+    # -- verdict -------------------------------------------------------
+
+    @property
+    def consistent(self) -> bool:
+        """No violation among the operations released so far."""
+        return self.verifier.consistent
+
+    @property
+    def violations(self) -> List[StreamViolation]:
+        return self.verifier.violations
+
+    @property
+    def pending(self) -> int:
+        """Completed operations still awaiting a dependency's position."""
+        return len(self._queue)
+
+    # -- internals -----------------------------------------------------
+
+    def _ready(self, op: ObservedOp) -> bool:
+        positions = self.verifier._ww_pos
+        if op.is_update and op.uid not in positions:
+            return False
+        return all(
+            writer in positions for writer in op.reads_from.values()
+        )
+
+    def _drain(self) -> None:
+        while (
+            self._queue
+            and self._queue[0].resp + self.slack <= self._now
+            and self._ready(self._queue[0])
+        ):
+            self.verifier.observe(self._queue.pop(0))
+
+
+def verify_stream(
+    result,  # RunResult; untyped to avoid a protocols dependency
+    *,
+    condition: str = "m-sc",
+) -> StreamingVerifier:
+    """Replay a protocol run's records through a streaming verifier.
+
+    Updates' ww positions come from ``result.ww_sequence``; records
+    are fed in response order.  The returned verifier's
+    :attr:`~StreamingVerifier.violations` should be empty for every
+    run of the Section-5 protocols (and is, see the test suite), and
+    its verdict coincides with the batch constrained checker.
+    """
+    verifier = StreamingVerifier(condition)
+    records = sorted(result.recorder.records, key=lambda r: r.resp)
+    writes_of = {
+        record.uid: tuple(
+            op.obj for op in record.ops if op.is_write
+        )
+        for record in records
+    }
+    # Announce every broadcast slot with its write set (delivery-time
+    # knowledge; see observe_ww's docstring).
+    for uid in result.ww_sequence:
+        verifier.observe_ww(uid, writes_of.get(uid, ()))
+    for record in records:
+        verifier.observe(
+            ObservedOp(
+                uid=record.uid,
+                process=record.process,
+                inv=record.inv,
+                resp=record.resp,
+                reads_from=dict(record.reads_from),
+                writes=tuple(
+                    op.obj for op in record.ops if op.is_write
+                ),
+                is_update=record.is_update,
+            )
+        )
+    return verifier

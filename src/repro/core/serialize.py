@@ -1,0 +1,130 @@
+"""History (de)serialization: JSON round-trips for the CLI and tooling.
+
+The interchange format is deliberately simple and human-writable::
+
+    {
+      "objects": {"x": 0, "y": 0},          // initial values
+      "mops": [
+        {"uid": 1, "process": 0, "name": "alpha",
+         "inv": 0.0, "resp": 1.0,            // optional (both or neither)
+         "ops": [["w", "x", 1], ["r", "y", 0]]},
+        ...
+      ],
+      "reads_from": [[2, "x", 1], ...]       // optional [reader, obj, writer]
+    }
+
+Values must be JSON scalars.  When ``reads_from`` is omitted it is
+derived by unique-value matching, as everywhere else in the library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.history import History
+from repro.core.operation import MOperation, Operation, read, write
+from repro.errors import MalformedHistoryError
+
+
+def history_to_dict(history: History) -> Dict[str, Any]:
+    """Serialize a history to the interchange dictionary."""
+    mops: List[Dict[str, Any]] = []
+    for mop in history.mops:
+        entry: Dict[str, Any] = {
+            "uid": mop.uid,
+            "process": mop.process,
+            "name": mop.name,
+            "ops": [
+                [op.kind.value, op.obj, op.value] for op in mop.ops
+            ],
+        }
+        if mop.inv is not None:
+            entry["inv"] = mop.inv
+            entry["resp"] = mop.resp
+        mops.append(entry)
+    return {
+        "objects": dict(history.init.external_writes),
+        "mops": mops,
+        "reads_from": [
+            [reader, obj, writer]
+            for (reader, obj), writer in sorted(
+                history.reads_from_map.items()
+            )
+        ],
+    }
+
+
+def history_from_dict(data: Dict[str, Any]) -> History:
+    """Deserialize a history from the interchange dictionary."""
+    if not isinstance(data, dict) or "mops" not in data:
+        raise MalformedHistoryError(
+            "history document must be an object with a 'mops' array"
+        )
+    mops: List[MOperation] = []
+    for entry in data["mops"]:
+        ops: List[Operation] = []
+        for item in entry.get("ops", []):
+            try:
+                kind, obj, value = item
+            except (TypeError, ValueError):
+                raise MalformedHistoryError(
+                    f"malformed operation entry {item!r}; expected "
+                    "[kind, object, value]"
+                ) from None
+            if kind == "r":
+                ops.append(read(obj, value))
+            elif kind == "w":
+                ops.append(write(obj, value))
+            else:
+                raise MalformedHistoryError(
+                    f"operation kind must be 'r' or 'w', got {kind!r}"
+                )
+        mops.append(
+            MOperation(
+                uid=int(entry["uid"]),
+                process=int(entry["process"]),
+                ops=tuple(ops),
+                inv=entry.get("inv"),
+                resp=entry.get("resp"),
+                name=str(entry.get("name", "")),
+            )
+        )
+    reads_from: Optional[Dict[Tuple[int, str], int]] = None
+    if "reads_from" in data:
+        reads_from = {
+            (int(reader), str(obj)): int(writer)
+            for reader, obj, writer in data["reads_from"]
+        }
+    return History.from_mops(
+        mops,
+        initial_values=data.get("objects"),
+        reads_from=reads_from,
+    )
+
+
+def history_to_json(history: History, *, indent: int = 2) -> str:
+    """Serialize a history to a JSON string."""
+    return json.dumps(history_to_dict(history), indent=indent)
+
+
+def history_from_json(text: str) -> History:
+    """Deserialize a history from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise MalformedHistoryError(f"invalid JSON: {exc}") from exc
+    return history_from_dict(data)
+
+
+def save_history(history: History, path: str) -> None:
+    """Write a history to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(history_to_json(history))
+        handle.write("\n")
+
+
+def load_history(path: str) -> History:
+    """Read a history from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return history_from_json(handle.read())

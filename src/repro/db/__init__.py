@@ -1,0 +1,51 @@
+"""Database-schedule apparatus for the Theorem-2 reduction (Section 3)."""
+
+from repro.db.generator import (
+    random_schedule,
+    random_serializable_schedule,
+)
+from repro.db.reduction import (
+    history_overlap_matches_schedule,
+    reduction_decides,
+    schedule_to_history,
+)
+from repro.db.schedule import (
+    Action,
+    ActionKind,
+    Schedule,
+    T_FINAL,
+    T_INIT,
+    r,
+    schedule_from_string,
+    w,
+)
+from repro.db.serializability import (
+    SerializabilityResult,
+    conflict_pairs,
+    is_conflict_serializable,
+    is_strict_view_serializable,
+    is_view_serializable,
+    view_equivalent,
+)
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "Schedule",
+    "SerializabilityResult",
+    "T_FINAL",
+    "T_INIT",
+    "conflict_pairs",
+    "history_overlap_matches_schedule",
+    "is_conflict_serializable",
+    "is_strict_view_serializable",
+    "is_view_serializable",
+    "r",
+    "random_schedule",
+    "random_serializable_schedule",
+    "reduction_decides",
+    "schedule_from_string",
+    "schedule_to_history",
+    "view_equivalent",
+    "w",
+]

@@ -1,0 +1,196 @@
+"""The Theorem-2 reduction: schedules → histories (Section 3).
+
+Given a schedule ``S`` of database transactions, the paper constructs
+a distributed system with one process per transaction; each process
+executes a *single* m-operation whose operations are the transaction's
+actions in schedule order.  The first and last actions of a
+transaction define the invocation and response events of its
+m-operation, so two transactions are non-overlapping in ``S`` iff the
+corresponding m-operations are non-overlapping in the history ``H``.
+The history's order consists of the reads-from relation and the
+real-time order, and:
+
+    ``S`` is strict view serializable  ⟺  ``H`` is m-linearizable.
+
+This module implements the construction and both directions of the
+equivalence as executable artifacts; the benchmark
+``benchmarks/test_thm2_reduction.py`` validates the biconditional over
+randomized schedules using two independent deciders.
+
+Value assignment
+----------------
+
+Histories carry concrete read/write values while schedules are
+symbolic.  We realise each write ``w_i(x)`` (the *k*-th write of ``x``
+in the schedule) with the unique value ``k`` and each read with the
+value its schedule reads-from dictates, so the derived history has
+exactly the reads-from relation of the schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.history import History
+from repro.core.operation import MOperation, Operation, read, write
+from repro.db.schedule import Schedule, T_INIT
+
+#: Value written by the initial transaction / initial m-operation.
+INITIAL_VALUE = 0
+
+
+def schedule_to_history(
+    schedule: Schedule, *, include_final: bool = True
+) -> History:
+    """Build the Theorem-2 history for a schedule.
+
+    Each transaction ``T_i`` becomes an m-operation issued by its own
+    process ``P_i``; invocation and response times are the schedule
+    positions of the transaction's first and last actions (shrunk by a
+    half step so a response at position ``p`` precedes an invocation at
+    position ``p + 1`` in real time, matching "the first and last
+    actions ... define the invocation and response events").
+
+    The paper constructs the system from the *augmented* schedule
+    (footnote 3): the initial transaction ``T0`` is the history's
+    imaginary initial m-operation, and the final transaction
+    ``T_inf`` — which reads every entity after everything else —
+    becomes a final query m-operation on its own process
+    (``include_final=True``).  Without it the history would lose view
+    equivalence's final-writes condition.
+
+    The returned history's reads-from map equals the schedule's
+    (projected to objects, as in D 4.3), and its m-operations overlap
+    exactly when the corresponding transactions overlap in ``S``.
+
+    Raises:
+        MalformedOperationError / MalformedHistoryError: when the
+            schedule's observations are not expressible as a history
+            at all — e.g. a transaction reads an entity twice from
+            different writers, or reads a write that its writer
+            overwrote within the same transaction.  The paper's model
+            excludes these by fiat (Section 2.2 "we ignore such read
+            and write operations"); any such schedule is also never
+            strict view serializable, so deciders treat the exception
+            as a negative verdict (see :func:`reduction_decides`).
+    """
+    # Assign a unique value to every write: the k-th write of entity x
+    # in schedule order writes value k (the initial write is value 0).
+    write_value: Dict[int, int] = {}  # action position -> value
+    write_count: Dict[str, int] = {}
+    for pos, action in enumerate(schedule.actions):
+        if action.is_write:
+            value = write_count.get(action.entity, 0) + 1
+            write_count[action.entity] = value
+            write_value[pos] = value
+
+    # Track, while replaying the schedule, which value each read sees.
+    read_value: Dict[int, int] = {}  # action position -> value
+    current: Dict[str, int] = {e: INITIAL_VALUE for e in schedule.entities}
+    read_writer: Dict[int, int] = {}  # action position -> writer tid
+    writer_tid: Dict[str, int] = {e: T_INIT for e in schedule.entities}
+    for pos, action in enumerate(schedule.actions):
+        if action.is_read:
+            read_value[pos] = current[action.entity]
+            read_writer[pos] = writer_tid[action.entity]
+        else:
+            current[action.entity] = write_value[pos]
+            writer_tid[action.entity] = action.tid
+
+    # Build one m-operation per transaction.
+    mops: List[MOperation] = []
+    reads_from: Dict[Tuple[int, str], int] = {}
+    uid_of_tid = {tid: tid for tid in schedule.tids}  # tids are positive
+    for tid in schedule.tids:
+        ops: List[Operation] = []
+        positions = [
+            pos
+            for pos, action in enumerate(schedule.actions)
+            if action.tid == tid
+        ]
+        internal_written: set = set()
+        for pos in positions:
+            action = schedule.actions[pos]
+            if action.is_read:
+                ops.append(read(action.entity, read_value[pos]))
+                # Only external reads get a reads-from entry.
+                if action.entity not in internal_written:
+                    writer = read_writer[pos]
+                    writer_uid = 0 if writer == T_INIT else uid_of_tid[writer]
+                    reads_from[(tid, action.entity)] = writer_uid
+            else:
+                ops.append(write(action.entity, write_value[pos]))
+                internal_written.add(action.entity)
+        first, last = schedule.span(tid)
+        mops.append(
+            MOperation(
+                uid=uid_of_tid[tid],
+                process=tid,
+                ops=tuple(ops),
+                inv=float(first),
+                resp=float(last) + 0.5,
+                name=f"T{tid}",
+            )
+        )
+
+    if include_final:
+        # T_inf: reads every entity after all other m-operations.
+        final_uid = max(schedule.tids, default=0) + 1
+        final_ops: List[Operation] = []
+        for entity in sorted(schedule.entities):
+            final_ops.append(read(entity, current[entity]))
+            writer = writer_tid[entity]
+            reads_from[(final_uid, entity)] = (
+                0 if writer == T_INIT else uid_of_tid[writer]
+            )
+        mops.append(
+            MOperation(
+                uid=final_uid,
+                process=final_uid,
+                ops=tuple(final_ops),
+                inv=float(len(schedule.actions)) + 1.0,
+                resp=float(len(schedule.actions)) + 2.0,
+                name="T_inf",
+            )
+        )
+
+    return History.from_mops(
+        mops,
+        initial_values={e: INITIAL_VALUE for e in schedule.entities},
+        reads_from=reads_from,
+    )
+
+
+def reduction_decides(schedule: Schedule) -> bool:
+    """Decide strict view serializability *via* the reduction.
+
+    Builds the Theorem-2 history and checks m-linearizability with the
+    exact checker.  Schedules whose observations are inexpressible as
+    histories (see :func:`schedule_to_history`) are never strict view
+    serializable and yield False.
+    """
+    from repro.core.consistency import check_m_linearizability
+    from repro.errors import ReproError
+
+    try:
+        history = schedule_to_history(schedule)
+    except ReproError:
+        return False
+    return check_m_linearizability(history, method="exact").holds
+
+
+def history_overlap_matches_schedule(
+    schedule: Schedule, history: History
+) -> bool:
+    """Sanity property of the construction (used in tests).
+
+    "two transactions are non-overlapping in the schedule S if and
+    only if the corresponding m-operations are non-overlapping in H".
+    """
+    for a in schedule.tids:
+        for b in schedule.tids:
+            if a == b:
+                continue
+            if schedule.overlaps(a, b) != history[a].overlaps(history[b]):
+                return False
+    return True

@@ -1,0 +1,258 @@
+"""Database transactions and schedules (Section 3).
+
+The paper proves NP-completeness of m-linearizability by reduction
+from *strict view serializability* of database schedules.  This module
+provides the database side of that reduction: entities, actions,
+transactions and (augmented) schedules, kept deliberately independent
+of :mod:`repro.core` so the two sides genuinely cross-validate.
+
+A *schedule* is a totally ordered interleaving of the actions of a set
+of transactions.  Following the standard model (Papadimitriou):
+
+* each action is a read or a write of one entity by one transaction;
+* a read *reads from* the most recent preceding write of the same
+  entity in the schedule (or from the initial transaction);
+* the *augmented* schedule adds an initial transaction ``T0`` writing
+  every entity before everything, and a final transaction ``T_inf``
+  reading every entity after everything (footnote 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import MalformedHistoryError
+
+#: Transaction id of the initial transaction in the augmented schedule.
+T_INIT = 0
+#: Transaction id of the final transaction in the augmented schedule.
+T_FINAL = -1
+
+
+class ActionKind(str, Enum):
+    """Read or write of one entity."""
+
+    READ = "r"
+    WRITE = "w"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One step of a transaction: ``r_i(x)`` or ``w_i(x)``.
+
+    Attributes:
+        tid: the transaction performing the action.
+        kind: read or write.
+        entity: the database entity acted upon.
+    """
+
+    tid: int
+    kind: ActionKind
+    entity: str
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is ActionKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is ActionKind.WRITE
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}{self.tid}({self.entity})"
+
+
+def r(tid: int, entity: str) -> Action:
+    """Build a read action ``r_tid(entity)``."""
+    return Action(tid, ActionKind.READ, entity)
+
+
+def w(tid: int, entity: str) -> Action:
+    """Build a write action ``w_tid(entity)``."""
+    return Action(tid, ActionKind.WRITE, entity)
+
+
+class Schedule:
+    """A totally ordered interleaving of transaction actions.
+
+    The action list is the schedule; per-transaction subsequences give
+    the transactions' programs.  Transactions ids must be positive
+    (``T_INIT`` and ``T_FINAL`` are reserved for augmentation).
+    """
+
+    __slots__ = ("_actions", "_tids", "_entities", "_steps")
+
+    def __init__(self, actions: Sequence[Action]) -> None:
+        self._actions: Tuple[Action, ...] = tuple(actions)
+        for action in self._actions:
+            if action.tid in (T_INIT, T_FINAL):
+                raise MalformedHistoryError(
+                    f"transaction id {action.tid} is reserved for schedule "
+                    "augmentation"
+                )
+        self._tids: Tuple[int, ...] = tuple(
+            sorted({a.tid for a in self._actions})
+        )
+        self._entities: FrozenSet[str] = frozenset(
+            a.entity for a in self._actions
+        )
+        self._steps: Dict[int, List[int]] = {}
+        for pos, action in enumerate(self._actions):
+            self._steps.setdefault(action.tid, []).append(pos)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def actions(self) -> Tuple[Action, ...]:
+        return self._actions
+
+    @property
+    def tids(self) -> Tuple[int, ...]:
+        """Transaction ids, sorted."""
+        return self._tids
+
+    @property
+    def entities(self) -> FrozenSet[str]:
+        return self._entities
+
+    def transaction(self, tid: int) -> Tuple[Action, ...]:
+        """The program of one transaction, in schedule order."""
+        return tuple(self._actions[pos] for pos in self._steps.get(tid, ()))
+
+    def span(self, tid: int) -> Tuple[int, int]:
+        """(first, last) schedule positions of a transaction's actions.
+
+        The paper identifies the first and last actions of a
+        transaction with the invocation and response events of the
+        corresponding m-operation (proof of Theorem 2).
+        """
+        steps = self._steps.get(tid)
+        if not steps:
+            raise MalformedHistoryError(f"unknown transaction {tid}")
+        return (steps[0], steps[-1])
+
+    def overlaps(self, tid_a: int, tid_b: int) -> bool:
+        """True iff the two transactions overlap in the schedule."""
+        a0, a1 = self.span(tid_a)
+        b0, b1 = self.span(tid_b)
+        return a0 < b1 and b0 < a1
+
+    def nonoverlap_pairs(self) -> List[Tuple[int, int]]:
+        """Pairs ``(a, b)`` where ``a`` completes before ``b`` starts."""
+        pairs = []
+        for a in self._tids:
+            for b in self._tids:
+                if a != b and self.span(a)[1] < self.span(b)[0]:
+                    pairs.append((a, b))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Reads-from semantics
+    # ------------------------------------------------------------------
+
+    def reads_from(self) -> Dict[Tuple[int, int, str], Tuple[int, int]]:
+        """Reads-from of the *augmented* schedule, at action granularity.
+
+        Returns a map ``(reader_tid, read_pos_within_txn, entity) ->
+        (writer_tid, write_pos)`` where ``write_pos`` counts the
+        writer's writes to that entity (0-based) and ``writer_tid``
+        may be ``T_INIT``.  Keying reads by position matters because a
+        transaction may read the same entity several times from
+        different writers; keying *writers* by position matters
+        because view equivalence relates reads to specific write
+        actions — a transaction that writes an entity twice exposes
+        two distinct writes to the interleaving, even though only the
+        last one can be read in any serial schedule.
+        """
+        result: Dict[Tuple[int, int, str], Tuple[int, int]] = {}
+        last_writer: Dict[str, Tuple[int, int]] = {
+            e: (T_INIT, 0) for e in self._entities
+        }
+        read_counter: Dict[int, int] = {}
+        write_counter: Dict[Tuple[int, str], int] = {}
+        for action in self._actions:
+            if action.is_read:
+                idx = read_counter.get(action.tid, 0)
+                read_counter[action.tid] = idx + 1
+                result[(action.tid, idx, action.entity)] = last_writer[
+                    action.entity
+                ]
+            else:
+                key = (action.tid, action.entity)
+                pos = write_counter.get(key, 0)
+                write_counter[key] = pos + 1
+                last_writer[action.entity] = (action.tid, pos)
+        return result
+
+    def final_writers(self) -> Dict[str, int]:
+        """Entity -> tid of the last writer (``T_INIT`` if unwritten).
+
+        In the augmented schedule these are exactly the writes the
+        final transaction ``T_FINAL`` reads, so view equivalence over
+        augmented schedules subsumes the final-write condition.
+        """
+        last_writer: Dict[str, int] = {e: T_INIT for e in self._entities}
+        for action in self._actions:
+            if action.is_write:
+                last_writer[action.entity] = action.tid
+        return last_writer
+
+    # ------------------------------------------------------------------
+    # Serial rearrangements
+    # ------------------------------------------------------------------
+
+    def serialize(self, order: Sequence[int]) -> "Schedule":
+        """The serial schedule running whole transactions in ``order``."""
+        if sorted(order) != list(self._tids):
+            raise MalformedHistoryError(
+                "serial order must be a permutation of the transaction ids"
+            )
+        actions: List[Action] = []
+        for tid in order:
+            actions.extend(self.transaction(tid))
+        return Schedule(actions)
+
+    def is_serial(self) -> bool:
+        """True iff transactions are not interleaved at all."""
+        seen_done: set = set()
+        current: Optional[int] = None
+        for action in self._actions:
+            if action.tid != current:
+                if action.tid in seen_done:
+                    return False
+                if current is not None:
+                    seen_done.add(current)
+                current = action.tid
+        return True
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __str__(self) -> str:
+        return " ".join(str(a) for a in self._actions)
+
+    def __repr__(self) -> str:
+        return f"Schedule({self})"
+
+
+def schedule_from_string(text: str) -> Schedule:
+    """Parse ``"r1(x) w2(y) ..."`` into a :class:`Schedule`.
+
+    Convenient for writing test cases in the database literature's
+    notation.
+    """
+    actions: List[Action] = []
+    for token in text.split():
+        kind = token[0]
+        rest = token[1:]
+        tid_str, _, entity = rest.partition("(")
+        entity = entity.rstrip(")")
+        if kind not in ("r", "w") or not tid_str.isdigit() or not entity:
+            raise MalformedHistoryError(f"cannot parse action {token!r}")
+        ctor = r if kind == "r" else w
+        actions.append(ctor(int(tid_str), entity))
+    return Schedule(actions)

@@ -1,0 +1,194 @@
+"""View, strict view, and conflict serializability (Section 3).
+
+The paper places database correctness notions as special cases of its
+consistency conditions (each process executing a single m-operation):
+
+* view equivalence        ≈ m-sequential consistency,
+* strict view equivalence ≈ m-linearizability,
+* conflict equivalence    ≈ m-normality under OO-constraint.
+
+This module implements the database notions *directly* — a permutation
+search over serial orders, entirely independent of
+:mod:`repro.core.admissibility` — so that the Theorem-2 reduction can
+be validated by two genuinely different deciders.
+
+Definitions (Papadimitriou; footnote 2 of the paper):
+
+* Two schedules over the same transactions are **view equivalent** iff
+  their augmented versions have the same reads-from relation.
+* ``S`` is **view serializable** iff it is view equivalent to some
+  serial schedule.
+* ``S`` is **strict view serializable** iff it is view equivalent to a
+  serial schedule in which transactions that do not overlap in ``S``
+  appear in the same order as in ``S``.
+* ``S`` is **conflict serializable** iff its precedence (conflict)
+  graph is acyclic — the polynomial-time sufficient condition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.db.schedule import Action, Schedule, T_INIT
+
+
+def view_equivalent(a: Schedule, b: Schedule) -> bool:
+    """View equivalence of two schedules over the same transactions."""
+    if a.tids != b.tids:
+        return False
+    for tid in a.tids:
+        if a.transaction(tid) != b.transaction(tid):
+            return False
+    return a.reads_from() == b.reads_from() and a.final_writers() == b.final_writers()
+
+
+@dataclass
+class SerializabilityResult:
+    """Outcome of a serializability decision.
+
+    Attributes:
+        serializable: the verdict.
+        witness_order: a serial transaction order establishing it.
+        orders_tried: number of candidate serial orders examined.
+    """
+
+    serializable: bool
+    witness_order: Optional[Tuple[int, ...]] = None
+    orders_tried: int = 0
+
+    def __bool__(self) -> bool:
+        return self.serializable
+
+
+def _serial_reads_from_ok(
+    schedule: Schedule,
+    order: Sequence[int],
+    target_rf: Dict[Tuple[int, int, str], Tuple[int, int]],
+    target_final: Dict[str, int],
+) -> bool:
+    """Check whether the serial order reproduces the target semantics.
+
+    Replays whole transactions in ``order`` and compares the
+    action-granularity reads-from map and the final writers against
+    the original schedule's.
+    """
+    last_writer: Dict[str, Tuple[int, int]] = {
+        e: (T_INIT, 0) for e in schedule.entities
+    }
+    read_counter: Dict[int, int] = {}
+    write_counter: Dict[Tuple[int, str], int] = {}
+    for tid in order:
+        for action in schedule.transaction(tid):
+            if action.is_read:
+                idx = read_counter.get(tid, 0)
+                read_counter[tid] = idx + 1
+                if target_rf[(tid, idx, action.entity)] != last_writer[
+                    action.entity
+                ]:
+                    return False
+            else:
+                key = (tid, action.entity)
+                pos = write_counter.get(key, 0)
+                write_counter[key] = pos + 1
+                last_writer[action.entity] = (tid, pos)
+    return {e: w[0] for e, w in last_writer.items()} == target_final
+
+
+def is_view_serializable(
+    schedule: Schedule, *, order_limit: Optional[int] = None
+) -> SerializabilityResult:
+    """Decide view serializability by exhaustive serial-order search.
+
+    NP-complete in general; the search enumerates permutations of the
+    transactions and replays each.  ``order_limit`` bounds the number
+    of permutations examined (None = exhaustive).
+    """
+    return _search_serial_orders(schedule, honor_nonoverlap=False, order_limit=order_limit)
+
+
+def is_strict_view_serializable(
+    schedule: Schedule, *, order_limit: Optional[int] = None
+) -> SerializabilityResult:
+    """Decide strict view serializability (footnote 2 of the paper).
+
+    As :func:`is_view_serializable`, but candidate serial orders must
+    also preserve the relative order of transactions that do not
+    overlap in the original schedule.
+    """
+    return _search_serial_orders(schedule, honor_nonoverlap=True, order_limit=order_limit)
+
+
+def _search_serial_orders(
+    schedule: Schedule,
+    *,
+    honor_nonoverlap: bool,
+    order_limit: Optional[int],
+) -> SerializabilityResult:
+    tids = schedule.tids
+    target_rf = schedule.reads_from()
+    target_final = schedule.final_writers()
+    forbidden: Set[Tuple[int, int]] = set()
+    if honor_nonoverlap:
+        # (a, b) non-overlapping with a first => b must not precede a.
+        forbidden = {(b, a) for a, b in schedule.nonoverlap_pairs()}
+
+    tried = 0
+    for perm in itertools.permutations(tids):
+        if order_limit is not None and tried >= order_limit:
+            break
+        if honor_nonoverlap:
+            position = {tid: i for i, tid in enumerate(perm)}
+            if any(position[x] < position[y] for (x, y) in forbidden):
+                continue
+        tried += 1
+        if _serial_reads_from_ok(schedule, perm, target_rf, target_final):
+            return SerializabilityResult(True, tuple(perm), tried)
+    return SerializabilityResult(False, None, tried)
+
+
+def conflict_pairs(schedule: Schedule) -> List[Tuple[int, int]]:
+    """Edges of the precedence (conflict) graph.
+
+    ``(a, b)`` is an edge when some action of ``a`` precedes and
+    conflicts with some action of ``b`` (same entity, at least one
+    write, different transactions).
+    """
+    edges: Set[Tuple[int, int]] = set()
+    actions = schedule.actions
+    for i, first in enumerate(actions):
+        for second in actions[i + 1 :]:
+            if first.tid == second.tid:
+                continue
+            if first.entity != second.entity:
+                continue
+            if first.is_write or second.is_write:
+                edges.add((first.tid, second.tid))
+    return sorted(edges)
+
+
+def is_conflict_serializable(schedule: Schedule) -> SerializabilityResult:
+    """Conflict serializability: acyclicity of the precedence graph.
+
+    Polynomial time.  Conflict serializability implies (strict) view
+    serializability but not conversely (blind writes).
+    """
+    edges = conflict_pairs(schedule)
+    adjacency: Dict[int, List[int]] = {tid: [] for tid in schedule.tids}
+    indegree: Dict[int, int] = {tid: 0 for tid in schedule.tids}
+    for a, b in edges:
+        adjacency[a].append(b)
+        indegree[b] += 1
+    ready = sorted(tid for tid, deg in indegree.items() if deg == 0)
+    order: List[int] = []
+    while ready:
+        tid = ready.pop(0)
+        order.append(tid)
+        for succ in adjacency[tid]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(schedule.tids):
+        return SerializabilityResult(False, None, 0)
+    return SerializabilityResult(True, tuple(order), 0)

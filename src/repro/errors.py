@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class MalformedOperationError(ReproError):
+    """An operation or m-operation violates a structural invariant.
+
+    Examples: an internal read that does not return the value of the
+    last preceding internal write (Section 2.2 of the paper requires
+    such reads to be consistent), or an m-operation with a response
+    time earlier than its invocation time.
+    """
+
+
+class MalformedHistoryError(ReproError):
+    """A history violates well-formedness (Section 2.2).
+
+    Raised when a process subhistory is not sequential (two
+    m-operations of the same process overlap in time), when m-operation
+    identifiers collide, or when the externally visible reads of one
+    m-operation on the same object disagree on the value read.
+    """
+
+
+class ReadsFromError(ReproError):
+    """The reads-from relation could not be derived or is inconsistent.
+
+    Raised when a read's value matches no write in the history, or when
+    it matches more than one write and no explicit reads-from map was
+    supplied to disambiguate.
+    """
+
+
+class RelationError(ReproError):
+    """A relation operation was applied to incompatible universes."""
+
+
+class MissingTimestampsError(ReproError):
+    """A real-time-based order was requested on an untimed history.
+
+    m-linearizability and m-normality are defined in terms of the
+    real-time order ``resp(a) < inv(b)``, which requires invocation and
+    response timestamps on every m-operation.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A replication protocol violated one of its internal invariants."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received unsatisfiable parameters."""

@@ -1,0 +1,36 @@
+"""Multi-object operation library (S17)."""
+
+from repro.objects.structures import EMPTY, FULL, RegisterQueue, RegisterStack
+from repro.objects.multimethods import (
+    balance_total,
+    casn,
+    compare_and_swap,
+    dcas,
+    fetch_add,
+    m_assign,
+    m_read,
+    read_reg,
+    sum_of,
+    swap_objects,
+    transfer,
+    write_reg,
+)
+
+__all__ = [
+    "EMPTY",
+    "FULL",
+    "RegisterQueue",
+    "RegisterStack",
+    "balance_total",
+    "casn",
+    "compare_and_swap",
+    "dcas",
+    "fetch_add",
+    "m_assign",
+    "m_read",
+    "read_reg",
+    "sum_of",
+    "swap_objects",
+    "transfer",
+    "write_reg",
+]

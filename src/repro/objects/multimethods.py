@@ -1,0 +1,266 @@
+"""The paper's motivating multi-object operations (Section 1, S17).
+
+"Operations like double compare and swap (DCAS) cannot be efficiently
+expressed in that [single-object] model" — this module expresses them
+directly as :class:`~repro.protocols.store.MProgram` factories:
+
+* :func:`dcas` — double compare-and-swap (footnote 1 of the paper).
+* :func:`casn` — its n-location generalisation (CASN).
+* :func:`m_assign` — atomic m-register assignment.
+* :func:`m_read` — atomic multi-register read (snapshot).
+* :func:`transfer` / :func:`balance_total` — the database-transaction
+  flavour of multi-object operations (move value between accounts,
+  audit the total).
+* :func:`swap_objects`, :func:`fetch_add`, :func:`sum_of` — further
+  classic multi-methods (``sum`` is the paper's own example of why the
+  aggregate-object encoding loses locality).
+* :func:`read_reg` / :func:`write_reg` — the degenerate single-object
+  operations, under which the model (and the checkers) reduce to
+  classical sequential consistency / linearizability.
+
+Every factory returns a *deterministic* program: its behaviour is a
+function of the values it reads, as Section 2.1 requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.protocols.store import MProgram, ObjectView
+
+
+def read_reg(obj: str) -> MProgram:
+    """Read a single register (a query m-operation)."""
+
+    def body(view: ObjectView) -> Any:
+        return view.read(obj)
+
+    return MProgram(
+        name=f"read({obj})",
+        body=body,
+        may_write=False,
+        static_objects=frozenset([obj]),
+    )
+
+
+def write_reg(obj: str, value: Any) -> MProgram:
+    """Write a single register (an update m-operation)."""
+
+    def body(view: ObjectView) -> Any:
+        view.write(obj, value)
+        return value
+
+    return MProgram(
+        name=f"write({obj})",
+        body=body,
+        may_write=True,
+        static_objects=frozenset([obj]),
+    )
+
+
+def dcas(
+    obj1: str,
+    obj2: str,
+    old1: Any,
+    old2: Any,
+    new1: Any,
+    new2: Any,
+) -> MProgram:
+    """Double compare-and-swap (the paper's footnote 1).
+
+    Atomically updates ``obj1`` and ``obj2`` to ``new1``/``new2`` iff
+    ``obj1`` holds ``old1`` and ``obj2`` holds ``old2`` at invocation.
+    Returns True on success.  A conditional writer: classified as an
+    update (``may_write``), per Section 5's conservative rule, even
+    though a failed DCAS writes nothing.
+    """
+
+    def body(view: ObjectView) -> bool:
+        if view.read(obj1) == old1 and view.read(obj2) == old2:
+            view.write(obj1, new1)
+            view.write(obj2, new2)
+            return True
+        return False
+
+    return MProgram(
+        name=f"dcas({obj1},{obj2})",
+        body=body,
+        may_write=True,
+        static_objects=frozenset([obj1, obj2]),
+    )
+
+
+def casn(updates: Sequence[Tuple[str, Any, Any]]) -> MProgram:
+    """n-location compare-and-swap.
+
+    Args:
+        updates: ``(obj, expected, new)`` triples.  All comparisons
+            must succeed for any write to occur.
+    """
+    triples = tuple(updates)
+
+    def body(view: ObjectView) -> bool:
+        for obj, expected, _new in triples:
+            if view.read(obj) != expected:
+                return False
+        for obj, _expected, new in triples:
+            view.write(obj, new)
+        return True
+
+    objs = frozenset(obj for obj, _e, _n in triples)
+    return MProgram(
+        name=f"casn({','.join(sorted(objs))})",
+        body=body,
+        may_write=True,
+        static_objects=objs,
+    )
+
+
+def m_assign(values: Mapping[str, Any]) -> MProgram:
+    """Atomic m-register assignment: write several registers at once.
+
+    The classic operation that is impossible to build wait-free from
+    single-object registers — trivial in the multi-object model.
+    """
+    items = tuple(sorted(values.items()))
+
+    def body(view: ObjectView) -> None:
+        for obj, value in items:
+            view.write(obj, value)
+
+    objs = frozenset(obj for obj, _v in items)
+    return MProgram(
+        name=f"massign({','.join(sorted(objs))})",
+        body=body,
+        may_write=True,
+        static_objects=objs,
+    )
+
+
+def m_read(objects: Iterable[str]) -> MProgram:
+    """Atomic multi-register read: a consistent snapshot (a query)."""
+    objs = tuple(sorted(objects))
+
+    def body(view: ObjectView) -> Dict[str, Any]:
+        return {obj: view.read(obj) for obj in objs}
+
+    return MProgram(
+        name=f"mread({','.join(objs)})",
+        body=body,
+        may_write=False,
+        static_objects=frozenset(objs),
+    )
+
+
+def transfer(src: str, dst: str, amount: int) -> MProgram:
+    """Move ``amount`` from ``src`` to ``dst`` if funds suffice.
+
+    The database-transaction shape of an m-operation: two reads, two
+    conditional writes, atomic as a unit.  Returns True on success.
+    """
+
+    def body(view: ObjectView) -> bool:
+        src_balance = view.read(src)
+        dst_balance = view.read(dst)
+        if src_balance < amount:
+            return False
+        view.write(src, src_balance - amount)
+        view.write(dst, dst_balance + amount)
+        return True
+
+    return MProgram(
+        name=f"transfer({src}->{dst})",
+        body=body,
+        may_write=True,
+        static_objects=frozenset([src, dst]),
+    )
+
+
+def balance_total(accounts: Iterable[str]) -> MProgram:
+    """Audit query: the sum of several account balances.
+
+    Against an m-linearizable implementation the audit always returns
+    the true conserved total; weaker conditions may let it observe
+    totals mid-transfer of *other* processes' m-operations — never,
+    though, a total that no sequential execution could produce.
+    """
+    objs = tuple(sorted(accounts))
+
+    def body(view: ObjectView) -> int:
+        return sum(view.read(obj) for obj in objs)
+
+    return MProgram(
+        name=f"audit({','.join(objs)})",
+        body=body,
+        may_write=False,
+        static_objects=frozenset(objs),
+    )
+
+
+def sum_of(obj1: str, obj2: str) -> MProgram:
+    """The paper's own example: a ``sum`` multi-method on two registers.
+
+    Section 1 uses it to argue against the aggregate-object encoding:
+    one ``sum`` over two registers would force *all* registers into a
+    single object.
+    """
+
+    def body(view: ObjectView) -> Any:
+        return view.read(obj1) + view.read(obj2)
+
+    return MProgram(
+        name=f"sum({obj1},{obj2})",
+        body=body,
+        may_write=False,
+        static_objects=frozenset([obj1, obj2]),
+    )
+
+
+def swap_objects(obj1: str, obj2: str) -> MProgram:
+    """Atomically exchange the contents of two objects."""
+
+    def body(view: ObjectView) -> None:
+        v1 = view.read(obj1)
+        v2 = view.read(obj2)
+        view.write(obj1, v2)
+        view.write(obj2, v1)
+
+    return MProgram(
+        name=f"swap({obj1},{obj2})",
+        body=body,
+        may_write=True,
+        static_objects=frozenset([obj1, obj2]),
+    )
+
+
+def fetch_add(obj: str, delta: int) -> MProgram:
+    """Fetch-and-add on a single object (returns the old value)."""
+
+    def body(view: ObjectView) -> Any:
+        old = view.read(obj)
+        view.write(obj, old + delta)
+        return old
+
+    return MProgram(
+        name=f"faa({obj},{delta:+d})",
+        body=body,
+        may_write=True,
+        static_objects=frozenset([obj]),
+    )
+
+
+def compare_and_swap(obj: str, expected: Any, new: Any) -> MProgram:
+    """Single-object CAS (for contrast with :func:`dcas`)."""
+
+    def body(view: ObjectView) -> bool:
+        if view.read(obj) == expected:
+            view.write(obj, new)
+            return True
+        return False
+
+    return MProgram(
+        name=f"cas({obj})",
+        body=body,
+        may_write=True,
+        static_objects=frozenset([obj]),
+    )

@@ -1,0 +1,196 @@
+"""Concurrent data structures built from multi-object operations.
+
+Section 1 motivates the model with expressiveness: Herlihy's
+single-object framework covers "test and set, fetch and add, FIFO
+queues and stacks", but those ADTs must then be *monolithic* objects.
+With m-operations the same ADTs decompose into plain registers —
+head/tail cursors plus one register per slot — and each ADT operation
+is an atomic **multi-register** procedure.  The paper's DCAS citation
+(Greenwald & Cheriton) makes exactly this point about practical
+lock-free structures.
+
+This module provides register-backed bounded FIFO queues and stacks:
+
+* :class:`RegisterQueue` — ``head``/``tail`` cursors + slot registers;
+  ``enqueue`` reads the tail and writes (slot, tail) atomically,
+  ``dequeue`` reads the head and slot and writes the head.
+* :class:`RegisterStack` — ``top`` cursor + slot registers.
+
+Each factory returns an :class:`~repro.protocols.store.MProgram`, so
+the structures run on *any* protocol in the library; under an
+m-linearizable protocol the usual ADT semantics (FIFO order, LIFO
+order, no lost or duplicated elements) follow from the consistency
+condition alone — asserted by the test suite over concurrent
+producers and consumers.
+
+Layout for a structure named ``q`` with capacity ``c``::
+
+    q.head, q.tail            cursor registers (queue)
+    q.top                     cursor register (stack)
+    q.slot0 ... q.slot{c-1}   element registers
+
+Cursors count monotonically; slot index = cursor % capacity.
+Operations return ``None``/sentinel on overflow/underflow rather than
+blocking (the client model is one outstanding m-operation per
+process).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.protocols.store import MProgram, ObjectView
+
+#: Returned by dequeue/pop on an empty structure.
+EMPTY = "<empty>"
+#: Returned by enqueue/push on a full structure.
+FULL = "<full>"
+
+
+class RegisterQueue:
+    """A bounded FIFO queue laid out over plain registers.
+
+    Args:
+        name: prefix of the backing registers.
+        capacity: number of element slots.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.head = f"{name}.head"
+        self.tail = f"{name}.tail"
+        self.slots = [f"{name}.slot{i}" for i in range(capacity)]
+
+    @property
+    def registers(self) -> List[str]:
+        """Every backing register (for cluster object declarations)."""
+        return [self.head, self.tail] + list(self.slots)
+
+    def enqueue(self, value: Any) -> MProgram:
+        """Atomically append ``value`` (returns FULL when full)."""
+        queue = self
+
+        def body(view: ObjectView) -> Any:
+            tail = view.read(queue.tail)
+            head = view.read(queue.head)
+            if tail - head >= queue.capacity:
+                return FULL
+            view.write(queue.slots[tail % queue.capacity], value)
+            view.write(queue.tail, tail + 1)
+            return value
+
+        return MProgram(
+            name=f"enq({queue.name})",
+            body=body,
+            may_write=True,
+            static_objects=frozenset(queue.registers),
+        )
+
+    def dequeue(self) -> MProgram:
+        """Atomically remove the oldest element (EMPTY when empty)."""
+        queue = self
+
+        def body(view: ObjectView) -> Any:
+            head = view.read(queue.head)
+            tail = view.read(queue.tail)
+            if head >= tail:
+                return EMPTY
+            value = view.read(queue.slots[head % queue.capacity])
+            view.write(queue.head, head + 1)
+            return value
+
+        return MProgram(
+            name=f"deq({queue.name})",
+            body=body,
+            may_write=True,
+            static_objects=frozenset(queue.registers),
+        )
+
+    def size(self) -> MProgram:
+        """Atomic length query."""
+        queue = self
+
+        def body(view: ObjectView) -> int:
+            return view.read(queue.tail) - view.read(queue.head)
+
+        return MProgram(
+            name=f"len({queue.name})",
+            body=body,
+            may_write=False,
+            static_objects=frozenset([queue.head, queue.tail]),
+        )
+
+
+class RegisterStack:
+    """A bounded LIFO stack laid out over plain registers."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("stack capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.top = f"{name}.top"
+        self.slots = [f"{name}.slot{i}" for i in range(capacity)]
+
+    @property
+    def registers(self) -> List[str]:
+        """Every backing register (for cluster object declarations)."""
+        return [self.top] + list(self.slots)
+
+    def push(self, value: Any) -> MProgram:
+        """Atomically push ``value`` (returns FULL when full)."""
+        stack = self
+
+        def body(view: ObjectView) -> Any:
+            top = view.read(stack.top)
+            if top >= stack.capacity:
+                return FULL
+            view.write(stack.slots[top], value)
+            view.write(stack.top, top + 1)
+            return value
+
+        return MProgram(
+            name=f"push({stack.name})",
+            body=body,
+            may_write=True,
+            static_objects=frozenset(stack.registers),
+        )
+
+    def pop(self) -> MProgram:
+        """Atomically pop the newest element (EMPTY when empty)."""
+        stack = self
+
+        def body(view: ObjectView) -> Any:
+            top = view.read(stack.top)
+            if top == 0:
+                return EMPTY
+            value = view.read(stack.slots[top - 1])
+            view.write(stack.top, top - 1)
+            return value
+
+        return MProgram(
+            name=f"pop({stack.name})",
+            body=body,
+            may_write=True,
+            static_objects=frozenset(stack.registers),
+        )
+
+    def peek(self) -> MProgram:
+        """Atomic top-of-stack query (EMPTY when empty)."""
+        stack = self
+
+        def body(view: ObjectView) -> Any:
+            top = view.read(stack.top)
+            if top == 0:
+                return EMPTY
+            return view.read(stack.slots[top - 1])
+
+        return MProgram(
+            name=f"peek({stack.name})",
+            body=body,
+            may_write=False,
+            static_objects=frozenset(stack.registers),
+        )

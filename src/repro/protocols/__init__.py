@@ -1,0 +1,63 @@
+"""Replication protocols (Section 5) and baselines (S12-S16)."""
+
+from repro.protocols.aggregate import AggregateProcess, aggregate_cluster
+from repro.protocols.attiya_welch import AWCluster, AWProcess, aw_cluster
+from repro.protocols.causal import CausalProcess, causal_cluster
+from repro.protocols.base import (
+    BaseProcess,
+    Cluster,
+    PendingOp,
+    RunResult,
+    Workloads,
+)
+from repro.protocols.local import LocalProcess, local_cluster
+from repro.protocols.locking import LockProcess, home_of, lock_cluster
+from repro.protocols.mlin import MLinCluster, MLinProcess, mlin_cluster
+from repro.protocols.msc import MSCProcess, msc_cluster
+from repro.protocols.writeall import WriteAllProcess, writeall_cluster
+from repro.protocols.traditional import TraditionalProcess, traditional_cluster
+from repro.protocols.recorder import HistoryRecorder, OpRecord
+from repro.protocols.server import ServerProcess, server_cluster
+from repro.protocols.store import (
+    ExecutionRecord,
+    MProgram,
+    ObjectView,
+    VersionedStore,
+)
+
+__all__ = [
+    "AWCluster",
+    "AWProcess",
+    "AggregateProcess",
+    "BaseProcess",
+    "CausalProcess",
+    "Cluster",
+    "ExecutionRecord",
+    "HistoryRecorder",
+    "LocalProcess",
+    "LockProcess",
+    "MLinCluster",
+    "MLinProcess",
+    "MProgram",
+    "MSCProcess",
+    "ObjectView",
+    "OpRecord",
+    "PendingOp",
+    "RunResult",
+    "ServerProcess",
+    "TraditionalProcess",
+    "VersionedStore",
+    "WriteAllProcess",
+    "Workloads",
+    "aggregate_cluster",
+    "aw_cluster",
+    "causal_cluster",
+    "home_of",
+    "local_cluster",
+    "lock_cluster",
+    "mlin_cluster",
+    "msc_cluster",
+    "server_cluster",
+    "traditional_cluster",
+    "writeall_cluster",
+]

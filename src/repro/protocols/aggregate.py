@@ -1,0 +1,57 @@
+"""Baseline: the aggregate-object approach (Section 1's strawman).
+
+The paper's introduction warns that multi-methods could be modelled
+"by defining an aggregate object that represents the state of all
+objects", but that "this technique has serious drawbacks ... loss of
+locality and concurrency".  This protocol implements that strawman
+faithfully so the loss can be *measured* (experiment A1): the whole
+store is one logical object, so **every** m-operation — queries
+included — must be globally ordered, i.e. atomically broadcast, and a
+query pays the full broadcast latency that the Fig-4 protocol avoids
+entirely and the Fig-6 protocol replaces with one round trip.
+
+(The executions are trivially m-linearizable: every m-operation takes
+effect at its delivery point, which lies between its invocation and
+response.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import ProtocolError
+from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.store import MProgram
+
+
+class AggregateProcess(BaseProcess):
+    """Every m-operation is broadcast, as if on one big object."""
+
+    def on_invoke(self, pending: PendingOp) -> None:
+        abcast = self.cluster.abcast
+        if abcast is None:
+            raise ProtocolError(
+                "the aggregate baseline requires an atomic-broadcast layer"
+            )
+        abcast.broadcast(
+            self.pid,
+            {"uid": pending.uid, "program": pending.program},
+        )
+
+    def on_abcast_deliver(self, sender: int, payload: Dict[str, Any]) -> None:
+        uid: int = payload["uid"]
+        program: MProgram = payload["program"]
+        record = self.store.execute(program, uid)
+        if sender == self.pid:
+            pending = self._pending
+            if pending is None or pending.uid != uid:
+                raise ProtocolError(
+                    f"P{self.pid}: delivery of own m-operation {uid} but "
+                    "no matching pending m-operation"
+                )
+            self.respond(pending, record)
+
+
+def aggregate_cluster(n: int, objects, **kwargs) -> Cluster:
+    """Build an aggregate-object baseline cluster."""
+    return Cluster(n, objects, process_class=AggregateProcess, **kwargs)

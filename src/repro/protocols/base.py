@@ -1,0 +1,436 @@
+"""Shared scaffolding for the replicated-DSM protocols (Section 5).
+
+A :class:`Cluster` wires together the simulator, the network, an
+atomic-broadcast implementation and one :class:`BaseProcess` per
+participant, then drives per-process *workloads* (sequences of
+:class:`~repro.protocols.store.MProgram`) through the protocol under
+test.  Processes are sequential, as the model requires: each issues
+its next m-operation only after receiving the response of the
+previous one (well-formedness, Section 2.2).
+
+Protocol subclasses implement two hooks:
+
+* :meth:`BaseProcess.on_invoke` — what happens when the client issues
+  an m-operation (classify update vs. query conservatively via
+  ``MProgram.may_write`` and start the protocol's actions).
+* :meth:`BaseProcess.handle_message` — protocol-specific messages
+  (e.g. the Fig-6 "query"/"query response").
+
+Atomic-broadcast traffic is routed to the abcast layer transparently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.abcast.interface import AtomicBroadcast
+from repro.abcast.sequencer import SequencerAbcast
+from repro.core.history import History
+from repro.errors import ProtocolError, SimulationError
+from repro.protocols.recorder import HistoryRecorder, OpRecord
+from repro.protocols.store import ExecutionRecord, MProgram, VersionedStore
+from repro.sim.kernel import Simulator
+from repro.sim.latency import LatencyModel, UniformLatency
+from repro.sim.network import ChannelStats, Message, Network
+
+#: A workload: one program sequence per process.
+Workloads = Sequence[Sequence[MProgram]]
+
+
+@dataclass
+class PendingOp:
+    """Book-keeping for an m-operation between invocation and response."""
+
+    uid: int
+    program: MProgram
+    inv: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class BaseProcess:
+    """One participant: a sequential client plus its replica state."""
+
+    def __init__(self, pid: int, cluster: "Cluster") -> None:
+        self.pid = pid
+        self.cluster = cluster
+        self.store = VersionedStore(cluster.initial_values)
+        self._programs: List[MProgram] = []
+        self._next_program = 0
+        self._pending: Optional[PendingOp] = None
+
+    # ------------------------------------------------------------------
+    # Client side: sequential issue loop
+    # ------------------------------------------------------------------
+
+    def load(self, programs: Sequence[MProgram]) -> None:
+        """Install this process's workload."""
+        self._programs = list(programs)
+        self._next_program = 0
+
+    def start(self) -> None:
+        """Schedule the first invocation (with per-process jitter)."""
+        delay = self.cluster.rng.uniform(0.0, self.cluster.start_jitter)
+        self.cluster.sim.schedule(delay, self._issue_next)
+
+    def _issue_next(self) -> None:
+        if self._pending is not None:
+            raise ProtocolError(
+                f"P{self.pid} issued an m-operation while one is pending"
+            )
+        if self._next_program >= len(self._programs):
+            return
+        program = self._programs[self._next_program]
+        self._next_program += 1
+        uid = self.cluster.next_uid()
+        inv = self.cluster.sim.now
+        self._pending = PendingOp(uid=uid, program=program, inv=inv)
+        self.cluster.recorder.begin(uid, inv, program.name)
+        self.on_invoke(self._pending)
+
+    def respond(self, pending: PendingOp, record: ExecutionRecord) -> None:
+        """Generate the response event for the pending m-operation."""
+        if self._pending is None or self._pending.uid != pending.uid:
+            raise ProtocolError(
+                f"P{self.pid}: response for {pending.uid} but pending is "
+                f"{self._pending.uid if self._pending else None}"
+            )
+        resp = self.cluster.sim.now
+        if not resp > pending.inv:
+            # Zero-latency local actions still consume local processing
+            # time; keep real-time order sound by nudging the response.
+            resp = pending.inv + self.cluster.local_delay
+        self.cluster.recorder.complete(
+            OpRecord(
+                uid=pending.uid,
+                process=self.pid,
+                name=pending.program.name,
+                inv=pending.inv,
+                resp=resp,
+                ops=record.ops,
+                reads_from=dict(record.reads_from),
+                result=record.result,
+                is_update=pending.program.may_write,
+            )
+        )
+        if self.cluster.monitor is not None:
+            from repro.core.monitor import ObservedOp
+
+            self.cluster.monitor.complete(
+                ObservedOp(
+                    uid=pending.uid,
+                    process=self.pid,
+                    inv=pending.inv,
+                    resp=resp,
+                    reads_from=dict(record.reads_from),
+                    writes=tuple(
+                        op.obj for op in record.ops if op.is_write
+                    ),
+                    is_update=pending.program.may_write,
+                ),
+                now=self.cluster.sim.now,
+            )
+        self._pending = None
+        # Schedule the next invocation strictly after the (possibly
+        # clamped) response time, preserving well-formedness even when
+        # the think time is zero or smaller than the clamp.
+        delay = (
+            (resp - self.cluster.sim.now)
+            + max(self.cluster.think_time(), self.cluster.local_delay)
+        )
+        self.cluster.sim.schedule(delay, self._issue_next)
+
+    @property
+    def done(self) -> bool:
+        """True iff the workload is exhausted and nothing is pending."""
+        return self._pending is None and self._next_program >= len(
+            self._programs
+        )
+
+    # ------------------------------------------------------------------
+    # Network plumbing
+    # ------------------------------------------------------------------
+
+    def on_network(self, src: int, message: Message) -> None:
+        """Route an incoming message to the abcast layer or the protocol."""
+        abcast = self.cluster.abcast
+        if abcast is not None and abcast.handles(message.kind):
+            abcast.handle(self.pid, src, message)
+        else:
+            self.handle_message(src, message)
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+
+    def on_invoke(self, pending: PendingOp) -> None:
+        """Start the protocol's actions for a newly issued m-operation."""
+        raise NotImplementedError
+
+    def on_abcast_deliver(self, sender: int, payload: Any) -> None:
+        """Atomic-broadcast delivery (total order across processes)."""
+        raise NotImplementedError
+
+    def handle_message(self, src: int, message: Message) -> None:
+        """Protocol-specific point-to-point message."""
+        raise ProtocolError(
+            f"P{self.pid}: unexpected message kind {message.kind!r}"
+        )
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one protocol run.
+
+    Attributes:
+        history: the recorded execution as a checkable history.
+        recorder: the raw per-m-operation records.
+        net_stats: message counts/sizes from the network layer.
+        duration: virtual time when the run completed.
+        abcast_violation: non-None iff the abcast layer's delivery
+            logs violated total order/integrity (should never happen;
+            asserted by tests).
+        ww_sequence: uids of broadcast m-operations in atomic-
+            broadcast delivery order — the implementation-level
+            ``~ww`` order (D 5.3).  Feeding these as ``extra_pairs``
+            into the checkers makes the recorded base order satisfy
+            the WW-constraint, unlocking the polynomial Theorem-7
+            verification path for arbitrarily large runs.
+    """
+
+    history: History
+    recorder: HistoryRecorder
+    net_stats: ChannelStats
+    duration: float
+    abcast_violation: Optional[str]
+    ww_sequence: List[int] = field(default_factory=list)
+
+    def ww_pairs(self) -> List[tuple]:
+        """``~ww`` as explicit pairs (successive deliveries chained)."""
+        return [
+            (a, b)
+            for a, b in zip(self.ww_sequence, self.ww_sequence[1:])
+        ]
+
+    def latencies(self, *, updates: Optional[bool] = None) -> List[float]:
+        """Response times, optionally filtered to updates/queries.
+
+        Args:
+            updates: None = all m-operations; True = updates only
+                (conservative classification); False = queries only.
+        """
+        return [
+            rec.resp - rec.inv
+            for rec in self.recorder.records
+            if updates is None or rec.is_update == updates
+        ]
+
+    def results_by_uid(self) -> Dict[int, Any]:
+        """uid -> program return value."""
+        return {rec.uid: rec.result for rec in self.recorder.records}
+
+
+class Cluster:
+    """A simulated deployment of one replication protocol.
+
+    Args:
+        n: number of processes/replicas.
+        objects: the shared object names.
+        initial_values: per-object initial values (default 0 for all,
+            the paper's convention).
+        latency: message-delay model (default Uniform[0.5, 1.5] —
+            non-FIFO reordering happens naturally).
+        seed: seed for all randomness (latencies, jitter, think time).
+        abcast_factory: builds the atomic-broadcast layer; default
+            fixed sequencer at pid 0.  Pass None for protocols that do
+            not use atomic broadcast.
+        local_delay: virtual cost of a purely local m-operation.
+        think_jitter: upper bound of the uniform think time between a
+            response and the next invocation.
+        start_jitter: upper bound of the initial per-process stagger.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        objects: Sequence[str],
+        *,
+        process_class: Type[BaseProcess],
+        initial_values: Optional[Mapping[str, Any]] = None,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        abcast_factory: Optional[
+            Callable[[Network], AtomicBroadcast]
+        ] = SequencerAbcast,
+        local_delay: float = 1e-3,
+        think_jitter: float = 0.2,
+        start_jitter: float = 0.5,
+        think_fn: Optional[Callable[[random.Random], float]] = None,
+        network_factory: Optional[
+            Callable[[Simulator, int], Network]
+        ] = None,
+        monitor=None,
+    ) -> None:
+        if n <= 0:
+            raise SimulationError("cluster needs at least one process")
+        if not objects:
+            raise SimulationError("cluster needs at least one shared object")
+        self.n = n
+        self.objects: Tuple[str, ...] = tuple(sorted(objects))
+        values = {obj: 0 for obj in self.objects}
+        if initial_values:
+            values.update(initial_values)
+        self.initial_values: Dict[str, Any] = values
+        self.local_delay = local_delay
+        self.think_jitter = think_jitter
+        self.start_jitter = start_jitter
+        self.think_fn = think_fn
+        #: optional live verifier (repro.core.monitor.LiveMonitor);
+        #: fed broadcast deliveries and completions as they happen.
+        self.monitor = monitor
+        self.rng = random.Random(seed)
+
+        self.sim = Simulator()
+        if network_factory is not None:
+            self.network = network_factory(self.sim, n)
+        else:
+            self.network = Network(
+                self.sim,
+                n,
+                latency=latency or UniformLatency(0.5, 1.5),
+                seed=seed + 1,
+            )
+        self.abcast: Optional[AtomicBroadcast] = (
+            abcast_factory(self.network) if abcast_factory else None
+        )
+        self.recorder = HistoryRecorder()
+        self._uid_counter = itertools.count(1)
+        #: uids of broadcast m-operations in delivery order — the
+        #: ``~ww`` synchronization order of D 5.3/D 5.8 (identical at
+        #: every replica by total order; captured at pid 0).
+        self.ww_sequence: List[int] = []
+        self.processes: List[BaseProcess] = []
+        for pid in range(n):
+            proc = process_class(pid, self)
+            self.processes.append(proc)
+            self.network.register(pid, proc.on_network)
+            if self.abcast is not None:
+                self.abcast.attach(
+                    pid,
+                    lambda sender, payload, _pid=pid: self._deliver(
+                        _pid, sender, payload
+                    ),
+                )
+        self._ran = False
+
+    def _deliver(self, pid: int, sender: int, payload) -> None:
+        track = (
+            pid == 0 and isinstance(payload, dict) and "uid" in payload
+        )
+        if track:
+            self.ww_sequence.append(payload["uid"])
+        self.processes[pid].on_abcast_deliver(sender, payload)
+        if track and self.monitor is not None:
+            uid = payload["uid"]
+            store = self.processes[0].store
+            writes = tuple(
+                obj
+                for obj in store.objects
+                if store.writer_of(obj) == uid
+            )
+            self.monitor.announce(uid, writes)
+
+    # ------------------------------------------------------------------
+    # Cluster services used by processes
+    # ------------------------------------------------------------------
+
+    def next_uid(self) -> int:
+        """Allocate a cluster-wide unique m-operation uid (> 0)."""
+        return next(self._uid_counter)
+
+    def think_time(self) -> float:
+        """Think time between a response and the next invocation.
+
+        Uses ``think_fn`` when supplied (scenario scripting needs
+        deterministic spacing), else uniform jitter.
+        """
+        if self.think_fn is not None:
+            return self.think_fn(self.rng)
+        if self.think_jitter <= 0:
+            return 0.0
+        return self.rng.uniform(0.0, self.think_jitter)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workloads: Workloads,
+        *,
+        max_events: int = 5_000_000,
+        settle: float = 0.0,
+    ) -> RunResult:
+        """Run the workloads to completion and record the history.
+
+        Args:
+            workloads: one program sequence per process (shorter than
+                ``n`` is allowed; missing entries are empty).
+            max_events: hard simulator-event budget (guards against
+                protocol livelock).
+            settle: extra virtual time to run after all m-operations
+                complete, letting in-flight replication traffic land
+                (useful when asserting replica convergence).
+
+        Returns:
+            A :class:`RunResult` with the recorded history.
+        """
+        self.prepare(workloads)
+        self.sim.run(max_events=max_events)
+        if settle > 0:
+            self.sim.run(until=self.sim.now + settle, max_events=max_events)
+        return self.finalize(max_events=max_events)
+
+    def prepare(self, workloads: Workloads) -> None:
+        """Load workloads and schedule the first invocations.
+
+        Split out of :meth:`run` so that exploration drivers
+        (:mod:`repro.sim.explore`) can interleave message deliveries
+        manually between quiescence points.
+        """
+        if self._ran:
+            raise SimulationError("a Cluster instance is single-use")
+        self._ran = True
+        if len(workloads) > self.n:
+            raise SimulationError(
+                f"{len(workloads)} workloads for {self.n} processes"
+            )
+        for pid, programs in enumerate(workloads):
+            self.processes[pid].load(programs)
+        for proc in self.processes:
+            proc.start()
+
+    def finalize(self, *, max_events: int = 5_000_000) -> RunResult:
+        """Validate completion and assemble the :class:`RunResult`."""
+        if not all(proc.done for proc in self.processes):
+            stuck = [p.pid for p in self.processes if not p.done]
+            raise ProtocolError(
+                f"run ended with unfinished processes {stuck} "
+                f"(event budget {max_events} exhausted?)"
+            )
+        violation = (
+            self.abcast.check_total_order() if self.abcast is not None else None
+        )
+        if self.monitor is not None:
+            self.monitor.flush()
+        history = self.recorder.build_history(self.initial_values)
+        return RunResult(
+            history=history,
+            recorder=self.recorder,
+            net_stats=self.network.stats,
+            duration=self.sim.now,
+            abcast_violation=violation,
+            ww_sequence=list(self.ww_sequence),
+        )

@@ -1,0 +1,344 @@
+"""Partitioned store with ordered two-phase locking (OO-constraint route).
+
+Section 4 offers two ways to make executions efficiently checkable:
+the WW-constraint ("all update m-operations must be globally
+synchronized" — the broadcast protocols of Section 5) and the
+**OO-constraint** ("m-operations need to be synchronized only at each
+object level").  This protocol implements the object-level route:
+
+* objects are *partitioned*, not replicated — each object lives at a
+  home process (round-robin by name order);
+* an m-operation acquires an exclusive lock on every object it may
+  touch (its declared ``static_objects``), **in canonical object
+  order** — the classic deadlock-free ordered acquisition;
+* with all locks held it fetches the locked objects' values from
+  their homes, executes the program locally on that snapshot, then
+  commits written values back to the homes (which release the locks
+  and grant waiters); the response follows the commit
+  acknowledgments, making the execution strict-2PL and hence
+  m-linearizable.
+
+Cost shape (experiment A5): the lock phase is sequential, so latency
+grows **linearly with the number of objects an m-operation spans**,
+unlike the broadcast protocols' constant number of rounds — but
+m-operations on disjoint objects never synchronize at all, so under
+low contention the protocol scales where the broadcast protocols
+serialize everything through one total order.
+
+Requirements: every program must declare ``static_objects`` (the
+conservative potentially-accessed set, exactly the paper's
+conservative-classification stance applied to object sets).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.store import VersionedStore
+from repro.sim.network import Message
+
+LOCK_REQ = "lk-req"
+LOCK_GRANT = "lk-grant"
+FETCH_REQ = "lk-fetch"
+FETCH_RESP = "lk-data"
+COMMIT = "lk-commit"
+COMMIT_ACK = "lk-ack"
+
+
+def home_of(obj: str, objects: Tuple[str, ...], n: int) -> int:
+    """The home process of an object (round-robin over sorted names)."""
+    return objects.index(obj) % n
+
+
+class LockProcess(BaseProcess):
+    """A participant: client side plus its shard's lock manager."""
+
+    def __init__(self, pid: int, cluster: Cluster) -> None:
+        super().__init__(pid, cluster)
+        # Lock manager state for objects homed here: per object, the
+        # held mode ("S"/"X") with the holder set, plus a FIFO wait
+        # queue of (mode, src, uid) requests.
+        self._holders: Dict[str, Tuple[str, set]] = {}
+        self._waiters: Dict[str, List[Tuple[str, int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    def on_invoke(self, pending: PendingOp) -> None:
+        program = pending.program
+        if program.static_objects is None:
+            raise ProtocolError(
+                f"the locking protocol requires program {program.name!r} "
+                "to declare static_objects"
+            )
+        lockset = sorted(program.static_objects)
+        pending.extra["lockset"] = lockset
+        pending.extra["next_lock"] = 0
+        pending.extra["snapshot"] = {}
+        pending.extra["phase"] = "locking"
+        # Lock mode: updates take exclusive locks on every potentially
+        # touched object (conservative, per Section 5's classification
+        # stance); queries take shared locks — the OO-constraint only
+        # requires read-only m-operations to synchronize with *update*
+        # m-operations on the object, never with each other.  The
+        # rw_locks=False cluster option forces X everywhere, for the
+        # read-concurrency ablation (experiment A6).
+        rw = getattr(self.cluster, "rw_locks", True)
+        pending.extra["mode"] = (
+            "X" if program.may_write or not rw else "S"
+        )
+        self._request_next_lock(pending)
+
+    def _request_next_lock(self, pending: PendingOp) -> None:
+        idx = pending.extra["next_lock"]
+        lockset = pending.extra["lockset"]
+        if idx >= len(lockset):
+            self._start_fetch(pending)
+            return
+        obj = lockset[idx]
+        self._send_home(
+            obj,
+            Message(
+                LOCK_REQ,
+                {
+                    "uid": pending.uid,
+                    "obj": obj,
+                    "mode": pending.extra["mode"],
+                },
+            ),
+        )
+
+    def _start_fetch(self, pending: PendingOp) -> None:
+        pending.extra["phase"] = "fetching"
+        lockset = pending.extra["lockset"]
+        pending.extra["awaiting"] = len(lockset)
+        if not lockset:  # a no-object program: execute immediately
+            self._execute_and_commit(pending)
+            return
+        for obj in lockset:
+            self._send_home(
+                obj, Message(FETCH_REQ, {"uid": pending.uid, "obj": obj})
+            )
+
+    def _execute_and_commit(self, pending: PendingOp) -> None:
+        pending.extra["phase"] = "committing"
+        snapshot = pending.extra["snapshot"]
+        temp_store = VersionedStore.from_export(snapshot)
+        record = temp_store.execute(pending.program, pending.uid)
+        pending.extra["record"] = record
+        # One commit per locked object: written value (if any) plus
+        # the lock release; homes apply before granting waiters.
+        lockset = pending.extra["lockset"]
+        pending.extra["awaiting"] = len(lockset)
+        if not lockset:
+            self.respond(pending, record)
+            return
+        for obj in lockset:
+            value = (
+                {obj: temp_store.value_of(obj)}
+                if obj in record.wobjects
+                else {}
+            )
+            self._send_home(
+                obj,
+                Message(
+                    COMMIT,
+                    {"uid": pending.uid, "obj": obj, "writes": value},
+                ),
+            )
+
+    def _send_home(self, obj: str, message: Message) -> None:
+        home = home_of(obj, self.cluster.objects, self.cluster.n)
+        self.cluster.network.send(self.pid, home, message)
+
+    # ------------------------------------------------------------------
+    # Message handling (client + manager roles)
+    # ------------------------------------------------------------------
+
+    def handle_message(self, src: int, message: Message) -> None:
+        kind = message.kind
+        body = message.payload
+        if kind == LOCK_REQ:
+            self._manager_lock(src, body)
+        elif kind == FETCH_REQ:
+            self._manager_fetch(src, body)
+        elif kind == COMMIT:
+            self._manager_commit(src, body)
+        elif kind == LOCK_GRANT:
+            self._client_granted(body)
+        elif kind == FETCH_RESP:
+            self._client_data(body)
+        elif kind == COMMIT_ACK:
+            self._client_acked(body)
+        else:
+            super().handle_message(src, message)
+
+    def on_abcast_deliver(self, sender: int, payload: Any) -> None:
+        raise ProtocolError("the locking protocol never uses atomic broadcast")
+
+    # ------------------------------------------------------------------
+    # Lock-manager role (for objects homed at this pid)
+    # ------------------------------------------------------------------
+
+    def _check_home(self, obj: str) -> None:
+        if home_of(obj, self.cluster.objects, self.cluster.n) != self.pid:
+            raise ProtocolError(
+                f"P{self.pid} received a manager message for {obj!r} "
+                "homed elsewhere"
+            )
+
+    def _grant(self, obj: str, mode: str, src: int, uid: int) -> None:
+        held_mode, holders = self._holders.get(obj, ("S", set()))
+        if holders:
+            assert held_mode == "S" and mode == "S"
+            holders.add((src, uid))
+            self._holders[obj] = ("S", holders)
+        else:
+            self._holders[obj] = (mode, {(src, uid)})
+        self.cluster.network.send(
+            self.pid, src, Message(LOCK_GRANT, {"uid": uid, "obj": obj})
+        )
+
+    def _manager_lock(self, src: int, body: Dict[str, Any]) -> None:
+        obj, uid, mode = body["obj"], body["uid"], body["mode"]
+        self._check_home(obj)
+        held = self._holders.get(obj)
+        waiting = self._waiters.get(obj, [])
+        if held is None or not held[1]:
+            self._grant(obj, mode, src, uid)
+        elif (
+            mode == "S"
+            and held[0] == "S"
+            and not waiting  # FIFO fairness: no reader overtakes a
+            # queued writer (prevents writer starvation)
+        ):
+            self._grant(obj, "S", src, uid)
+        else:
+            self._waiters.setdefault(obj, []).append((mode, src, uid))
+
+    def _holds(self, obj: str, src: int, uid: int) -> bool:
+        held = self._holders.get(obj)
+        return held is not None and (src, uid) in held[1]
+
+    def _manager_fetch(self, src: int, body: Dict[str, Any]) -> None:
+        obj, uid = body["obj"], body["uid"]
+        self._check_home(obj)
+        if not self._holds(obj, src, uid):
+            raise ProtocolError(
+                f"fetch of {obj!r} by a non-owner (uid {uid})"
+            )
+        value, version, writer = self.store.export(frozenset([obj]))[obj]
+        self.cluster.network.send(
+            self.pid,
+            src,
+            Message(
+                FETCH_RESP,
+                {
+                    "uid": uid,
+                    "obj": obj,
+                    "value": value,
+                    "version": version,
+                    "writer": writer,
+                },
+            ),
+        )
+
+    def _manager_commit(self, src: int, body: Dict[str, Any]) -> None:
+        obj, uid = body["obj"], body["uid"]
+        self._check_home(obj)
+        if not self._holds(obj, src, uid):
+            raise ProtocolError(
+                f"commit of {obj!r} by a non-owner (uid {uid})"
+            )
+        if body["writes"]:
+            mode, _holders = self._holders[obj]
+            if mode != "X":
+                raise ProtocolError(
+                    f"shared-lock holder attempted to write {obj!r}"
+                )
+            self.store.apply_writes(body["writes"], uid)
+        self.cluster.network.send(
+            self.pid, src, Message(COMMIT_ACK, {"uid": uid, "obj": obj})
+        )
+        # Release; once the object is free, grant the next waiter (an
+        # X alone, or the whole S-prefix of the queue together).
+        mode, holders = self._holders[obj]
+        holders.discard((src, uid))
+        if holders:
+            return
+        waiters = self._waiters.get(obj, [])
+        if not waiters:
+            return
+        next_mode, next_src, next_uid = waiters.pop(0)
+        self._grant(obj, next_mode, next_src, next_uid)
+        if next_mode == "S":
+            while waiters and waiters[0][0] == "S":
+                _mode, s_src, s_uid = waiters.pop(0)
+                self._grant(obj, "S", s_src, s_uid)
+
+    # ------------------------------------------------------------------
+    # Client-side replies
+    # ------------------------------------------------------------------
+
+    def _pending_for(self, uid: int) -> PendingOp:
+        pending = self._pending
+        if pending is None or pending.uid != uid:
+            raise ProtocolError(
+                f"P{self.pid}: reply for uid {uid} but pending is "
+                f"{pending.uid if pending else None}"
+            )
+        return pending
+
+    def _client_granted(self, body: Dict[str, Any]) -> None:
+        pending = self._pending_for(body["uid"])
+        assert pending.extra["phase"] == "locking"
+        pending.extra["next_lock"] += 1
+        self._request_next_lock(pending)
+
+    def _client_data(self, body: Dict[str, Any]) -> None:
+        pending = self._pending_for(body["uid"])
+        assert pending.extra["phase"] == "fetching"
+        pending.extra["snapshot"][body["obj"]] = (
+            body["value"],
+            body["version"],
+            body["writer"],
+        )
+        pending.extra["awaiting"] -= 1
+        if pending.extra["awaiting"] == 0:
+            self._execute_and_commit(pending)
+
+    def _client_acked(self, body: Dict[str, Any]) -> None:
+        pending = self._pending_for(body["uid"])
+        assert pending.extra["phase"] == "committing"
+        pending.extra["awaiting"] -= 1
+        if pending.extra["awaiting"] == 0:
+            self.respond(pending, pending.extra["record"])
+
+
+class LockCluster(Cluster):
+    """An ordered-2PL cluster, optionally with shared read locks."""
+
+    def __init__(self, *args, rw_locks: bool = True, **kwargs):
+        kwargs.setdefault("process_class", LockProcess)
+        super().__init__(*args, **kwargs)
+        self.rw_locks = rw_locks
+
+
+def lock_cluster(
+    n: int, objects, *, rw_locks: bool = True, **kwargs
+) -> LockCluster:
+    """Build a partitioned, ordered-2PL cluster (OO-constraint route).
+
+    Args:
+        n: number of processes (each also homes a shard of objects).
+        objects: shared object names.
+        rw_locks: queries take shared locks (default).  ``False``
+            forces exclusive locks everywhere — the read-concurrency
+            ablation of experiment A6.
+        **kwargs: any :class:`~repro.protocols.base.Cluster` keyword.
+    """
+    kwargs.setdefault("abcast_factory", None)
+    return LockCluster(n, objects, rw_locks=rw_locks, **kwargs)

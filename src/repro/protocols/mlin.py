@@ -1,0 +1,195 @@
+"""The Figure-6 protocol: m-linearizability (Section 5.2).
+
+Updates are handled exactly as in the Figure-4 protocol (actions A1
+and A2).  Queries are where the two protocols differ — to avoid
+reading a stale value, a query gathers the freshest replica state in
+one round trip:
+
+* **(A3)** On invocation of a query m-operation, reset ``othts`` and
+  send a "query" message to all processes.
+* **(A4)** On receiving a "query", reply with the local copy and its
+  timestamp ``(myX, myts)``.
+* **(A5)** On receiving a "query response" ``(X, ts)``, if
+  ``othts < ts`` (lexicographic comparison of whole vectors), replace
+  ``(othX, othts) := (X, ts)``.
+* **(A6)** Once all responses have arrived, apply the m-operation to
+  ``othX`` and respond.
+
+Theorem 20 proves every execution m-linearizable; crucially the
+protocol needs **no synchronized clocks and no message-delay bound**
+(the paper's advantage over Attiya–Welch's linearizable
+implementation).  Experiment T20 validates the theorem over
+randomized runs; experiment A2 measures the price: queries now cost a
+full round trip governed by the slowest replica.
+
+The closing remark of Section 5.2 — replies may carry only the
+objects the query touches rather than the whole store — is available
+via ``reply_relevant_only=True`` on :func:`mlin_cluster` (the query's
+``static_objects`` declaration scopes the reply); experiment A3
+quantifies the message-size saving.
+
+Implementation note: the issuing process incorporates its *own*
+``(myX, myts)`` directly at invocation time instead of sending itself
+a network "query"; this is the same event (``query(i, a)`` occurs
+between ``inv(a)`` and ``resp(a)``, P 5.20) without a self-addressed
+message in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.store import (
+    ExecutionRecord,
+    MProgram,
+    VersionedStore,
+)
+from repro.sim.network import Message
+
+QUERY = "query"
+QUERY_RESP = "query-resp"
+
+
+class MLinProcess(BaseProcess):
+    """One participant in the Figure-6 protocol."""
+
+    def on_invoke(self, pending: PendingOp) -> None:
+        if pending.program.may_write:
+            # (A1): identical to the Fig-4 protocol.
+            abcast = self.cluster.abcast
+            if abcast is None:
+                raise ProtocolError(
+                    "the Fig-6 protocol requires an atomic-broadcast layer"
+                )
+            abcast.broadcast(
+                self.pid,
+                {"uid": pending.uid, "program": pending.program},
+            )
+            return
+        # (A3): gather the freshest replica state.
+        relevant = self._relevant_objects(pending.program)
+        pending.extra["awaiting"] = self.cluster.n - 1
+        # Own copy counts as one of the n query responses (see module
+        # docstring); start from it instead of othts := 0.
+        pending.extra["best"] = self.store.export(relevant)
+        pending.extra["best_ts"] = self.store.lex_ts(relevant)
+        if self.cluster.n == 1:
+            self._finish_query(pending)
+            return
+        query_body = {
+            "uid": pending.uid,
+            "objects": sorted(relevant) if relevant is not None else None,
+        }
+        self.cluster.network.send_to_all(
+            self.pid, Message(QUERY, query_body), include_self=False
+        )
+
+    def on_abcast_deliver(self, sender: int, payload: Dict[str, Any]) -> None:
+        # (A2): apply the update everywhere; respond at the issuer.
+        uid: int = payload["uid"]
+        program: MProgram = payload["program"]
+        record = self.store.execute(program, uid)
+        if sender == self.pid:
+            pending = self._pending
+            if pending is None or pending.uid != uid:
+                raise ProtocolError(
+                    f"P{self.pid}: delivery of own update {uid} but no "
+                    "matching pending m-operation"
+                )
+            self.respond(pending, record)
+
+    def handle_message(self, src: int, message: Message) -> None:
+        if message.kind == QUERY:
+            # (A4): reply with (myX, myts), possibly restricted to the
+            # relevant objects (Section 5.2 closing remark).
+            names = message.payload["objects"]
+            relevant = None if names is None else frozenset(names)
+            reply = {
+                "uid": message.payload["uid"],
+                "snapshot": self.store.export(relevant),
+                "ts": self.store.lex_ts(relevant),
+            }
+            self.cluster.network.send(
+                self.pid, src, Message(QUERY_RESP, reply)
+            )
+        elif message.kind == QUERY_RESP:
+            self._on_query_response(message.payload)
+        else:
+            super().handle_message(src, message)
+
+    # ------------------------------------------------------------------
+    # Query internals
+    # ------------------------------------------------------------------
+
+    def _relevant_objects(
+        self, program: MProgram
+    ) -> Optional[FrozenSet[str]]:
+        cluster: "MLinCluster" = self.cluster  # type: ignore[assignment]
+        if getattr(cluster, "reply_relevant_only", False):
+            if program.static_objects is None:
+                raise ProtocolError(
+                    f"reply_relevant_only requires query program "
+                    f"{program.name!r} to declare static_objects"
+                )
+            return program.static_objects
+        return None
+
+    def _on_query_response(self, payload: Dict[str, Any]) -> None:
+        pending = self._pending
+        if pending is None or pending.uid != payload["uid"]:
+            # A response for an already-completed query would be a
+            # protocol bug: the process issues sequentially and uids
+            # are unique.
+            raise ProtocolError(
+                f"P{self.pid}: stray query response for uid "
+                f"{payload['uid']}"
+            )
+        # (A5): keep the lexicographically freshest snapshot, wholesale.
+        ts = tuple(payload["ts"])
+        if tuple(pending.extra["best_ts"]) < ts:
+            pending.extra["best"] = payload["snapshot"]
+            pending.extra["best_ts"] = ts
+        pending.extra["awaiting"] -= 1
+        if pending.extra["awaiting"] == 0:
+            self._finish_query(pending)
+
+    def _finish_query(self, pending: PendingOp) -> None:
+        # (A6): run the query against the constructed copy othX.
+        oth_store = VersionedStore.from_export(pending.extra["best"])
+        record = oth_store.execute(pending.program, pending.uid)
+        self.respond(pending, record)
+
+
+class MLinCluster(Cluster):
+    """A Figure-6 cluster, optionally with relevant-objects replies."""
+
+    def __init__(self, *args, reply_relevant_only: bool = False, **kwargs):
+        kwargs.setdefault("process_class", MLinProcess)
+        super().__init__(*args, **kwargs)
+        self.reply_relevant_only = reply_relevant_only
+
+
+def mlin_cluster(
+    n: int,
+    objects,
+    *,
+    reply_relevant_only: bool = False,
+    **kwargs,
+) -> MLinCluster:
+    """Build a Figure-6 (m-linearizable) cluster.
+
+    Args:
+        n: number of processes.
+        objects: shared object names.
+        reply_relevant_only: enable the Section-5.2 optimization
+            (query replies carry only the declared relevant objects).
+        **kwargs: any :class:`~repro.protocols.base.Cluster` keyword.
+    """
+    return MLinCluster(
+        n,
+        objects,
+        reply_relevant_only=reply_relevant_only,
+        **kwargs,
+    )

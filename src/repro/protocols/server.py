@@ -1,0 +1,79 @@
+"""Baseline: a single unreplicated server.
+
+The simplest m-linearizable implementation: one process holds the only
+copy of the objects; every other process ships each m-operation to it
+and waits for the result.  Linearization point = execution at the
+server, which lies between invocation and response.
+
+Useful as a latency/throughput baseline against the replicated
+protocols: every m-operation costs a round trip to the server (or the
+local delay, at the server itself), reads gain nothing from
+replication, and the server serialises everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import ProtocolError
+from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.store import ExecutionRecord, MProgram
+from repro.sim.network import Message
+
+EXEC_REQ = "srv-exec"
+EXEC_RESP = "srv-result"
+
+#: The pid that hosts the single copy.
+SERVER_PID = 0
+
+
+class ServerProcess(BaseProcess):
+    """Client of (or, at pid 0, host of) the central store."""
+
+    def on_invoke(self, pending: PendingOp) -> None:
+        if self.pid == SERVER_PID:
+            record = self.store.execute(pending.program, pending.uid)
+            self.respond(pending, record)
+            return
+        self.cluster.network.send(
+            self.pid,
+            SERVER_PID,
+            Message(
+                EXEC_REQ, {"uid": pending.uid, "program": pending.program}
+            ),
+        )
+
+    def handle_message(self, src: int, message: Message) -> None:
+        if message.kind == EXEC_REQ:
+            if self.pid != SERVER_PID:
+                raise ProtocolError(
+                    f"P{self.pid}: execution request at non-server"
+                )
+            uid = message.payload["uid"]
+            program: MProgram = message.payload["program"]
+            record = self.store.execute(program, uid)
+            self.cluster.network.send(
+                self.pid,
+                src,
+                Message(EXEC_RESP, {"uid": uid, "record": record}),
+            )
+        elif message.kind == EXEC_RESP:
+            pending = self._pending
+            if pending is None or pending.uid != message.payload["uid"]:
+                raise ProtocolError(
+                    f"P{self.pid}: stray server result for uid "
+                    f"{message.payload['uid']}"
+                )
+            record: ExecutionRecord = message.payload["record"]
+            self.respond(pending, record)
+        else:
+            super().handle_message(src, message)
+
+    def on_abcast_deliver(self, sender: int, payload: Any) -> None:
+        raise ProtocolError("the server baseline never uses atomic broadcast")
+
+
+def server_cluster(n: int, objects, **kwargs) -> Cluster:
+    """Build a single-server baseline cluster (server at pid 0)."""
+    kwargs.setdefault("abcast_factory", None)
+    return Cluster(n, objects, process_class=ServerProcess, **kwargs)

@@ -1,0 +1,297 @@
+"""Replicated object store with per-object version vectors (S12).
+
+The correctness arguments of Section 5 revolve around a timestamp
+``ts`` — "a vector of integers with one entry for every object ...
+Intuitively, it represents the version of an object" — that is
+incremented whenever a write is applied (action A2: ``forall x in
+wobjects(a): ts[x]++``).  :class:`VersionedStore` implements exactly
+that, and additionally tracks *which m-operation* produced each
+version, which is how protocol runs export an exact reads-from
+relation (D 5.1/D 5.6: ``a`` reads ``x`` from ``b`` iff
+``ts(finish(b))[x] = ts(start(a))[x]``).
+
+m-operations are *programs*: callables executed against an
+:class:`ObjectView`.  This honours Section 5's observation that "the
+set of objects read and written by an m-operation may actually depend
+on the values read during its execution" — e.g. DCAS writes only when
+both comparisons succeed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.core.operation import INIT_UID, Operation, read, write
+from repro.errors import ProtocolError
+
+#: The body of an m-operation program: runs reads/writes on a view and
+#: returns the m-operation's result value.
+ProgramBody = Callable[["ObjectView"], Any]
+
+
+@dataclass(frozen=True)
+class MProgram:
+    """An m-operation as issued by a client (a deterministic procedure).
+
+    Attributes:
+        name: label used in histories and diagnostics.
+        body: the procedure; receives an :class:`ObjectView`.
+        may_write: conservative update classification.  Section 5:
+            "We take a conservative approach and treat an m-operation
+            as an update m-operation if it can potentially write to
+            some object."  Programs with ``may_write=False`` must
+            never call :meth:`ObjectView.write`; this is enforced.
+        static_objects: optionally, the set of objects the program is
+            known to touch.  Enables the Section 5.2 closing
+            optimization (query replies carrying only the relevant
+            objects); when set, access outside the set is an error.
+    """
+
+    name: str
+    body: ProgramBody
+    may_write: bool
+    static_objects: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.static_objects is not None:
+            object.__setattr__(
+                self, "static_objects", frozenset(self.static_objects)
+            )
+
+
+class ObjectView:
+    """The interface a program uses to access shared objects.
+
+    Records every operation performed, so the protocol can reconstruct
+    the m-operation's externally visible behaviour and reads-from
+    entries afterwards.
+    """
+
+    def __init__(
+        self,
+        store: "VersionedStore",
+        *,
+        allow_writes: bool,
+        allowed_objects: Optional[FrozenSet[str]] = None,
+        program_name: str = "",
+    ) -> None:
+        self._store = store
+        self._allow_writes = allow_writes
+        self._allowed = allowed_objects
+        self._program_name = program_name
+        self.ops: List[Operation] = []
+        #: obj -> (version, writer uid) for each *external* read.
+        self.read_versions: Dict[str, Tuple[int, int]] = {}
+        self._written: Set[str] = set()
+
+    def read(self, obj: str) -> Any:
+        """Read the current value of ``obj``."""
+        self._check_access(obj)
+        value = self._store.value_of(obj)
+        self.ops.append(read(obj, value))
+        if obj not in self._written and obj not in self.read_versions:
+            self.read_versions[obj] = (
+                self._store.version_of(obj),
+                self._store.writer_of(obj),
+            )
+        return value
+
+    def write(self, obj: str, value: Any) -> None:
+        """Write ``value`` to ``obj`` (updates the view's store)."""
+        self._check_access(obj)
+        if not self._allow_writes:
+            raise ProtocolError(
+                f"program {self._program_name!r} declared may_write=False "
+                f"but wrote to {obj!r}"
+            )
+        self._store.set_value(obj, value)
+        self.ops.append(write(obj, value))
+        self._written.add(obj)
+
+    @property
+    def written_objects(self) -> FrozenSet[str]:
+        """Objects written so far (``wobjects``)."""
+        return frozenset(self._written)
+
+    def _check_access(self, obj: str) -> None:
+        if not self._store.has_object(obj):
+            raise ProtocolError(f"unknown shared object {obj!r}")
+        if self._allowed is not None and obj not in self._allowed:
+            raise ProtocolError(
+                f"program {self._program_name!r} accessed {obj!r} outside "
+                f"its declared static_objects set"
+            )
+
+
+@dataclass
+class ExecutionRecord:
+    """Everything observable about one program execution.
+
+    Attributes:
+        result: the program's return value.
+        ops: the operation sequence performed.
+        reads_from: obj -> writer uid, for external reads only.
+        read_versions: obj -> version read, for external reads.
+        wobjects: objects written.
+        start_ts: copy of the store's version vector before execution
+            (``ts(start)``, D 5.4).
+        finish_ts: copy after execution (``ts(finish)``, D 5.5).
+    """
+
+    result: Any
+    ops: Tuple[Operation, ...]
+    reads_from: Dict[str, int]
+    read_versions: Dict[str, int]
+    wobjects: FrozenSet[str]
+    start_ts: Dict[str, int]
+    finish_ts: Dict[str, int]
+
+
+class VersionedStore:
+    """One replica's copy of all shared objects plus the ``ts`` vector.
+
+    Tracks, per object: current value, version number (number of
+    writes applied), and the uid of the m-operation that produced the
+    current version (``INIT_UID`` for the initial value).
+    """
+
+    def __init__(self, initial_values: Mapping[str, Any]) -> None:
+        self._values: Dict[str, Any] = dict(initial_values)
+        self._versions: Dict[str, int] = {obj: 0 for obj in initial_values}
+        self._writers: Dict[str, int] = {
+            obj: INIT_UID for obj in initial_values
+        }
+        self._objects: Tuple[str, ...] = tuple(sorted(initial_values))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def objects(self) -> Tuple[str, ...]:
+        """All object names, in the canonical (sorted) order."""
+        return self._objects
+
+    def has_object(self, obj: str) -> bool:
+        return obj in self._values
+
+    def value_of(self, obj: str) -> Any:
+        return self._values[obj]
+
+    def version_of(self, obj: str) -> int:
+        return self._versions[obj]
+
+    def writer_of(self, obj: str) -> int:
+        return self._writers[obj]
+
+    def set_value(self, obj: str, value: Any) -> None:
+        """Raw value update (used by views during execution)."""
+        self._values[obj] = value
+
+    def ts_vector(self) -> Tuple[int, ...]:
+        """The version vector in canonical object order.
+
+        Timestamps are compared lexicographically over this order in
+        the Fig-6 query phase (action A5).
+        """
+        return tuple(self._versions[obj] for obj in self._objects)
+
+    def ts_map(self) -> Dict[str, int]:
+        """The version vector as an object-keyed dict."""
+        return dict(self._versions)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, program: MProgram, mop_uid: int) -> ExecutionRecord:
+        """Run a program against this replica, applying its writes.
+
+        Implements the body of actions A2 (updates) and A3/A6
+        (queries): the program runs, and then — per P 5.17/P 5.28 —
+        the version of every written object is incremented by one and
+        its writer is recorded as ``mop_uid``.
+        """
+        start_ts = self.ts_map()
+        view = ObjectView(
+            self,
+            allow_writes=program.may_write,
+            allowed_objects=program.static_objects,
+            program_name=program.name,
+        )
+        result = program.body(view)
+        for obj in view.written_objects:
+            self._versions[obj] += 1
+            self._writers[obj] = mop_uid
+        return ExecutionRecord(
+            result=result,
+            ops=tuple(view.ops),
+            reads_from={
+                obj: writer for obj, (_v, writer) in view.read_versions.items()
+            },
+            read_versions={
+                obj: version
+                for obj, (version, _w) in view.read_versions.items()
+            },
+            wobjects=view.written_objects,
+            start_ts=start_ts,
+            finish_ts=self.ts_map(),
+        )
+
+    def apply_writes(
+        self, values: Mapping[str, Any], mop_uid: int
+    ) -> None:
+        """Apply a remote m-operation's *effects* (written values).
+
+        Used by protocols without a total update order (e.g. causal
+        replication), where re-executing the program on a diverged
+        replica could compute different values: the issuer ships the
+        values it wrote, and remotes install them verbatim — one
+        version bump per object, writer attribution to ``mop_uid``.
+        """
+        for obj in sorted(values):
+            if obj not in self._values:
+                raise ProtocolError(f"unknown shared object {obj!r}")
+            self._values[obj] = values[obj]
+            self._versions[obj] += 1
+            self._writers[obj] = mop_uid
+
+    # ------------------------------------------------------------------
+    # Replication helpers
+    # ------------------------------------------------------------------
+
+    def export(
+        self, objects: Optional[FrozenSet[str]] = None
+    ) -> Dict[str, Tuple[Any, int, int]]:
+        """Snapshot ``obj -> (value, version, writer)`` for a query reply.
+
+        ``objects=None`` exports the whole store (the literal protocol
+        of Figure 6); a set exports only those objects (the Section
+        5.2 optimization).
+        """
+        names = self._objects if objects is None else sorted(objects)
+        return {
+            obj: (self._values[obj], self._versions[obj], self._writers[obj])
+            for obj in names
+        }
+
+    @classmethod
+    def from_export(
+        cls,
+        snapshot: Mapping[str, Tuple[Any, int, int]],
+    ) -> "VersionedStore":
+        """Rebuild a store (restricted to the exported objects)."""
+        store = cls({obj: value for obj, (value, _v, _w) in snapshot.items()})
+        for obj, (_value, version, writer) in snapshot.items():
+            store._versions[obj] = version
+            store._writers[obj] = writer
+        return store
+
+    def lex_ts(self, objects: Optional[FrozenSet[str]] = None) -> Tuple[int, ...]:
+        """Version vector restricted to ``objects`` (canonical order)."""
+        if objects is None:
+            return self.ts_vector()
+        return tuple(
+            self._versions[obj] for obj in self._objects if obj in objects
+        )

@@ -1,0 +1,178 @@
+"""The traditional DSM baseline — the paper's opening foil.
+
+Abstract, first sentence: "The traditional Distributed Shared Memory
+(DSM) model provides atomicity at levels of read and write on single
+objects.  Therefore, multi-object operations such as double compare
+and swap, and atomic m-register assignment cannot be efficiently
+expressed in this model."
+
+This protocol *is* that model, so the claim can be measured instead of
+assumed.  Objects are partitioned to home processes (one copy each —
+single-object reads and writes are therefore trivially atomic), but
+an m-operation gets **no cross-object atomicity whatsoever**:
+
+* it fetches each object it may touch from that object's home, all in
+  parallel, with no locks;
+* it executes its program against the assembled snapshot;
+* it sends each written value to its home, which applies it on
+  arrival (per-object arrival order = the object's total order).
+
+Every individual read and write is linearizable (there is exactly one
+copy and one home serializing it).  Multi-object m-operations tear:
+a snapshot's fetches interleave with other operations' writes, and
+two writers' multi-writes interleave per object — the executions
+violate m-sequential consistency, and the checkers prove it
+(experiment M0).  On single-object workloads the protocol is
+indistinguishable from a correct one — which is precisely why the
+single-object consistency theory the paper generalises was not
+enough.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import ProtocolError
+from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.locking import home_of
+from repro.protocols.store import VersionedStore
+from repro.sim.network import Message
+
+FETCH = "td-fetch"
+DATA = "td-data"
+WRITE = "td-write"
+WRITE_ACK = "td-ack"
+
+
+class TraditionalProcess(BaseProcess):
+    """Per-object atomicity only: fetch, compute, scatter writes."""
+
+    def on_invoke(self, pending: PendingOp) -> None:
+        program = pending.program
+        if program.static_objects is None:
+            raise ProtocolError(
+                f"the traditional-DSM baseline requires program "
+                f"{program.name!r} to declare static_objects"
+            )
+        objs = sorted(program.static_objects)
+        pending.extra["snapshot"] = {}
+        pending.extra["awaiting"] = len(objs)
+        if not objs:
+            self._execute(pending)
+            return
+        for obj in objs:
+            home = home_of(obj, self.cluster.objects, self.cluster.n)
+            self.cluster.network.send(
+                self.pid,
+                home,
+                Message(FETCH, {"uid": pending.uid, "obj": obj}),
+            )
+
+    def _execute(self, pending: PendingOp) -> None:
+        snapshot = pending.extra["snapshot"]
+        temp_store = VersionedStore.from_export(snapshot)
+        record = temp_store.execute(pending.program, pending.uid)
+        pending.extra["record"] = record
+        written = sorted(record.wobjects)
+        if not written:
+            self.respond(pending, record)
+            return
+        pending.extra["awaiting"] = len(written)
+        for obj in written:
+            home = home_of(obj, self.cluster.objects, self.cluster.n)
+            self.cluster.network.send(
+                self.pid,
+                home,
+                Message(
+                    WRITE,
+                    {
+                        "uid": pending.uid,
+                        "obj": obj,
+                        "value": temp_store.value_of(obj),
+                    },
+                ),
+            )
+
+    def handle_message(self, src: int, message: Message) -> None:
+        kind = message.kind
+        body = message.payload
+        if kind == FETCH:
+            self._serve_fetch(src, body)
+        elif kind == WRITE:
+            self._serve_write(src, body)
+        elif kind == DATA:
+            self._on_data(body)
+        elif kind == WRITE_ACK:
+            self._on_ack(body)
+        else:
+            super().handle_message(src, message)
+
+    def on_abcast_deliver(self, sender: int, payload: Any) -> None:
+        raise ProtocolError(
+            "the traditional-DSM baseline never uses atomic broadcast"
+        )
+
+    # ------------------------------------------------------------------
+    # Home role
+    # ------------------------------------------------------------------
+
+    def _serve_fetch(self, src: int, body: Dict[str, Any]) -> None:
+        obj = body["obj"]
+        value, version, writer = self.store.export(frozenset([obj]))[obj]
+        self.cluster.network.send(
+            self.pid,
+            src,
+            Message(
+                DATA,
+                {
+                    "uid": body["uid"],
+                    "obj": obj,
+                    "value": value,
+                    "version": version,
+                    "writer": writer,
+                },
+            ),
+        )
+
+    def _serve_write(self, src: int, body: Dict[str, Any]) -> None:
+        self.store.apply_writes({body["obj"]: body["value"]}, body["uid"])
+        self.cluster.network.send(
+            self.pid,
+            src,
+            Message(WRITE_ACK, {"uid": body["uid"], "obj": body["obj"]}),
+        )
+
+    # ------------------------------------------------------------------
+    # Client replies
+    # ------------------------------------------------------------------
+
+    def _pending_for(self, uid: int) -> PendingOp:
+        pending = self._pending
+        if pending is None or pending.uid != uid:
+            raise ProtocolError(
+                f"P{self.pid}: stray reply for uid {uid}"
+            )
+        return pending
+
+    def _on_data(self, body: Dict[str, Any]) -> None:
+        pending = self._pending_for(body["uid"])
+        pending.extra["snapshot"][body["obj"]] = (
+            body["value"],
+            body["version"],
+            body["writer"],
+        )
+        pending.extra["awaiting"] -= 1
+        if pending.extra["awaiting"] == 0:
+            self._execute(pending)
+
+    def _on_ack(self, body: Dict[str, Any]) -> None:
+        pending = self._pending_for(body["uid"])
+        pending.extra["awaiting"] -= 1
+        if pending.extra["awaiting"] == 0:
+            self.respond(pending, pending.extra["record"])
+
+
+def traditional_cluster(n: int, objects, **kwargs) -> Cluster:
+    """Build the traditional (single-object-atomicity) DSM baseline."""
+    kwargs.setdefault("abcast_factory", None)
+    return Cluster(n, objects, process_class=TraditionalProcess, **kwargs)

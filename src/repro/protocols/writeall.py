@@ -1,0 +1,92 @@
+"""Write-all replication: correct only for disciplined programs.
+
+Section 4's alternate discipline puts "the onus of enforcing these
+constraints ... with the programmer": if program executions are data
+race free (DRF) or concurrent write free (CWF), the *system* can skip
+the global synchronization that the Section-5 protocols pay for.
+This protocol is the system half of that bargain:
+
+* an update executes locally, ships its effects to every replica
+  (plain unordered messages — **no atomic broadcast, no total
+  order**), and responds once all replicas acknowledge;
+* a query reads the local replica, free.
+
+The response-after-all-acks rule makes every update *globally
+visible* by its response — so whenever the program keeps conflicting
+m-operations from overlapping (DRF), conflicting effects land
+everywhere in their real-time order and executions are
+m-linearizable.  When the programmer breaks the discipline —
+overlapping writes to the same object — replicas may apply them in
+different orders and stay permanently split-brained: the checkers
+catch it, and experiment DR quantifies how often.
+
+Costs vs. the Fig-4 protocol: the same ~2 message delays per update
+(one-way + ack, no sequencer detour), ``2(n-1)`` messages, local
+queries — the performance the paper says weaker guarantees buy.
+
+Effects (values), not programs, travel on the wire: without a total
+order, re-execution on a diverged replica is not deterministic (same
+reasoning as :mod:`repro.protocols.causal`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import ProtocolError
+from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.sim.network import Message
+
+APPLY = "wa-apply"
+ACK = "wa-ack"
+
+
+class WriteAllProcess(BaseProcess):
+    """One replica of the write-all protocol."""
+
+    def on_invoke(self, pending: PendingOp) -> None:
+        record = self.store.execute(pending.program, pending.uid)
+        if not record.wobjects or self.cluster.n == 1:
+            self.respond(pending, record)
+            return
+        pending.extra["record"] = record
+        pending.extra["awaiting"] = self.cluster.n - 1
+        writes = {
+            obj: self.store.value_of(obj) for obj in record.wobjects
+        }
+        self.cluster.network.send_to_all(
+            self.pid,
+            Message(APPLY, {"uid": pending.uid, "writes": writes}),
+            include_self=False,
+        )
+
+    def handle_message(self, src: int, message: Message) -> None:
+        if message.kind == APPLY:
+            body = message.payload
+            self.store.apply_writes(body["writes"], body["uid"])
+            self.cluster.network.send(
+                self.pid, src, Message(ACK, {"uid": body["uid"]})
+            )
+        elif message.kind == ACK:
+            pending = self._pending
+            if pending is None or pending.uid != message.payload["uid"]:
+                raise ProtocolError(
+                    f"P{self.pid}: stray write-all ack for uid "
+                    f"{message.payload['uid']}"
+                )
+            pending.extra["awaiting"] -= 1
+            if pending.extra["awaiting"] == 0:
+                self.respond(pending, pending.extra["record"])
+        else:
+            super().handle_message(src, message)
+
+    def on_abcast_deliver(self, sender: int, payload: Any) -> None:
+        raise ProtocolError(
+            "the write-all protocol does not use atomic broadcast"
+        )
+
+
+def writeall_cluster(n: int, objects, **kwargs) -> Cluster:
+    """Build a write-all cluster (correct for DRF/CWF programs only)."""
+    kwargs.setdefault("abcast_factory", None)
+    return Cluster(n, objects, process_class=WriteAllProcess, **kwargs)

@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate (systems S9-S10)."""
+
+from repro.sim.explore import (
+    ControlledNetwork,
+    ExplorationBudgetExceeded,
+    explore,
+    explore_factory,
+)
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.latency import (
+    AsymmetricLatency,
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.sim.network import ChannelStats, Message, Network, estimate_size
+
+__all__ = [
+    "AsymmetricLatency",
+    "ControlledNetwork",
+    "ExplorationBudgetExceeded",
+    "ChannelStats",
+    "EventHandle",
+    "ExponentialLatency",
+    "FixedLatency",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "Simulator",
+    "UniformLatency",
+    "estimate_size",
+    "explore",
+    "explore_factory",
+]

@@ -1,0 +1,163 @@
+"""Discrete-event simulation kernel (substrate S9).
+
+The paper's protocols run in an asynchronous distributed system.  We
+model it with a classic discrete-event simulator: a priority queue of
+``(time, sequence, callback)`` entries drained in timestamp order.
+Virtual time is a float; ties are broken by insertion sequence, so
+runs are fully deterministic given deterministic callbacks.
+
+The kernel knows nothing about processes or messages — those live in
+:mod:`repro.sim.network` and :mod:`repro.sim.actor`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, supporting cancellation."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """The virtual time at which the event will fire."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._entry.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("at t=1.5"))
+        sim.run()
+
+    Events scheduled while running are processed in order; the
+    simulation ends when the queue is empty, when ``until`` is
+    reached, or when ``max_events`` have fired.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: List[_Entry] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events processed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` time units from now.
+
+        Args:
+            delay: non-negative offset from the current virtual time.
+            callback: zero-argument callable.
+
+        Returns:
+            A cancellable :class:`EventHandle`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        entry = _Entry(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        return self.schedule(time - self._now, callback)
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Drain the event queue.
+
+        Args:
+            until: stop once virtual time would exceed this value
+                (events at exactly ``until`` still fire).
+            max_events: stop after firing this many events (guards
+                against livelock in faulty protocols under test).
+
+        Returns:
+            The virtual time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired_this_run = 0
+        try:
+            while self._queue:
+                entry = self._queue[0]
+                if entry.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and entry.time > until:
+                    break
+                if max_events is not None and fired_this_run >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                if entry.time < self._now:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"event queue disorder: {entry.time} < {self._now}"
+                    )
+                self._now = entry.time
+                self._events_fired += 1
+                fired_this_run += 1
+                entry.callback()
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._queue:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns False if the queue is empty."""
+        before = self._events_fired
+        self.run(max_events=1)
+        return self._events_fired > before

@@ -1,0 +1,103 @@
+"""Message-latency models for the simulated network (substrate S10).
+
+The paper assumes only that "a message sent is eventually received"
+and that "messages can get reordered" — i.e. reliable, non-FIFO,
+unbounded-delay channels.  These models give per-message delays; with
+any non-degenerate model, two messages on the same channel can arrive
+out of order, exercising the protocols' independence from FIFO-ness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+class LatencyModel:
+    """Base class: sample a one-way delay for a message.
+
+    Subclasses must be deterministic functions of the supplied RNG so
+    that simulations are reproducible from a seed.
+    """
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        """Return the delay for one message from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """The mean one-way delay (used by analysis code)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    delay: float = 1.0
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from ``[low, high]``.
+
+    With ``high > low`` messages on a channel can reorder, matching the
+    paper's channel model.
+    """
+
+    low: float = 0.5
+    high: float = 1.5
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed delays with the given mean.
+
+    Heavy reordering and occasional stragglers; a good stress model
+    for the Fig-6 query phase, whose response time is governed by the
+    *maximum* of n reply delays.
+    """
+
+    mean_delay: float = 1.0
+    floor: float = 0.05
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return self.floor + rng.expovariate(1.0 / self.mean_delay)
+
+    def mean(self) -> float:
+        return self.floor + self.mean_delay
+
+
+@dataclass(frozen=True)
+class AsymmetricLatency(LatencyModel):
+    """Per-destination base delay plus uniform jitter.
+
+    Models a cluster where one replica is far away — useful for
+    showing that the Fig-6 query phase waits for the slowest replica
+    while Fig-4 queries do not.
+    """
+
+    base: float = 0.5
+    jitter: float = 0.5
+    slow_node: int = 0
+    slow_extra: float = 3.0
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        delay = self.base + rng.uniform(0.0, self.jitter)
+        if dst == self.slow_node or src == self.slow_node:
+            delay += self.slow_extra
+        return delay
+
+    def mean(self) -> float:
+        return self.base + self.jitter / 2.0

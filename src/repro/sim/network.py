@@ -1,0 +1,213 @@
+"""Simulated message-passing network (substrate S10).
+
+Implements the paper's channel model: reliable point-to-point channels
+with unbounded (simulated) delay and **no FIFO guarantee** — "the
+messages can get reordered" (Section 5).  Optional fault injection
+(drop/duplicate) exists solely for negative tests of the atomic
+broadcast layer; the protocol experiments never enable it, matching
+the paper's reliability assumption.
+
+The network also keeps per-kind message statistics (count and payload
+size), which power the message-cost benchmarks (experiments A2/A3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.latency import FixedLatency, LatencyModel
+
+#: Signature of a message handler: (src_pid, message) -> None.
+Handler = Callable[[int, "Message"], None]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A network message.
+
+    Attributes:
+        kind: short type tag (e.g. ``"abcast"``, ``"query"``).
+        payload: arbitrary payload; must be treated as immutable by
+            receivers (the simulator delivers the same object to every
+            destination of a broadcast).
+    """
+
+    kind: str
+    payload: Any = None
+
+
+def estimate_size(value: Any) -> int:
+    """A crude, deterministic payload-size estimate in abstract units.
+
+    Used for relative comparisons only (experiment A3: full-store
+    query replies vs. relevant-objects-only replies), never for
+    absolute byte counts.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 2 + sum(estimate_size(v) for v in value)
+    if isinstance(value, dict):
+        return 2 + sum(
+            estimate_size(k) + estimate_size(v) for k, v in value.items()
+        )
+    if hasattr(value, "__dict__"):
+        return estimate_size(vars(value))
+    return 8
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate statistics of messages that entered the network."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    total_size: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    size_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, message: Message) -> None:
+        self.sent += 1
+        size = estimate_size(message.payload)
+        self.total_size += size
+        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+        self.size_by_kind[message.kind] = (
+            self.size_by_kind.get(message.kind, 0) + size
+        )
+
+
+class Network:
+    """A reliable, reordering, point-to-point network.
+
+    Args:
+        sim: the driving simulator.
+        n: number of endpoints, with pids ``0..n-1``.
+        latency: per-message delay model (default: fixed 1.0).
+        fifo: when True, deliveries on each ordered channel are forced
+            into send order (delay clamped); default False, matching
+            the paper.
+        seed: RNG seed for latency sampling and fault injection.
+        drop_prob: probability of silently dropping a message —
+            **violates** the paper's model; for abcast negative tests
+            only.
+        dup_prob: probability of delivering a message twice.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n: int,
+        *,
+        latency: Optional[LatencyModel] = None,
+        fifo: bool = False,
+        seed: int = 0,
+        drop_prob: float = 0.0,
+        dup_prob: float = 0.0,
+    ) -> None:
+        if n <= 0:
+            raise SimulationError("network needs at least one endpoint")
+        self.sim = sim
+        self.n = n
+        self.latency = latency or FixedLatency(1.0)
+        self.fifo = fifo
+        self.drop_prob = drop_prob
+        self.dup_prob = dup_prob
+        self.stats = ChannelStats()
+        self._rng = random.Random(seed)
+        self._handlers: Dict[int, Handler] = {}
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, pid: int, handler: Handler) -> None:
+        """Attach the message handler for endpoint ``pid``."""
+        self._check_pid(pid)
+        if pid in self._handlers:
+            raise SimulationError(f"endpoint {pid} already registered")
+        self._handlers[pid] = handler
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        Self-sends are permitted and also traverse the (zero-distance
+        but still asynchronous) channel: the handler runs in a later
+        simulator event, never synchronously.
+        """
+        self._check_pid(src)
+        self._check_pid(dst)
+        self.stats.record_send(message)
+        if self.drop_prob and self._rng.random() < self.drop_prob:
+            self.stats.dropped += 1
+            return
+        copies = 1
+        if self.dup_prob and self._rng.random() < self.dup_prob:
+            copies = 2
+            self.stats.duplicated += 1
+        for _ in range(copies):
+            delay = self.latency.sample(self._rng, src, dst)
+            if delay < 0:
+                raise SimulationError("latency model produced negative delay")
+            if self.fifo:
+                arrival = self.sim.now + delay
+                floor = self._last_delivery.get((src, dst), -1.0)
+                arrival = max(arrival, floor + 1e-9)
+                self._last_delivery[(src, dst)] = arrival
+                delay = arrival - self.sim.now
+            self._schedule_delivery(src, dst, message, delay)
+
+    def send_to_all(
+        self, src: int, message: Message, *, include_self: bool = True
+    ) -> None:
+        """Point-to-point send to every endpoint (not atomic broadcast!).
+
+        This is the unordered "send to all processes" used by the
+        Fig-6 query phase (actions A3/A4); total-order broadcast lives
+        in :mod:`repro.abcast`.
+        """
+        for dst in range(self.n):
+            if dst == src and not include_self:
+                continue
+            self.send(src, dst, message)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _schedule_delivery(
+        self, src: int, dst: int, message: Message, delay: float
+    ) -> None:
+        def deliver() -> None:
+            handler = self._handlers.get(dst)
+            if handler is None:
+                raise SimulationError(
+                    f"message {message.kind!r} delivered to unregistered "
+                    f"endpoint {dst}"
+                )
+            self.stats.delivered += 1
+            handler(src, message)
+
+        self.sim.schedule(delay, deliver)
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.n:
+            raise SimulationError(
+                f"pid {pid} outside the endpoint range 0..{self.n - 1}"
+            )

@@ -1,0 +1,132 @@
+"""Adversarial delivery schedules for the protocol stack.
+
+Latency-model sampling explores a thin slice of delivery orders; the
+controlled network lets a seeded adversary pick *any* pending message
+next — including pathological orders no latency distribution would
+produce (e.g. systematically starving one replica).  Random walks
+through that space must never break the protocol guarantees.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    check_m_causal_consistency,
+    check_m_linearizability,
+    check_m_sequential_consistency,
+)
+from repro.objects import read_reg, write_reg
+from repro.protocols import causal_cluster, mlin_cluster, msc_cluster
+from repro.sim.explore import ControlledNetwork
+from repro.workloads import BLIND_MIX, random_workloads
+
+
+def adversarial_run(factory, workloads, *, seed, policy="random", n=3):
+    """Drive a cluster delivering messages per an adversarial policy.
+
+    Policies:
+        random  — uniformly random pending message next;
+        lifo    — newest message first (maximal reordering);
+        starve0 — deliveries *to* pid 0 always postponed while any
+                  other destination has traffic.
+    """
+    rng = random.Random(seed)
+    cluster = factory(
+        n,
+        ["x", "y"],
+        network_factory=ControlledNetwork,
+        think_jitter=0.0,
+        start_jitter=0.0,
+    )
+    network = cluster.network
+    cluster.prepare(workloads)
+    cluster.sim.run()
+    steps = 0
+    while network.pool:
+        steps += 1
+        if steps > 100_000:  # pragma: no cover - livelock guard
+            raise AssertionError("adversarial run did not terminate")
+        if policy == "random":
+            index = rng.randrange(len(network.pool))
+        elif policy == "lifo":
+            index = len(network.pool) - 1
+        elif policy == "starve0":
+            others = [
+                i
+                for i, (_s, dst, _m) in enumerate(network.pool)
+                if dst != 0
+            ]
+            index = others[0] if others else 0
+        else:  # pragma: no cover
+            raise ValueError(policy)
+        network.deliver(index)
+        cluster.sim.run()
+    return cluster.finalize()
+
+
+POLICIES = ["random", "lifo", "starve0"]
+
+
+class TestMSCUnderAdversary:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_msc_protocol(self, policy, seed):
+        workloads = random_workloads(3, ["x", "y"], 4, seed=seed + 70)
+        result = adversarial_run(
+            msc_cluster, workloads, seed=seed, policy=policy
+        )
+        assert result.abcast_violation is None
+        assert check_m_sequential_consistency(
+            result.history, method="exact"
+        ).holds
+
+
+class TestMLinUnderAdversary:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mlin_protocol(self, policy, seed):
+        workloads = random_workloads(3, ["x", "y"], 4, seed=seed + 70)
+        result = adversarial_run(
+            mlin_cluster, workloads, seed=seed, policy=policy
+        )
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+
+
+class TestCausalUnderAdversary:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_causal_protocol(self, policy, seed):
+        workloads = random_workloads(
+            3, ["x", "y"], 4, seed=seed + 70, mix=BLIND_MIX
+        )
+        result = adversarial_run(
+            causal_cluster, workloads, seed=seed, policy=policy
+        )
+        assert check_m_causal_consistency(result.history).holds
+
+
+class TestLamportAbcastUnderAdversary:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_total_order_held(self, policy):
+        from repro.abcast import LamportAbcast
+
+        workloads = [
+            [write_reg("x", 1), read_reg("x")],
+            [write_reg("x", 2)],
+            [write_reg("y", 3)],
+        ]
+        result = adversarial_run(
+            lambda n, objs, **kw: msc_cluster(
+                n, objs, abcast_factory=LamportAbcast, **kw
+            ),
+            workloads,
+            seed=3,
+            policy=policy,
+        )
+        assert result.abcast_violation is None
+        assert check_m_sequential_consistency(
+            result.history, method="exact"
+        ).holds

@@ -1,0 +1,122 @@
+"""Unit tests for metrics and complexity analysis (S19)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    LatencySummary,
+    ProtocolMetrics,
+    comparison_table,
+    exponential_gadget,
+    hard_history,
+    measure,
+    measure_exact,
+    scaling_table,
+)
+from repro.core import check_m_sequential_consistency, msc_order
+from repro.objects import read_reg, write_reg
+from repro.protocols import msc_cluster
+
+
+class TestLatencySummary:
+    def test_empty_sample(self):
+        s = LatencySummary.of([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+        assert str(s) == "n=0"
+
+    def test_single_sample(self):
+        s = LatencySummary.of([2.0])
+        assert s.count == 1
+        assert s.mean == s.p50 == s.p95 == s.maximum == 2.0
+
+    def test_percentiles(self):
+        s = LatencySummary.of(list(range(1, 101)))
+        assert s.p50 == 50
+        assert s.p95 == 95
+        assert s.maximum == 100
+        assert s.mean == 50.5
+
+    def test_unsorted_input(self):
+        s = LatencySummary.of([3.0, 1.0, 2.0])
+        assert s.p50 == 2.0 and s.maximum == 3.0
+
+
+class TestProtocolMetrics:
+    @pytest.fixture(scope="class")
+    def run_result(self):
+        cluster = msc_cluster(2, ["x"], seed=0)
+        return cluster.run(
+            [[write_reg("x", 1), read_reg("x")], [read_reg("x")]]
+        )
+
+    def test_extraction(self, run_result):
+        m = ProtocolMetrics.of("fig4", run_result)
+        assert m.label == "fig4"
+        assert m.query_latency.count == 2
+        assert m.update_latency.count == 1
+        assert m.messages == run_result.net_stats.sent
+        assert m.throughput > 0
+
+    def test_row_and_table_render(self, run_result):
+        m = ProtocolMetrics.of("fig4", run_result)
+        assert "fig4" in m.row()
+        table = comparison_table([m, m])
+        assert table.count("fig4") == 2
+        assert "query mean" in table
+
+
+class TestComplexityHarness:
+    def test_hard_history_is_consistent(self):
+        h = hard_history(12, seed=1)
+        assert check_m_sequential_consistency(h, method="exact").holds
+
+    def test_hard_history_has_no_process_order(self):
+        h = hard_history(9, seed=0)
+        assert len(h.processes) == 9  # one m-operation per process
+
+    def test_exponential_gadget_inadmissible(self):
+        for k in (0, 2):
+            h = exponential_gadget(k)
+            assert not check_m_sequential_consistency(
+                h, method="exact"
+            ).holds
+
+    def test_gadget_growth(self):
+        from repro.core import check_admissible
+
+        nodes = []
+        for k in (1, 2, 3):
+            h = exponential_gadget(k)
+            res = check_admissible(h, msc_order(h))
+            nodes.append(res.stats.nodes)
+        assert nodes[0] < nodes[1] < nodes[2]
+        assert nodes[2] > 10 * nodes[0]
+
+    def test_measure_exact_records_points(self):
+        points = measure_exact([hard_history(6, seed=0)])
+        assert len(points) == 1
+        assert points[0].verdict is True
+        assert points[0].nodes > 0
+        assert points[0].seconds >= 0
+
+    def test_measure_exact_budget(self):
+        points = measure_exact(
+            [exponential_gadget(6)], node_limit=200
+        )
+        assert points[0].budget_exhausted
+        assert points[0].verdict is None
+
+    def test_measure_generic(self):
+        h = hard_history(6, seed=0)
+        points = measure(
+            [h],
+            lambda hist: check_m_sequential_consistency(hist).holds,
+        )
+        assert points[0].verdict is True
+
+    def test_scaling_table_renders(self):
+        points = measure_exact([hard_history(6, seed=0)])
+        text = scaling_table("label", points)
+        assert "label" in text and "True" in text

@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import History, make_mop, read, write
+
+
+@pytest.fixture
+def fig2_history():
+    """The Figure-2 history H1 (see repro.workloads.paper_figures)."""
+    from repro.workloads import figure2_h1
+
+    return figure2_h1()
+
+
+def simple_history(specs, *, reads_from=None, initial_values=None):
+    """Terse history builder for tests.
+
+    ``specs`` is a list of ``(uid, process, ops, inv, resp)`` or
+    ``(uid, process, ops)`` tuples, with ops given as strings like
+    ``"r x 0"`` / ``"w y 2"`` separated by commas.
+    """
+    mops = []
+    for spec in specs:
+        if len(spec) == 5:
+            uid, process, ops_text, inv, resp = spec
+        else:
+            uid, process, ops_text = spec
+            inv = resp = None
+        ops = []
+        for token in ops_text.split(","):
+            kind, obj, value = token.split()
+            value = int(value) if value.lstrip("-").isdigit() else value
+            ops.append(read(obj, value) if kind == "r" else write(obj, value))
+        mops.append(
+            make_mop(uid, process, ops, inv=inv, resp=resp, name=f"m{uid}")
+        )
+    return History.from_mops(
+        mops, reads_from=reads_from, initial_values=initial_values
+    )

@@ -1,0 +1,158 @@
+"""Unit tests for the exact admissibility checker (D 4.7)."""
+
+import pytest
+
+from repro.core import (
+    Relation,
+    SearchBudgetExceeded,
+    base_order,
+    check_admissible,
+    count_legal_linearizations,
+    is_legal_sequence,
+    msc_order,
+)
+from repro.analysis import exponential_gadget
+from repro.workloads import figure2_h1
+from tests.conftest import simple_history
+
+
+class TestBasicVerdicts:
+    def test_trivial_history_admissible(self):
+        h = simple_history([(1, 0, "w x 1")])
+        res = check_admissible(h, msc_order(h))
+        assert res.admissible
+        assert res.witness == [0, 1]
+
+    def test_witness_is_legal(self):
+        h, base = figure2_h1()
+        res = check_admissible(h, base)
+        assert res.admissible
+        assert is_legal_sequence(h, res.witness)
+
+    def test_cyclic_base_inadmissible(self):
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "w y 2")])
+        base = base_order(h, extra_pairs=[(1, 2), (2, 1)])
+        res = check_admissible(h, base)
+        assert not res.admissible
+        assert res.stats.pruned_cyclic
+
+    def test_illegal_history_pruned(self):
+        h = simple_history(
+            [(1, 0, "w x 1"), (2, 1, "r x 1"), (3, 2, "w x 7")]
+        )
+        base = base_order(h, extra_pairs=[(1, 3), (3, 2)])
+        res = check_admissible(h, base)
+        assert not res.admissible
+        assert res.stats.pruned_illegal
+
+    def test_contradiction_core_inadmissible(self):
+        # The exponential gadget with 0 toggles: passes legality but
+        # requires both A < B and B < A.
+        h = exponential_gadget(0)
+        res = check_admissible(h, msc_order(h))
+        assert not res.admissible
+        assert not res.stats.pruned_illegal
+        assert res.stats.nodes > 0
+
+    def test_witness_respects_base_order(self):
+        h = simple_history(
+            [
+                (1, 0, "w x 1", 0.0, 1.0),
+                (2, 0, "w x 2", 2.0, 3.0),
+                (3, 1, "r x 2", 4.0, 5.0),
+            ]
+        )
+        base = msc_order(h)
+        res = check_admissible(h, base)
+        assert res.admissible
+        witness = res.witness
+        for a, b in base.pairs():
+            assert witness.index(a) < witness.index(b)
+
+
+class TestSearchBehaviour:
+    def test_node_limit_enforced(self):
+        h = exponential_gadget(6)
+        with pytest.raises(SearchBudgetExceeded):
+            check_admissible(h, msc_order(h), node_limit=100)
+
+    def test_rw_propagation_reduces_nodes(self):
+        h, base = figure2_h1()
+        with_rw = check_admissible(h, base, propagate_rw=True)
+        without = check_admissible(h, base, propagate_rw=False)
+        assert with_rw.admissible and without.admissible
+        assert with_rw.stats.nodes <= without.stats.nodes
+
+    def test_base_without_init_universe_is_rebuilt(self):
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "r x 1")])
+        base = Relation([1, 2], [(1, 2)])  # no init node
+        res = check_admissible(h, base)
+        assert res.admissible
+        assert res.witness[0] == 0  # init scheduled first anyway
+
+
+class TestAgainstBruteForce:
+    """Cross-validate the search with exhaustive enumeration."""
+
+    def brute_force(self, h, base):
+        closure = base.transitive_closure()
+        if not closure.is_acyclic():
+            return False
+        return any(
+            is_legal_sequence(h, order)
+            for order in closure.linear_extensions()
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_small_histories(self, seed):
+        from repro.workloads import HistoryShape, random_serial_history
+
+        shape = HistoryShape(
+            n_processes=3, n_objects=2, n_mops=6, query_fraction=0.5
+        )
+        h = random_serial_history(shape, seed=seed)
+        base = msc_order(h)
+        assert check_admissible(h, base).admissible == self.brute_force(
+            h, base
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_corrupted_histories(self, seed):
+        from repro.workloads import (
+            HistoryShape,
+            corrupt_history,
+            random_serial_history,
+        )
+
+        shape = HistoryShape(
+            n_processes=3, n_objects=2, n_mops=6, query_fraction=0.4
+        )
+        h = random_serial_history(shape, seed=seed)
+        c = corrupt_history(h, seed=seed)
+        if c is None:
+            pytest.skip("no rewirable read in this instance")
+        base = msc_order(c)
+        assert check_admissible(c, base).admissible == self.brute_force(
+            c, base
+        )
+
+
+class TestCountLinearizations:
+    def test_count_on_independent_writers(self):
+        # Two writers on different objects plus no readers: both
+        # orders legal => 2 linearizations (init always first).
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "w y 2")])
+        assert count_legal_linearizations(h, msc_order(h)) == 2
+
+    def test_count_with_reader_constraint(self):
+        h = simple_history(
+            [(1, 0, "w x 1"), (2, 1, "r x 1"), (3, 2, "w x 7")]
+        )
+        # Legal orders: 1,2,3. Others: 1,3,2 illegal; 3,1,2 legal!
+        # (3 writes first, then 1, then 2 reads from 1.)
+        assert count_legal_linearizations(h, msc_order(h)) == 2
+
+    def test_count_zero_for_cycle(self):
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "w y 2")])
+        base = base_order(h, extra_pairs=[(1, 2), (2, 1)])
+        assert count_legal_linearizations(h, base) == 0

@@ -1,0 +1,239 @@
+"""Unit tests for the causal consistency conditions (extension)."""
+
+import pytest
+
+from repro.core import (
+    causal_order,
+    check_m_causal_consistency,
+    check_m_causal_serializability,
+    is_m_causally_consistent,
+    is_m_causally_serializable,
+    is_m_sequentially_consistent,
+    restrict_history,
+)
+from tests.conftest import simple_history
+
+
+@pytest.fixture
+def concurrent_writes_split_reads():
+    """The classic causal-but-not-SC history.
+
+    P0 and P1 blind-write x concurrently; P2 reads (1 then 2), P3
+    reads (2 then 1).  Causal consistency lets each reader order the
+    concurrent writes its own way; sequential consistency demands one
+    shared order — impossible.
+    """
+    return simple_history(
+        [
+            (1, 0, "w x 1"),
+            (2, 1, "w x 2"),
+            (3, 2, "r x 1"),
+            (4, 2, "r x 2"),
+            (5, 3, "r x 2"),
+            (6, 3, "r x 1"),
+        ]
+    )
+
+
+@pytest.fixture
+def causality_violation():
+    """P0 writes 1 then 2 (process order); P1 reads 2 then 1."""
+    return simple_history(
+        [
+            (1, 0, "w x 1"),
+            (2, 0, "w x 2"),
+            (3, 1, "r x 2"),
+            (4, 1, "r x 1"),
+        ]
+    )
+
+
+class TestCausalOrder:
+    def test_contains_process_and_reads_from(self):
+        h = simple_history(
+            [(1, 0, "w x 1"), (2, 0, "w y 2"), (3, 1, "r x 1")]
+        )
+        co = causal_order(h)
+        assert (1, 2) in co  # process order
+        assert (1, 3) in co  # reads-from
+
+    def test_transitivity(self):
+        # P1 reads P0's write then writes y; P2 reads y: the chain
+        # makes P0's write causally precede P2's read.
+        h = simple_history(
+            [
+                (1, 0, "w x 1"),
+                (2, 1, "r x 1"),
+                (3, 1, "w y 2"),
+                (4, 2, "r y 2"),
+            ]
+        )
+        co = causal_order(h)
+        assert (1, 4) in co
+
+
+class TestRestrictHistory:
+    def test_keeps_subset(self):
+        h = simple_history(
+            [(1, 0, "w x 1"), (2, 1, "r x 1"), (3, 2, "r x 1")]
+        )
+        sub = restrict_history(h, [1, 2])
+        assert set(sub.uids) == {0, 1, 2}
+        assert sub.writer_of(2, "x") == 1
+
+    def test_initial_values_preserved(self):
+        h = simple_history([(1, 0, "r x 7")], initial_values={"x": 7})
+        sub = restrict_history(h, [1])
+        assert sub.init.external_writes == {"x": 7}
+
+
+class TestMCausalConsistency:
+    def test_serial_history_is_causal(self):
+        h = simple_history(
+            [(1, 0, "w x 1"), (2, 1, "r x 1"), (3, 1, "w x 2")]
+        )
+        assert is_m_causally_consistent(h)
+
+    def test_split_reads_causal_but_not_sc(
+        self, concurrent_writes_split_reads
+    ):
+        h = concurrent_writes_split_reads
+        assert is_m_causally_consistent(h)
+        assert not is_m_sequentially_consistent(h, method="exact")
+
+    def test_causality_violation_detected(self, causality_violation):
+        verdict = check_m_causal_consistency(causality_violation)
+        assert not verdict.holds
+        assert verdict.failing_process == 1
+
+    def test_transitive_causality_violation(self):
+        # P0: w(x)1 then w(x)2.  P1 reads x=2 and writes y=5; P2 reads
+        # y=5 (so causally after w(x)2) and THEN reads x=1: violation
+        # carried through the middleman.
+        h = simple_history(
+            [
+                (1, 0, "w x 1"),
+                (2, 0, "w x 2"),
+                (3, 1, "r x 2"),
+                (4, 1, "w y 5"),
+                (5, 2, "r y 5"),
+                (6, 2, "r x 1"),
+            ]
+        )
+        verdict = check_m_causal_consistency(h)
+        assert not verdict.holds
+        assert verdict.failing_process == 2
+
+    def test_witnesses_returned(self):
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "r x 1")])
+        verdict = check_m_causal_consistency(h)
+        assert verdict.holds
+        assert set(verdict.witnesses) == {0, 1}
+
+    def test_multi_object_torn_update_not_causal(self):
+        # Atomicity of m-operations still applies: observing half an
+        # m-assign violates even causal consistency.
+        h = simple_history(
+            [(1, 0, "w x 1, w y 1"), (2, 1, "r x 1, r y 0")]
+        )
+        assert not is_m_causally_consistent(h)
+
+
+class TestMCausalSerializability:
+    def test_sc_implies_causally_serializable(self):
+        h = simple_history(
+            [(1, 0, "w x 1"), (2, 1, "r x 1"), (3, 2, "w x 2")]
+        )
+        assert is_m_sequentially_consistent(h, method="exact")
+        assert is_m_causally_serializable(h)
+
+    def test_split_reads_not_causally_serializable(
+        self, concurrent_writes_split_reads
+    ):
+        # The readers disagree on the update order, so no *single*
+        # update serialization works.
+        assert not is_m_causally_serializable(
+            concurrent_writes_split_reads
+        )
+
+    def test_cross_object_split_reads(self):
+        """Two concurrent single-object writes, observed in opposite
+        orders by two readers via *separate* queries.
+
+        P2 sees x written but not y; P3 sees y written but not x --
+        incompatible with any single update order (each forces one of
+        ``u1 < u2`` / ``u2 < u1`` through the non-decreasing query
+        positions), so causal serializability fails along with m-SC,
+        while plain causal consistency tolerates the disagreement.
+        """
+        h = simple_history(
+            [
+                (1, 0, "w x 1"),
+                (2, 1, "w y 1"),
+                (3, 2, "r x 1"),
+                (4, 2, "r y 0"),
+                (5, 3, "r y 1"),
+                (6, 3, "r x 0"),
+            ]
+        )
+        assert is_m_causally_consistent(h)
+        assert not is_m_sequentially_consistent(h, method="exact")
+        assert not is_m_causally_serializable(h)
+
+    def test_equivalence_with_m_sequential_consistency(self):
+        """In this model the two conditions coincide (see module doc).
+
+        Queries write nothing, so the per-process insertions into the
+        shared update order always merge into one global legal
+        sequence and vice versa.  Asserted over randomized instances,
+        including corrupted (inconsistent) ones.
+        """
+        from repro.workloads import (
+            HistoryShape,
+            corrupt_history,
+            random_serial_history,
+        )
+
+        checked = 0
+        for seed in range(25):
+            shape = HistoryShape(
+                n_processes=3, n_objects=2, n_mops=7, query_fraction=0.5
+            )
+            h = random_serial_history(shape, seed=seed)
+            h = corrupt_history(h, seed=seed) or h
+            msc = is_m_sequentially_consistent(h, method="exact")
+            cser = is_m_causally_serializable(h)
+            assert msc == cser, seed
+            checked += 1
+        assert checked == 25
+
+
+    def test_hierarchy_on_random_histories(self):
+        from repro.workloads import (
+            HistoryShape,
+            corrupt_history,
+            random_serial_history,
+        )
+
+        for seed in range(10):
+            shape = HistoryShape(
+                n_processes=3, n_objects=2, n_mops=7, query_fraction=0.4
+            )
+            h = random_serial_history(shape, seed=seed)
+            h = corrupt_history(h, seed=seed) or h
+            msc = is_m_sequentially_consistent(h, method="exact")
+            cser = is_m_causally_serializable(h)
+            ccon = is_m_causally_consistent(h)
+            if msc:
+                assert cser, seed
+            if cser:
+                assert ccon, seed
+
+    def test_update_order_witness_returned(self):
+        h = simple_history(
+            [(1, 0, "w x 1"), (2, 1, "r x 1"), (3, 2, "w x 2")]
+        )
+        verdict = check_m_causal_serializability(h)
+        assert verdict.holds
+        order = verdict.witnesses[-1]
+        assert set(order) == {1, 3}

@@ -1,0 +1,168 @@
+"""Unit tests for execution constraints and ``~rw`` / ``~H+`` (Section 4)."""
+
+import pytest
+
+from repro.core import (
+    base_order,
+    extended_relation,
+    is_legal,
+    is_legal_sequence,
+    msc_order,
+    rw_pairs,
+    satisfies_oo,
+    satisfies_wo,
+    satisfies_ww,
+)
+from repro.core.constraints import (
+    constraint_report,
+    unordered_conflicting_pairs,
+    unordered_update_pairs,
+)
+from repro.workloads import (
+    FIG2_ALPHA,
+    FIG2_BETA,
+    FIG2_DELTA,
+    FIG2_GAMMA,
+    figure2_h1,
+    figure3_legal_order,
+    figure3_s1_order,
+)
+from tests.conftest import simple_history
+
+
+class TestConstraintPredicates:
+    def test_ww_constraint_requires_update_ordering(self):
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "w y 2")])
+        base = msc_order(h)
+        closure = base.transitive_closure()
+        assert not satisfies_ww(h, closure)
+        assert (1, 2) in list(unordered_update_pairs(h, closure))
+        base.add(1, 2)
+        assert satisfies_ww(h, base.transitive_closure())
+
+    def test_ww_covers_init(self):
+        # The initial m-operation is an update; orders built by
+        # base_order always order it first, so only real update pairs
+        # can be missing.
+        h = simple_history([(1, 0, "w x 1")])
+        assert satisfies_ww(h, msc_order(h).transitive_closure())
+
+    def test_oo_constraint_requires_conflicting_ordering(self):
+        # Reader and writer on x conflict; rf orders them, so OO holds
+        # once updates are mutually ordered.
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "r x 1")])
+        closure = msc_order(h).transitive_closure()
+        assert satisfies_oo(h, closure)
+
+    def test_oo_fails_on_unordered_read_write(self):
+        # 2 reads the initial value; 1 overwrites x; they conflict but
+        # nothing orders them.
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "r x 0")])
+        closure = msc_order(h).transitive_closure()
+        assert not satisfies_oo(h, closure)
+        assert list(unordered_conflicting_pairs(h, closure))
+
+    def test_ww_does_not_imply_oo(self):
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "r x 0")])
+        closure = msc_order(h).transitive_closure()
+        assert satisfies_ww(h, closure)  # only one real update
+        assert not satisfies_oo(h, closure)
+
+    def test_wo_implied_by_ww(self):
+        h, base = figure2_h1()
+        closure = base.transitive_closure()
+        assert satisfies_ww(h, closure)
+        assert satisfies_wo(h, closure)
+
+    def test_wo_weaker_than_ww(self):
+        # Two updates on disjoint objects: WO vacuous, WW violated.
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "w y 2")])
+        closure = msc_order(h).transitive_closure()
+        assert satisfies_wo(h, closure)
+        assert not satisfies_ww(h, closure)
+
+
+class TestFigure2And3:
+    """The paper's own WW-constraint example."""
+
+    def test_h1_satisfies_ww(self):
+        h, base = figure2_h1()
+        assert satisfies_ww(h, base.transitive_closure())
+
+    def test_h1_is_legal(self):
+        h, base = figure2_h1()
+        assert is_legal(h, base.transitive_closure())
+
+    def test_s1_extension_not_legal(self):
+        h, _base = figure2_h1()
+        assert not is_legal_sequence(h, figure3_s1_order())
+
+    def test_rw_edge_beta_delta(self):
+        # interfere(beta, alpha, delta) with alpha ~H delta forces
+        # beta ~rw delta (D 4.11).
+        h, base = figure2_h1()
+        pairs = rw_pairs(h, base.transitive_closure())
+        assert (FIG2_BETA, FIG2_DELTA) in pairs
+
+    def test_extended_relation_excludes_s1(self):
+        h, base = figure2_h1()
+        ext = extended_relation(h, base)
+        assert ext.is_acyclic()
+        assert (FIG2_BETA, FIG2_DELTA) in ext
+        # S1 orders delta before beta — contradicts ~H+.
+        s1 = figure3_s1_order()
+        assert s1.index(FIG2_DELTA) < s1.index(FIG2_BETA)
+
+    def test_every_extension_of_h_plus_is_legal(self):
+        # P 4.5: any extension of H+ is legal under WO-constraint.
+        h, base = figure2_h1()
+        ext = extended_relation(h, base)
+        for order in ext.linear_extensions():
+            assert is_legal_sequence(h, order)
+
+    def test_figure3_legal_order_is_legal(self):
+        h, _ = figure2_h1()
+        assert is_legal_sequence(h, figure3_legal_order())
+
+
+class TestExtendedRelation:
+    def test_alpha_rw_gamma(self):
+        # alpha reads x from init; gamma writes x; init ~H gamma —
+        # so alpha ~rw gamma as well.
+        h, base = figure2_h1()
+        pairs = rw_pairs(h, base.transitive_closure())
+        assert (FIG2_ALPHA, FIG2_GAMMA) in pairs
+
+    def test_extended_contains_base(self):
+        h, base = figure2_h1()
+        ext = extended_relation(h, base)
+        assert base.transitive_closure().issubset(ext)
+
+    def test_iterated_extension_at_least_one_shot(self):
+        h, base = figure2_h1()
+        one_shot = extended_relation(h, base, iterate=False)
+        fixpoint = extended_relation(h, base, iterate=True)
+        assert one_shot.issubset(fixpoint)
+
+    def test_cyclic_extension_on_illegal_history(self):
+        # A history under WW whose reads contradict the WW order:
+        # 1 writes x=1, 3 writes x=7, WW order 1 < 3, but a reader
+        # *after* 3 (by rf it must follow 1... ) reads 1's value.
+        h = simple_history(
+            [(1, 0, "w x 1"), (2, 1, "r x 1"), (3, 2, "w x 7")]
+        )
+        base = base_order(h, extra_pairs=[(1, 3), (3, 2)])
+        closure = base.transitive_closure()
+        assert satisfies_ww(h, closure)
+        assert not is_legal(h, closure)
+        # Lemma 4 needs legality; without it ~H+ may go cyclic:
+        ext = extended_relation(h, base)
+        assert not ext.is_acyclic()
+
+    def test_constraint_report_shape(self):
+        h, base = figure2_h1()
+        report = constraint_report(h, base)
+        assert report["ww"] is True
+        assert report["base_acyclic"] is True
+        assert report["extended_acyclic"] is True
+        assert (FIG2_BETA, FIG2_DELTA) in report["rw_pairs"]

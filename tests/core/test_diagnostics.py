@@ -1,0 +1,99 @@
+"""Unit tests for violation explanations."""
+
+import pytest
+
+from repro.analysis import exponential_gadget
+from repro.core.diagnostics import explain
+from tests.conftest import simple_history
+
+
+class TestOk:
+    def test_clean_history(self):
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "r x 1")])
+        result = explain(h, "m-sc")
+        assert result.holds and result.kind == "ok"
+
+    def test_unknown_condition_rejected(self):
+        h = simple_history([(1, 0, "w x 1")])
+        with pytest.raises(ValueError):
+            explain(h, "bogus")
+
+
+class TestCycleDiagnosis:
+    def test_future_read_cycle_named(self):
+        # P1 reads a value written strictly later in real time.
+        h = simple_history(
+            [
+                (1, 0, "r x 5", 0.0, 1.0),
+                (2, 1, "w x 5", 2.0, 3.0),
+            ]
+        )
+        result = explain(h, "m-lin")
+        assert not result.holds
+        assert result.kind == "cycle"
+        assert set(result.cycle) == {1, 2}
+        assert "reads-from" in result.detail
+        assert "real time" in result.detail
+
+    def test_msc_cycle_via_process_order(self):
+        # P0: reads y from P1's second op; P1: reads x from P0's
+        # second op — a pure ~p/~rf cycle, no timestamps needed.
+        h = simple_history(
+            [
+                (1, 0, "r y 7"),
+                (2, 0, "w x 5"),
+                (3, 1, "r x 5"),
+                (4, 1, "w y 7"),
+            ]
+        )
+        result = explain(h, "m-sc")
+        assert not result.holds
+        assert result.kind == "cycle"
+        assert "process order" in result.detail
+
+
+class TestTripleDiagnosis:
+    def test_overwriter_between(self):
+        # Timed so real-time order pins writer < overwriter < reader.
+        h = simple_history(
+            [
+                (1, 0, "w x 5", 0.0, 1.0),
+                (2, 1, "w x 7", 2.0, 3.0),
+                (3, 2, "r x 5", 4.0, 5.0),
+            ]
+        )
+        result = explain(h, "m-lin")
+        assert not result.holds
+        assert result.kind == "illegal-triple"
+        assert result.triple == (3, 1, 2)
+        assert "'x'" in result.detail
+        assert "overwrites" in result.detail
+
+
+class TestSearchDiagnosis:
+    def test_global_conflict(self):
+        # The contradiction core: passes legality and acyclicity,
+        # only exhaustive search can refute it.
+        h = exponential_gadget(0)
+        result = explain(h, "m-sc")
+        assert not result.holds
+        assert result.kind == "search"
+        assert "no legal sequential ordering" in result.detail
+
+
+class TestAgreementWithCheckers:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_explain_agrees_with_checker(self, seed):
+        from repro.core import is_m_sequentially_consistent
+        from repro.workloads import (
+            HistoryShape,
+            corrupt_history,
+            random_serial_history,
+        )
+
+        h = random_serial_history(
+            HistoryShape(n_processes=3, n_objects=2, n_mops=8), seed=seed
+        )
+        h = corrupt_history(h, seed=seed) or h
+        verdict = is_m_sequentially_consistent(h, method="exact")
+        assert explain(h, "m-sc").holds == verdict

@@ -1,0 +1,60 @@
+"""Additional diagnostics coverage: m-normality and edge branches."""
+
+from repro.core.diagnostics import explain
+from tests.conftest import simple_history
+
+
+class TestMNormDiagnosis:
+    def test_mnorm_clean(self):
+        h = simple_history(
+            [(1, 0, "w x 1", 0.0, 1.0), (2, 1, "r x 1", 2.0, 3.0)]
+        )
+        assert explain(h, "m-norm").holds
+
+    def test_mnorm_stale_read_triple(self):
+        h = simple_history(
+            [
+                (1, 0, "w x 5", 0.0, 1.0),
+                (2, 1, "w x 7", 2.0, 3.0),
+                (3, 2, "r x 5", 4.0, 5.0),
+            ]
+        )
+        result = explain(h, "m-norm")
+        assert not result.holds
+        assert result.kind == "illegal-triple"
+
+    def test_mnorm_passes_where_mlin_fails(self):
+        # The separating history from test_consistency: m-normal but
+        # not m-linearizable; explain() must agree on both.
+        h = simple_history(
+            [
+                (1, 0, "r y 3", 0.0, 1.0),
+                (2, 1, "w x 2", 2.0, 2.5),
+                (3, 2, "r x 2, w y 3", 0.5, 3.0),
+            ]
+        )
+        assert explain(h, "m-norm").holds
+        mlin = explain(h, "m-lin")
+        assert not mlin.holds
+        assert mlin.kind == "cycle"
+
+
+class TestExplanationRendering:
+    def test_str_is_detail(self):
+        h = simple_history([(1, 0, "w x 1")])
+        result = explain(h, "m-sc")
+        assert str(result) == result.detail
+
+    def test_untimed_history_msc_only(self):
+        # m-sc explanation never needs timestamps.
+        h = simple_history(
+            [
+                (1, 0, "w x 1"),
+                (2, 0, "w x 2"),
+                (3, 1, "r x 2"),
+                (4, 1, "r x 1"),
+            ]
+        )
+        result = explain(h, "m-sc")
+        assert not result.holds
+        assert result.kind in ("cycle", "illegal-triple", "search")

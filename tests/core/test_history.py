@@ -1,0 +1,183 @@
+"""Unit tests for histories (Section 2.2)."""
+
+import pytest
+
+from repro.core import History, INIT_UID, make_mop, read, write
+from repro.errors import (
+    MalformedHistoryError,
+    MissingTimestampsError,
+    ReadsFromError,
+)
+from tests.conftest import simple_history
+
+
+class TestConstruction:
+    def test_initial_mop_materialised(self):
+        h = simple_history([(1, 0, "w x 5")])
+        assert h.init.uid == INIT_UID
+        assert h.init.external_writes == {"x": 0}
+
+    def test_initial_values_override(self):
+        h = simple_history([(1, 0, "r x 9")], initial_values={"x": 9})
+        assert h.init.external_writes == {"x": 9}
+        assert h.writer_of(1, "x") == INIT_UID
+
+    def test_duplicate_uid_rejected(self):
+        a = make_mop(1, 0, [write("x", 1)])
+        b = make_mop(1, 1, [write("x", 2)])
+        with pytest.raises(MalformedHistoryError):
+            History.from_mops([a, b])
+
+    def test_reserved_uid_rejected(self):
+        a = make_mop(INIT_UID, 0, [write("x", 1)])
+        with pytest.raises(MalformedHistoryError):
+            History.from_mops([a])
+
+    def test_objects_and_processes(self):
+        h = simple_history([(1, 0, "w x 1"), (2, 3, "w y 2")])
+        assert h.objects == {"x", "y"}
+        assert h.processes == (0, 3)
+        assert len(h) == 2
+
+    def test_getitem_and_contains(self):
+        h = simple_history([(1, 0, "w x 1")])
+        assert h[1].name == "m1"
+        assert 1 in h and 99 not in h
+        with pytest.raises(MalformedHistoryError):
+            h[99]
+
+
+class TestReadsFromDerivation:
+    def test_unique_values_derive(self):
+        h = simple_history([(1, 0, "w x 5"), (2, 1, "r x 5")])
+        assert h.writer_of(2, "x") == 1
+
+    def test_read_of_initial_value(self):
+        h = simple_history([(1, 0, "r x 0")])
+        assert h.writer_of(1, "x") == INIT_UID
+
+    def test_unmatched_read_rejected(self):
+        with pytest.raises(ReadsFromError):
+            simple_history([(1, 0, "r x 42")])
+
+    def test_ambiguous_value_needs_explicit_map(self):
+        specs = [(1, 0, "w x 5"), (2, 1, "w x 5"), (3, 2, "r x 5")]
+        with pytest.raises(ReadsFromError):
+            simple_history(specs)
+        h = simple_history(specs, reads_from={(3, "x"): 2})
+        assert h.writer_of(3, "x") == 2
+
+    def test_explicit_map_partial_completion(self):
+        specs = [
+            (1, 0, "w x 5"),
+            (2, 1, "w x 5"),
+            (3, 2, "r x 5, r y 0"),
+        ]
+        h = simple_history(specs, reads_from={(3, "x"): 1})
+        assert h.writer_of(3, "x") == 1
+        assert h.writer_of(3, "y") == INIT_UID
+
+    def test_explicit_map_value_mismatch_rejected(self):
+        specs = [(1, 0, "w x 5"), (2, 1, "w x 6"), (3, 2, "r x 5")]
+        with pytest.raises(MalformedHistoryError):
+            simple_history(specs, reads_from={(3, "x"): 2})
+
+    def test_explicit_map_nonexistent_read_rejected(self):
+        specs = [(1, 0, "w x 5"), (2, 1, "w y 6")]
+        with pytest.raises(MalformedHistoryError):
+            simple_history(specs, reads_from={(2, "x"): 1})
+
+    def test_rfobjects(self):
+        h = simple_history(
+            [(1, 0, "w x 5, w y 6"), (2, 1, "r x 5, r y 6, r z 0")]
+        )
+        assert h.rfobjects(2, 1) == {"x", "y"}
+        assert h.rfobjects(2, INIT_UID) == {"z"}
+        assert h.rfobjects(1, 2) == frozenset()
+
+    def test_reads_from_pairs(self):
+        h = simple_history([(1, 0, "w x 5"), (2, 1, "r x 5")])
+        assert (1, 2) in h.reads_from_pairs()
+
+
+class TestWellFormedness:
+    def test_overlapping_same_process_rejected(self):
+        a = make_mop(1, 0, [write("x", 1)], inv=0.0, resp=2.0)
+        b = make_mop(2, 0, [write("x", 2)], inv=1.0, resp=3.0)
+        with pytest.raises(MalformedHistoryError):
+            History.from_mops([a, b])
+
+    def test_sequential_same_process_ok(self):
+        a = make_mop(1, 0, [write("x", 1)], inv=0.0, resp=1.0)
+        b = make_mop(2, 0, [write("x", 2)], inv=2.0, resp=3.0)
+        h = History.from_mops([a, b])
+        assert [m.uid for m in h.subhistory(0)] == [1, 2]
+
+    def test_overlapping_distinct_processes_ok(self):
+        a = make_mop(1, 0, [write("x", 1)], inv=0.0, resp=2.0)
+        b = make_mop(2, 1, [write("x", 2)], inv=1.0, resp=3.0)
+        History.from_mops([a, b])  # no exception
+
+    def test_missing_process_rejected(self):
+        a = make_mop(1, 0, [write("x", 1)])
+        bad = a.__class__(uid=2, process=None, ops=(write("x", 2),))
+        with pytest.raises(MalformedHistoryError):
+            History.from_mops([a, bad])
+
+    def test_subhistory_ordering_by_time(self):
+        # Listed out of order; timestamps must win.
+        b = make_mop(2, 0, [write("x", 2)], inv=2.0, resp=3.0)
+        a = make_mop(1, 0, [write("x", 1)], inv=0.0, resp=1.0)
+        h = History.from_mops([b, a])
+        assert [m.uid for m in h.subhistory(0)] == [1, 2]
+
+    def test_is_timed(self):
+        assert simple_history([(1, 0, "w x 1", 0.0, 1.0)]).is_timed
+        assert not simple_history([(1, 0, "w x 1")]).is_timed
+
+
+class TestEquivalence:
+    def test_equivalent_to_self(self):
+        h = simple_history([(1, 0, "w x 1", 0.0, 1.0), (2, 1, "r x 1", 0.5, 2.0)])
+        assert h.equivalent_to(h)
+
+    def test_retimed_history_equivalent(self):
+        h1 = simple_history(
+            [(1, 0, "w x 1", 0.0, 1.0), (2, 1, "r x 1", 0.5, 2.0)]
+        )
+        h2 = simple_history(
+            [(1, 0, "w x 1", 5.0, 6.0), (2, 1, "r x 1", 0.5, 2.0)]
+        )
+        assert h1.equivalent_to(h2)
+
+    def test_different_process_order_not_equivalent(self):
+        h1 = simple_history(
+            [(1, 0, "w x 1", 0.0, 1.0), (2, 0, "w x 2", 2.0, 3.0)]
+        )
+        h2 = simple_history(
+            [(1, 0, "w x 1", 2.0, 3.0), (2, 0, "w x 2", 0.0, 1.0)]
+        )
+        assert not h1.equivalent_to(h2)
+
+    def test_different_reads_from_not_equivalent(self):
+        specs = [(1, 0, "w x 5"), (2, 1, "w x 5"), (3, 2, "r x 5")]
+        h1 = simple_history(specs, reads_from={(3, "x"): 1})
+        h2 = simple_history(specs, reads_from={(3, "x"): 2})
+        assert not h1.equivalent_to(h2)
+
+    def test_different_mop_sets_not_equivalent(self):
+        h1 = simple_history([(1, 0, "w x 1")])
+        h2 = simple_history([(2, 0, "w x 1")])
+        assert not h1.equivalent_to(h2)
+
+
+class TestRendering:
+    def test_pretty_contains_processes(self):
+        h = simple_history([(1, 0, "w x 1"), (2, 1, "r x 1")])
+        text = h.pretty()
+        assert "P0" in text and "P1" in text
+        assert "w(x)1" in text
+
+    def test_repr(self):
+        h = simple_history([(1, 0, "w x 1")])
+        assert "1 m-operations" in repr(h)

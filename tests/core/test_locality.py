@@ -1,0 +1,175 @@
+"""Locality: what survives the move to multi-object operations.
+
+Herlihy-Wing linearizability is *local*: a system is linearizable iff
+each object is.  The paper leans on this ("linearizability satisfies
+the local property") for the single-object world its model subsumes —
+and the whole point of m-operations is that per-object reasoning is
+no longer enough.  These tests pin both sides:
+
+* single-object histories: m-linearizability of the whole equals
+  m-linearizability of every per-object projection (locality);
+* multi-object histories: every per-object projection can be
+  perfectly linearizable while the whole is not even m-sequentially
+  consistent — per-object atomicity does not compose (the abstract's
+  thesis, at the theory level; experiment M0 shows it at the protocol
+  level).
+"""
+
+import pytest
+
+from repro.core import (
+    History,
+    MOperation,
+    is_m_linearizable,
+    is_m_sequentially_consistent,
+)
+from repro.workloads import HistoryShape, random_serial_history, stretch_history
+from tests.conftest import simple_history
+
+
+def project(history: History, obj: str) -> History:
+    """The per-object projection of a history.
+
+    Keeps only the operations on ``obj``; m-operations reduced to
+    their ``obj`` part (dropping those that do not touch it).  Only
+    meaningful as Herlihy-Wing projection when each m-operation is
+    single-object; for multi-object histories it deliberately
+    *forgets* cross-object atomicity — which is the point.
+    """
+    mops = []
+    reads_from = {}
+    for mop in history.mops:
+        ops = tuple(op for op in mop.ops if op.obj == obj)
+        if not ops:
+            continue
+        mops.append(
+            MOperation(
+                uid=mop.uid,
+                process=mop.process,
+                ops=ops,
+                inv=mop.inv,
+                resp=mop.resp,
+                name=mop.name,
+            )
+        )
+        if (mop.uid, obj) in history.reads_from_map:
+            reads_from[(mop.uid, obj)] = history.reads_from_map[
+                (mop.uid, obj)
+            ]
+    return History.from_mops(
+        mops,
+        initial_values={obj: history.init.external_writes[obj]},
+        reads_from=reads_from,
+    )
+
+
+def single_op_history(seed: int, *, n_mops=8, n_objects=2, stretch=True):
+    """A random history whose m-operations are single reads/writes.
+
+    Generated serially (so a legal order exists) with each operation
+    on its own m-operation, then interval-stretched to create overlap.
+    """
+    import random
+
+    rng = random.Random(seed)
+    objects = [f"x{i}" for i in range(n_objects)]
+    store = {obj: 0 for obj in objects}
+    value = 0
+    mops = []
+    clock = 0.0
+    from repro.core import read as r_op, write as w_op
+
+    for uid in range(1, n_mops + 1):
+        obj = rng.choice(objects)
+        if rng.random() < 0.5:
+            op = r_op(obj, store[obj])
+        else:
+            value += 1
+            op = w_op(obj, value)
+            store[obj] = value
+        inv = clock + rng.uniform(0.1, 0.5)
+        resp = inv + rng.uniform(0.1, 0.5)
+        clock = resp
+        mops.append(
+            MOperation(
+                uid=uid,
+                process=rng.randrange(3),
+                ops=(op,),
+                inv=inv,
+                resp=resp,
+                name=f"s{uid}",
+            )
+        )
+    h = History.from_mops(mops)
+    return stretch_history(h, seed=seed) if stretch else h
+
+
+class TestLocalitySingleObject:
+    """With single-object m-operations, locality holds."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_whole_iff_projections(self, seed):
+        h = single_op_history(seed)
+        whole = is_m_linearizable(h, method="exact")
+        per_object = all(
+            is_m_linearizable(project(h, obj), method="exact")
+            for obj in h.objects
+        )
+        assert whole == per_object
+
+    def test_locality_failure_direction_never_occurs(self):
+        """No single-object history has linearizable projections but a
+        non-linearizable whole (spot-check of the hard direction)."""
+        checked = 0
+        for seed in range(25):
+            h = single_op_history(seed + 100, n_mops=7)
+            per_object = all(
+                is_m_linearizable(project(h, obj), method="exact")
+                for obj in h.objects
+            )
+            if per_object:
+                checked += 1
+                assert is_m_linearizable(h, method="exact")
+        assert checked > 5
+
+
+class TestLocalityFailsForMultiObject:
+    def test_torn_snapshot_has_clean_projections(self):
+        """The abstract's thesis as a two-line counterexample.
+
+        Whole history: an atomic (x,y) write and a torn read — not
+        even m-sequentially consistent.  Projections: on x, a write
+        then a fresh read (linearizable); on y, a write then a read
+        of the initial value by an *overlapping* reader
+        (linearizable).  Per-object verdicts: all clean.
+        """
+        h = simple_history(
+            [
+                (1, 0, "w x 1, w y 1", 0.0, 2.0),
+                (2, 1, "r x 1, r y 0", 1.0, 3.0),
+            ]
+        )
+        assert not is_m_sequentially_consistent(h, method="exact")
+        for obj in ("x", "y"):
+            assert is_m_linearizable(project(h, obj), method="exact")
+
+    def test_half_applied_update_has_clean_projections(self):
+        """An atomic (x, y) update observed half-applied by two
+        separate single-object reads.
+
+        Both reads overlap the long-running update, so each per-object
+        projection may order its read on either side of the update's
+        write — both projections linearizable.  The whole history
+        cannot order the atomic update both before the x-read and
+        after the y-read that follows it in process order.
+        """
+        h = simple_history(
+            [
+                (1, 0, "w x 1, w y 2", 0.0, 10.0),
+                (2, 1, "r x 1", 1.0, 2.0),
+                (3, 1, "r y 0", 3.0, 4.0),
+            ]
+        )
+        assert not is_m_sequentially_consistent(h, method="exact")
+        for obj in ("x", "y"):
+            assert is_m_linearizable(project(h, obj), method="exact")

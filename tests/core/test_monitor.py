@@ -1,0 +1,247 @@
+"""Streaming verifier: unit behaviour + agreement with batch checking."""
+
+import pytest
+
+from repro.core import (
+    History,
+    check_m_linearizability,
+    check_m_sequential_consistency,
+)
+from repro.core.monitor import (
+    MonitorUsageError,
+    ObservedOp,
+    StreamingVerifier,
+    verify_stream,
+)
+from repro.workloads import (
+    HistoryShape,
+    corrupt_history,
+    random_serial_history,
+    shift_process,
+    stretch_history,
+)
+
+
+def feed_history(history: History, condition: str) -> StreamingVerifier:
+    """Stream an abstract history through the verifier.
+
+    The ``~ww`` order is taken to be the updates' response order —
+    for serially generated (and then perturbed) histories that is the
+    generation order, exactly the role the broadcast would play.
+    """
+    verifier = StreamingVerifier(condition)
+    mops = sorted(history.mops, key=lambda m: m.resp)
+    for mop in mops:
+        if mop.is_update:
+            verifier.observe_ww(
+                mop.uid, tuple(sorted(mop.external_writes))
+            )
+    for mop in mops:
+        verifier.observe(
+            ObservedOp(
+                uid=mop.uid,
+                process=mop.process,
+                inv=mop.inv,
+                resp=mop.resp,
+                reads_from={
+                    obj: history.writer_of(mop.uid, obj)
+                    for obj in mop.external_reads
+                },
+                writes=tuple(sorted(mop.external_writes)),
+                is_update=mop.is_update,
+            )
+        )
+    return verifier
+
+
+def ww_pairs_of(history: History):
+    updates = [
+        m.uid for m in sorted(history.mops, key=lambda m: m.resp)
+        if m.is_update
+    ]
+    return list(zip(updates, updates[1:]))
+
+
+class TestUnitBehaviour:
+    def test_empty_stream_consistent(self):
+        verifier = StreamingVerifier()
+        assert verifier.consistent and verifier.observed == 0
+
+    def test_simple_fresh_read(self):
+        verifier = StreamingVerifier()
+        verifier.observe_ww(1, ("x",))
+        assert (
+            verifier.observe(
+                ObservedOp(1, 0, 0.0, 1.0, {}, ("x",), True)
+            )
+            is None
+        )
+        assert (
+            verifier.observe(
+                ObservedOp(2, 1, 2.0, 3.0, {"x": 1}, (), False)
+            )
+            is None
+        )
+
+    def test_skipped_update_detected(self):
+        # Reader's own process already saw update 2, then reads x
+        # from update 1 — the overwrite is a predecessor: illegal.
+        verifier = StreamingVerifier()
+        verifier.observe_ww(1, ("x",))
+        verifier.observe_ww(2, ("x",))
+        verifier.observe(ObservedOp(1, 0, 0.0, 1.0, {}, ("x",), True))
+        verifier.observe(ObservedOp(2, 0, 2.0, 3.0, {}, ("x",), True))
+        violation = verifier.observe(
+            ObservedOp(3, 0, 4.0, 5.0, {"x": 1}, (), False)
+        )
+        assert violation is not None
+        assert violation.obj == "x"
+        assert violation.expected_writer == 1
+        assert violation.actual_writer == 2
+        assert not verifier.consistent
+
+    def test_other_process_stale_read_fine_for_msc(self):
+        # A different process may lag arbitrarily under m-SC.
+        verifier = StreamingVerifier("m-sc")
+        verifier.observe_ww(1, ("x",))
+        verifier.observe(ObservedOp(1, 0, 0.0, 1.0, {}, ("x",), True))
+        assert (
+            verifier.observe(
+                ObservedOp(2, 1, 2.0, 3.0, {"x": 0}, (), False)
+            )
+            is None
+        )
+
+    def test_same_stale_read_flagged_for_mlin(self):
+        verifier = StreamingVerifier("m-lin")
+        verifier.observe_ww(1, ("x",))
+        verifier.observe(ObservedOp(1, 0, 0.0, 1.0, {}, ("x",), True))
+        violation = verifier.observe(
+            ObservedOp(2, 1, 2.0, 3.0, {"x": 0}, (), False)
+        )
+        assert violation is not None
+
+    def test_overlapping_stale_read_fine_for_mlin(self):
+        verifier = StreamingVerifier("m-lin")
+        verifier.observe_ww(1, ("x",))
+        verifier.observe(ObservedOp(1, 0, 0.0, 2.0, {}, ("x",), True))
+        # inv before the writer's resp: no global-mark edge.
+        assert (
+            verifier.observe(
+                ObservedOp(2, 1, 1.0, 3.0, {"x": 0}, (), False)
+            )
+            is None
+        )
+
+    def test_future_read_flagged(self):
+        verifier = StreamingVerifier()
+        verifier.observe_ww(1, ("x",))
+        verifier.observe_ww(2, ("y",))
+        verifier.observe(ObservedOp(1, 0, 0.0, 1.0, {}, ("x",), True))
+        # Update 2 claims to read y from an even later broadcast.
+        verifier.observe_ww(3, ("y",))
+        violation = verifier.observe(
+            ObservedOp(2, 1, 2.0, 3.0, {"y": 3}, ("y",), True)
+        )
+        assert violation is not None
+        assert "future" in violation.detail
+
+    def test_out_of_order_responses_rejected(self):
+        verifier = StreamingVerifier()
+        verifier.observe_ww(1, ("x",))
+        verifier.observe(ObservedOp(1, 0, 0.0, 5.0, {}, ("x",), True))
+        with pytest.raises(MonitorUsageError):
+            verifier.observe(
+                ObservedOp(2, 1, 0.0, 1.0, {"x": 1}, (), False)
+            )
+
+    def test_unannounced_update_rejected(self):
+        verifier = StreamingVerifier()
+        with pytest.raises(MonitorUsageError):
+            verifier.observe(
+                ObservedOp(1, 0, 0.0, 1.0, {}, ("x",), True)
+            )
+
+    def test_duplicate_announcement_rejected(self):
+        verifier = StreamingVerifier()
+        verifier.observe_ww(1, ("x",))
+        with pytest.raises(MonitorUsageError):
+            verifier.observe_ww(1, ("x",))
+
+    def test_rmw_excludes_own_write(self):
+        # An update reading x and writing x: its read must match the
+        # previous writer, not itself.
+        verifier = StreamingVerifier()
+        verifier.observe_ww(1, ("x",))
+        verifier.observe_ww(2, ("x",))
+        verifier.observe(ObservedOp(1, 0, 0.0, 1.0, {}, ("x",), True))
+        assert (
+            verifier.observe(
+                ObservedOp(2, 1, 2.0, 3.0, {"x": 1}, ("x",), True)
+            )
+            is None
+        )
+
+
+class TestAgreementWithBatchChecker:
+    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize("condition", ["m-sc", "m-lin"])
+    def test_corrupted_histories(self, seed, condition):
+        shape = HistoryShape(
+            n_processes=3, n_objects=2, n_mops=9, query_fraction=0.4
+        )
+        h = random_serial_history(shape, seed=seed)
+        h = stretch_history(h, seed=seed)
+        if seed % 3 == 0:
+            h = shift_process(h, h.processes[0], 11.0)
+        h = corrupt_history(h, seed=seed) or h
+        monitor = feed_history(h, condition)
+        checker = (
+            check_m_sequential_consistency
+            if condition == "m-sc"
+            else check_m_linearizability
+        )
+        batch = checker(
+            h, method="constrained", extra_pairs=ww_pairs_of(h)
+        )
+        assert monitor.consistent == batch.holds, (seed, condition)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_clean_histories_pass_both(self, seed):
+        h = random_serial_history(
+            HistoryShape(n_mops=10), seed=seed + 400
+        )
+        assert feed_history(h, "m-sc").consistent
+        assert feed_history(h, "m-lin").consistent
+
+
+class TestProtocolStreams:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_msc_runs_clean(self, seed):
+        from repro.protocols import msc_cluster
+        from repro.workloads import random_workloads
+
+        cluster = msc_cluster(3, ["x", "y"], seed=seed)
+        result = cluster.run(
+            random_workloads(3, ["x", "y"], 5, seed=seed + 2)
+        )
+        assert verify_stream(result, condition="m-sc").consistent
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mlin_runs_clean_even_for_mlin_condition(self, seed):
+        from repro.protocols import mlin_cluster
+        from repro.workloads import random_workloads
+
+        cluster = mlin_cluster(3, ["x", "y"], seed=seed)
+        result = cluster.run(
+            random_workloads(3, ["x", "y"], 5, seed=seed + 2)
+        )
+        assert verify_stream(result, condition="m-lin").consistent
+
+    def test_msc_stale_scenario_flagged_under_mlin(self):
+        from repro.workloads import figure5_scenario
+
+        outcome = figure5_scenario()
+        verifier = verify_stream(outcome.result, condition="m-lin")
+        assert not verifier.consistent
+        assert verify_stream(outcome.result, condition="m-sc").consistent

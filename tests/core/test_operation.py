@@ -1,0 +1,130 @@
+"""Unit tests for operations and m-operations (Section 2.1)."""
+
+import pytest
+
+from repro.core import INIT_UID, MOperation, OpKind, initial_mop, make_mop, read, write
+from repro.errors import MalformedOperationError
+
+
+class TestOperation:
+    def test_read_constructor(self):
+        op = read("x", 5)
+        assert op.is_read and not op.is_write
+        assert op.obj == "x" and op.value == 5
+        assert op.kind is OpKind.READ
+
+    def test_write_constructor(self):
+        op = write("y", 7)
+        assert op.is_write and not op.is_read
+
+    def test_str_matches_paper_notation(self):
+        assert str(read("x", 0)) == "r(x)0"
+        assert str(write("y", 2)) == "w(y)2"
+
+    def test_operations_are_value_objects(self):
+        assert read("x", 1) == read("x", 1)
+        assert read("x", 1) != write("x", 1)
+        assert hash(read("x", 1)) == hash(read("x", 1))
+
+
+class TestMOperationStructure:
+    def test_basic_properties(self):
+        mop = make_mop(1, 0, [read("x", 0), write("y", 2)], name="alpha")
+        assert mop.objects == {"x", "y"}
+        assert mop.wobjects == {"y"}
+        assert mop.robjects == {"x"}
+        assert mop.is_update and not mop.is_query
+
+    def test_query_classification(self):
+        mop = make_mop(1, 0, [read("x", 0), read("y", 1)])
+        assert mop.is_query and not mop.is_update
+        assert mop.wobjects == frozenset()
+
+    def test_negative_uid_rejected(self):
+        with pytest.raises(MalformedOperationError):
+            MOperation(uid=-1, process=0, ops=(read("x", 0),))
+
+    def test_inv_resp_must_come_together(self):
+        with pytest.raises(MalformedOperationError):
+            MOperation(uid=1, process=0, ops=(read("x", 0),), inv=1.0)
+
+    def test_inv_must_precede_resp(self):
+        with pytest.raises(MalformedOperationError):
+            make_mop(1, 0, [read("x", 0)], inv=2.0, resp=1.0)
+        with pytest.raises(MalformedOperationError):
+            make_mop(1, 0, [read("x", 0)], inv=2.0, resp=2.0)
+
+
+class TestInternalSemantics:
+    """Section 2.2: internal reads/writes within an m-operation."""
+
+    def test_internal_read_must_match_last_internal_write(self):
+        with pytest.raises(MalformedOperationError):
+            make_mop(1, 0, [write("x", 5), read("x", 3)])
+
+    def test_consistent_internal_read_allowed(self):
+        mop = make_mop(1, 0, [write("x", 5), read("x", 5)])
+        assert mop.external_reads == {}
+
+    def test_internal_read_sees_latest_of_several_writes(self):
+        mop = make_mop(1, 0, [write("x", 1), write("x", 2), read("x", 2)])
+        assert mop.external_writes == {"x": 2}
+        with pytest.raises(MalformedOperationError):
+            make_mop(1, 0, [write("x", 1), write("x", 2), read("x", 1)])
+
+    def test_external_read_is_read_before_any_own_write(self):
+        mop = make_mop(1, 0, [read("x", 9), write("x", 5), read("x", 5)])
+        assert mop.external_reads == {"x": 9}
+
+    def test_only_last_write_is_external(self):
+        mop = make_mop(1, 0, [write("x", 1), write("x", 2)])
+        assert mop.external_writes == {"x": 2}
+
+    def test_disagreeing_external_reads_rejected(self):
+        mop = make_mop(1, 0, [read("x", 1), read("x", 2)])
+        with pytest.raises(MalformedOperationError):
+            mop.external_reads
+
+    def test_repeated_equal_external_reads_fine(self):
+        mop = make_mop(1, 0, [read("x", 1), read("y", 0), read("x", 1)])
+        assert mop.external_reads == {"x": 1, "y": 0}
+
+
+class TestTimingHelpers:
+    def test_overlaps(self):
+        a = make_mop(1, 0, [read("x", 0)], inv=0.0, resp=2.0)
+        b = make_mop(2, 1, [read("x", 0)], inv=1.0, resp=3.0)
+        c = make_mop(3, 1, [read("x", 0)], inv=2.5, resp=3.5)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c) and not c.overlaps(a)
+
+    def test_overlaps_requires_times(self):
+        a = make_mop(1, 0, [read("x", 0)])
+        b = make_mop(2, 1, [read("x", 0)], inv=1.0, resp=3.0)
+        with pytest.raises(MalformedOperationError):
+            a.overlaps(b)
+
+    def test_initial_mop_never_overlaps(self):
+        init = initial_mop({"x": 0})
+        b = make_mop(2, 1, [read("x", 0)], inv=1.0, resp=3.0)
+        assert not init.overlaps(b)
+        assert not b.overlaps(init)
+
+    def test_with_times(self):
+        a = make_mop(1, 0, [read("x", 0)])
+        timed = a.with_times(1.0, 2.0)
+        assert timed.inv == 1.0 and timed.resp == 2.0
+        assert timed.uid == a.uid and timed.ops == a.ops
+
+
+class TestInitialMop:
+    def test_writes_all_objects(self):
+        init = initial_mop({"x": 0, "y": 7})
+        assert init.uid == INIT_UID
+        assert init.process is None
+        assert init.is_initial
+        assert init.external_writes == {"x": 0, "y": 7}
+        assert init.is_update
+
+    def test_regular_mop_is_not_initial(self):
+        assert not make_mop(3, 0, [read("x", 0)]).is_initial

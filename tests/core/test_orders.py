@@ -1,0 +1,145 @@
+"""Unit tests for the derived orders (Sections 2.3, 4)."""
+
+import pytest
+
+from repro.core import (
+    INIT_UID,
+    base_order,
+    mlin_order,
+    mnorm_order,
+    msc_order,
+    object_order,
+    process_order,
+    reads_from_order,
+    real_time_order,
+)
+from repro.errors import MissingTimestampsError
+from tests.conftest import simple_history
+
+
+@pytest.fixture
+def timed_history():
+    """Three processes; deliberate overlap and separation.
+
+    P0: m1 = w(x)1 @[0,1];  m2 = r(y)2 @[4,5]
+    P1: m3 = w(y)2 @[0.5, 1.5]
+    P2: m4 = r(x)1 @[2,3]
+    """
+    return simple_history(
+        [
+            (1, 0, "w x 1", 0.0, 1.0),
+            (2, 0, "r y 2", 4.0, 5.0),
+            (3, 1, "w y 2", 0.5, 1.5),
+            (4, 2, "r x 1", 2.0, 3.0),
+        ]
+    )
+
+
+class TestProcessOrder:
+    def test_orders_same_process_only(self, timed_history):
+        po = process_order(timed_history)
+        assert (1, 2) in po
+        assert (1, 3) not in po and (1, 4) not in po
+
+    def test_transitive_along_one_process(self):
+        h = simple_history(
+            [
+                (1, 0, "w x 1", 0.0, 1.0),
+                (2, 0, "w x 2", 2.0, 3.0),
+                (3, 0, "w x 3", 4.0, 5.0),
+            ]
+        )
+        po = process_order(h)
+        assert (1, 3) in po and (1, 2) in po and (2, 3) in po
+        assert (3, 1) not in po
+
+
+class TestReadsFromOrder:
+    def test_writer_precedes_reader(self, timed_history):
+        rf = reads_from_order(timed_history)
+        assert (1, 4) in rf  # m4 reads x from m1
+        assert (3, 2) in rf  # m2 reads y from m3
+        assert (4, 1) not in rf
+
+    def test_init_reads(self):
+        h = simple_history([(1, 0, "r x 0")])
+        rf = reads_from_order(h)
+        assert (INIT_UID, 1) in rf
+
+
+class TestRealTimeOrder:
+    def test_pairs(self, timed_history):
+        rt = real_time_order(timed_history)
+        assert (1, 4) in rt  # resp 1.0 < inv 2.0
+        assert (3, 4) in rt
+        assert (4, 2) in rt
+        assert (1, 3) not in rt  # overlap
+        assert (3, 1) not in rt
+
+    def test_init_precedes_all(self, timed_history):
+        rt = real_time_order(timed_history)
+        for mop in timed_history.mops:
+            assert (INIT_UID, mop.uid) in rt
+
+    def test_untimed_raises(self):
+        h = simple_history([(1, 0, "w x 1")])
+        with pytest.raises(MissingTimestampsError):
+            real_time_order(h)
+
+
+class TestObjectOrder:
+    def test_requires_shared_object(self, timed_history):
+        oo = object_order(timed_history)
+        # m1 (x) and m4 (x) share x, non-overlapping.
+        assert (1, 4) in oo
+        # m3 (y) and m4 (x): disjoint objects, even though ordered in
+        # real time.
+        assert (3, 4) not in oo
+        # m3 (y) and m2 (y) share y.
+        assert (3, 2) in oo
+
+    def test_object_order_subset_of_real_time(self, timed_history):
+        oo = object_order(timed_history)
+        rt = real_time_order(timed_history)
+        assert oo.issubset(rt)
+
+    def test_untimed_raises(self):
+        h = simple_history([(1, 0, "w x 1")])
+        with pytest.raises(MissingTimestampsError):
+            object_order(h)
+
+
+class TestComposedOrders:
+    def test_msc_order_contains_po_and_rf(self, timed_history):
+        base = msc_order(timed_history)
+        assert (1, 2) in base  # process order
+        assert (3, 2) in base  # reads-from
+        assert (4, 2) not in base  # real-time only
+
+    def test_mlin_order_contains_real_time(self, timed_history):
+        base = mlin_order(timed_history)
+        assert (4, 2) in base
+
+    def test_mnorm_between_msc_and_mlin(self, timed_history):
+        msc = msc_order(timed_history)
+        mnorm = mnorm_order(timed_history)
+        mlin = mlin_order(timed_history)
+        assert msc.issubset(mnorm)
+        assert mnorm.issubset(mlin)
+        # Strictly between on this history:
+        assert (1, 4) in mnorm
+        assert (3, 4) in mlin and (3, 4) not in mnorm
+
+    def test_extra_pairs(self, timed_history):
+        base = base_order(timed_history, extra_pairs=[(4, 3)])
+        assert (4, 3) in base
+
+    def test_extra_pairs_skip_self(self, timed_history):
+        base = base_order(timed_history, extra_pairs=[(4, 4)])
+        assert (4, 4) not in base
+
+    def test_init_in_every_order(self, timed_history):
+        for builder in (msc_order, mlin_order, mnorm_order):
+            rel = builder(timed_history)
+            for mop in timed_history.mops:
+                assert (INIT_UID, mop.uid) in rel

@@ -1,0 +1,103 @@
+"""The paper's worked examples, asserted against the prose.
+
+Each test cites the sentence of the paper it checks.
+"""
+
+from repro.core import (
+    check_m_linearizability,
+    check_m_sequential_consistency,
+    conflict,
+    interfere,
+    is_legal_sequence,
+    object_order,
+    process_order,
+    reads_from_order,
+    real_time_order,
+    satisfies_ww,
+)
+from repro.workloads import (
+    FIG1_ALPHA,
+    FIG1_BETA,
+    FIG1_DELTA,
+    FIG1_ETA,
+    FIG1_MU,
+    figure1,
+    figure2_h1,
+    figure3_legal_order,
+    figure3_s1_order,
+)
+
+
+class TestFigure1:
+    """Section 2's running example."""
+
+    def setup_method(self):
+        self.h = figure1()
+
+    def test_alpha_process_and_objects(self):
+        # "proc(alpha) = P1 and objects(alpha) = {x, y, z}"
+        alpha = self.h[FIG1_ALPHA]
+        assert alpha.process == 1
+        assert alpha.objects == {"x", "y", "z"}
+
+    def test_alpha_precedes_beta_in_process_order(self):
+        # "In Figure 1, alpha ~P1 beta."
+        assert (FIG1_ALPHA, FIG1_BETA) in process_order(self.h)
+
+    def test_reads_from_instances(self):
+        # "In Figure 1, alpha ~rf delta and eta ~rf delta."
+        rf = reads_from_order(self.h)
+        assert (FIG1_ALPHA, FIG1_DELTA) in rf
+        assert (FIG1_ETA, FIG1_DELTA) in rf
+
+    def test_real_time_instances(self):
+        # "In Figure 1, alpha ~t mu, eta ~t beta"
+        rt = real_time_order(self.h)
+        assert (FIG1_ALPHA, FIG1_MU) in rt
+        assert (FIG1_ETA, FIG1_BETA) in rt
+
+    def test_object_order_instance(self):
+        # "... and eta ~X beta."
+        assert (FIG1_ETA, FIG1_BETA) in object_order(self.h)
+
+    def test_conflict_instance(self):
+        # "In Figure 1, alpha conflicts with eta" (both write y).
+        assert conflict(self.h[FIG1_ALPHA], self.h[FIG1_ETA])
+
+    def test_interference_instance(self):
+        # "and m-operations delta, eta and alpha interfere": delta
+        # reads y from eta while alpha also writes y.
+        assert interfere(self.h, FIG1_DELTA, FIG1_ETA, FIG1_ALPHA)
+
+    def test_reconstruction_is_consistent(self):
+        # The figure depicts a legitimate execution; our concrete
+        # realisation is m-linearizable.
+        assert check_m_linearizability(self.h, method="exact").holds
+
+
+class TestFigures2And3:
+    """Section 4's WW-constraint example."""
+
+    def setup_method(self):
+        self.h, self.base = figure2_h1()
+
+    def test_h1_under_ww_constraint(self):
+        # "In Figure 2, the history H1 is under WW-constraint."
+        assert satisfies_ww(self.h, self.base.transitive_closure())
+
+    def test_s1_is_an_extension_but_not_legal(self):
+        # "One of the possible extensions of ~H1 gives us the
+        # sequential history S1, as in Figure 3, which is not legal."
+        s1 = figure3_s1_order()
+        closure = self.base.transitive_closure()
+        positions = {uid: i for i, uid in enumerate(s1)}
+        for a, b in closure.pairs():
+            assert positions[a] < positions[b]  # S1 extends ~H1
+        assert not is_legal_sequence(self.h, s1)
+
+    def test_legal_alternative_exists(self):
+        assert is_legal_sequence(self.h, figure3_legal_order())
+
+    def test_h1_is_m_sequentially_consistent(self):
+        # H1 is legal under WW-constraint, hence admissible (Thm 7).
+        assert check_m_sequential_consistency(self.h).holds

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on the core machinery.
+
+These encode the paper's lemmas and structural invariants as
+properties over randomized inputs:
+
+* relation algebra laws (closure monotone/idempotent, etc.);
+* Lemma 6: admissible => legal;
+* Theorem 7: under WW-constraint, legal <=> admissible;
+* P 4.5: every extension of ``~H+`` of a legal WO-constrained history
+  is legal;
+* serial histories satisfy every consistency condition; stretching
+  preserves them; per-process time shifts preserve m-SC.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Relation,
+    check_admissible,
+    extended_relation,
+    is_legal,
+    is_legal_sequence,
+    is_m_linearizable,
+    is_m_normal,
+    is_m_sequentially_consistent,
+    msc_order,
+    relation_from_sequence,
+    satisfies_wo,
+    satisfies_ww,
+)
+from repro.workloads import (
+    HistoryShape,
+    corrupt_history,
+    random_serial_history,
+    shift_process,
+    stretch_history,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+nodes_st = st.integers(min_value=2, max_value=7)
+
+
+@st.composite
+def relations(draw):
+    n = draw(nodes_st)
+    universe = list(range(n))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda p: p[0] != p[1]),
+            max_size=12,
+        )
+    )
+    return Relation(universe, pairs)
+
+
+@st.composite
+def serial_histories(draw):
+    shape = HistoryShape(
+        n_processes=draw(st.integers(2, 4)),
+        n_objects=draw(st.integers(1, 3)),
+        n_mops=draw(st.integers(2, 8)),
+        reads_per_mop=draw(st.integers(1, 2)),
+        writes_per_mop=draw(st.integers(1, 2)),
+        query_fraction=draw(st.floats(0.0, 0.8)),
+    )
+    seed = draw(st.integers(0, 10_000))
+    return random_serial_history(shape, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Relation laws
+# ----------------------------------------------------------------------
+
+
+@given(relations())
+@settings(max_examples=60, deadline=None)
+def test_closure_contains_relation(rel):
+    assert rel.issubset(rel.transitive_closure())
+
+
+@given(relations())
+@settings(max_examples=60, deadline=None)
+def test_closure_idempotent(rel):
+    closure = rel.transitive_closure()
+    assert closure == closure.transitive_closure()
+
+
+@given(relations(), relations())
+@settings(max_examples=40, deadline=None)
+def test_union_commutes_when_same_universe(a, b):
+    if a.nodes != b.nodes:
+        return
+    assert (a | b) == (b | a)
+
+
+@given(relations())
+@settings(max_examples=60, deadline=None)
+def test_topological_order_exists_iff_acyclic(rel):
+    order = rel.topological_order()
+    if rel.is_acyclic():
+        assert order is not None
+        positions = {n: i for i, n in enumerate(order)}
+        for a, b in rel.pairs():
+            assert positions[a] < positions[b]
+    else:
+        assert order is None
+
+
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=7, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_relation_from_sequence_is_total_order(seq):
+    assert relation_from_sequence(seq).is_total_order()
+
+
+# ----------------------------------------------------------------------
+# Histories and consistency
+# ----------------------------------------------------------------------
+
+
+@given(serial_histories())
+@settings(max_examples=40, deadline=None)
+def test_serial_history_satisfies_everything(h):
+    assert is_m_linearizable(h, method="exact")
+    assert is_m_normal(h, method="exact")
+    assert is_m_sequentially_consistent(h, method="exact")
+
+
+@given(serial_histories(), st.integers(0, 999))
+@settings(max_examples=30, deadline=None)
+def test_stretching_preserves_m_linearizability(h, seed):
+    stretched = stretch_history(h, seed=seed)
+    assert is_m_linearizable(stretched, method="exact")
+
+
+@given(serial_histories(), st.integers(0, 999), st.floats(-50.0, 50.0))
+@settings(max_examples=30, deadline=None)
+def test_shifts_preserve_m_sequential_consistency(h, seed, offset):
+    shifted = shift_process(
+        stretch_history(h, seed=seed), h.processes[0], offset
+    )
+    assert is_m_sequentially_consistent(shifted, method="exact")
+
+
+@given(serial_histories())
+@settings(max_examples=30, deadline=None)
+def test_admissible_implies_legal(h):
+    """Lemma 6 on the m-SC order."""
+    base = msc_order(h)
+    result = check_admissible(h, base)
+    if result.admissible:
+        assert is_legal(h, base.transitive_closure())
+
+
+@given(serial_histories(), st.integers(0, 999))
+@settings(max_examples=30, deadline=None)
+def test_corruption_agreement_with_legality_under_ww(h, seed):
+    """Theorem 7 specialised: when the (possibly corrupted) history
+
+    satisfies WW under its own m-SC order, legality must coincide
+    with admissibility.
+    """
+    c = corrupt_history(h, seed=seed) or h
+    base = msc_order(c)
+    closure = base.transitive_closure()
+    if not closure.is_acyclic():
+        return
+    if not satisfies_ww(c, closure):
+        return
+    assert is_legal(c, closure) == check_admissible(c, base).admissible
+
+
+@given(serial_histories())
+@settings(max_examples=25, deadline=None)
+def test_extension_legality_p45(h):
+    """P 4.5: extensions of ``~H+`` of a legal WO history are legal."""
+    base = msc_order(h)
+    closure = base.transitive_closure()
+    if not satisfies_wo(h, closure) or not is_legal(h, closure):
+        return
+    ext = extended_relation(h, base)
+    if not ext.is_acyclic():
+        return
+    count = 0
+    for order in ext.linear_extensions(limit=20):
+        assert is_legal_sequence(h, order)
+        count += 1
+    assert count > 0
+
+
+@given(serial_histories())
+@settings(max_examples=25, deadline=None)
+def test_exact_witness_is_always_legal_and_order_respecting(h):
+    base = msc_order(h)
+    result = check_admissible(h, base)
+    assert result.admissible
+    witness = result.witness
+    assert is_legal_sequence(h, witness)
+    positions = {uid: i for i, uid in enumerate(witness)}
+    for a, b in base.pairs():
+        assert positions[a] < positions[b]

@@ -1,0 +1,161 @@
+"""Unit tests for the relation algebra."""
+
+import pytest
+
+from repro.core import Relation, relation_from_sequence
+from repro.errors import RelationError
+
+
+class TestBasics:
+    def test_empty_relation(self):
+        rel = Relation([1, 2, 3])
+        assert len(rel) == 0
+        assert (1, 2) not in rel
+        assert list(rel.pairs()) == []
+
+    def test_add_and_contains(self):
+        rel = Relation([1, 2, 3], [(1, 2)])
+        assert (1, 2) in rel and (2, 1) not in rel
+        assert len(rel) == 1
+
+    def test_self_loop_rejected(self):
+        rel = Relation([1, 2])
+        with pytest.raises(RelationError):
+            rel.add(1, 1)
+
+    def test_unknown_node_rejected(self):
+        rel = Relation([1, 2])
+        with pytest.raises(RelationError):
+            rel.add(1, 99)
+
+    def test_contains_with_unknown_node_is_false(self):
+        rel = Relation([1, 2], [(1, 2)])
+        assert (1, 99) not in rel
+
+    def test_successors_predecessors(self):
+        rel = Relation([1, 2, 3], [(1, 2), (1, 3), (2, 3)])
+        assert rel.successors(1) == {2, 3}
+        assert rel.predecessors(3) == {1, 2}
+
+    def test_discard(self):
+        rel = Relation([1, 2], [(1, 2)])
+        rel.discard(1, 2)
+        assert (1, 2) not in rel
+        rel.discard(1, 2)  # idempotent
+
+    def test_duplicate_universe_nodes_deduplicated(self):
+        rel = Relation([1, 2, 2, 3])
+        assert rel.nodes == (1, 2, 3)
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = Relation([1, 2, 3], [(1, 2)])
+        b = Relation([1, 2, 3], [(2, 3)])
+        u = a | b
+        assert (1, 2) in u and (2, 3) in u
+        # Operands unchanged.
+        assert (2, 3) not in a
+
+    def test_union_different_universe_rejected(self):
+        a = Relation([1, 2])
+        b = Relation([1, 3])
+        with pytest.raises(RelationError):
+            a.union(b)
+
+    def test_issubset(self):
+        a = Relation([1, 2, 3], [(1, 2)])
+        b = Relation([1, 2, 3], [(1, 2), (2, 3)])
+        assert a.issubset(b)
+        assert not b.issubset(a)
+
+    def test_copy_is_independent(self):
+        a = Relation([1, 2], [(1, 2)])
+        b = a.copy()
+        b.add(2, 1)
+        assert (2, 1) not in a
+
+    def test_equality(self):
+        assert Relation([1, 2], [(1, 2)]) == Relation([1, 2], [(1, 2)])
+        assert Relation([1, 2], [(1, 2)]) != Relation([1, 2])
+
+    def test_restricted_to(self):
+        rel = Relation([1, 2, 3], [(1, 2), (2, 3), (1, 3)])
+        sub = rel.restricted_to([1, 3])
+        assert sub.nodes == (1, 3)
+        assert (1, 3) in sub and len(sub) == 1
+
+
+class TestClosure:
+    def test_transitive_closure_chain(self):
+        rel = Relation([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4)])
+        closure = rel.transitive_closure()
+        assert (1, 4) in closure and (1, 3) in closure and (2, 4) in closure
+        assert (4, 1) not in closure
+
+    def test_closure_idempotent(self):
+        rel = Relation([1, 2, 3], [(1, 2), (2, 3)])
+        once = rel.transitive_closure()
+        twice = once.transitive_closure()
+        assert once == twice
+
+    def test_closure_preserves_original(self):
+        rel = Relation([1, 2, 3], [(1, 2), (2, 3)])
+        rel.transitive_closure()
+        assert (1, 3) not in rel
+
+    def test_acyclicity(self):
+        acyclic = Relation([1, 2, 3], [(1, 2), (2, 3)])
+        cyclic = Relation([1, 2, 3], [(1, 2), (2, 3), (3, 1)])
+        assert acyclic.is_acyclic()
+        assert not cyclic.is_acyclic()
+
+    def test_two_cycle(self):
+        rel = Relation([1, 2], [(1, 2), (2, 1)])
+        assert not rel.is_acyclic()
+
+    def test_is_irreflexive_transitive(self):
+        chain = Relation([1, 2, 3], [(1, 2), (2, 3)])
+        assert not chain.is_irreflexive_transitive()  # missing (1,3)
+        assert chain.transitive_closure().is_irreflexive_transitive()
+
+    def test_is_total_order(self):
+        total = relation_from_sequence([3, 1, 2])
+        assert total.is_total_order()
+        partial = Relation([1, 2, 3], [(1, 2)])
+        assert not partial.is_total_order()
+        cyclic = Relation([1, 2], [(1, 2), (2, 1)])
+        assert not cyclic.is_total_order()
+
+
+class TestLinearExtensions:
+    def test_topological_order_respects_pairs(self):
+        rel = Relation([3, 1, 2], [(1, 2), (2, 3)])
+        order = rel.topological_order()
+        assert order is not None
+        assert order.index(1) < order.index(2) < order.index(3)
+
+    def test_topological_order_of_cycle_is_none(self):
+        rel = Relation([1, 2], [(1, 2), (2, 1)])
+        assert rel.topological_order() is None
+
+    def test_linear_extensions_count(self):
+        # Three incomparable nodes: 3! = 6 extensions.
+        rel = Relation([1, 2, 3])
+        assert len(list(rel.linear_extensions())) == 6
+
+    def test_linear_extensions_respect_order(self):
+        rel = Relation([1, 2, 3], [(1, 2)])
+        orders = list(rel.linear_extensions())
+        assert len(orders) == 3
+        for order in orders:
+            assert order.index(1) < order.index(2)
+
+    def test_linear_extensions_limit(self):
+        rel = Relation(list(range(8)))
+        assert len(list(rel.linear_extensions(limit=10))) == 10
+
+    def test_relation_from_sequence(self):
+        rel = relation_from_sequence([5, 2, 9])
+        assert (5, 2) in rel and (2, 9) in rel and (5, 9) in rel
+        assert (9, 5) not in rel

@@ -1,0 +1,61 @@
+"""Property-based round-trip tests for history serialization."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    is_m_linearizable,
+    is_m_sequentially_consistent,
+)
+from repro.core.serialize import history_from_json, history_to_json
+from repro.workloads import (
+    HistoryShape,
+    corrupt_history,
+    random_serial_history,
+    stretch_history,
+)
+
+
+@st.composite
+def histories(draw):
+    shape = HistoryShape(
+        n_processes=draw(st.integers(2, 4)),
+        n_objects=draw(st.integers(1, 3)),
+        n_mops=draw(st.integers(1, 9)),
+        query_fraction=draw(st.floats(0.0, 0.8)),
+    )
+    seed = draw(st.integers(0, 9999))
+    h = random_serial_history(shape, seed=seed)
+    if draw(st.booleans()):
+        h = stretch_history(h, seed=seed)
+    if draw(st.booleans()):
+        h = corrupt_history(h, seed=seed) or h
+    return h
+
+
+@given(histories())
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_equivalence(h):
+    again = history_from_json(history_to_json(h))
+    assert h.equivalent_to(again)
+    assert again.equivalent_to(h)
+
+
+@given(histories())
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_preserves_verdicts(h):
+    again = history_from_json(history_to_json(h))
+    assert is_m_sequentially_consistent(
+        h, method="exact"
+    ) == is_m_sequentially_consistent(again, method="exact")
+    if h.is_timed:
+        assert is_m_linearizable(h, method="exact") == is_m_linearizable(
+            again, method="exact"
+        )
+
+
+@given(histories())
+@settings(max_examples=25, deadline=None)
+def test_double_roundtrip_is_fixed_point(h):
+    once = history_to_json(h)
+    twice = history_to_json(history_from_json(once))
+    assert once == twice

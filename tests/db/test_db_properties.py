@@ -1,0 +1,94 @@
+"""Property-based tests on the database-schedule side (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import (
+    Schedule,
+    is_conflict_serializable,
+    is_strict_view_serializable,
+    is_view_serializable,
+    r,
+    reduction_decides,
+    view_equivalent,
+    w,
+)
+
+
+@st.composite
+def schedules(draw):
+    n_txns = draw(st.integers(2, 3))
+    n_entities = draw(st.integers(1, 2))
+    entities = [f"e{i}" for i in range(n_entities)]
+    # Per-transaction programs.
+    programs = []
+    for tid in range(1, n_txns + 1):
+        length = draw(st.integers(1, 3))
+        program = []
+        for _ in range(length):
+            entity = draw(st.sampled_from(entities))
+            kind = draw(st.sampled_from([r, w]))
+            program.append(kind(tid, entity))
+        programs.append(program)
+    # Interleave by a drawn shuffle of slot owners.
+    slots = []
+    for index, program in enumerate(programs):
+        slots.extend([index] * len(program))
+    slots = draw(st.permutations(slots))
+    cursors = [0] * len(programs)
+    actions = []
+    for index in slots:
+        actions.append(programs[index][cursors[index]])
+        cursors[index] += 1
+    return Schedule(actions)
+
+
+@given(schedules())
+@settings(max_examples=60, deadline=None)
+def test_conflict_implies_view_serializable(s):
+    if is_conflict_serializable(s).serializable:
+        assert is_view_serializable(s).serializable
+
+
+@given(schedules())
+@settings(max_examples=60, deadline=None)
+def test_strict_implies_view_serializable(s):
+    if is_strict_view_serializable(s).serializable:
+        assert is_view_serializable(s).serializable
+
+
+@given(schedules())
+@settings(max_examples=40, deadline=None)
+def test_view_witness_is_view_equivalent(s):
+    result = is_view_serializable(s)
+    if result.serializable:
+        assert view_equivalent(s, s.serialize(result.witness_order))
+
+
+@given(schedules())
+@settings(max_examples=40, deadline=None)
+def test_strict_witness_respects_nonoverlap(s):
+    result = is_strict_view_serializable(s)
+    if result.serializable:
+        order = result.witness_order
+        for a, b in s.nonoverlap_pairs():
+            assert order.index(a) < order.index(b)
+
+
+@given(schedules())
+@settings(max_examples=25, deadline=None)
+def test_theorem2_biconditional_property(s):
+    """The reduction agrees with the database decider on arbitrary
+    hypothesis-generated schedules (not just our generator's)."""
+    assert (
+        is_strict_view_serializable(s).serializable
+        == reduction_decides(s)
+    )
+
+
+@given(schedules())
+@settings(max_examples=40, deadline=None)
+def test_serial_schedules_are_serializable(s):
+    serial = s.serialize(list(s.tids))
+    assert is_view_serializable(serial).serializable
+    assert is_strict_view_serializable(serial).serializable
+    assert is_conflict_serializable(serial).serializable

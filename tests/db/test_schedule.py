@@ -1,0 +1,114 @@
+"""Unit tests for database schedules (Section 3)."""
+
+import pytest
+
+from repro.db import (
+    Schedule,
+    T_INIT,
+    r,
+    schedule_from_string,
+    w,
+)
+from repro.errors import MalformedHistoryError
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Schedule([w(1, "x"), r(2, "x"), w(2, "y")])
+        assert s.tids == (1, 2)
+        assert s.entities == {"x", "y"}
+        assert len(s) == 3
+
+    def test_reserved_tids_rejected(self):
+        with pytest.raises(MalformedHistoryError):
+            Schedule([w(0, "x")])
+        with pytest.raises(MalformedHistoryError):
+            Schedule([w(-1, "x")])
+
+    def test_transaction_program(self):
+        s = schedule_from_string("r1(x) w2(y) w1(x) r2(x)")
+        assert s.transaction(1) == (r(1, "x"), w(1, "x"))
+        assert s.transaction(2) == (w(2, "y"), r(2, "x"))
+
+    def test_parser_roundtrip(self):
+        text = "r1(x) w2(y) w1(x)"
+        assert str(schedule_from_string(text)) == text
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(MalformedHistoryError):
+            schedule_from_string("x1(y)")
+        with pytest.raises(MalformedHistoryError):
+            schedule_from_string("rA(y)")
+
+
+class TestSpansAndOverlap:
+    def test_span(self):
+        s = schedule_from_string("r1(x) w2(y) w1(x) r2(x)")
+        assert s.span(1) == (0, 2)
+        assert s.span(2) == (1, 3)
+
+    def test_span_unknown_tid(self):
+        s = schedule_from_string("r1(x)")
+        with pytest.raises(MalformedHistoryError):
+            s.span(9)
+
+    def test_overlap(self):
+        s = schedule_from_string("r1(x) w2(y) w1(x) r2(x) w3(x)")
+        assert s.overlaps(1, 2) and s.overlaps(2, 1)
+        assert not s.overlaps(1, 3)
+        assert not s.overlaps(3, 1)
+
+    def test_nonoverlap_pairs(self):
+        s = schedule_from_string("r1(x) w1(x) w2(y) r3(x) w3(y)")
+        pairs = s.nonoverlap_pairs()
+        assert (1, 2) in pairs and (2, 3) in pairs and (1, 3) in pairs
+        assert (2, 1) not in pairs
+
+
+class TestSemantics:
+    def test_reads_from_initial(self):
+        s = schedule_from_string("r1(x)")
+        assert s.reads_from() == {(1, 0, "x"): (T_INIT, 0)}
+
+    def test_reads_from_last_writer(self):
+        s = schedule_from_string("w1(x) w2(x) r3(x)")
+        rf = s.reads_from()
+        assert rf[(3, 0, "x")] == (2, 0)
+
+    def test_reads_from_tracks_write_positions(self):
+        # T1 writes x twice; the read between them sees write #0, a
+        # read after them would see write #1.
+        s = schedule_from_string("w1(x) r2(x) w1(x) r3(x)")
+        rf = s.reads_from()
+        assert rf[(2, 0, "x")] == (1, 0)
+        assert rf[(3, 0, "x")] == (1, 1)
+
+    def test_multiple_reads_by_position(self):
+        s = schedule_from_string("r1(x) w2(x) r1(x)")
+        rf = s.reads_from()
+        assert rf[(1, 0, "x")] == (T_INIT, 0)
+        assert rf[(1, 1, "x")] == (2, 0)
+
+    def test_final_writers(self):
+        s = schedule_from_string("w1(x) w2(x) w1(y) r3(z)")
+        finals = s.final_writers()
+        assert finals == {"x": 2, "y": 1, "z": T_INIT}
+
+
+class TestSerialization:
+    def test_serialize(self):
+        s = schedule_from_string("r1(x) w2(x) w1(y)")
+        serial = s.serialize([2, 1])
+        assert str(serial) == "w2(x) r1(x) w1(y)"
+        assert serial.is_serial()
+
+    def test_serialize_requires_permutation(self):
+        s = schedule_from_string("r1(x) w2(x)")
+        with pytest.raises(MalformedHistoryError):
+            s.serialize([1])
+        with pytest.raises(MalformedHistoryError):
+            s.serialize([1, 1])
+
+    def test_is_serial(self):
+        assert schedule_from_string("r1(x) w1(y) w2(x)").is_serial()
+        assert not schedule_from_string("r1(x) w2(x) w1(y)").is_serial()

@@ -1,0 +1,143 @@
+"""Unit tests for (strict) view and conflict serializability."""
+
+import pytest
+
+from repro.db import (
+    conflict_pairs,
+    is_conflict_serializable,
+    is_strict_view_serializable,
+    is_view_serializable,
+    random_schedule,
+    schedule_from_string,
+    view_equivalent,
+)
+
+
+class TestViewEquivalence:
+    def test_schedule_equivalent_to_itself(self):
+        s = schedule_from_string("r1(x) w2(x) r1(y)")
+        assert view_equivalent(s, s)
+
+    def test_serial_rearrangement(self):
+        s = schedule_from_string("w1(x) r2(x) w1(y)")
+        # Serial order (1, 2): T1 completes (w x, w y), then T2 reads
+        # x from T1 — same reads-from as the interleaving.
+        assert view_equivalent(s, s.serialize([1, 2]))
+        assert not view_equivalent(s, s.serialize([2, 1]))
+
+    def test_different_transactions_not_equivalent(self):
+        a = schedule_from_string("w1(x)")
+        b = schedule_from_string("w2(x)")
+        assert not view_equivalent(a, b)
+
+    def test_write_position_matters(self):
+        # T1 writes x twice; T2 reads between them.  Any serial order
+        # lets T2 see only T1's *last* write (or the initial value),
+        # never the first — so the schedule is not view equivalent to
+        # either serial order.
+        s = schedule_from_string("w1(x) r2(x) w1(x)")
+        assert not view_equivalent(s, s.serialize([1, 2]))
+        assert not view_equivalent(s, s.serialize([2, 1]))
+        assert not is_view_serializable(s).serializable
+
+
+class TestViewSerializability:
+    def test_serial_schedule_trivially_serializable(self):
+        s = schedule_from_string("w1(x) r1(y) w2(x) r2(x)")
+        res = is_view_serializable(s)
+        assert res.serializable
+        assert res.witness_order == (1, 2)
+
+    def test_classic_nonserializable(self):
+        # Lost update: both read x before either writes it.
+        s = schedule_from_string("r1(x) r2(x) w1(x) w2(x)")
+        assert not is_view_serializable(s)
+
+    def test_blind_write_view_serializable_not_conflict(self):
+        # The textbook example: view serializable thanks to blind
+        # writes, but its conflict graph has a cycle.
+        s = schedule_from_string("r1(x) w2(x) w1(x) w3(x)")
+        assert is_view_serializable(s).serializable
+        assert not is_conflict_serializable(s).serializable
+
+    def test_interleaved_but_serializable(self):
+        # T2 reads both of T1's writes; serial order (1, 2) matches.
+        s = schedule_from_string("w1(x) r2(x) w1(y) r2(y)")
+        assert is_view_serializable(s).serializable
+
+
+class TestStrictness:
+    def test_forced_inverse_order_is_strict_when_consistent(self):
+        # T2's read textually follows T3's write, so the only witness
+        # is (3, 2) — which agrees with the non-overlap order.
+        s = schedule_from_string("w3(y) r2(y)")
+        res = is_strict_view_serializable(s)
+        assert res.serializable and res.witness_order == (3, 2)
+
+    def test_strict_witness_preserves_nonoverlap_order(self):
+        s = schedule_from_string("r1(x) w1(x) w2(y) r3(x) w3(y)")
+        res = is_strict_view_serializable(s)
+        assert res.serializable
+        order = res.witness_order
+        for a, b in s.nonoverlap_pairs():
+            assert order.index(a) < order.index(b)
+
+    def test_strict_subset_of_view(self):
+        for seed in range(60):
+            s = random_schedule(3, 2, 3, seed=seed)
+            if is_strict_view_serializable(s).serializable:
+                assert is_view_serializable(s).serializable
+
+    def test_strict_gap_exists(self):
+        """A schedule that is view- but not strict-view-serializable.
+
+        (Found by randomized search, pinned here.)  T2 completes
+        before T1 starts, yet every view-equivalent serial order must
+        place T1 before T2: T1 reads its own x back while T3's blind
+        write must land after T2's read and before T3's own read...
+        the deciders certify the asymmetry; the non-overlap check
+        below certifies *why* strictness fails.
+        """
+        s = schedule_from_string(
+            "w2(e0) r2(e0) r3(e0) w1(e0) r1(e0) w3(e0)"
+        )
+        plain = is_view_serializable(s)
+        assert plain.serializable
+        assert not is_strict_view_serializable(s).serializable
+        # Every plain witness must invert a completed pair.
+        order = plain.witness_order
+        violated = any(
+            order.index(a) > order.index(b)
+            for a, b in s.nonoverlap_pairs()
+        )
+        assert violated
+
+    def test_order_limit_bounds_search(self):
+        s = random_schedule(5, 2, 3, seed=1)
+        res = is_strict_view_serializable(s, order_limit=3)
+        assert res.orders_tried <= 3
+
+
+class TestConflictSerializability:
+    def test_conflict_pairs(self):
+        s = schedule_from_string("r1(x) w2(x) r1(y)")
+        assert conflict_pairs(s) == [(1, 2)]
+
+    def test_conflict_serializable_schedule(self):
+        s = schedule_from_string("r1(x) w1(x) r2(x) w2(x)")
+        res = is_conflict_serializable(s)
+        assert res.serializable and res.witness_order == (1, 2)
+
+    def test_conflict_cycle(self):
+        s = schedule_from_string("r1(x) w2(x) r2(y) w1(y)")
+        assert not is_conflict_serializable(s)
+
+    def test_conflict_implies_view(self):
+        for seed in range(60):
+            s = random_schedule(3, 2, 3, seed=seed)
+            if is_conflict_serializable(s).serializable:
+                assert is_view_serializable(s).serializable
+
+    def test_read_read_no_edge(self):
+        s = schedule_from_string("r1(x) r2(x)")
+        assert conflict_pairs(s) == []

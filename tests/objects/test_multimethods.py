@@ -1,0 +1,146 @@
+"""Unit tests for the multi-object operation library (S17).
+
+Programs are tested directly against a :class:`VersionedStore`
+(single replica) — their distributed semantics are covered by the
+protocol integration tests.
+"""
+
+import pytest
+
+from repro.objects import (
+    balance_total,
+    casn,
+    compare_and_swap,
+    dcas,
+    fetch_add,
+    m_assign,
+    m_read,
+    read_reg,
+    sum_of,
+    swap_objects,
+    transfer,
+    write_reg,
+)
+from repro.protocols import VersionedStore
+
+
+@pytest.fixture
+def store():
+    return VersionedStore({"x": 0, "y": 0, "z": 0})
+
+
+def run(store, program, uid=1):
+    return store.execute(program, uid)
+
+
+class TestRegisters:
+    def test_write_then_read(self, store):
+        run(store, write_reg("x", 42))
+        assert run(store, read_reg("x"), 2).result == 42
+
+    def test_classification(self):
+        assert write_reg("x", 1).may_write
+        assert not read_reg("x").may_write
+
+    def test_static_objects_declared(self):
+        assert read_reg("x").static_objects == {"x"}
+        assert write_reg("x", 1).static_objects == {"x"}
+
+
+class TestDCAS:
+    def test_success(self, store):
+        rec = run(store, dcas("x", "y", 0, 0, 10, 20))
+        assert rec.result is True
+        assert store.value_of("x") == 10 and store.value_of("y") == 20
+
+    def test_first_comparison_fails(self, store):
+        run(store, write_reg("x", 5))
+        rec = run(store, dcas("x", "y", 0, 0, 10, 20), 2)
+        assert rec.result is False
+        assert store.value_of("x") == 5 and store.value_of("y") == 0
+
+    def test_second_comparison_fails(self, store):
+        run(store, write_reg("y", 5))
+        rec = run(store, dcas("x", "y", 0, 0, 10, 20), 2)
+        assert rec.result is False
+
+    def test_short_circuit_read_set(self, store):
+        # When the first comparison fails, y is not even read — the
+        # read set genuinely depends on values read (Section 5).
+        run(store, write_reg("x", 5))
+        rec = run(store, dcas("x", "y", 0, 0, 10, 20), 2)
+        assert [str(op) for op in rec.ops] == ["r(x)5"]
+
+
+class TestCASN:
+    def test_success_over_three(self, store):
+        rec = run(store, casn([("x", 0, 1), ("y", 0, 2), ("z", 0, 3)]))
+        assert rec.result is True
+        assert (
+            store.value_of("x"),
+            store.value_of("y"),
+            store.value_of("z"),
+        ) == (1, 2, 3)
+
+    def test_all_or_nothing(self, store):
+        run(store, write_reg("z", 9))
+        rec = run(store, casn([("x", 0, 1), ("z", 0, 3)]), 2)
+        assert rec.result is False
+        assert store.value_of("x") == 0  # nothing written
+
+
+class TestAssignAndRead:
+    def test_m_assign_writes_all(self, store):
+        run(store, m_assign({"x": 1, "y": 2}))
+        assert store.value_of("x") == 1 and store.value_of("y") == 2
+
+    def test_m_read_snapshot(self, store):
+        run(store, m_assign({"x": 1, "y": 2}))
+        rec = run(store, m_read(["x", "y"]), 2)
+        assert rec.result == {"x": 1, "y": 2}
+        assert not m_read(["x", "y"]).may_write
+
+
+class TestTransfers:
+    def test_successful_transfer(self):
+        store = VersionedStore({"a": 100, "b": 50})
+        rec = store.execute(transfer("a", "b", 30), 1)
+        assert rec.result is True
+        assert store.value_of("a") == 70 and store.value_of("b") == 80
+
+    def test_insufficient_funds(self):
+        store = VersionedStore({"a": 10, "b": 0})
+        rec = store.execute(transfer("a", "b", 30), 1)
+        assert rec.result is False
+        assert store.value_of("a") == 10
+
+    def test_audit_total(self):
+        store = VersionedStore({"a": 10, "b": 20, "c": 30})
+        rec = store.execute(balance_total(["a", "b", "c"]), 1)
+        assert rec.result == 60
+
+
+class TestMiscMultimethods:
+    def test_sum_of(self, store):
+        run(store, m_assign({"x": 3, "y": 4}))
+        assert run(store, sum_of("x", "y"), 2).result == 7
+
+    def test_swap(self, store):
+        run(store, m_assign({"x": 1, "y": 2}))
+        run(store, swap_objects("x", "y"), 2)
+        assert store.value_of("x") == 2 and store.value_of("y") == 1
+
+    def test_fetch_add(self, store):
+        assert run(store, fetch_add("x", 5)).result == 0
+        assert run(store, fetch_add("x", 3), 2).result == 5
+        assert store.value_of("x") == 8
+
+    def test_cas_single_object(self, store):
+        assert run(store, compare_and_swap("x", 0, 9)).result is True
+        assert run(store, compare_and_swap("x", 0, 7), 2).result is False
+        assert store.value_of("x") == 9
+
+    def test_program_names_are_descriptive(self):
+        assert dcas("x", "y", 0, 0, 1, 1).name == "dcas(x,y)"
+        assert transfer("a", "b", 5).name == "transfer(a->b)"
+        assert balance_total(["b", "a"]).name == "audit(a,b)"

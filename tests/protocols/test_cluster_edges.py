@@ -1,0 +1,125 @@
+"""Edge cases and misuse errors of the cluster machinery."""
+
+import pytest
+
+from repro.core import check_m_normality
+from repro.errors import ProtocolError, SimulationError
+from repro.objects import read_reg, write_reg
+from repro.protocols import MProgram, mlin_cluster, msc_cluster
+from repro.workloads import random_workloads
+
+
+class TestClusterValidation:
+    def test_zero_processes_rejected(self):
+        with pytest.raises(SimulationError):
+            msc_cluster(0, ["x"])
+
+    def test_no_objects_rejected(self):
+        with pytest.raises(SimulationError):
+            msc_cluster(2, [])
+
+    def test_too_many_workloads_rejected(self):
+        cluster = msc_cluster(2, ["x"])
+        with pytest.raises(SimulationError):
+            cluster.run([[], [], []])
+
+    def test_cluster_is_single_use(self):
+        cluster = msc_cluster(2, ["x"])
+        cluster.run([[write_reg("x", 1)], []])
+        with pytest.raises(SimulationError):
+            cluster.run([[], []])
+
+    def test_fewer_workloads_than_processes_ok(self):
+        cluster = msc_cluster(3, ["x"])
+        result = cluster.run([[write_reg("x", 1)]])
+        assert len(result.recorder.records) == 1
+
+    def test_empty_workloads_ok(self):
+        cluster = msc_cluster(2, ["x"])
+        result = cluster.run([[], []])
+        assert result.recorder.records == []
+        assert len(result.history) == 0
+
+    def test_initial_values_defaults_and_overrides(self):
+        cluster = msc_cluster(
+            2, ["x", "y"], initial_values={"y": 9}
+        )
+        result = cluster.run([[read_reg("x"), read_reg("y")], []])
+        values = [rec.result for rec in result.recorder.records]
+        assert values == [0, 9]
+
+    def test_objects_sorted_canonically(self):
+        cluster = msc_cluster(2, ["b", "a"])
+        assert cluster.objects == ("a", "b")
+
+
+class TestProgramEdgeCases:
+    def test_program_touching_unknown_object(self):
+        bad = MProgram(
+            "bad", lambda view: view.read("nope"), may_write=False
+        )
+        cluster = msc_cluster(2, ["x"])
+        with pytest.raises(ProtocolError):
+            cluster.run([[bad], []])
+
+    def test_conservative_update_that_never_writes(self):
+        """may_write=True with no actual write still broadcasts.
+
+        Section 5's conservative classification: the m-operation is
+        treated as an update, pays the broadcast, and the run stays
+        consistent (a no-op applied everywhere).
+        """
+        noop_update = MProgram(
+            "maybe-write",
+            lambda view: view.read("x"),
+            may_write=True,
+            static_objects=frozenset(["x"]),
+        )
+        cluster = msc_cluster(2, ["x"])
+        result = cluster.run([[noop_update], [read_reg("x")]])
+        latencies = result.latencies(updates=True)
+        assert latencies and min(latencies) > 0.3  # paid the broadcast
+
+    def test_update_result_identical_at_issuer(self):
+        """The response carries the issuer's execution record."""
+        cluster = msc_cluster(2, ["x"])
+        result = cluster.run(
+            [[write_reg("x", 5)], [write_reg("x", 7)]]
+        )
+        results = result.results_by_uid()
+        assert sorted(results.values()) == [5, 7]
+
+
+class TestPaperClaims:
+    def test_mlin_protocol_also_implements_m_normality(self):
+        """Section 2.3: "the protocol for m-linearizability also
+        implements m-normality" — m-linearizability implies it, so
+        every Fig-6 run must pass the m-normality checker too."""
+        for seed in range(4):
+            cluster = mlin_cluster(3, ["x", "y"], seed=seed)
+            result = cluster.run(
+                random_workloads(3, ["x", "y"], 4, seed=seed + 40)
+            )
+            assert check_m_normality(
+                result.history, method="exact"
+            ).holds
+
+    def test_ww_sequence_covers_all_updates(self):
+        cluster = msc_cluster(3, ["x", "y"], seed=1)
+        result = cluster.run(
+            random_workloads(3, ["x", "y"], 4, seed=41)
+        )
+        broadcast_updates = {
+            rec.uid for rec in result.recorder.records if rec.is_update
+        }
+        assert set(result.ww_sequence) == broadcast_updates
+
+    def test_ww_pairs_chain(self):
+        cluster = msc_cluster(2, ["x"], seed=2)
+        result = cluster.run(
+            [[write_reg("x", 1), write_reg("x", 2)], [write_reg("x", 3)]]
+        )
+        pairs = result.ww_pairs()
+        assert len(pairs) == len(result.ww_sequence) - 1
+        for (a, b), (c, d) in zip(pairs, pairs[1:]):
+            assert b == c  # consecutive chain

@@ -1,0 +1,132 @@
+"""Unit tests for the S/X lock manager inside the 2PL protocol.
+
+These drive the manager role directly through crafted messages (using
+the controlled network so grants are observable step by step), pinning
+the policy details: S-sharing, FIFO fairness against writer
+starvation, batch grant of the S-prefix on release.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols import lock_cluster
+from repro.protocols.locking import COMMIT, LOCK_GRANT, LOCK_REQ
+from repro.sim import Message
+from repro.sim.explore import ControlledNetwork
+
+
+@pytest.fixture
+def manager():
+    """A 2-process cluster; obj 'a' homed at pid 0; manual messaging."""
+    cluster = lock_cluster(
+        2,
+        ["a", "b"],
+        network_factory=ControlledNetwork,
+        think_jitter=0.0,
+        start_jitter=0.0,
+    )
+    home = cluster.processes[0]
+    network = cluster.network
+    return cluster, home, network
+
+
+def lock_req(home, src, uid, mode):
+    home.handle_message(src, Message(LOCK_REQ, {"uid": uid, "obj": "a", "mode": mode}))
+
+
+def commit(home, src, uid, writes=None):
+    home.handle_message(
+        src, Message(COMMIT, {"uid": uid, "obj": "a", "writes": writes or {}})
+    )
+
+
+def grants(network):
+    """(dst, uid) of LOCK_GRANT messages currently pooled."""
+    return [
+        (dst, m.payload["uid"])
+        for (_s, dst, m) in network.pool
+        if m.kind == LOCK_GRANT
+    ]
+
+
+class TestGrantPolicy:
+    def test_free_object_grants_immediately(self, manager):
+        _c, home, network = manager
+        lock_req(home, src=1, uid=10, mode="X")
+        assert grants(network) == [(1, 10)]
+
+    def test_shared_holders_accumulate(self, manager):
+        _c, home, network = manager
+        lock_req(home, 1, 10, "S")
+        lock_req(home, 0, 11, "S")
+        assert grants(network) == [(1, 10), (0, 11)]
+
+    def test_x_waits_behind_s(self, manager):
+        _c, home, network = manager
+        lock_req(home, 1, 10, "S")
+        lock_req(home, 0, 11, "X")
+        assert grants(network) == [(1, 10)]
+
+    def test_fifo_no_reader_overtakes_waiting_writer(self, manager):
+        # S held; X queued; a later S must NOT jump the queue.
+        _c, home, network = manager
+        lock_req(home, 1, 10, "S")
+        lock_req(home, 0, 11, "X")
+        lock_req(home, 1, 12, "S")
+        assert grants(network) == [(1, 10)]
+        commit(home, 1, 10)  # release the S
+        # X goes next (alone), the later S still waits.
+        assert grants(network) == [(1, 10), (0, 11)]
+
+    def test_s_prefix_granted_in_batch(self, manager):
+        _c, home, network = manager
+        lock_req(home, 1, 10, "X")
+        lock_req(home, 0, 11, "S")
+        lock_req(home, 1, 12, "S")
+        lock_req(home, 0, 13, "X")
+        assert grants(network) == [(1, 10)]
+        commit(home, 1, 10)
+        # Both queued S granted together; trailing X still waits.
+        assert grants(network) == [(1, 10), (0, 11), (1, 12)]
+
+    def test_x_released_then_next_x(self, manager):
+        _c, home, network = manager
+        lock_req(home, 1, 10, "X")
+        lock_req(home, 0, 11, "X")
+        commit(home, 1, 10)
+        assert grants(network) == [(1, 10), (0, 11)]
+
+
+class TestManagerSafety:
+    def test_write_under_shared_lock_rejected(self, manager):
+        _c, home, _network = manager
+        lock_req(home, 1, 10, "S")
+        with pytest.raises(ProtocolError):
+            commit(home, 1, 10, writes={"a": 5})
+
+    def test_commit_by_non_owner_rejected(self, manager):
+        _c, home, _network = manager
+        lock_req(home, 1, 10, "X")
+        with pytest.raises(ProtocolError):
+            commit(home, 0, 99)
+
+    def test_wrong_home_rejected(self, manager):
+        cluster, _home, _network = manager
+        other = cluster.processes[1]  # 'a' is homed at pid 0
+        with pytest.raises(ProtocolError):
+            other.handle_message(
+                0,
+                Message(
+                    LOCK_REQ, {"uid": 1, "obj": "a", "mode": "X"}
+                ),
+            )
+
+    def test_write_applies_and_releases(self, manager):
+        _c, home, network = manager
+        lock_req(home, 1, 10, "X")
+        commit(home, 1, 10, writes={"a": 42})
+        assert home.store.value_of("a") == 42
+        assert home.store.writer_of("a") == 10
+        # Object free again.
+        lock_req(home, 0, 11, "S")
+        assert grants(network)[-1] == (0, 11)

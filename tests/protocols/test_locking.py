@@ -1,0 +1,136 @@
+"""The partitioned ordered-2PL protocol (OO-constraint route)."""
+
+import pytest
+
+from repro.core import check_m_linearizability
+from repro.errors import ProtocolError
+from repro.objects import (
+    balance_total,
+    dcas,
+    m_assign,
+    m_read,
+    read_reg,
+    transfer,
+    write_reg,
+)
+from repro.protocols import MProgram, home_of, lock_cluster
+from repro.sim import ExponentialLatency, UniformLatency
+from repro.workloads import random_workloads
+
+
+class TestHomes:
+    def test_round_robin(self):
+        objects = ("a", "b", "c", "d")
+        assert home_of("a", objects, 3) == 0
+        assert home_of("b", objects, 3) == 1
+        assert home_of("c", objects, 3) == 2
+        assert home_of("d", objects, 3) == 0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_run_m_linearizable(self, seed):
+        cluster = lock_cluster(3, ["x", "y", "z"], seed=seed)
+        result = cluster.run(
+            random_workloads(3, ["x", "y", "z"], 5, seed=seed + 100)
+        )
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_heavy_reordering(self, seed):
+        cluster = lock_cluster(
+            3, ["x", "y"], seed=seed, latency=ExponentialLatency(1.0)
+        )
+        result = cluster.run(
+            random_workloads(3, ["x", "y"], 4, seed=seed + 50)
+        )
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+
+    def test_contended_transfers_conserve_money(self):
+        accounts = ["a0", "a1", "a2"]
+        cluster = lock_cluster(
+            3,
+            accounts,
+            initial_values={a: 100 for a in accounts},
+            seed=3,
+        )
+        result = cluster.run(
+            [
+                [transfer("a0", "a1", 30), balance_total(accounts)],
+                [transfer("a1", "a2", 50), balance_total(accounts)],
+                [transfer("a2", "a0", 20), balance_total(accounts)],
+            ]
+        )
+        audits = [
+            rec.result
+            for rec in result.recorder.records
+            if rec.name.startswith("audit")
+        ]
+        assert audits and all(total == 300 for total in audits)
+
+    def test_contended_dcas_single_winner(self):
+        for seed in range(5):
+            cluster = lock_cluster(2, ["x", "y"], seed=seed)
+            result = cluster.run(
+                [
+                    [dcas("x", "y", 0, 0, 1, 1)],
+                    [dcas("x", "y", 0, 0, 2, 2)],
+                ]
+            )
+            assert sorted(result.results_by_uid().values()) == [False, True]
+
+    def test_requires_static_objects(self):
+        undeclared = MProgram(
+            "anon", lambda view: view.read("x"), may_write=False
+        )
+        cluster = lock_cluster(2, ["x"], seed=0)
+        with pytest.raises(ProtocolError):
+            cluster.run([[undeclared]])
+
+    def test_single_process_cluster(self):
+        cluster = lock_cluster(1, ["x"], seed=0)
+        result = cluster.run([[write_reg("x", 5), read_reg("x")]])
+        assert result.results_by_uid()[2] == 5
+
+
+class TestCostShape:
+    def test_latency_grows_with_span(self):
+        """Sequential lock acquisition: wider m-operations cost more."""
+        objects = [f"o{i}" for i in range(6)]
+
+        def mean_latency(span):
+            cluster = lock_cluster(
+                3,
+                objects,
+                seed=9,
+                latency=UniformLatency(0.9, 1.1),
+                think_jitter=0.0,
+            )
+            programs = [m_read(objects[:span]) for _ in range(3)]
+            result = cluster.run([programs, [], []])
+            lats = result.latencies()
+            return sum(lats) / len(lats)
+
+        narrow = mean_latency(1)
+        wide = mean_latency(6)
+        assert wide > 2 * narrow
+
+    def test_disjoint_operations_run_concurrently(self):
+        """No global serialization: disjoint writers overlap in time."""
+        cluster = lock_cluster(
+            2,
+            ["x", "y"],
+            seed=1,
+            latency=UniformLatency(0.9, 1.1),
+            think_jitter=0.0,
+            start_jitter=0.0,
+        )
+        result = cluster.run(
+            [[write_reg("x", 1)], [write_reg("y", 2)]]
+        )
+        (a, b) = sorted(result.recorder.records, key=lambda r: r.inv)
+        assert a.inv < b.resp and b.inv < a.resp  # overlapping

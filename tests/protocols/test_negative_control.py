@@ -1,0 +1,118 @@
+"""The local-gossip control: inconsistency must occur *and be caught*.
+
+A checker that never fires is worthless as evidence; this suite shows
+the exact checker rejecting real executions of a protocol that skips
+the total-order step, and accepts that some lucky seeds stay
+consistent (gossip can happen to arrive in compatible orders).
+"""
+
+import pytest
+
+from repro.core import (
+    check_m_linearizability,
+    check_m_sequential_consistency,
+)
+from repro.objects import m_read, read_reg, write_reg
+from repro.protocols import local_cluster
+from repro.sim import UniformLatency
+from repro.workloads import BLIND_MIX, random_workloads
+
+
+def run_control(seed, *, n=3, ops=6):
+    objects = ["x", "y"]
+    cluster = local_cluster(
+        n,
+        objects,
+        seed=seed,
+        latency=UniformLatency(0.1, 3.0),
+        think_jitter=0.05,
+    )
+    workloads = random_workloads(
+        n, objects, ops, seed=seed + 500, mix=BLIND_MIX
+    )
+    return cluster.run(workloads)
+
+
+class TestControlViolations:
+    def test_msc_violations_occur(self):
+        """Some seeds must produce non-m-SC executions."""
+        violations = 0
+        runs = 0
+        for seed in range(12):
+            result = run_control(seed)
+            runs += 1
+            if not check_m_sequential_consistency(
+                result.history, method="exact"
+            ).holds:
+                violations += 1
+        assert violations > 0, (
+            "the unordered-gossip control never violated m-SC in "
+            f"{runs} runs — the checker or the control is broken"
+        )
+
+    def test_mlin_violations_more_frequent_than_msc(self):
+        msc_bad = mlin_bad = 0
+        for seed in range(12):
+            result = run_control(seed)
+            if not check_m_sequential_consistency(
+                result.history, method="exact"
+            ).holds:
+                msc_bad += 1
+            if not check_m_linearizability(
+                result.history, method="exact"
+            ).holds:
+                mlin_bad += 1
+        assert mlin_bad >= msc_bad
+        assert mlin_bad > 0
+
+    def test_handcrafted_divergence(self):
+        """Two replicas apply two writes in opposite orders.
+
+        P0 writes x=1 and P1 writes x=2 nearly simultaneously; with
+        slow gossip each sees its own write first.  Their subsequent
+        reads disagree on the final order — not m-SC.
+        """
+        cluster = local_cluster(
+            2,
+            ["x"],
+            seed=3,
+            latency=UniformLatency(2.0, 2.1),
+            think_jitter=0.0,
+            start_jitter=0.0,
+            think_fn=lambda _rng: 1.5,
+        )
+        result = cluster.run(
+            [
+                [write_reg("x", 1), read_reg("x"), read_reg("x")],
+                [write_reg("x", 2), read_reg("x"), read_reg("x")],
+            ]
+        )
+        # Before gossip lands (t < 2), each replica reads its own
+        # write (at t=1.5); after the crossing gossip is applied, each
+        # replica's second read (t=3.0) returns the *other* write.  P0
+        # observes the write order (1, 2) while P1 observes (2, 1) —
+        # no single legal sequential history explains both.
+        reads = sorted(
+            (rec.process, rec.inv, rec.result)
+            for rec in result.recorder.records
+            if rec.name.startswith("read")
+        )
+        assert [v for p_, _t, v in reads if p_ == 0] == [1, 2]
+        assert [v for p_, _t, v in reads if p_ == 1] == [2, 1]
+        assert not check_m_sequential_consistency(
+            result.history, method="exact"
+        ).holds
+
+    def test_single_writer_control_stays_consistent(self):
+        """With one writer there is nothing to disorder."""
+        cluster = local_cluster(3, ["x"], seed=0)
+        result = cluster.run(
+            [
+                [write_reg("x", 1), write_reg("x", 2)],
+                [read_reg("x"), read_reg("x")],
+                [read_reg("x")],
+            ]
+        )
+        assert check_m_sequential_consistency(
+            result.history, method="exact"
+        ).holds

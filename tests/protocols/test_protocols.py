@@ -1,0 +1,270 @@
+"""Protocol correctness: Theorems 15 and 20 as executable experiments.
+
+Every randomized run of the Figure-4 protocol must be m-sequentially
+consistent (Theorem 15) and every run of the Figure-6 protocol must be
+m-linearizable (Theorem 20); the baselines have their own guarantees.
+Runs are verified with the *exact* checker (ground truth).
+"""
+
+import pytest
+
+from repro.abcast import LamportAbcast, SequencerAbcast
+from repro.core import (
+    check_m_linearizability,
+    check_m_sequential_consistency,
+)
+from repro.objects import (
+    balance_total,
+    dcas,
+    fetch_add,
+    m_assign,
+    m_read,
+    read_reg,
+    transfer,
+    write_reg,
+)
+from repro.protocols import (
+    aggregate_cluster,
+    mlin_cluster,
+    msc_cluster,
+    server_cluster,
+)
+from repro.sim import ExponentialLatency, UniformLatency
+from repro.workloads import random_workloads
+
+
+def run_protocol(factory, seed, *, n=3, ops=4, latency=None, **kwargs):
+    objects = ["x", "y", "z"]
+    cluster = factory(
+        n,
+        objects,
+        seed=seed,
+        latency=latency or UniformLatency(0.3, 1.8),
+        **kwargs,
+    )
+    workloads = random_workloads(n, objects, ops, seed=seed + 1000)
+    return cluster.run(workloads)
+
+
+class TestMSCProtocol:
+    """Figure 4 / Theorem 15."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_run_m_sequentially_consistent(self, seed):
+        result = run_protocol(msc_cluster, seed)
+        assert result.abcast_violation is None
+        assert check_m_sequential_consistency(
+            result.history, method="exact"
+        ).holds
+
+    def test_queries_are_local(self):
+        result = run_protocol(msc_cluster, 42)
+        for latency in result.latencies(updates=False):
+            assert latency <= 0.01  # local_delay only
+
+    def test_updates_pay_broadcast_latency(self):
+        result = run_protocol(msc_cluster, 42)
+        for latency in result.latencies(updates=True):
+            assert latency > 0.3  # at least one network hop
+
+    def test_works_with_lamport_abcast(self):
+        result = run_protocol(
+            msc_cluster, 5, abcast_factory=LamportAbcast
+        )
+        assert result.abcast_violation is None
+        assert check_m_sequential_consistency(
+            result.history, method="exact"
+        ).holds
+
+    def test_not_always_m_linearizable(self):
+        """The stale-read scenario: Fig-4 queries may miss commits."""
+        from repro.workloads import figure5_scenario
+
+        outcome = figure5_scenario()
+        assert outcome.stale_reads  # staleness deterministically occurs
+        assert check_m_sequential_consistency(
+            outcome.history, method="exact"
+        ).holds
+        assert not check_m_linearizability(
+            outcome.history, method="exact"
+        ).holds
+
+
+class TestMLinProtocol:
+    """Figure 6 / Theorem 20."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_run_m_linearizable(self, seed):
+        result = run_protocol(mlin_cluster, seed)
+        assert result.abcast_violation is None
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+
+    def test_no_stale_reads(self):
+        from repro.workloads import figure7_scenario
+
+        outcome = figure7_scenario()
+        assert outcome.stale_reads == []
+        assert check_m_linearizability(
+            outcome.history, method="exact"
+        ).holds
+
+    def test_queries_pay_round_trip(self):
+        result = run_protocol(mlin_cluster, 42)
+        for latency in result.latencies(updates=False):
+            assert latency > 0.5  # two one-way delays minimum-ish
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_relevant_only_replies_still_linearizable(self, seed):
+        result = run_protocol(
+            mlin_cluster, seed, reply_relevant_only=True
+        )
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+
+    def test_relevant_only_shrinks_replies(self):
+        full = run_protocol(mlin_cluster, 9)
+        slim = run_protocol(mlin_cluster, 9, reply_relevant_only=True)
+        full_bytes = full.net_stats.size_by_kind.get("query-resp", 0)
+        slim_bytes = slim.net_stats.size_by_kind.get("query-resp", 0)
+        assert slim_bytes < full_bytes
+
+    def test_single_process_cluster(self):
+        cluster = mlin_cluster(1, ["x"], seed=0)
+        result = cluster.run([[write_reg("x", 1), read_reg("x")]])
+        assert result.results_by_uid()[2] == 1
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+
+    def test_works_with_lamport_abcast(self):
+        result = run_protocol(
+            mlin_cluster, 5, abcast_factory=LamportAbcast
+        )
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_heavy_tail_latency(self, seed):
+        result = run_protocol(
+            mlin_cluster, seed, latency=ExponentialLatency(1.0)
+        )
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_aggregate_is_m_linearizable(self, seed):
+        result = run_protocol(aggregate_cluster, seed)
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+
+    def test_aggregate_queries_pay_broadcast(self):
+        result = run_protocol(aggregate_cluster, 42)
+        for latency in result.latencies(updates=False):
+            assert latency > 0.3
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_server_is_m_linearizable(self, seed):
+        result = run_protocol(server_cluster, seed)
+        assert check_m_linearizability(
+            result.history, method="exact"
+        ).holds
+
+    def test_server_remote_ops_pay_round_trip(self):
+        result = run_protocol(server_cluster, 42)
+        remote = [
+            rec.resp - rec.inv
+            for rec in result.recorder.records
+            if rec.process != 0
+        ]
+        assert remote and min(remote) > 0.5
+
+
+class TestSemantics:
+    """End-to-end semantics of the multi-object operations."""
+
+    def test_bank_conservation_under_mlin(self):
+        accounts = ["a0", "a1", "a2"]
+        cluster = mlin_cluster(
+            3,
+            accounts,
+            initial_values={acct: 100 for acct in accounts},
+            seed=4,
+        )
+        workloads = [
+            [transfer("a0", "a1", 10), transfer("a1", "a2", 120)],
+            [balance_total(accounts), balance_total(accounts)],
+            [transfer("a2", "a0", 30), balance_total(accounts)],
+        ]
+        result = cluster.run(workloads)
+        audits = [
+            rec.result
+            for rec in result.recorder.records
+            if rec.name.startswith("audit")
+        ]
+        assert audits and all(total == 300 for total in audits)
+
+    def test_dcas_success_and_failure(self):
+        cluster = mlin_cluster(2, ["x", "y"], seed=1)
+        result = cluster.run(
+            [
+                [dcas("x", "y", 0, 0, 5, 6)],
+                [],
+            ]
+        )
+        assert result.results_by_uid()[1] is True
+        cluster2 = mlin_cluster(2, ["x", "y"], seed=1)
+        result2 = cluster2.run(
+            [
+                [dcas("x", "y", 3, 3, 5, 6)],  # expects wrong values
+                [],
+            ]
+        )
+        assert result2.results_by_uid()[1] is False
+
+    def test_contended_dcas_exactly_one_winner(self):
+        # Both processes attempt DCAS from (0, 0); atomicity means
+        # exactly one succeeds no matter the interleaving.
+        for seed in range(6):
+            cluster = mlin_cluster(2, ["x", "y"], seed=seed)
+            result = cluster.run(
+                [
+                    [dcas("x", "y", 0, 0, 1, 1)],
+                    [dcas("x", "y", 0, 0, 2, 2)],
+                ]
+            )
+            outcomes = sorted(result.results_by_uid().values())
+            assert outcomes == [False, True]
+
+    def test_m_assign_and_m_read_atomicity(self):
+        # Snapshots must never observe a torn m-assign.
+        for seed in range(6):
+            cluster = mlin_cluster(2, ["x", "y"], seed=seed)
+            result = cluster.run(
+                [
+                    [m_assign({"x": 1, "y": 1}), m_assign({"x": 2, "y": 2})],
+                    [m_read(["x", "y"]), m_read(["x", "y"])],
+                ]
+            )
+            for rec in result.recorder.records:
+                if rec.name.startswith("mread"):
+                    snap = rec.result
+                    assert snap["x"] == snap["y"]
+
+    def test_fetch_add_returns_old_values(self):
+        cluster = mlin_cluster(2, ["c"], seed=3)
+        result = cluster.run(
+            [
+                [fetch_add("c", 1), fetch_add("c", 1)],
+                [fetch_add("c", 1)],
+            ]
+        )
+        olds = sorted(result.results_by_uid().values())
+        assert olds == [0, 1, 2]

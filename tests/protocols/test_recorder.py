@@ -1,0 +1,71 @@
+"""Unit tests for the history recorder (S16)."""
+
+import pytest
+
+from repro.core import read, write
+from repro.errors import ProtocolError
+from repro.protocols import HistoryRecorder, OpRecord
+
+
+def record(uid, process, inv, resp, ops, reads_from, *, name="op", update=True):
+    return OpRecord(
+        uid=uid,
+        process=process,
+        name=name,
+        inv=inv,
+        resp=resp,
+        ops=tuple(ops),
+        reads_from=reads_from,
+        result=None,
+        is_update=update,
+    )
+
+
+class TestRecorder:
+    def test_build_simple_history(self):
+        rec = HistoryRecorder()
+        rec.begin(1, 0.0, "w")
+        rec.complete(record(1, 0, 0.0, 1.0, [write("x", 5)], {}))
+        rec.begin(2, 2.0, "r")
+        rec.complete(
+            record(2, 1, 2.0, 3.0, [read("x", 5)], {"x": 1}, update=False)
+        )
+        h = rec.build_history({"x": 0})
+        assert len(h) == 2
+        assert h.writer_of(2, "x") == 1
+        assert h.is_timed
+
+    def test_double_begin_rejected(self):
+        rec = HistoryRecorder()
+        rec.begin(1, 0.0, "w")
+        with pytest.raises(ProtocolError):
+            rec.begin(1, 0.5, "w")
+
+    def test_incomplete_invocation_blocks_build(self):
+        rec = HistoryRecorder()
+        rec.begin(1, 0.0, "w")
+        assert rec.incomplete == {1: (0.0, "w")}
+        with pytest.raises(ProtocolError):
+            rec.build_history({"x": 0})
+
+    def test_completion_clears_incomplete(self):
+        rec = HistoryRecorder()
+        rec.begin(1, 0.0, "w")
+        rec.complete(record(1, 0, 0.0, 1.0, [write("x", 5)], {}))
+        assert rec.incomplete == {}
+
+    def test_mop_names_carry_uid(self):
+        rec = HistoryRecorder()
+        rec.begin(1, 0.0, "transfer")
+        rec.complete(
+            record(1, 0, 0.0, 1.0, [write("x", 5)], {}, name="transfer")
+        )
+        h = rec.build_history({"x": 0})
+        assert h[1].name == "transfer#1"
+
+    def test_response_times(self):
+        rec = HistoryRecorder()
+        rec.begin(1, 0.0, "w")
+        rec.complete(record(1, 0, 0.0, 2.5, [write("x", 5)], {}))
+        [(r, latency)] = rec.response_times()
+        assert latency == 2.5

@@ -1,0 +1,140 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+
+    def test_pending_counts_exclude_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1
+
+
+class TestRunControl:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(5.0, lambda: fired.append("b"))
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("a"))
+        sim.run(until=2.0)
+        assert fired == ["a"]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        assert sim.step()
+        assert fired == ["a"]
+        assert not sim.step()
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 3
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        error = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError:
+                error.append(True)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert error == [True]

@@ -1,0 +1,76 @@
+"""Export hygiene: __all__ is accurate everywhere.
+
+Catches drift between modules and their public interfaces: every name
+in each package's ``__all__`` must resolve, and the headline API must
+be reachable from the top-level ``repro`` namespace.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.db",
+    "repro.sim",
+    "repro.abcast",
+    "repro.protocols",
+    "repro.objects",
+    "repro.workloads",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted_unique(package):
+    module = importlib.import_module(package)
+    names = list(module.__all__)
+    assert len(names) == len(set(names)), f"{package} has duplicates"
+
+
+HEADLINE = [
+    # model + checkers
+    "History",
+    "MOperation",
+    "check_m_sequential_consistency",
+    "check_m_linearizability",
+    "check_m_normality",
+    # protocols
+    "msc_cluster",
+    "mlin_cluster",
+    "causal_cluster",
+    "lock_cluster",
+    "aggregate_cluster",
+    "server_cluster",
+    # operations
+    "dcas",
+    "m_assign",
+    "m_read",
+    "transfer",
+    # tooling
+    "save_history",
+    "load_history",
+]
+
+
+def test_headline_api_reachable():
+    import repro
+
+    for name in HEADLINE:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)

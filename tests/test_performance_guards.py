@@ -1,0 +1,80 @@
+"""Coarse performance guards.
+
+These are regression tripwires, not benchmarks: generous bounds that
+only fail if an algorithmic regression (e.g. losing the bitmask
+closure or a pruning) makes something super-polynomially slower.
+Wall-clock limits are 10x+ above current costs to stay robust on slow
+machines.
+"""
+
+import time
+
+from repro.core import (
+    check_m_sequential_consistency,
+    msc_order,
+)
+from repro.core.monitor import verify_stream
+from repro.protocols import msc_cluster
+from repro.workloads import HistoryShape, random_serial_history, random_workloads
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_constrained_checker_on_300_mops_under_5s():
+    shape = HistoryShape(
+        n_processes=5, n_objects=4, n_mops=300, query_fraction=0.4
+    )
+    h = random_serial_history(shape, seed=3)
+    updates = [m.uid for m in h.mops if m.is_update]
+    ww = list(zip(updates, updates[1:]))
+    verdict, seconds = timed(
+        lambda: check_m_sequential_consistency(
+            h, method="constrained", extra_pairs=ww
+        )
+    )
+    assert verdict.holds
+    assert seconds < 5.0
+
+
+def test_exact_checker_on_easy_100_mops_under_5s():
+    shape = HistoryShape(
+        n_processes=5, n_objects=3, n_mops=100, query_fraction=0.4
+    )
+    h = random_serial_history(shape, seed=4)
+    verdict, seconds = timed(
+        lambda: check_m_sequential_consistency(h, method="exact")
+    )
+    assert verdict.holds
+    assert seconds < 5.0
+
+
+def test_transitive_closure_300_nodes_under_2s():
+    from repro.core import Relation
+
+    n = 300
+    rel = Relation(range(n), [(i, i + 1) for i in range(n - 1)])
+    closure, seconds = timed(rel.transitive_closure)
+    assert (0, n - 1) in closure
+    assert seconds < 2.0
+
+
+def test_simulation_500_mops_under_10s():
+    def run():
+        cluster = msc_cluster(8, ["x", "y", "z"], seed=5)
+        return cluster.run(
+            random_workloads(8, ["x", "y", "z"], 60, seed=6)
+        )
+
+    result, seconds = timed(run)
+    assert len(result.history) == 480
+    assert seconds < 10.0
+    # And the monitor keeps up.
+    verifier, monitor_seconds = timed(
+        lambda: verify_stream(result, condition="m-sc")
+    )
+    assert verifier.consistent
+    assert monitor_seconds < 2.0

@@ -1,0 +1,58 @@
+"""Unit tests for the Figure-5/Figure-7 protocol scenarios."""
+
+from repro.core import (
+    check_m_linearizability,
+    check_m_sequential_consistency,
+)
+from repro.workloads import figure5_scenario, figure7_scenario
+
+
+class TestFigure5:
+    def setup_method(self):
+        self.outcome = figure5_scenario()
+
+    def test_stale_reads_deterministically_occur(self):
+        assert len(self.outcome.stale_reads) >= 2
+
+    def test_reads_progress_through_versions(self):
+        values = [v for _i, _r, v in self.outcome.reads]
+        # Values only move forward through versions 0 -> 1 -> 4.
+        order = {0: 0, 1: 1, 4: 2}
+        ranks = [order[v] for v in values]
+        assert ranks == sorted(ranks)
+
+    def test_msc_holds_despite_staleness(self):
+        assert check_m_sequential_consistency(
+            self.outcome.history, method="exact"
+        ).holds
+
+    def test_mlin_fails(self):
+        assert not check_m_linearizability(
+            self.outcome.history, method="exact"
+        ).holds
+
+    def test_commit_points_ordered(self):
+        first, second = self.outcome.commit_times
+        assert first < second
+
+
+class TestFigure7:
+    def setup_method(self):
+        self.outcome = figure7_scenario()
+
+    def test_no_stale_reads(self):
+        assert self.outcome.stale_reads == []
+
+    def test_mlin_holds(self):
+        assert check_m_linearizability(
+            self.outcome.history, method="exact"
+        ).holds
+
+    def test_reads_cost_round_trips(self):
+        for inv, resp, _v in self.outcome.reads:
+            assert resp - inv > 5.0  # the far replica's round trip
+
+    def test_fig5_reads_are_cheaper(self):
+        cheap = figure5_scenario()
+        for inv, resp, _v in cheap.reads:
+            assert resp - inv < 0.01
