@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test chaos chaos-smoke report
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Full chaos suite: every @pytest.mark.chaos schedule (still < 60 s).
+chaos:
+	$(PYTHON) -m pytest -q -m chaos
+
+## A handful of schedules straight from the CLI, for quick eyeballing.
+chaos-smoke:
+	$(PYTHON) -m repro chaos --protocol msc --runs 5 --fault-seed 0
+	$(PYTHON) -m repro chaos --protocol mlin --runs 5 --fault-seed 0
+
+report:
+	$(PYTHON) -m repro report

@@ -11,6 +11,10 @@ Commands:
   the Figure-5/7 protocol scenarios.
 * ``report`` — regenerate every experiment's numbers (same as
   ``python -m benchmarks.report``, but shipped with the library).
+* ``chaos`` — run seeded fault-injection schedules (message drops,
+  duplicates, latency spikes, crash-restarts, sequencer failover)
+  against a protocol and verify every surviving run with the
+  consistency checkers; see ``docs/fault_model.md``.
 """
 
 from __future__ import annotations
@@ -157,6 +161,31 @@ def cmd_figures(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.sim.chaos import run_chaos
+
+    failures = 0
+    for seed in range(args.fault_seed, args.fault_seed + args.runs):
+        result = run_chaos(
+            args.protocol,
+            seed,
+            n=args.processes,
+            ops_per_process=args.ops,
+            recovery=args.recovery,
+            recover=not args.no_recover,
+        )
+        print(result.summary())
+        failures += not result.ok
+    if args.no_recover:
+        # The negative control is *expected* to lose operations or
+        # fail verification; succeeding would mean the control proves
+        # nothing.
+        print(f"negative control: {failures}/{args.runs} runs failed")
+        return 0 if failures else 1
+    print(f"{args.runs - failures}/{args.runs} runs ok")
+    return 1 if failures else 0
+
+
 def cmd_report(_args: argparse.Namespace) -> int:
     try:
         from benchmarks.report import main as report_main
@@ -215,6 +244,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="regenerate all experiments")
     report.set_defaults(func=cmd_report)
+
+    chaos = sub.add_parser(
+        "chaos", help="run fault-injection schedules and verify"
+    )
+    chaos.add_argument("--protocol", choices=["msc", "mlin"], default="msc")
+    chaos.add_argument("--processes", type=int, default=4)
+    chaos.add_argument("--ops", type=int, default=5)
+    chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="first fault-schedule seed (seeds used: N .. N+runs-1)",
+    )
+    chaos.add_argument("--runs", type=int, default=10)
+    chaos.add_argument(
+        "--recovery", choices=["replay", "snapshot"], default="replay"
+    )
+    chaos.add_argument(
+        "--no-recover",
+        action="store_true",
+        help="negative control: crashes become permanent, recovery "
+        "never runs (the run is expected to fail)",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -47,6 +47,10 @@ class AtomicBroadcast:
         #: per-pid delivery logs (sender, payload), kept for property
         #: checking in tests; cheap relative to simulation cost.
         self.delivery_log: Dict[int, List[Tuple[int, Any]]] = {}
+        #: global position of each pid's log[0] — 0 normally, the
+        #: snapshot cursor after a peer-snapshot recovery (the prefix
+        #: below it was adopted as state, never re-delivered).
+        self.delivery_offset: Dict[int, int] = {}
 
     @property
     def n(self) -> int:
@@ -59,10 +63,34 @@ class AtomicBroadcast:
             raise ProtocolError(f"participant {pid} already attached")
         self._deliver[pid] = deliver
         self.delivery_log[pid] = []
+        self.delivery_offset[pid] = 0
 
     def broadcast(self, sender: int, payload: Any) -> None:
         """Atomically broadcast ``payload`` on behalf of ``sender``."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Crash/recovery hooks (optional; the fault-tolerant sequencer
+    # implements them, other implementations inherit the base
+    # behaviour: forget the crashed participant's deliveries)
+    # ------------------------------------------------------------------
+
+    def on_crash(self, pid: int) -> None:
+        """Participant ``pid`` crashed: its volatile state is gone.
+
+        The delivery log restarts empty — on recovery the participant
+        re-delivers the total order from scratch (or from a snapshot
+        cursor), so the rebuilt log stays prefix-consistent with the
+        other participants' logs.
+        """
+        self.delivery_log[pid] = []
+        self.delivery_offset[pid] = 0
+
+    def recover(self, pid: int) -> None:
+        """Participant ``pid`` restarted and wants to catch up."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support crash recovery"
+        )
 
     def handles(self, kind: str) -> bool:
         """True iff this layer owns network messages of this kind."""
@@ -100,20 +128,24 @@ class AtomicBroadcast:
         Returns None when the properties hold, else a human-readable
         description of the first violation.  A run may end mid-flight,
         so participants may have delivered different-length logs; with
-        total order the logs must then agree element-wise on common
-        prefixes, and integrity forbids duplicate message ids within
-        one log.
+        total order the logs must agree element-wise wherever they
+        overlap (each log ``i``-th entry sits at global position
+        ``delivery_offset + i``), and integrity forbids duplicate
+        message ids within one log.
         """
-        logs = [self.delivery_log.get(pid, []) for pid in range(self.n)]
-        longest = max(logs, key=len, default=[])
-        for pid, log in enumerate(logs):
-            for i, entry in enumerate(log):
-                if entry != longest[i]:
-                    return (
-                        f"participant {pid} delivered {entry} at position "
-                        f"{i} but another delivered {longest[i]}"
-                    )
+        reference: Dict[int, Tuple[int, Any]] = {}
+        for pid in range(self.n):
+            log = self.delivery_log.get(pid, [])
+            base = self.delivery_offset.get(pid, 0)
             ids = [msg_id for _sender, msg_id in log]
             if len(ids) != len(set(ids)):
                 return f"participant {pid} delivered a message twice"
+            for i, entry in enumerate(log):
+                position = base + i
+                known = reference.setdefault(position, entry)
+                if known != entry:
+                    return (
+                        f"participant {pid} delivered {entry} at position "
+                        f"{position} but another delivered {known}"
+                    )
         return None

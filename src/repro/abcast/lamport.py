@@ -105,11 +105,11 @@ class LamportAbcast(AtomicBroadcast):
                 self._process(pid, src, buffered)
                 expected[src] += 1
         elif seq > expected[src]:
+            # A duplicated frame overwrites its identical twin.
             self._recv_buffer[pid][(src, seq)] = message
-        else:  # pragma: no cover - duplicate delivery is a network fault
-            raise ProtocolError(
-                f"duplicate fifo seq {seq} from {src} at {pid}"
-            )
+        # else: duplicate of an already-processed frame (the network's
+        # duplication fault) — drop it; processing it twice would
+        # double-count acks at best and double-deliver at worst.
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,4 +1,4 @@
-"""Fixed-sequencer atomic broadcast.
+"""Fixed-sequencer atomic broadcast, with optional failover.
 
 The simplest total-order broadcast over reliable channels: a designated
 *sequencer* process assigns consecutive sequence numbers.
@@ -13,20 +13,59 @@ The simplest total-order broadcast over reliable channels: a designated
 Message cost per broadcast: ``1 + n`` point-to-point messages and two
 message delays on the critical path (request to sequencer + relay),
 or one delay when the sender *is* the sequencer.
+
+Fault tolerance (``fault_tolerant=True``)
+-----------------------------------------
+
+The robustness subsystem (see ``docs/fault_model.md``) relaxes the
+paper's crash-free assumption; this layer then provides:
+
+* **Duplicate suppression** — requests are deduplicated by message id
+  at the sequencer and relays by sequence number at each participant,
+  so duplicated or retransmitted frames never double-deliver.
+* **Sequencer failover** — when the sequencer crashes, a deterministic
+  successor (the next live pid in ring order) is elected after a
+  detection delay.  The new sequencer rebuilds the sequencing state
+  from the live participants' retained logs: delivered entries keep
+  their numbers (no live process can have delivered past a gap),
+  buffered-but-undelivered entries are *renumbered* contiguously, and
+  everything is restamped with a new epoch and rebroadcast.
+  Participants drop stale-epoch relays, and on learning of the new
+  epoch re-send their still-unsequenced requests — the in-flight-
+  request retry path.  Requests are idempotent by message id, so the
+  retry can never double-sequence.
+* **Crash recovery** — a restarted participant fetches the sequenced
+  log from the current sequencer (``abc-fetch``/``abc-log``) and
+  re-delivers from its cursor (0 after a full wipe, or a snapshot
+  cursor installed by the protocol layer).
+
+The election gathers the live participants' state in one atomic step
+(standing in for a synchronous state-collection round) but performs
+all repair — new-epoch announcement, rebroadcast, request retry,
+log fetch — through real (lossy, reordering) network messages.  The
+handoff is safe under the single-failure-at-a-time schedules the
+chaos harness generates; overlapping crashes of the sequencer and the
+only participant that delivered a suffix can lose that suffix, as in
+any 1-resilient primary-backup scheme without stable storage.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, List, Optional, Set
 
 from repro.abcast.interface import AtomicBroadcast
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, SequencerUnavailable
 from repro.sim.network import Message, Network
 
 #: Message kinds used on the wire.
 REQ = "abc-req"
 SEQ = "abc-seq"
+NEWSEQ = "abc-new-seq"
+FETCH = "abc-fetch"
+LOG = "abc-log"
+
+KINDS = (REQ, SEQ, NEWSEQ, FETCH, LOG)
 
 
 class SequencerAbcast(AtomicBroadcast):
@@ -35,23 +74,61 @@ class SequencerAbcast(AtomicBroadcast):
     Args:
         network: the simulated network; all ``network.n`` endpoints
             participate.
-        sequencer: pid of the sequencing process (default 0).
+        sequencer: pid of the (initial) sequencing process (default 0).
+        fault_tolerant: enable duplicate suppression of relays,
+            sequencer failover and participant recovery.  Off by
+            default: the paper's experiments assume reliable channels
+            and crash-free processes, and the non-fault-tolerant mode
+            preserves their exact message costs.
+        failover_delay: virtual time between a sequencer crash and the
+            successor election completing (models failure detection).
 
     The implementation piggybacks on the endpoints' handlers: it wires
     itself into the network via :meth:`handle`, which the owning
     process must call for messages whose kind starts with ``"abc-"``.
     """
 
-    def __init__(self, network: Network, *, sequencer: int = 0) -> None:
+    def __init__(
+        self,
+        network: Network,
+        *,
+        sequencer: int = 0,
+        fault_tolerant: bool = False,
+        failover_delay: float = 5.0,
+    ) -> None:
         super().__init__(network)
         if not 0 <= sequencer < network.n:
             raise ProtocolError(f"sequencer pid {sequencer} out of range")
         self.sequencer = sequencer
-        self._next_seq = itertools.count()
+        self.fault_tolerant = fault_tolerant
+        self.failover_delay = failover_delay
+        self.epoch = 0
+        #: Completed failovers: (time, old sequencer, new sequencer).
+        self.failovers: List[tuple] = []
         self._next_msg_id = itertools.count()
-        # Per-participant delivery cursor and out-of-order buffer.
+        # --- sequencer-side state (volatile: lost when the current
+        # sequencer crashes, rebuilt by the election) ---
+        self._next_seq = 0
+        self._sequenced_ids: Set[int] = set()
+        self._seq_log: Dict[int, Dict[str, Any]] = {}
+        # --- per-participant state ---
         self._expected: Dict[int, int] = {pid: 0 for pid in range(network.n)}
-        self._buffer: Dict[int, Dict[int, Tuple[int, Any, int]]] = {
+        self._buffer: Dict[int, Dict[int, Dict[str, Any]]] = {
+            pid: {} for pid in range(network.n)
+        }
+        #: Delivered entries retained per participant; feeds elections
+        #: and peer snapshots.
+        self._plog: Dict[int, Dict[int, Dict[str, Any]]] = {
+            pid: {} for pid in range(network.n)
+        }
+        #: Participant's current epoch (stale-epoch relays dropped).
+        self._pepoch: Dict[int, int] = {pid: 0 for pid in range(network.n)}
+        #: Participants whose delivery is gated (snapshot install).
+        self._suspended: Set[int] = set()
+        #: Sender pid -> msg id -> request body, for requests not yet
+        #: seen in the delivered order (durable client intent; resent
+        #: on failover and recovery).
+        self._unsequenced: Dict[int, Dict[int, Dict[str, Any]]] = {
             pid: {} for pid in range(network.n)
         }
 
@@ -61,12 +138,16 @@ class SequencerAbcast(AtomicBroadcast):
 
     def broadcast(self, sender: int, payload: Any) -> None:
         """Send the payload to the sequencer for ordering."""
+        if not self.fault_tolerant and self.network.is_down(self.sequencer):
+            raise SequencerUnavailable(
+                f"sequencer {self.sequencer} is down and failover is "
+                "disabled"
+            )
         msg_id = next(self._next_msg_id)
-        self.network.send(
-            sender,
-            self.sequencer,
-            Message(REQ, {"sender": sender, "payload": payload, "id": msg_id}),
-        )
+        body = {"sender": sender, "payload": payload, "id": msg_id}
+        if self.fault_tolerant:
+            self._unsequenced[sender][msg_id] = body
+        self.network.send(sender, self.sequencer, Message(REQ, body))
 
     # ------------------------------------------------------------------
     # Wire protocol
@@ -74,44 +155,303 @@ class SequencerAbcast(AtomicBroadcast):
 
     def handles(self, kind: str) -> bool:
         """True iff this layer owns messages of the given kind."""
-        return kind in (REQ, SEQ)
+        return kind in KINDS
 
     def handle(self, pid: int, src: int, message: Message) -> None:
         """Process an ``abc-*`` message arriving at endpoint ``pid``."""
         if message.kind == REQ:
             if pid != self.sequencer:
+                if self.fault_tolerant:
+                    # Stale address (pre-failover sender, or a frame
+                    # retried into a restarted ex-sequencer): forward.
+                    self.network.send(pid, self.sequencer, message)
+                    return
                 raise ProtocolError(
                     f"abc-req arrived at non-sequencer {pid}"
                 )
             self._sequence(message.payload)
         elif message.kind == SEQ:
-            body = message.payload
-            self._buffer[pid][body["seq"]] = (
-                body["sender"],
-                body["payload"],
-                body["id"],
-            )
+            self._accept(pid, message.payload)
             self._drain(pid)
+        elif message.kind == NEWSEQ:
+            self._on_new_sequencer(pid, message.payload)
+        elif message.kind == FETCH:
+            if pid != self.sequencer:
+                self.network.send(pid, self.sequencer, message)
+                return
+            self._serve_fetch(pid, message.payload)
+        elif message.kind == LOG:
+            self._on_log(pid, message.payload)
         else:  # pragma: no cover - defensive
             raise ProtocolError(f"unexpected message kind {message.kind!r}")
 
     # ------------------------------------------------------------------
-    # Internals
+    # Crash / recovery hooks (driven by the cluster / fault injector)
+    # ------------------------------------------------------------------
+
+    def on_crash(self, pid: int) -> None:
+        """Participant ``pid`` crashed; wipe its volatile state."""
+        super().on_crash(pid)
+        self._expected[pid] = 0
+        self._buffer[pid].clear()
+        self._plog[pid].clear()
+        self._suspended.discard(pid)
+        if pid == self.sequencer:
+            # The sequencing state was in the crashed process's memory.
+            self._next_seq = 0
+            self._sequenced_ids = set()
+            self._seq_log = {}
+            if self.fault_tolerant:
+                failed_epoch = self.epoch
+                self.network.sim.schedule(
+                    self.failover_delay,
+                    lambda: self._elect(pid, failed_epoch),
+                )
+
+    def recover(self, pid: int, *, cursor: int = 0) -> None:
+        """Participant ``pid`` restarted; catch up from ``cursor``.
+
+        ``cursor=0`` replays the whole totally-ordered log (the
+        process starts from a fresh store); a positive cursor resumes
+        after a peer snapshot covering deliveries ``0..cursor-1``.
+        Also re-sends the participant's still-unsequenced requests —
+        their original frames may have died with the old sequencer.
+        """
+        if not self.fault_tolerant:
+            raise SequencerUnavailable(
+                "recovery requires a fault-tolerant sequencer"
+            )
+        # Stay gated until the LOG reply arrives: it carries the
+        # current epoch, which is what lets _drain tell a live relay
+        # from a stale pre-crash frame still floating in the network.
+        self._suspended.add(pid)
+        self._expected[pid] = cursor
+        self.delivery_offset[pid] = cursor
+        self._buffer[pid] = {
+            seq: entry
+            for seq, entry in self._buffer[pid].items()
+            if seq >= cursor
+        }
+        self.network.send(
+            pid, self.sequencer, Message(FETCH, {"pid": pid, "from": cursor})
+        )
+        for body in list(self._unsequenced[pid].values()):
+            self.network.send(pid, self.sequencer, Message(REQ, body))
+        self._drain(pid)
+
+    def suspend(self, pid: int) -> None:
+        """Gate delivery at ``pid`` (while a snapshot is in flight)."""
+        self._suspended.add(pid)
+
+    def install_snapshot(
+        self, pid: int, cursor: int, log: Dict[int, Dict[str, Any]]
+    ) -> None:
+        """Adopt a peer's retained log up to ``cursor`` (state transfer).
+
+        The retained log keeps the recovered participant eligible as
+        an election donor for entries it did not re-deliver itself.
+        """
+        self._plog[pid] = {
+            seq: entry for seq, entry in log.items() if seq < cursor
+        }
+
+    def cursor(self, pid: int) -> int:
+        """``pid``'s delivery cursor (next expected sequence number)."""
+        return self._expected[pid]
+
+    def retained_log(self, pid: int) -> Dict[int, Dict[str, Any]]:
+        """``pid``'s retained delivered entries (for peer snapshots)."""
+        return dict(self._plog[pid])
+
+    # ------------------------------------------------------------------
+    # Sequencer internals
     # ------------------------------------------------------------------
 
     def _sequence(self, request: Dict[str, Any]) -> None:
-        seq = next(self._next_seq)
+        if request["id"] in self._sequenced_ids:
+            return  # duplicate or retried request: already ordered
+        self._sequenced_ids.add(request["id"])
         stamped = {
-            "seq": seq,
+            "seq": self._next_seq,
+            "epoch": self.epoch,
             "sender": request["sender"],
             "payload": request["payload"],
             "id": request["id"],
         }
+        self._next_seq += 1
+        self._seq_log[stamped["seq"]] = stamped
         self.network.send_to_all(self.sequencer, Message(SEQ, stamped))
 
+    def _serve_fetch(self, pid: int, body: Dict[str, Any]) -> None:
+        start = body["from"]
+        entries = [
+            self._seq_log[seq]
+            for seq in range(start, self._next_seq)
+            if seq in self._seq_log
+        ]
+        self.network.send(
+            pid,
+            body["pid"],
+            Message(LOG, {"entries": entries, "epoch": self.epoch}),
+        )
+
+    # ------------------------------------------------------------------
+    # Participant internals
+    # ------------------------------------------------------------------
+
+    def _accept(self, pid: int, entry: Dict[str, Any]) -> None:
+        if entry["epoch"] < self._pepoch[pid]:
+            return  # renumbered away by a failover this pid saw
+        seq = entry["seq"]
+        if seq < self._expected[pid]:
+            return  # duplicate of an already-delivered relay
+        existing = self._buffer[pid].get(seq)
+        if existing is not None and existing["epoch"] >= entry["epoch"]:
+            return  # duplicate buffered relay
+        self._buffer[pid][seq] = entry
+
     def _drain(self, pid: int) -> None:
+        if pid in self._suspended:
+            return
         buffer = self._buffer[pid]
         while self._expected[pid] in buffer:
-            sender, payload, msg_id = buffer.pop(self._expected[pid])
+            entry = buffer.pop(self._expected[pid])
+            if entry["epoch"] < self._pepoch[pid]:
+                # A stale pre-failover frame occupying a slot the
+                # election renumbered; the current sequencer will
+                # (re)relay this slot's real entry.  Do not advance.
+                break
+            self._plog[pid][entry["seq"]] = entry
             self._expected[pid] += 1
-            self._local_deliver(pid, sender, payload, msg_id)
+            if self.fault_tolerant and pid == entry["sender"]:
+                # Retire the retained request only when the *sender*
+                # delivers it.  Another participant's delivery is not
+                # enough: that participant (e.g. the sequencer, which
+                # delivers its own relays first) may crash as the only
+                # process that saw the entry, and then the sender's
+                # retained copy is what the retry path resends.
+                self._unsequenced[pid].pop(entry["id"], None)
+            self._local_deliver(
+                pid, entry["sender"], entry["payload"], entry["id"]
+            )
+
+    def _on_new_sequencer(self, pid: int, body: Dict[str, Any]) -> None:
+        # Equal epochs still proceed: the election already fenced the
+        # live participants to the new epoch, and this announcement is
+        # what triggers their in-flight-request retry.
+        if body["epoch"] < self._pepoch[pid]:
+            return
+        self._pepoch[pid] = body["epoch"]
+        # Buffered relays from older epochs were renumbered; drop them.
+        self._buffer[pid] = {
+            seq: entry
+            for seq, entry in self._buffer[pid].items()
+            if entry["epoch"] >= body["epoch"]
+        }
+        # In-flight-request retry: everything this participant has
+        # broadcast but not yet seen delivered may have died with the
+        # old sequencer.
+        for req in list(self._unsequenced[pid].values()):
+            self.network.send(pid, self.sequencer, Message(REQ, req))
+        self._drain(pid)
+
+    def _on_log(self, pid: int, body: Dict[str, Any]) -> None:
+        if body["epoch"] > self._pepoch[pid]:
+            self._pepoch[pid] = body["epoch"]
+        # The LOG reply completes recovery: the participant now knows
+        # the current epoch, so delivery can resume (see recover()).
+        self._suspended.discard(pid)
+        for entry in body["entries"]:
+            self._accept(pid, entry)
+        self._drain(pid)
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+
+    def _elect(self, failed: int, failed_epoch: int) -> None:
+        if self.epoch != failed_epoch or self.sequencer != failed:
+            return  # superseded by a newer election
+        if not self.network.is_down(failed):
+            # The sequencer restarted within the detection window (it
+            # recovers as a follower of itself; no handoff needed —
+            # but its sequencing state is gone, so we must still
+            # elect, possibly re-electing the same pid).
+            pass
+        n = self.network.n
+        successor: Optional[int] = None
+        for step in range(1, n + 1):
+            candidate = (failed + step) % n
+            if not self.network.is_down(candidate):
+                successor = candidate
+                break
+        if successor is None:
+            raise SequencerUnavailable(
+                "no live candidate to take over sequencing"
+            )
+        self.epoch += 1
+        old = self.sequencer
+        self.sequencer = successor
+        self.failovers.append((self.network.sim.now, old, successor))
+
+        # --- state collection (atomic stand-in for a gather round) ---
+        live = [pid for pid in range(n) if not self.network.is_down(pid)]
+        # Epoch-fence the collected participants in the same atomic
+        # step: pre-crash relays still in flight must not extend any
+        # delivered prefix past the state the election just gathered
+        # (the renumbering below is computed from exactly this state).
+        for pid in live:
+            self._pepoch[pid] = self.epoch
+        donor = max(live, key=lambda pid: self._expected[pid])
+        delivered_upto = self._expected[donor]
+        log: Dict[int, Dict[str, Any]] = {}
+        for pid in live:
+            for seq, entry in self._plog[pid].items():
+                if seq < delivered_upto:
+                    log.setdefault(seq, entry)
+        # Undelivered entries exist only in buffers (no live process
+        # delivered past `delivered_upto`); renumber them contiguously
+        # in old-sequence order, deduplicated by message id.
+        pending: Dict[int, Dict[str, Any]] = {}
+        for pid in live:
+            for entry in self._buffer[pid].values():
+                if entry["seq"] >= delivered_upto:
+                    pending.setdefault(entry["id"], entry)
+        renumbered = sorted(pending.values(), key=lambda e: e["seq"])
+
+        # --- install the rebuilt sequencer state (restamped) ---
+        self._seq_log = {}
+        self._sequenced_ids = set()
+        next_seq = 0
+        for seq in sorted(log):
+            if seq != next_seq:  # pragma: no cover - defensive
+                raise ProtocolError(
+                    f"failover log has a gap at sequence {next_seq}"
+                )
+            entry = dict(log[seq])
+            entry["epoch"] = self.epoch
+            self._seq_log[seq] = entry
+            self._sequenced_ids.add(entry["id"])
+            next_seq += 1
+        for entry in renumbered:
+            stamped = dict(entry)
+            stamped["seq"] = next_seq
+            stamped["epoch"] = self.epoch
+            self._seq_log[next_seq] = stamped
+            self._sequenced_ids.add(stamped["id"])
+            next_seq += 1
+        self._next_seq = next_seq
+
+        # --- repair over the real network ---
+        for dst in live:
+            self.network.send(
+                successor,
+                dst,
+                Message(NEWSEQ, {"epoch": self.epoch, "sequencer": successor}),
+            )
+        base = min(self._expected[pid] for pid in live)
+        for seq in range(base, self._next_seq):
+            for dst in live:
+                self.network.send(
+                    successor, dst, Message(SEQ, self._seq_log[seq])
+                )

@@ -58,6 +58,34 @@ class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
 
 
+class ProcessCrashed(SimulationError):
+    """An action was attempted by or on a crashed process.
+
+    Raised when a crashed endpoint tries to send, when a process is
+    crashed twice without an intervening restart, or when a restart is
+    requested for a process that is not down.
+    """
+
+
+class DeliveryTimeout(SimulationError):
+    """The reliable-delivery shim exhausted its retransmission budget.
+
+    Under the fault model a message is retransmitted with exponential
+    backoff until acknowledged; this error surfaces when the
+    destination stayed unreachable for the entire retry schedule (e.g.
+    a permanently crashed process), i.e. the reliability guarantee the
+    protocols depend on could not be upheld.
+    """
+
+
+class SequencerUnavailable(SimulationError):
+    """No live sequencer exists to order an atomic broadcast.
+
+    Raised when the fixed-sequencer abcast loses its sequencer without
+    failover enabled, or when every candidate successor is down.
+    """
+
+
 class ProtocolError(ReproError):
     """A replication protocol violated one of its internal invariants."""
 

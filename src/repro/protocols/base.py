@@ -29,7 +29,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.abcast.interface import AtomicBroadcast
 from repro.abcast.sequencer import SequencerAbcast
 from repro.core.history import History
-from repro.errors import ProtocolError, SimulationError
+from repro.errors import ProcessCrashed, ProtocolError, SimulationError
 from repro.protocols.recorder import HistoryRecorder, OpRecord
 from repro.protocols.store import ExecutionRecord, MProgram, VersionedStore
 from repro.sim.kernel import Simulator
@@ -38,6 +38,10 @@ from repro.sim.network import ChannelStats, Message, Network
 
 #: A workload: one program sequence per process.
 Workloads = Sequence[Sequence[MProgram]]
+
+#: Wire kinds of the peer-snapshot recovery exchange.
+SNAP_REQ = "snap-req"
+SNAP_RESP = "snap-resp"
 
 
 @dataclass
@@ -60,6 +64,15 @@ class BaseProcess:
         self._programs: List[MProgram] = []
         self._next_program = 0
         self._pending: Optional[PendingOp] = None
+        #: True while the replica is down (between crash and recover).
+        self.crashed = False
+        #: uids this process has generated responses for — client-side
+        #: knowledge, so it survives replica crashes and lets replayed
+        #: own-update deliveries be recognised as already answered.
+        self._responded_uids: set = set()
+        #: An invocation came due while the process was down.
+        self._issue_deferred = False
+        self._awaiting_snapshot = False
 
     # ------------------------------------------------------------------
     # Client side: sequential issue loop
@@ -76,6 +89,11 @@ class BaseProcess:
         self.cluster.sim.schedule(delay, self._issue_next)
 
     def _issue_next(self) -> None:
+        if self.crashed:
+            # The client's next request waits out the downtime and is
+            # re-driven by recovery.
+            self._issue_deferred = True
+            return
         if self._pending is not None:
             raise ProtocolError(
                 f"P{self.pid} issued an m-operation while one is pending"
@@ -132,6 +150,7 @@ class BaseProcess:
                 ),
                 now=self.cluster.sim.now,
             )
+        self._responded_uids.add(pending.uid)
         self._pending = None
         # Schedule the next invocation strictly after the (possibly
         # clamped) response time, preserving well-formedness even when
@@ -147,6 +166,118 @@ class BaseProcess:
         """True iff the workload is exhausted and nothing is pending."""
         return self._pending is None and self._next_program >= len(
             self._programs
+        )
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile replica state (store, protocol buffers).
+
+        The *client's* pending request is not replica state: it
+        survives and is re-driven on recovery, so a crash can delay an
+        m-operation's response but never orphan it.
+        """
+        if self.crashed:
+            raise ProcessCrashed(f"P{self.pid} crashed twice")
+        self.crashed = True
+        self._awaiting_snapshot = False
+        self.store.reset()
+
+    def recover(self) -> None:
+        """Rejoin after a restart, rebuilding the replica.
+
+        ``cluster.recovery`` selects the strategy: ``"replay"``
+        re-delivers the atomic-broadcast log from the start onto the
+        wiped store; ``"snapshot"`` installs a live peer's exported
+        state and resumes delivery from its cursor (the abcast layer
+        fills the tail).
+        """
+        if not self.crashed:
+            raise ProcessCrashed(f"P{self.pid} recovered while up")
+        self.crashed = False
+        abcast = self.cluster.abcast
+        if abcast is None:
+            self._resume_client()
+            return
+        # An unresponded update forces replay recovery even in
+        # snapshot mode: its response can only be generated by
+        # (re)delivering it, and a snapshot whose cursor lies past the
+        # update's slot folds it into adopted state silently — the
+        # client would wait forever.
+        unanswered_update = (
+            self._pending is not None
+            and self._pending.program.may_write
+            and self._pending.uid not in self._responded_uids
+        )
+        if (
+            self.cluster.recovery == "snapshot"
+            and self.cluster.n > 1
+            and not unanswered_update
+        ):
+            peer = self._pick_snapshot_peer()
+            if peer is not None:
+                abcast.suspend(self.pid)
+                self._awaiting_snapshot = True
+                self.cluster.network.send(
+                    self.pid, peer, Message(SNAP_REQ, {"pid": self.pid})
+                )
+                return
+        abcast.recover(self.pid, cursor=0)
+        self._resume_client()
+
+    def _pick_snapshot_peer(self) -> Optional[int]:
+        """Deterministic donor choice: the lowest live peer."""
+        down = self.cluster.network.down
+        for pid in range(self.cluster.n):
+            if pid != self.pid and pid not in down:
+                return pid
+        return None  # pragma: no cover - all peers down; fall back
+
+    def _resume_client(self) -> None:
+        """Re-drive the surviving client request and the issue loop."""
+        pending = self._pending
+        if pending is not None and pending.uid not in self._responded_uids:
+            self.on_recover_pending(pending)
+        if self._issue_deferred:
+            self._issue_deferred = False
+            self.cluster.sim.schedule(
+                self.cluster.local_delay, self._issue_next
+            )
+
+    def on_recover_pending(self, pending: PendingOp) -> None:
+        """Protocol hook: re-drive the m-operation open at crash time.
+
+        Default: nothing — an update's broadcast is retried by the
+        abcast layer itself and the response fires when the replayed
+        delivery reaches this process.  Protocols whose queries span
+        events (Fig-6) override this to restart the gather.
+        """
+
+    def _apply_update_delivery(
+        self, sender: int, payload: Dict[str, Any]
+    ) -> None:
+        """Shared action (A2): apply a delivered update, respond if ours.
+
+        Tolerant of recovery replay: a re-delivered own update that
+        was already answered is applied to the store (rebuilding the
+        replica) without generating a second response.
+        """
+        uid: int = payload["uid"]
+        program: MProgram = payload["program"]
+        record = self.store.execute(program, uid)
+        if sender != self.pid:
+            return
+        pending = self._pending
+        if pending is not None and pending.uid == uid:
+            self.respond(pending, record)
+            return
+        if uid in self._responded_uids:
+            return  # recovery replay of an already-answered update
+        raise ProtocolError(
+            f"P{self.pid}: delivery of own update {uid} but no "
+            "matching pending m-operation"
         )
 
     # ------------------------------------------------------------------
@@ -174,7 +305,33 @@ class BaseProcess:
         raise NotImplementedError
 
     def handle_message(self, src: int, message: Message) -> None:
-        """Protocol-specific point-to-point message."""
+        """Protocol-specific point-to-point message.
+
+        The base class owns the peer-snapshot recovery exchange; every
+        protocol inherits it by delegating unknown kinds here.
+        """
+        if message.kind == SNAP_REQ:
+            abcast = self.cluster.abcast
+            reply = {
+                "snapshot": self.store.export(),
+                "cursor": abcast.cursor(self.pid),
+                "log": abcast.retained_log(self.pid),
+            }
+            self.cluster.network.send(
+                self.pid, src, Message(SNAP_RESP, reply)
+            )
+            return
+        if message.kind == SNAP_RESP:
+            if not self._awaiting_snapshot:
+                return  # late duplicate after recovery completed
+            self._awaiting_snapshot = False
+            body = message.payload
+            self.store.install(body["snapshot"])
+            abcast = self.cluster.abcast
+            abcast.install_snapshot(self.pid, body["cursor"], body["log"])
+            abcast.recover(self.pid, cursor=body["cursor"])
+            self._resume_client()
+            return
         raise ProtocolError(
             f"P{self.pid}: unexpected message kind {message.kind!r}"
         )
@@ -272,6 +429,9 @@ class Cluster:
             Callable[[Simulator, int], Network]
         ] = None,
         monitor=None,
+        fault_tolerant: bool = False,
+        recovery: str = "replay",
+        query_retry: float = 6.0,
     ) -> None:
         if n <= 0:
             raise SimulationError("cluster needs at least one process")
@@ -290,6 +450,17 @@ class Cluster:
         #: optional live verifier (repro.core.monitor.LiveMonitor);
         #: fed broadcast deliveries and completions as they happen.
         self.monitor = monitor
+        #: enables the crash/recovery surface (crash_process et al.)
+        #: and the protocols' retry paths.
+        self.fault_tolerant = fault_tolerant
+        if recovery not in ("replay", "snapshot"):
+            raise SimulationError(
+                f"unknown recovery mode {recovery!r}; expected 'replay' "
+                "or 'snapshot'"
+            )
+        self.recovery = recovery
+        #: Fig-6 gather retry interval under fault tolerance.
+        self.query_retry = query_retry
         self.rng = random.Random(seed)
 
         self.sim = Simulator()
@@ -324,17 +495,29 @@ class Cluster:
                     ),
                 )
         self._ran = False
+        #: uids already recorded in ``ww_sequence`` (recovery replay
+        #: re-delivers them at pid 0; they must not be re-announced).
+        self._announced: set = set()
 
     def _deliver(self, pid: int, sender: int, payload) -> None:
+        # Record the broadcast order at each uid's *first* delivery,
+        # whichever process that lands on: total order makes every
+        # process's delivery stream an extension of the same global
+        # sequence, so first-seen across processes reconstructs it
+        # even when individual replicas crash, replay (duplicates are
+        # filtered here) or skip their prefix via a peer snapshot.
         track = (
-            pid == 0 and isinstance(payload, dict) and "uid" in payload
+            isinstance(payload, dict)
+            and "uid" in payload
+            and payload["uid"] not in self._announced
         )
         if track:
+            self._announced.add(payload["uid"])
             self.ww_sequence.append(payload["uid"])
         self.processes[pid].on_abcast_deliver(sender, payload)
         if track and self.monitor is not None:
             uid = payload["uid"]
-            store = self.processes[0].store
+            store = self.processes[pid].store
             writes = tuple(
                 obj
                 for obj in store.objects
@@ -361,6 +544,32 @@ class Cluster:
         if self.think_jitter <= 0:
             return 0.0
         return self.rng.uniform(0.0, self.think_jitter)
+
+    # ------------------------------------------------------------------
+    # Fault injection surface (used by repro.sim.faults / sim.chaos)
+    # ------------------------------------------------------------------
+
+    def crash_process(self, pid: int) -> None:
+        """Crash process ``pid``: replica state and in-flight timers die.
+
+        Requires ``fault_tolerant=True`` — the protocols' recovery
+        paths (delivery dedup, request retry, gather restart) are only
+        armed then, and crashing a cluster without them would just
+        wedge the run.
+        """
+        if not self.fault_tolerant:
+            raise SimulationError(
+                "crash injection requires Cluster(fault_tolerant=True)"
+            )
+        self.processes[pid].crash()
+        self.network.crash(pid)
+        if self.abcast is not None:
+            self.abcast.on_crash(pid)
+
+    def restart_process(self, pid: int) -> None:
+        """Restart a crashed process and run its recovery protocol."""
+        self.network.restore(pid)
+        self.processes[pid].recover()
 
     # ------------------------------------------------------------------
     # Driving

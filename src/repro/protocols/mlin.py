@@ -69,36 +69,23 @@ class MLinProcess(BaseProcess):
             )
             return
         # (A3): gather the freshest replica state.
-        relevant = self._relevant_objects(pending.program)
-        pending.extra["awaiting"] = self.cluster.n - 1
-        # Own copy counts as one of the n query responses (see module
-        # docstring); start from it instead of othts := 0.
-        pending.extra["best"] = self.store.export(relevant)
-        pending.extra["best_ts"] = self.store.lex_ts(relevant)
-        if self.cluster.n == 1:
-            self._finish_query(pending)
-            return
-        query_body = {
-            "uid": pending.uid,
-            "objects": sorted(relevant) if relevant is not None else None,
-        }
-        self.cluster.network.send_to_all(
-            self.pid, Message(QUERY, query_body), include_self=False
-        )
+        self._start_gather(pending, attempt=0)
 
     def on_abcast_deliver(self, sender: int, payload: Dict[str, Any]) -> None:
         # (A2): apply the update everywhere; respond at the issuer.
-        uid: int = payload["uid"]
-        program: MProgram = payload["program"]
-        record = self.store.execute(program, uid)
-        if sender == self.pid:
-            pending = self._pending
-            if pending is None or pending.uid != uid:
-                raise ProtocolError(
-                    f"P{self.pid}: delivery of own update {uid} but no "
-                    "matching pending m-operation"
-                )
-            self.respond(pending, record)
+        self._apply_update_delivery(sender, payload)
+
+    def on_recover_pending(self, pending: PendingOp) -> None:
+        """Restart an interrupted gather after a crash.
+
+        Updates keep the base behaviour (the abcast layer re-drives
+        them); a query's gather state died with the replica, so it is
+        reissued under a fresh attempt number — late responses to the
+        pre-crash gather carry the old attempt and are ignored.
+        """
+        if pending.program.may_write:
+            return
+        self._start_gather(pending, pending.extra.get("attempt", 0) + 1)
 
     def handle_message(self, src: int, message: Message) -> None:
         if message.kind == QUERY:
@@ -108,6 +95,7 @@ class MLinProcess(BaseProcess):
             relevant = None if names is None else frozenset(names)
             reply = {
                 "uid": message.payload["uid"],
+                "attempt": message.payload.get("attempt", 0),
                 "snapshot": self.store.export(relevant),
                 "ts": self.store.lex_ts(relevant),
             }
@@ -136,9 +124,64 @@ class MLinProcess(BaseProcess):
             return program.static_objects
         return None
 
+    def _start_gather(self, pending: PendingOp, attempt: int) -> None:
+        """(Re)issue the query round; ``attempt`` tags its responses.
+
+        Fault tolerance makes gathers restartable — after a crash, or
+        when replies stall past ``cluster.query_retry`` (a replica was
+        down when queried) — so each round is numbered and responses
+        carrying a stale attempt are discarded rather than mixed into
+        the new round's count.
+        """
+        relevant = self._relevant_objects(pending.program)
+        pending.extra["attempt"] = attempt
+        pending.extra["awaiting"] = self.cluster.n - 1
+        # Own copy counts as one of the n query responses (see module
+        # docstring); start from it instead of othts := 0.
+        pending.extra["best"] = self.store.export(relevant)
+        pending.extra["best_ts"] = self.store.lex_ts(relevant)
+        if self.cluster.n == 1:
+            self._finish_query(pending)
+            return
+        query_body = {
+            "uid": pending.uid,
+            "attempt": attempt,
+            "objects": sorted(relevant) if relevant is not None else None,
+        }
+        self.cluster.network.send_to_all(
+            self.pid, Message(QUERY, query_body), include_self=False
+        )
+        if self.cluster.fault_tolerant:
+            uid = pending.uid
+            self.cluster.sim.schedule(
+                self.cluster.query_retry,
+                lambda: self._maybe_retry_query(uid, attempt),
+            )
+
+    def _maybe_retry_query(self, uid: int, attempt: int) -> None:
+        """Retry timer: re-gather iff this exact attempt is still open."""
+        pending = self._pending
+        if (
+            self.crashed
+            or pending is None
+            or pending.uid != uid
+            or pending.extra.get("attempt") != attempt
+        ):
+            return
+        self._start_gather(pending, attempt + 1)
+
     def _on_query_response(self, payload: Dict[str, Any]) -> None:
         pending = self._pending
-        if pending is None or pending.uid != payload["uid"]:
+        stale = (
+            pending is None
+            or pending.uid != payload["uid"]
+            or payload.get("attempt", 0) != pending.extra.get("attempt", 0)
+        )
+        if stale:
+            if self.cluster.fault_tolerant:
+                # A superseded gather round (crash restart or retry
+                # timeout) — its late responses are expected noise.
+                return
             # A response for an already-completed query would be a
             # protocol bug: the process issues sequentially and uids
             # are unique.

@@ -54,17 +54,7 @@ class MSCProcess(BaseProcess):
 
     def on_abcast_deliver(self, sender: int, payload: Dict[str, Any]) -> None:
         # (A2): apply to the local copy; respond if we issued it.
-        uid: int = payload["uid"]
-        program: MProgram = payload["program"]
-        record = self.store.execute(program, uid)
-        if sender == self.pid:
-            pending = self._pending
-            if pending is None or pending.uid != uid:
-                raise ProtocolError(
-                    f"P{self.pid}: delivery of own update {uid} but no "
-                    "matching pending m-operation"
-                )
-            self.respond(pending, record)
+        self._apply_update_delivery(sender, payload)
 
 
 def msc_cluster(

@@ -157,6 +157,7 @@ class VersionedStore:
     """
 
     def __init__(self, initial_values: Mapping[str, Any]) -> None:
+        self._initial: Dict[str, Any] = dict(initial_values)
         self._values: Dict[str, Any] = dict(initial_values)
         self._versions: Dict[str, int] = {obj: 0 for obj in initial_values}
         self._writers: Dict[str, int] = {
@@ -256,6 +257,39 @@ class VersionedStore:
             self._values[obj] = values[obj]
             self._versions[obj] += 1
             self._writers[obj] = mop_uid
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Wipe the replica back to the initial values (a crash).
+
+        Versions return to 0 and writers to ``INIT_UID``; the replica
+        is then rebuilt either by replaying the totally-ordered update
+        log from the start or by :meth:`install`-ing a peer snapshot.
+        """
+        self._values = dict(self._initial)
+        self._versions = {obj: 0 for obj in self._initial}
+        self._writers = {obj: INIT_UID for obj in self._initial}
+
+    def install(self, snapshot: Mapping[str, Tuple[Any, int, int]]) -> None:
+        """Adopt a peer's exported state wholesale (snapshot recovery).
+
+        The snapshot must cover every object (a full :meth:`export`);
+        partial snapshots would leave stale versions behind.
+        """
+        missing = set(self._objects) - set(snapshot)
+        if missing:
+            raise ProtocolError(
+                f"snapshot is missing objects {sorted(missing)}"
+            )
+        for obj, (value, version, writer) in snapshot.items():
+            if obj not in self._values:
+                raise ProtocolError(f"unknown shared object {obj!r}")
+            self._values[obj] = value
+            self._versions[obj] = version
+            self._writers[obj] = writer
 
     # ------------------------------------------------------------------
     # Replication helpers

@@ -1,11 +1,13 @@
 """Discrete-event simulation substrate (systems S9-S10)."""
 
+from repro.sim.chaos import ChaosResult, run_chaos
 from repro.sim.explore import (
     ControlledNetwork,
     ExplorationBudgetExceeded,
     explore,
     explore_factory,
 )
+from repro.sim.faults import CrashEvent, DelaySpike, FaultInjector, FaultPlan
 from repro.sim.kernel import EventHandle, Simulator
 from repro.sim.latency import (
     AsymmetricLatency,
@@ -14,22 +16,35 @@ from repro.sim.latency import (
     LatencyModel,
     UniformLatency,
 )
-from repro.sim.network import ChannelStats, Message, Network, estimate_size
+from repro.sim.network import (
+    ChannelStats,
+    Message,
+    Network,
+    NetworkStats,
+    estimate_size,
+)
 
 __all__ = [
     "AsymmetricLatency",
+    "ChaosResult",
     "ControlledNetwork",
+    "CrashEvent",
+    "DelaySpike",
     "ExplorationBudgetExceeded",
     "ChannelStats",
     "EventHandle",
     "ExponentialLatency",
+    "FaultInjector",
+    "FaultPlan",
     "FixedLatency",
     "LatencyModel",
     "Message",
     "Network",
+    "NetworkStats",
     "Simulator",
     "UniformLatency",
     "estimate_size",
     "explore",
     "explore_factory",
+    "run_chaos",
 ]

@@ -1,0 +1,220 @@
+"""Chaos harness: protocol runs under randomized fault schedules (S29).
+
+One :func:`run_chaos` call is one experiment: build a fault-tolerant
+cluster (reliable-delivery network, fault-tolerant sequencer), arm a
+seeded :class:`~repro.sim.faults.FaultPlan` against it, drive a random
+workload to completion, and verify the recorded history with the
+*same* checkers the fault-free experiments use — the streaming
+verifier plus the batch constrained checker, both keyed to the
+protocol's claimed condition (m-SC for Fig-4, m-linearizability for
+Fig-6).
+
+The harness's claim is therefore end-to-end: message drops,
+duplicates, latency spikes, process crash-restarts and sequencer
+failovers may delay m-operations but never lose one and never produce
+an execution outside the protocol's consistency condition.
+
+The *negative control* (``recover=False``) drops the restart half of
+every crash: processes stay down, recovery never runs.  Those runs
+demonstrably lose client operations (the run cannot complete) — the
+evidence that the recovery machinery, not luck, is what makes the
+positive runs sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DeliveryTimeout,
+    ProcessCrashed,
+    ProtocolError,
+    SequencerUnavailable,
+    SimulationError,
+)
+from repro.sim.faults import CrashEvent, FaultInjector, FaultPlan
+from repro.sim.latency import UniformLatency
+from repro.sim.network import Network
+
+__all__ = ["ChaosResult", "run_chaos"]
+
+
+def _protocol_table():
+    """protocol name -> (cluster factory, condition, batch checker).
+
+    Imported lazily: this module is re-exported from ``repro.sim``,
+    which the abcast/protocol layers themselves import — resolving
+    the table at call time keeps the package import graph acyclic.
+    """
+    from repro.core.consistency import (
+        check_m_linearizability,
+        check_m_sequential_consistency,
+    )
+    from repro.protocols.mlin import mlin_cluster
+    from repro.protocols.msc import msc_cluster
+
+    return {
+        "msc": (msc_cluster, "m-sc", check_m_sequential_consistency),
+        "mlin": (mlin_cluster, "m-lin", check_m_linearizability),
+    }
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run.
+
+    ``ok`` requires *all* of: every client m-operation completed, the
+    streaming verifier saw no violation, the batch checker accepted
+    the history, and the abcast delivery logs kept total order.
+    """
+
+    protocol: str
+    plan: FaultPlan
+    ok: bool
+    completed: int
+    expected: int
+    #: exception text when the run itself failed (negative control).
+    failure: Optional[str]
+    violations: List[str]
+    abcast_violation: Optional[str]
+    crashes: List[Tuple[float, int]]
+    restarts: List[Tuple[float, int]]
+    failovers: List[tuple]
+    duration: float
+
+    def summary(self) -> str:
+        """One line for assertion messages: plan plus verdict."""
+        verdict = "ok" if self.ok else (
+            self.failure
+            or self.abcast_violation
+            or (self.violations[0] if self.violations else "incomplete")
+        )
+        return (
+            f"{self.protocol} {self.plan.describe()}: "
+            f"{self.completed}/{self.expected} ops, "
+            f"{len(self.failovers)} failover(s), {verdict}"
+        )
+
+
+def run_chaos(
+    protocol: str,
+    seed: int,
+    *,
+    n: int = 4,
+    objects: Sequence[str] = ("x", "y", "z"),
+    ops_per_process: int = 5,
+    recovery: str = "replay",
+    recover: bool = True,
+    plan: Optional[FaultPlan] = None,
+    horizon: float = 40.0,
+    failover_delay: float = 4.0,
+    max_events: int = 3_000_000,
+) -> ChaosResult:
+    """Run one protocol under one fault plan and verify the result.
+
+    Args:
+        protocol: ``"msc"`` (Fig-4) or ``"mlin"`` (Fig-6).
+        seed: seeds the fault plan (unless ``plan`` is given), the
+            workload, and the cluster's own randomness.
+        n: cluster size (>= 2 so failover has a successor).
+        objects: shared object names.
+        ops_per_process: workload length per process.
+        recovery: ``"replay"`` or ``"snapshot"`` (peer state transfer).
+        recover: False = negative control; crashes become permanent
+            and the run is expected to fail.
+        plan: explicit fault plan; default ``FaultPlan.random(seed, n)``.
+        horizon: virtual-time spread of the generated plan.
+        failover_delay: sequencer failure-detection delay.
+        max_events: simulator event budget.
+    """
+    from repro.abcast.sequencer import SequencerAbcast
+    from repro.core.monitor import verify_stream
+    from repro.workloads.generator import random_workloads
+
+    table = _protocol_table()
+    try:
+        factory, condition, batch_check = table[protocol]
+    except KeyError:
+        raise SimulationError(
+            f"unknown chaos protocol {protocol!r}; expected one of "
+            f"{sorted(table)}"
+        ) from None
+    if plan is None:
+        plan = FaultPlan.random(seed, n, horizon=horizon)
+    if not recover:
+        plan = FaultPlan(
+            seed=plan.seed,
+            drop_prob=plan.drop_prob,
+            dup_prob=plan.dup_prob,
+            crashes=tuple(
+                CrashEvent(pid=c.pid, at=c.at, restart_after=None)
+                for c in plan.crashes
+            ),
+            spikes=plan.spikes,
+        )
+
+    cluster = factory(
+        n,
+        objects,
+        seed=seed,
+        fault_tolerant=True,
+        recovery=recovery,
+        abcast_factory=lambda net: SequencerAbcast(
+            net, fault_tolerant=True, failover_delay=failover_delay
+        ),
+        network_factory=lambda sim, size: Network(
+            sim,
+            size,
+            latency=UniformLatency(0.5, 1.5),
+            seed=seed + 1,
+            reliable=True,
+        ),
+    )
+    injector = FaultInjector(plan).install(cluster)
+    workloads = random_workloads(n, objects, ops_per_process, seed=seed)
+    expected = sum(len(w) for w in workloads)
+
+    failure: Optional[str] = None
+    violations: List[str] = []
+    abcast_violation: Optional[str] = None
+    result = None
+    try:
+        result = cluster.run(workloads, max_events=max_events)
+    except (
+        DeliveryTimeout,
+        ProcessCrashed,
+        ProtocolError,
+        SequencerUnavailable,
+    ) as exc:
+        failure = f"{type(exc).__name__}: {exc}"
+
+    completed = len(cluster.recorder.records)
+    if result is not None:
+        abcast_violation = result.abcast_violation
+        verifier = verify_stream(result, condition=condition)
+        violations.extend(str(v) for v in verifier.violations)
+        verdict = batch_check(result.history, extra_pairs=result.ww_pairs())
+        if not verdict.holds:
+            violations.append(f"batch {condition} checker rejected the run")
+
+    ok = (
+        failure is None
+        and abcast_violation is None
+        and not violations
+        and completed == expected
+    )
+    return ChaosResult(
+        protocol=protocol,
+        plan=plan,
+        ok=ok,
+        completed=completed,
+        expected=expected,
+        failure=failure,
+        violations=violations,
+        abcast_violation=abcast_violation,
+        crashes=list(injector.crashed),
+        restarts=list(injector.restarted),
+        failovers=list(cluster.abcast.failovers) if cluster.abcast else [],
+        duration=cluster.sim.now,
+    )

@@ -1,0 +1,203 @@
+"""Deterministic fault schedules for robustness testing (S29).
+
+A :class:`FaultPlan` is a seeded, fully deterministic description of
+the faults injected into one protocol run: probabilistic message drops
+and duplicates, latency spikes, and timed process crashes with
+optional restarts.  The plan is *data* — it can be printed, stored and
+replayed (``python -m repro chaos --fault-seed N`` rebuilds the exact
+schedule) — and :class:`FaultInjector` is the small piece of machinery
+that arms it against a live cluster.
+
+Each knob relaxes one assumption of the paper's Section-5 model; see
+``docs/fault_model.md`` for the mapping and the recovery semantics the
+protocols implement to survive the relaxation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["CrashEvent", "DelaySpike", "FaultPlan", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One timed process crash.
+
+    Attributes:
+        pid: the process to crash.
+        at: virtual time of the crash.
+        restart_after: downtime before the process restarts and runs
+            recovery; ``None`` means the crash is permanent.
+    """
+
+    pid: int
+    at: float
+    restart_after: Optional[float]
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """A temporary network-wide latency multiplier (congestion)."""
+
+    at: float
+    duration: float
+    factor: float
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults for one run.
+
+    Attributes:
+        seed: the seed the plan was derived from (kept for reporting).
+        drop_prob: per-physical-frame drop probability.
+        dup_prob: per-physical-frame duplication probability.
+        crashes: timed crash(/restart) events, non-overlapping.
+        spikes: timed latency spikes.
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    crashes: Tuple[CrashEvent, ...] = ()
+    spikes: Tuple[DelaySpike, ...] = ()
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n: int,
+        *,
+        sequencer: int = 0,
+        horizon: float = 30.0,
+        max_drop: float = 0.2,
+        max_dup: float = 0.1,
+        extra_crashes: int = 1,
+        max_spikes: int = 2,
+    ) -> "FaultPlan":
+        """Draw a randomized plan with the chaos-harness guarantees.
+
+        Every generated plan has drops (up to ``max_drop``), at least
+        one crash-restart, and at least one **sequencer**
+        crash-restart (forcing a failover).  Crash windows are
+        serialized — one process down at a time — so a live successor
+        always exists for election.
+        """
+        if n < 2:
+            raise SimulationError("fault plans need at least two processes")
+        rng = random.Random(seed)
+        drop = rng.uniform(0.02, max_drop)
+        dup = rng.uniform(0.0, max_dup)
+
+        crashes = []
+        cursor = rng.uniform(0.05, 0.25) * horizon
+        victims = [sequencer]  # the mandated sequencer failover
+        for _ in range(rng.randint(0, extra_crashes)):
+            victims.append(rng.randrange(n))
+        rng.shuffle(victims)
+        for pid in victims:
+            downtime = rng.uniform(0.1, 0.3) * horizon
+            crashes.append(
+                CrashEvent(pid=pid, at=cursor, restart_after=downtime)
+            )
+            # Leave a gap after the restart before the next crash, so
+            # windows never overlap and recovery gets breathing room.
+            cursor += downtime + rng.uniform(0.1, 0.3) * horizon
+
+        spikes = tuple(
+            DelaySpike(
+                at=rng.uniform(0.0, horizon),
+                duration=rng.uniform(0.05, 0.2) * horizon,
+                factor=rng.uniform(2.0, 6.0),
+            )
+            for _ in range(rng.randint(0, max_spikes))
+        )
+        return cls(
+            seed=seed,
+            drop_prob=drop,
+            dup_prob=dup,
+            crashes=tuple(crashes),
+            spikes=spikes,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary (for failure reports)."""
+        crashes = ", ".join(
+            f"P{c.pid}@{c.at:.1f}"
+            + (f"+{c.restart_after:.1f}" if c.restart_after else " (forever)")
+            for c in self.crashes
+        )
+        return (
+            f"plan(seed={self.seed}, drop={self.drop_prob:.3f}, "
+            f"dup={self.dup_prob:.3f}, crashes=[{crashes}], "
+            f"spikes={len(self.spikes)})"
+        )
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against a cluster before its run.
+
+    Usage::
+
+        cluster = msc_cluster(..., fault_tolerant=True, ...)
+        FaultInjector(plan).install(cluster)
+        result = cluster.run(workloads)
+
+    Installation sets the network's drop/duplicate probabilities and
+    schedules the crash, restart and latency-spike events on the
+    cluster's simulator; everything after that happens inside the
+    normal event loop.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        #: (time, pid) pairs of crashes/restarts actually executed.
+        self.crashed: list = []
+        self.restarted: list = []
+
+    def install(self, cluster) -> "FaultInjector":
+        network = cluster.network
+        network.drop_prob = self.plan.drop_prob
+        network.dup_prob = self.plan.dup_prob
+        sim = cluster.sim
+        for crash in self.plan.crashes:
+            sim.schedule(
+                crash.at, lambda c=crash: self._crash(cluster, c)
+            )
+        for spike in self.plan.spikes:
+            sim.schedule(spike.at, lambda s=spike: self._spike_on(network, s))
+            sim.schedule(
+                spike.at + spike.duration,
+                lambda s=spike: self._spike_off(network, s),
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Event bodies
+    # ------------------------------------------------------------------
+
+    def _crash(self, cluster, crash: CrashEvent) -> None:
+        if cluster.network.is_down(crash.pid):  # pragma: no cover
+            return  # overlapping hand-written plans: skip quietly
+        cluster.crash_process(crash.pid)
+        self.crashed.append((cluster.sim.now, crash.pid))
+        if crash.restart_after is not None:
+            cluster.sim.schedule(
+                crash.restart_after,
+                lambda: self._restart(cluster, crash.pid),
+            )
+
+    def _restart(self, cluster, pid: int) -> None:
+        cluster.restart_process(pid)
+        self.restarted.append((cluster.sim.now, pid))
+
+    def _spike_on(self, network, spike: DelaySpike) -> None:
+        network.delay_factor *= spike.factor
+
+    def _spike_off(self, network, spike: DelaySpike) -> None:
+        network.delay_factor /= spike.factor

@@ -2,27 +2,49 @@
 
 Implements the paper's channel model: reliable point-to-point channels
 with unbounded (simulated) delay and **no FIFO guarantee** — "the
-messages can get reordered" (Section 5).  Optional fault injection
-(drop/duplicate) exists solely for negative tests of the atomic
-broadcast layer; the protocol experiments never enable it, matching
-the paper's reliability assumption.
+messages can get reordered" (Section 5).
+
+Beyond the paper's model, the network supports a *fault layer* used by
+the robustness subsystem (:mod:`repro.sim.faults`, :mod:`repro.sim.
+chaos`):
+
+* probabilistic message **drops** and **duplicates**;
+* a mutable **delay factor** for latency spikes;
+* endpoint **crash/restore** (frames to a down endpoint vanish, the
+  endpoint's own retransmission timers are volatile and die with it);
+* an optional **reliable-delivery shim** (``reliable=True``): every
+  logical send is assigned a transfer id, the receiver acknowledges
+  each data frame, the sender retransmits unacknowledged frames with
+  exponential backoff plus jitter, and the receiver suppresses
+  duplicate transfer ids.  Protocols written against reliable channels
+  then survive lossy ones without modification.
 
 The network also keeps per-kind message statistics (count and payload
 size), which power the message-cost benchmarks (experiments A2/A3).
+Accounting is unified across the unicast, broadcast, retransmission
+and acknowledgment paths: every *logical* send is counted once in
+``sent``/``by_kind``, while every *physical* frame that the fault
+layer drops or duplicates is counted in ``dropped``/``duplicated``
+regardless of which path emitted it; shim traffic is tallied
+separately (``retransmitted``, ``acked``, ``deduped``).
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
-from repro.errors import SimulationError
-from repro.sim.kernel import Simulator
+from repro.errors import DeliveryTimeout, ProcessCrashed, SimulationError
+from repro.sim.kernel import EventHandle, Simulator
 from repro.sim.latency import FixedLatency, LatencyModel
 
 #: Signature of a message handler: (src_pid, message) -> None.
 Handler = Callable[[int, "Message"], None]
+
+#: Maximum recursion depth for :func:`estimate_size`.
+MAX_SIZE_DEPTH = 24
 
 
 @dataclass(frozen=True)
@@ -45,8 +67,15 @@ def estimate_size(value: Any) -> int:
 
     Used for relative comparisons only (experiment A3: full-store
     query replies vs. relevant-objects-only replies), never for
-    absolute byte counts.
+    absolute byte counts.  Guarded against cyclic and pathologically
+    deep payloads (chaos tests craft those): recursion stops at
+    :data:`MAX_SIZE_DEPTH` or on revisiting a container, returning a
+    flat sentinel cost instead of overflowing the stack.
     """
+    return _estimate_size(value, 0, set())
+
+
+def _estimate_size(value: Any, depth: int, seen: Set[int]) -> int:
     if value is None:
         return 0
     if isinstance(value, bool):
@@ -55,25 +84,54 @@ def estimate_size(value: Any) -> int:
         return 8
     if isinstance(value, str):
         return len(value)
+    if depth >= MAX_SIZE_DEPTH or id(value) in seen:
+        return 8
     if isinstance(value, (list, tuple, set, frozenset)):
-        return 2 + sum(estimate_size(v) for v in value)
+        seen.add(id(value))
+        total = 2 + sum(_estimate_size(v, depth + 1, seen) for v in value)
+        seen.discard(id(value))
+        return total
     if isinstance(value, dict):
-        return 2 + sum(
-            estimate_size(k) + estimate_size(v) for k, v in value.items()
+        seen.add(id(value))
+        total = 2 + sum(
+            _estimate_size(k, depth + 1, seen)
+            + _estimate_size(v, depth + 1, seen)
+            for k, v in value.items()
         )
+        seen.discard(id(value))
+        return total
     if hasattr(value, "__dict__"):
-        return estimate_size(vars(value))
+        seen.add(id(value))
+        total = _estimate_size(vars(value), depth + 1, seen)
+        seen.discard(id(value))
+        return total
     return 8
 
 
 @dataclass
-class ChannelStats:
-    """Aggregate statistics of messages that entered the network."""
+class NetworkStats:
+    """Aggregate statistics of messages that entered the network.
+
+    ``sent``/``by_kind``/``size_by_kind`` count *logical* sends (one
+    per ``send()`` call); ``dropped``/``duplicated`` count *physical*
+    frames affected by fault injection on any path (data, broadcast
+    copy, retransmission, acknowledgment); the remaining fields are
+    the reliable-delivery shim's ledger.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
     duplicated: int = 0
+    #: Retransmission attempts by the reliable shim (physical resends
+    #: beyond each frame's first transmission).
+    retransmitted: int = 0
+    #: Acknowledgments that reached their sender.
+    acked: int = 0
+    #: Duplicate data frames suppressed at the receiver by transfer id.
+    deduped: int = 0
+    #: Frames discarded because the destination endpoint was down.
+    lost_to_crash: int = 0
     total_size: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
     size_by_kind: Dict[str, int] = field(default_factory=dict)
@@ -88,8 +146,22 @@ class ChannelStats:
         )
 
 
+#: Backwards-compatible alias (the pre-fault-layer name).
+ChannelStats = NetworkStats
+
+
+@dataclass
+class _Transfer:
+    """Sender-side state of one unacknowledged reliable transfer."""
+
+    dst: int
+    message: Message
+    attempts: int = 0
+    timer: Optional[EventHandle] = None
+
+
 class Network:
-    """A reliable, reordering, point-to-point network.
+    """A reordering point-to-point network with optional fault layer.
 
     Args:
         sim: the driving simulator.
@@ -99,10 +171,17 @@ class Network:
             into send order (delay clamped); default False, matching
             the paper.
         seed: RNG seed for latency sampling and fault injection.
-        drop_prob: probability of silently dropping a message —
-            **violates** the paper's model; for abcast negative tests
-            only.
-        dup_prob: probability of delivering a message twice.
+        drop_prob: probability of silently dropping a physical frame —
+            **violates** the paper's model; tolerated only with the
+            reliable shim (or in negative tests).
+        dup_prob: probability of delivering a frame twice.
+        reliable: enable the ack/retransmit/dedup shim, restoring the
+            paper's reliable-channel abstraction on top of a lossy
+            physical layer.
+        ack_timeout: base retransmission timeout (virtual time).
+        backoff: exponential backoff multiplier per retry.
+        max_backoff: cap on the backoff multiplier.
+        max_retries: retransmissions before :class:`DeliveryTimeout`.
     """
 
     def __init__(
@@ -115,6 +194,11 @@ class Network:
         seed: int = 0,
         drop_prob: float = 0.0,
         dup_prob: float = 0.0,
+        reliable: bool = False,
+        ack_timeout: float = 4.0,
+        backoff: float = 2.0,
+        max_backoff: float = 8.0,
+        max_retries: int = 40,
     ) -> None:
         if n <= 0:
             raise SimulationError("network needs at least one endpoint")
@@ -124,10 +208,27 @@ class Network:
         self.fifo = fifo
         self.drop_prob = drop_prob
         self.dup_prob = dup_prob
-        self.stats = ChannelStats()
+        self.reliable = reliable
+        self.ack_timeout = ack_timeout
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.max_retries = max_retries
+        #: Multiplier applied to every sampled latency; fault plans
+        #: raise it temporarily to model congestion/delay spikes.
+        self.delay_factor = 1.0
+        self.stats = NetworkStats()
         self._rng = random.Random(seed)
         self._handlers: Dict[int, Handler] = {}
         self._last_delivery: Dict[Tuple[int, int], float] = {}
+        self._down: Set[int] = set()
+        self._next_xfer = itertools.count()
+        #: Sender pid -> transfer id -> in-flight state (volatile:
+        #: wiped when the sender crashes).
+        self._outstanding: Dict[int, Dict[int, _Transfer]] = {
+            pid: {} for pid in range(n)
+        }
+        #: Receiver pid -> transfer ids already delivered (volatile).
+        self._seen: Dict[int, Set[int]] = {pid: set() for pid in range(n)}
 
     # ------------------------------------------------------------------
     # Registration
@@ -139,6 +240,42 @@ class Network:
         if pid in self._handlers:
             raise SimulationError(f"endpoint {pid} already registered")
         self._handlers[pid] = handler
+
+    # ------------------------------------------------------------------
+    # Crash / restore
+    # ------------------------------------------------------------------
+
+    def crash(self, pid: int) -> None:
+        """Take endpoint ``pid`` down.
+
+        In-flight frames *to* it will be discarded on arrival; its own
+        retransmission timers and dedup memory are volatile and lost.
+        """
+        self._check_pid(pid)
+        if pid in self._down:
+            raise ProcessCrashed(f"endpoint {pid} is already down")
+        self._down.add(pid)
+        for transfer in self._outstanding[pid].values():
+            if transfer.timer is not None:
+                transfer.timer.cancel()
+        self._outstanding[pid].clear()
+        self._seen[pid].clear()
+
+    def restore(self, pid: int) -> None:
+        """Bring a crashed endpoint back (with empty volatile state)."""
+        self._check_pid(pid)
+        if pid not in self._down:
+            raise ProcessCrashed(f"endpoint {pid} is not down")
+        self._down.discard(pid)
+
+    def is_down(self, pid: int) -> bool:
+        """True iff endpoint ``pid`` is currently crashed."""
+        return pid in self._down
+
+    @property
+    def down(self) -> Set[int]:
+        """The set of currently crashed endpoints (a copy)."""
+        return set(self._down)
 
     # ------------------------------------------------------------------
     # Sending
@@ -153,25 +290,16 @@ class Network:
         """
         self._check_pid(src)
         self._check_pid(dst)
+        if src in self._down:
+            raise ProcessCrashed(f"endpoint {src} sent while down")
         self.stats.record_send(message)
-        if self.drop_prob and self._rng.random() < self.drop_prob:
-            self.stats.dropped += 1
+        if not self.reliable:
+            self._transmit(src, dst, ("data", None, message))
             return
-        copies = 1
-        if self.dup_prob and self._rng.random() < self.dup_prob:
-            copies = 2
-            self.stats.duplicated += 1
-        for _ in range(copies):
-            delay = self.latency.sample(self._rng, src, dst)
-            if delay < 0:
-                raise SimulationError("latency model produced negative delay")
-            if self.fifo:
-                arrival = self.sim.now + delay
-                floor = self._last_delivery.get((src, dst), -1.0)
-                arrival = max(arrival, floor + 1e-9)
-                self._last_delivery[(src, dst)] = arrival
-                delay = arrival - self.sim.now
-            self._schedule_delivery(src, dst, message, delay)
+        xfer = next(self._next_xfer)
+        self._outstanding[src][xfer] = _Transfer(dst=dst, message=message)
+        self._transmit(src, dst, ("data", xfer, message))
+        self._arm_timer(src, xfer)
 
     def send_to_all(
         self, src: int, message: Message, *, include_self: bool = True
@@ -188,23 +316,108 @@ class Network:
             self.send(src, dst, message)
 
     # ------------------------------------------------------------------
-    # Internals
+    # Physical layer (fault injection lives here, for every path)
     # ------------------------------------------------------------------
+
+    def _transmit(self, src: int, dst: int, frame: Tuple) -> None:
+        if self.drop_prob and self._rng.random() < self.drop_prob:
+            self.stats.dropped += 1
+            return
+        copies = 1
+        if self.dup_prob and self._rng.random() < self.dup_prob:
+            copies = 2
+            self.stats.duplicated += 1
+        for _ in range(copies):
+            delay = self.latency.sample(self._rng, src, dst)
+            if delay < 0:
+                raise SimulationError("latency model produced negative delay")
+            delay *= self.delay_factor
+            if self.fifo:
+                arrival = self.sim.now + delay
+                floor = self._last_delivery.get((src, dst), -1.0)
+                arrival = max(arrival, floor + 1e-9)
+                self._last_delivery[(src, dst)] = arrival
+                delay = arrival - self.sim.now
+            self.sim.schedule(
+                delay, lambda: self._deliver_frame(src, dst, frame)
+            )
 
     def _schedule_delivery(
         self, src: int, dst: int, message: Message, delay: float
     ) -> None:
-        def deliver() -> None:
-            handler = self._handlers.get(dst)
-            if handler is None:
-                raise SimulationError(
-                    f"message {message.kind!r} delivered to unregistered "
-                    f"endpoint {dst}"
-                )
-            self.stats.delivered += 1
-            handler(src, message)
+        """Schedule a bare (shim-less) delivery after ``delay``.
 
-        self.sim.schedule(delay, deliver)
+        Bypasses fault injection; used by controlled/exploring
+        networks that pick delivery orders themselves.
+        """
+        self.sim.schedule(
+            delay,
+            lambda: self._deliver_frame(src, dst, ("data", None, message)),
+        )
+
+    def _deliver_frame(self, src: int, dst: int, frame: Tuple) -> None:
+        kind = frame[0]
+        if dst in self._down:
+            self.stats.lost_to_crash += 1
+            return
+        if kind == "ack":
+            self._on_ack(dst, frame[1])
+            return
+        _kind, xfer, message = frame
+        if xfer is not None:
+            # Reliable shim: acknowledge every copy (the first ack may
+            # be lost), deliver only the first.
+            self._transmit(dst, src, ("ack", xfer))
+            if xfer in self._seen[dst]:
+                self.stats.deduped += 1
+                return
+            self._seen[dst].add(xfer)
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise SimulationError(
+                f"message {message.kind!r} delivered to unregistered "
+                f"endpoint {dst}"
+            )
+        self.stats.delivered += 1
+        handler(src, message)
+
+    # ------------------------------------------------------------------
+    # Reliable shim internals
+    # ------------------------------------------------------------------
+
+    def _arm_timer(self, src: int, xfer: int) -> None:
+        transfer = self._outstanding[src].get(xfer)
+        if transfer is None:  # pragma: no cover - defensive
+            return
+        scale = min(self.backoff ** transfer.attempts, self.max_backoff)
+        timeout = self.ack_timeout * scale
+        timeout *= 1.0 + 0.25 * self._rng.random()  # desynchronizing jitter
+        transfer.timer = self.sim.schedule(
+            timeout, lambda: self._on_timeout(src, xfer)
+        )
+
+    def _on_timeout(self, src: int, xfer: int) -> None:
+        transfer = self._outstanding[src].get(xfer)
+        if transfer is None or src in self._down:
+            return
+        transfer.attempts += 1
+        if transfer.attempts > self.max_retries:
+            raise DeliveryTimeout(
+                f"message {transfer.message.kind!r} from {src} to "
+                f"{transfer.dst} unacknowledged after "
+                f"{self.max_retries} retransmissions"
+            )
+        self.stats.retransmitted += 1
+        self._transmit(src, transfer.dst, ("data", xfer, transfer.message))
+        self._arm_timer(src, xfer)
+
+    def _on_ack(self, src: int, xfer: int) -> None:
+        transfer = self._outstanding[src].pop(xfer, None)
+        if transfer is None:
+            return  # duplicate or post-crash ack
+        if transfer.timer is not None:
+            transfer.timer.cancel()
+        self.stats.acked += 1
 
     def _check_pid(self, pid: int) -> None:
         if not 0 <= pid < self.n:

@@ -1,0 +1,49 @@
+"""Chaos suite: the Fig-6 (m-linearizable) protocol under faults.
+
+Same harness as ``test_chaos_msc.py`` but the verification bar is
+higher — every surviving history must be *m-linearizable* — and the
+protocol has more fault surface: the query gather phase spans
+messages, so crashes mid-gather exercise the attempt-numbered restart
+path and the ``query_retry`` timer on top of the shared
+crash/recovery and sequencer-failover machinery.
+"""
+
+import pytest
+
+from repro.sim.chaos import run_chaos
+
+
+def _recovery(seed: int) -> str:
+    return "replay" if seed % 2 == 0 else "snapshot"
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", range(50))
+def test_mlin_survives_fault_schedule(seed):
+    result = run_chaos("mlin", seed, recovery=_recovery(seed))
+    assert result.ok, result.summary()
+    assert result.completed == result.expected
+    assert result.plan.drop_prob > 0
+    assert result.crashes and result.restarts, result.summary()
+    assert result.failovers, result.summary()
+
+
+def test_mlin_chaos_smoke():
+    """Tier-1 smoke subset: both recovery modes, two schedules each."""
+    for seed in (0, 1):
+        for recovery in ("replay", "snapshot"):
+            result = run_chaos("mlin", seed, recovery=recovery)
+            assert result.ok, result.summary()
+            assert result.failovers, result.summary()
+
+
+def test_mlin_without_recovery_loses_operations():
+    """Negative control: permanent crashes must break the run."""
+    for seed in range(3):
+        result = run_chaos("mlin", seed, recover=False)
+        assert not result.ok, result.summary()
+        assert (
+            result.completed < result.expected
+            or result.failure is not None
+            or result.violations
+        ), result.summary()
