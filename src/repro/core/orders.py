@@ -42,13 +42,19 @@ def init_order(history: History) -> Relation:
 
 
 def process_order(history: History) -> Relation:
-    """``~p``: per-process issue order (Section 2.1)."""
+    """``~p``: per-process issue order (Section 2.1).
+
+    Emitted as the per-process *cover* chain — each m-operation to its
+    immediate successor, ``n - 1`` edges per process rather than all
+    ``n(n-1)/2`` transitive pairs.  The full order is the chain's
+    transitive closure, which every consumer computes anyway (and which
+    :class:`~repro.core.relations.Relation` now caches).
+    """
     rel = empty_relation(history)
     for proc in history.processes:
         seq = history.subhistory(proc)
-        for i, earlier in enumerate(seq):
-            for later in seq[i + 1 :]:
-                rel.add(earlier.uid, later.uid)
+        for earlier, later in zip(seq, seq[1:]):
+            rel.add(earlier.uid, later.uid)
     return rel
 
 

@@ -41,7 +41,7 @@ class TestProcessOrder:
         assert (1, 2) in po
         assert (1, 3) not in po and (1, 4) not in po
 
-    def test_transitive_along_one_process(self):
+    def test_cover_chain_closes_to_full_order(self):
         h = simple_history(
             [
                 (1, 0, "w x 1", 0.0, 1.0),
@@ -50,8 +50,13 @@ class TestProcessOrder:
             ]
         )
         po = process_order(h)
-        assert (1, 3) in po and (1, 2) in po and (2, 3) in po
-        assert (3, 1) not in po
+        # The builder emits the cover chain only ...
+        assert (1, 2) in po and (2, 3) in po
+        assert (1, 3) not in po
+        # ... and its closure is the full per-process order.
+        closed = po.transitive_closure()
+        assert (1, 3) in closed and (1, 2) in closed and (2, 3) in closed
+        assert (3, 1) not in closed
 
 
 class TestReadsFromOrder:
