@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos chaos-smoke report
+.PHONY: test chaos chaos-smoke report bench-json
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,3 +17,7 @@ chaos-smoke:
 
 report:
 	$(PYTHON) -m repro report
+
+## Checker wall-clock medians -> BENCH_checkers.json (repo root).
+bench-json:
+	$(PYTHON) -m benchmarks.bench_checkers

@@ -12,8 +12,59 @@ EXPERIMENTS.md tables from the same code paths.
 from __future__ import annotations
 
 import sys
+import time
 from pathlib import Path
+from typing import Callable, List, Tuple
 
 # Allow `from benchmarks.report import ...` when pytest runs from the
 # repository root.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+
+def checker_workload(
+    n_mops: int,
+    *,
+    seed: int = 3,
+    n_processes: int = 5,
+    n_objects: int = 4,
+    query_fraction: float = 0.4,
+):
+    """The performance-guard workload at a given size.
+
+    A fresh serial history (fresh so no cached :class:`HistoryIndex`
+    survives between timing runs) plus the total ``~ww`` chain of its
+    updates — the Theorem 7 constraint input that makes the
+    polynomial-time ``constrained`` checker applicable.  Shared by
+    ``tests/test_performance_guards.py``-style guards and
+    ``benchmarks/bench_checkers.py``.
+    """
+    from repro.workloads import HistoryShape, random_serial_history
+
+    shape = HistoryShape(
+        n_processes=n_processes,
+        n_objects=n_objects,
+        n_mops=n_mops,
+        query_fraction=query_fraction,
+    )
+    history = random_serial_history(shape, seed=seed)
+    updates = [m.uid for m in history.mops if m.is_update]
+    return history, list(zip(updates, updates[1:]))
+
+
+def timed_samples(
+    make: Callable[[], Callable[[], object]], runs: int
+) -> Tuple[List[float], object]:
+    """Time ``runs`` executions, rebuilding state before each.
+
+    ``make`` produces a zero-argument closure over *fresh* inputs; only
+    the closure's execution is timed, so per-history caches never leak
+    across samples.  Returns the samples and the last result.
+    """
+    samples: List[float] = []
+    result: object = None
+    for _ in range(runs):
+        fn = make()
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return samples, result

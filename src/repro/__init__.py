@@ -41,10 +41,12 @@ Quickstart::
 from repro.core import (
     ConsistencyVerdict,
     History,
+    HistoryIndex,
     MOperation,
     Operation,
     Relation,
     check_admissible,
+    check_condition,
     check_m_linearizability,
     check_m_normality,
     check_m_sequential_consistency,
@@ -104,12 +106,13 @@ from repro.workloads import (
     random_workloads,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Cluster",
     "ConsistencyVerdict",
     "History",
+    "HistoryIndex",
     "MOperation",
     "MProgram",
     "Operation",
@@ -123,6 +126,7 @@ __all__ = [
     "balance_total",
     "casn",
     "check_admissible",
+    "check_condition",
     "check_m_linearizability",
     "check_m_normality",
     "check_m_sequential_consistency",

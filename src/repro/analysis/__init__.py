@@ -9,12 +9,14 @@ from repro.analysis.complexity import (
     scaling_table,
 )
 from repro.analysis.metrics import (
+    IndexStats,
     LatencySummary,
     ProtocolMetrics,
     comparison_table,
 )
 
 __all__ = [
+    "IndexStats",
     "LatencySummary",
     "ProtocolMetrics",
     "ScalingPoint",

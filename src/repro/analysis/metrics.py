@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.index import HistoryIndex, IndexStats
 from repro.protocols.base import RunResult
 
 
@@ -85,6 +86,9 @@ class ProtocolMetrics:
     message_size: int
     messages_by_kind: Dict[str, int]
     throughput: float
+    #: structural summary of the recorded history, shared with the
+    #: checkers via the history's :class:`HistoryIndex`.
+    complexity: Optional[IndexStats] = None
 
     @classmethod
     def of(cls, label: str, result: RunResult) -> "ProtocolMetrics":
@@ -100,6 +104,7 @@ class ProtocolMetrics:
             message_size=result.net_stats.total_size,
             messages_by_kind=dict(result.net_stats.by_kind),
             throughput=completed / duration,
+            complexity=HistoryIndex.of(result.history).stats(),
         )
 
     def row(self) -> str:

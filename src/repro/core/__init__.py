@@ -5,6 +5,7 @@ Sub-modules:
 * :mod:`repro.core.operation` — operations and m-operations.
 * :mod:`repro.core.history` — histories and the reads-from map.
 * :mod:`repro.core.relations` — relation algebra.
+* :mod:`repro.core.index` — shared per-history derived-data layer.
 * :mod:`repro.core.orders` — process/reads-from/real-time/object order.
 * :mod:`repro.core.legality` — conflict, interference, legality.
 * :mod:`repro.core.constraints` — OO/WW/WO constraints, ``~rw``, ``~H+``.
@@ -22,6 +23,7 @@ from repro.core.admissibility import (
 from repro.core.consistency import (
     ConsistencyVerdict,
     ConstraintNotSatisfied,
+    check_condition,
     check_m_linearizability,
     check_m_normality,
     check_m_sequential_consistency,
@@ -50,6 +52,7 @@ from repro.core.constraints import (
 )
 from repro.core.diagnostics import Explanation, explain
 from repro.core.history import History
+from repro.core.index import HistoryIndex, IndexStats, LiveIndex
 from repro.core.legality import (
     conflict,
     interfere,
@@ -85,7 +88,11 @@ from repro.core.orders import (
     reads_from_order,
     real_time_order,
 )
-from repro.core.relations import Relation, relation_from_sequence
+from repro.core.relations import (
+    IncrementalClosure,
+    Relation,
+    relation_from_sequence,
+)
 from repro.core.serialize import (
     history_from_dict,
     history_from_json,
@@ -101,7 +108,11 @@ __all__ = [
     "ConsistencyVerdict",
     "ConstraintNotSatisfied",
     "History",
+    "HistoryIndex",
     "INIT_UID",
+    "IncrementalClosure",
+    "IndexStats",
+    "LiveIndex",
     "LiveMonitor",
     "MOperation",
     "MonitorUsageError",
@@ -116,6 +127,7 @@ __all__ = [
     "base_order",
     "causal_order",
     "check_admissible",
+    "check_condition",
     "check_m_linearizability",
     "check_m_normality",
     "check_m_causal_consistency",

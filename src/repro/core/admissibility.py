@@ -123,7 +123,10 @@ def check_admissible(
 
     # The initial m-operation precedes everything (Section 2.1); make
     # that explicit even if the caller's base order omitted it, so the
-    # search always schedules it first.
+    # search always schedules it first.  The copy shares the caller's
+    # cached transitive closure (see Relation.copy), so when the base
+    # comes from the history index — which already carries the initial
+    # fan-out — the pre-check closure below costs nothing extra.
     if set(history.uids) - set(base.nodes):
         rebuilt = Relation(history.uids)
         rebuilt.add_all(base.pairs())

@@ -33,13 +33,13 @@ from repro.core.admissibility import (
     check_admissible,
 )
 from repro.core.constraints import (
-    extended_relation,
+    rw_pairs,
     satisfies_oo,
     satisfies_ww,
 )
 from repro.core.history import History
+from repro.core.index import HistoryIndex
 from repro.core.legality import is_legal
-from repro.core.orders import mlin_order, mnorm_order, msc_order
 from repro.core.relations import Relation
 from repro.errors import ReproError
 
@@ -80,13 +80,32 @@ class ConsistencyVerdict:
 
 def _check(
     history: History,
-    base: Relation,
     condition: str,
     method: str,
     node_limit: Optional[int],
+    extra_pairs: Iterable[Tuple[int, int]],
 ) -> ConsistencyVerdict:
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+
+    # One shared index per history: the base order, its closure, the
+    # interfering triples and the constraint masks are computed at
+    # most once no matter how many checkers run on this history.
+    index = HistoryIndex.of(history)
+    extra = _normalize_extra(extra_pairs)
+    base = index.base_relation(condition, extra)
+
+    if method == "exact":
+        # The exact search needs neither the closure nor the
+        # constraint verdicts.
+        result = check_admissible(history, base, node_limit=node_limit)
+        return ConsistencyVerdict(
+            holds=result.admissible,
+            condition=condition,
+            method_used="exact",
+            witness=result.witness,
+            stats=result.stats,
+        )
 
     closure = base.transitive_closure()
     constrained_ok = satisfies_ww(history, closure) or satisfies_oo(
@@ -100,7 +119,7 @@ def _check(
             "apply"
         )
 
-    if method == "constrained" or (method == "auto" and constrained_ok):
+    if constrained_ok:
         return _check_constrained(history, base, closure, condition)
 
     result = check_admissible(history, base, node_limit=node_limit)
@@ -120,13 +139,19 @@ def _check_constrained(
 
     When legal, Lemmas 3-5 guarantee the extended relation ``~H+`` is
     an irreflexive partial order any of whose linear extensions is a
-    legal sequential history — so we also return such a witness.
+    legal sequential history — so we also return such a witness.  A
+    graph and its transitive closure have the same topological orders,
+    so the witness is read off ``~H ∪ ~rw`` directly without
+    materialising ``~H+``.
     """
     if not closure.is_acyclic():
         return ConsistencyVerdict(False, condition, "constrained")
     if not is_legal(history, closure):
         return ConsistencyVerdict(False, condition, "constrained")
-    extended = extended_relation(history, base)
+    extended = base.copy()
+    for a_uid, c_uid in rw_pairs(history, closure):
+        if a_uid != c_uid:
+            extended.add(a_uid, c_uid)
     witness = extended.topological_order()
     assert witness is not None, (
         "Lemma 3/4 violated: extended relation of a legal constrained "
@@ -135,16 +160,11 @@ def _check_constrained(
     return ConsistencyVerdict(True, condition, "constrained", witness=witness)
 
 
-def _merge_extra(
-    history: History,
-    base: Relation,
-    extra_pairs: Iterable[Tuple[int, int]],
-) -> Relation:
-    merged = base.copy()
-    for a, b in extra_pairs:
-        if a != b:
-            merged.add(a, b)
-    return merged
+def _normalize_extra(
+    extra_pairs: Iterable[Tuple[int, int]]
+) -> Tuple[Tuple[int, int], ...]:
+    """Sorted, deduplicated, irreflexive — a stable index cache key."""
+    return tuple(sorted({(a, b) for a, b in extra_pairs if a != b}))
 
 
 def check_m_sequential_consistency(
@@ -168,8 +188,7 @@ def check_m_sequential_consistency(
     admissibility w.r.t. a larger order implies m-sequential
     consistency, but not conversely.
     """
-    base = _merge_extra(history, msc_order(history), extra_pairs)
-    return _check(history, base, "m-sc", method, node_limit)
+    return _check(history, "m-sc", method, node_limit, extra_pairs)
 
 
 def check_m_linearizability(
@@ -188,8 +207,7 @@ def check_m_linearizability(
     history.  See :func:`check_m_sequential_consistency` for
     ``extra_pairs``.
     """
-    base = _merge_extra(history, mlin_order(history), extra_pairs)
-    return _check(history, base, "m-lin", method, node_limit)
+    return _check(history, "m-lin", method, node_limit, extra_pairs)
 
 
 def check_m_normality(
@@ -207,8 +225,34 @@ def check_m_normality(
     m-normality implies m-sequential consistency.  See
     :func:`check_m_sequential_consistency` for ``extra_pairs``.
     """
-    base = _merge_extra(history, mnorm_order(history), extra_pairs)
-    return _check(history, base, "m-norm", method, node_limit)
+    return _check(history, "m-norm", method, node_limit, extra_pairs)
+
+
+#: condition name -> checker, for the :func:`check_condition` dispatcher.
+CHECKERS = {
+    "m-sc": check_m_sequential_consistency,
+    "m-lin": check_m_linearizability,
+    "m-norm": check_m_normality,
+}
+
+
+def check_condition(
+    history: History, condition: str, **kwargs
+) -> ConsistencyVerdict:
+    """Check any condition by name — the single entry point the CLI,
+    the simulator and the chaos harness share.
+
+    ``kwargs`` are forwarded to the named checker (``method``,
+    ``node_limit``, ``extra_pairs``).
+    """
+    try:
+        checker = CHECKERS[condition]
+    except KeyError:
+        raise ValueError(
+            f"unknown condition {condition!r}; expected one of "
+            f"{tuple(CHECKERS)}"
+        ) from None
+    return checker(history, **kwargs)
 
 
 def is_m_sequentially_consistent(history: History, **kwargs) -> bool:

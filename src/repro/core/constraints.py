@@ -29,7 +29,8 @@ from __future__ import annotations
 from typing import Iterator, List, Tuple
 
 from repro.core.history import History
-from repro.core.legality import conflict, interfering_triples
+from repro.core.index import HistoryIndex
+from repro.core.legality import conflict
 from repro.core.relations import Relation
 
 
@@ -49,7 +50,17 @@ def unordered_update_pairs(
 
 
 def satisfies_ww(history: History, closure: Relation) -> bool:
-    """D 4.9: every pair of update m-operations is ordered."""
+    """D 4.9: every pair of update m-operations is ordered.
+
+    Fast path: on an acyclic closure each related pair is counted in
+    exactly one direction, so the constraint reduces to comparing the
+    directed pair count among updates with ``C(#updates, 2)`` — a few
+    popcounts instead of a quadratic membership scan.
+    """
+    if closure.nodes == history.uids and closure.is_acyclic():
+        updates = HistoryIndex.of(history).update_uids
+        k = len(updates)
+        return closure.ordered_pair_count(updates) == k * (k - 1) // 2
     return next(unordered_update_pairs(history, closure), None) is None
 
 
@@ -65,7 +76,18 @@ def unordered_conflicting_pairs(
 
 
 def satisfies_oo(history: History, closure: Relation) -> bool:
-    """D 4.8: every pair of conflicting m-operations is ordered."""
+    """D 4.8: every pair of conflicting m-operations is ordered.
+
+    Fast path mirrors :func:`satisfies_ww`: the index's per-position
+    conflict masks give the number of conflicting pairs, and on an
+    acyclic closure the masked directed pair count must match it.
+    """
+    if closure.nodes == history.uids and closure.is_acyclic():
+        index = HistoryIndex.of(history)
+        return (
+            closure.masked_pair_count(index.conflict_masks)
+            == index.conflict_pair_count
+        )
     return next(unordered_conflicting_pairs(history, closure), None) is None
 
 
@@ -95,8 +117,11 @@ def rw_pairs(history: History, closure: Relation) -> List[Tuple[int, int]]:
         history: the history.
         closure: transitive closure of the base order ``~H``.
     """
+    index = HistoryIndex.of(history)
+    if closure.nodes == history.uids:
+        return index.rw_pairs_under(closure)
     pairs = set()
-    for a_uid, b_uid, c_uid in interfering_triples(history):
+    for a_uid, b_uid, c_uid in index.interfering_triples():
         if (b_uid, c_uid) in closure and a_uid != c_uid:
             pairs.add((a_uid, c_uid))
     return sorted(pairs)

@@ -63,6 +63,7 @@ class History:
         "_init",
         "_reads_from",
         "_objects",
+        "_index_cache",
     )
 
     def __init__(
@@ -84,6 +85,10 @@ class History:
         self._objects: FrozenSet[str] = frozenset(init.wobjects).union(
             *(mop.objects for mop in self._mops)
         ) if self._mops else frozenset(init.wobjects)
+        #: Lazily attached :class:`repro.core.index.HistoryIndex`; a
+        #: history is immutable once constructed, so derived data never
+        #: goes stale.  Typed as ``object`` to avoid a core import cycle.
+        self._index_cache: Optional[object] = None
         self._validate()
 
     # ------------------------------------------------------------------

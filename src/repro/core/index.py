@@ -1,0 +1,634 @@
+"""Shared derived-data layer over a history (the "history index").
+
+Every checking layer in this package — the Section 2.3 checkers, the
+Theorem 7 constraint tests, legality (D 4.6), diagnostics, the
+admissibility search, the live monitor and the chaos audits — needs
+the same derived data: per-process chains, per-object writer
+timelines, the reads-from edges, the interfering triples (D 4.2), and
+the generating orders ``~p ∪ ~rf [∪ ~t | ∪ ~x]`` with their transitive
+closures.  Before this layer each consumer rebuilt all of that from
+scratch; :class:`HistoryIndex` computes each piece once per history
+and caches it, and :class:`LiveIndex` maintains the same state
+incrementally for streaming consumers (protocol recorder, chaos
+harness) so an audit never rebuilds a :class:`~repro.core.history.History`.
+
+Cover edges
+-----------
+
+The cached generating orders are built from *cover* edges whose
+transitive closure equals the full paper order:
+
+* ``~p`` — each process's chain, ``n - 1`` edges (Section 2.1 orders
+  are total per process, so the chain's closure is the full order).
+* ``~t`` — an interval order (``resp(a) < inv(b)``); sweep m-operations
+  by invocation and link each to only the *maximal* already-responded
+  predecessors.  An already-responded ``a`` is non-maximal iff some
+  responded ``c`` has ``inv(c) > resp(a)``, i.e. iff
+  ``resp(a) < max-inv-so-far``; everything it precedes is then reached
+  through ``c`` transitively.  Closure equals the full ``~t``.
+* ``~x`` — the same sweep per object (``~x`` restricted to one
+  object's m-operations is again an interval order, and ``~x`` is the
+  union over objects).
+
+This turns the ``O(n²)``-pair order construction that dominated the
+constrained checker into near-linear cover generation plus one cached
+sparse closure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.history import History
+from repro.core.operation import INIT_UID
+from repro.core.relations import IncrementalClosure, Relation
+from repro.errors import MissingTimestampsError
+
+#: ``(a, b, c)``: ``a`` reads from ``b`` some object that ``c`` writes.
+InterferingTriple = Tuple[int, int, int]
+
+Pair = Tuple[int, int]
+
+#: condition name -> (include ``~t``, include ``~x``).
+CONDITION_ORDERS: Mapping[str, Tuple[bool, bool]] = {
+    "m-sc": (False, False),
+    "m-lin": (True, False),
+    "m-norm": (False, True),
+}
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Size/structure summary of an indexed history."""
+
+    mops: int
+    updates: int
+    queries: int
+    objects: int
+    processes: int
+    reads_from_edges: int
+    interfering_triples: int
+
+    def row(self) -> str:
+        return (
+            f"{self.mops} mops ({self.updates} upd / {self.queries} qry), "
+            f"{self.objects} objects, {self.processes} processes, "
+            f"{self.reads_from_edges} rf edges, "
+            f"{self.interfering_triples} interfering triples"
+        )
+
+
+def _interval_cover(items: List[Tuple[float, float, int]]) -> List[Pair]:
+    """Cover edges of the interval order ``resp(a) < inv(b)``.
+
+    ``items`` are ``(inv, resp, uid)`` triples.  Returns edges whose
+    transitive closure equals the full interval order: sweeping by
+    invocation, each m-operation is linked to exactly the maximal
+    elements of its predecessor set (the responded m-operations whose
+    response is at least the running maximum invocation among responded
+    ones — anything earlier is dominated transitively).
+    """
+    items = sorted(items)
+    heap: List[Tuple[float, int, float]] = []  # (resp, uid, inv), pending
+    resp_sorted: List[float] = []  # responded, ascending resp
+    uid_by_resp: List[int] = []
+    max_inv = float("-inf")  # max inv among responded
+    edges: List[Pair] = []
+    for inv, resp, uid in items:
+        while heap and heap[0][0] < inv:
+            r, u, iv = heapq.heappop(heap)
+            resp_sorted.append(r)
+            uid_by_resp.append(u)
+            if iv > max_inv:
+                max_inv = iv
+        if resp_sorted:
+            # a responded m-op `a` is maximal iff resp(a) >= max_inv:
+            # otherwise some responded c has inv(c) > resp(a), so
+            # a ~t c ~t current and the edge is redundant.
+            start = bisect_left(resp_sorted, max_inv)
+            for j in range(start, len(resp_sorted)):
+                edges.append((uid_by_resp[j], uid))
+        heapq.heappush(heap, (resp, uid, inv))
+    return edges
+
+
+class HistoryIndex:
+    """Cached derived data for one :class:`History`.
+
+    Obtain via :meth:`HistoryIndex.of` — the instance is cached on the
+    history, so every layer touching the same history (the three
+    checkers, legality, diagnostics, metrics, the CLI) shares one
+    index and therefore one copy of each derived structure.
+
+    The relations returned by :meth:`base_relation` are shared cached
+    objects: treat them as immutable and :meth:`~Relation.copy` before
+    mutating (the copy still shares the cached closure until its first
+    mutation).
+    """
+
+    __slots__ = (
+        "history",
+        "_chains",
+        "_writer_timelines",
+        "_rf_pairs",
+        "_update_uids",
+        "_resp_sorted_uids",
+        "_triples",
+        "_triples_idx",
+        "_positions",
+        "_conflict_masks",
+        "_bases",
+    )
+
+    def __init__(self, history: History) -> None:
+        self.history = history
+        self._chains: Optional[Dict[int, Tuple[int, ...]]] = None
+        self._writer_timelines: Optional[Dict[str, Tuple[int, ...]]] = None
+        self._rf_pairs: Optional[Tuple[Pair, ...]] = None
+        self._update_uids: Optional[Tuple[int, ...]] = None
+        self._resp_sorted_uids: Optional[Tuple[int, ...]] = None
+        self._triples: Optional[Tuple[InterferingTriple, ...]] = None
+        self._triples_idx: Optional[List[Tuple[int, int, int]]] = None
+        self._positions: Dict[int, int] = {
+            uid: i for i, uid in enumerate(history.uids)
+        }
+        self._conflict_masks: Optional[List[int]] = None
+        self._bases: Dict[Tuple[str, Tuple[Pair, ...]], Relation] = {}
+
+    @classmethod
+    def of(cls, history: History) -> "HistoryIndex":
+        """The history's index, created on first use and cached on it."""
+        cached = history._index_cache
+        if cached is None:
+            cached = cls(history)
+            history._index_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+
+    @property
+    def process_chains(self) -> Dict[int, Tuple[int, ...]]:
+        """Per-process uid chains in issue order (``H|P``, Section 2.2)."""
+        if self._chains is None:
+            self._chains = {
+                proc: tuple(m.uid for m in self.history.subhistory(proc))
+                for proc in self.history.processes
+            }
+        return self._chains
+
+    @property
+    def writer_timelines(self) -> Dict[str, Tuple[int, ...]]:
+        """Per-object writer uids, initial m-operation first.
+
+        Ordered by response time when the history is timed, listing
+        order otherwise — a deterministic timeline either way.
+        """
+        if self._writer_timelines is None:
+            timelines: Dict[str, List[int]] = {
+                obj: [INIT_UID] for obj in self.history.init.wobjects
+            }
+            mops = self.history.mops
+            if self.history.is_timed:
+                mops = tuple(sorted(mops, key=lambda m: (m.resp, m.uid)))
+            for mop in mops:
+                for obj in mop.wobjects:
+                    timelines.setdefault(obj, [INIT_UID]).append(mop.uid)
+            self._writer_timelines = {
+                obj: tuple(uids) for obj, uids in timelines.items()
+            }
+        return self._writer_timelines
+
+    @property
+    def reads_from_pairs(self) -> Tuple[Pair, ...]:
+        """Sorted ``(writer, reader)`` pairs of ``~rf`` (D 4.3)."""
+        if self._rf_pairs is None:
+            self._rf_pairs = tuple(sorted(self.history.reads_from_pairs()))
+        return self._rf_pairs
+
+    @property
+    def update_uids(self) -> Tuple[int, ...]:
+        """uids of update m-operations, initial one included (D 4.5)."""
+        if self._update_uids is None:
+            self._update_uids = tuple(
+                m.uid for m in self.history.all_mops if m.is_update
+            )
+        return self._update_uids
+
+    @property
+    def resp_sorted_uids(self) -> Tuple[int, ...]:
+        """Real m-operation uids sorted by response time (timed only)."""
+        if self._resp_sorted_uids is None:
+            if not self.history.is_timed:
+                raise MissingTimestampsError(
+                    "response-time ordering requires a timed history"
+                )
+            self._resp_sorted_uids = tuple(
+                m.uid
+                for m in sorted(
+                    self.history.mops, key=lambda m: (m.resp, m.uid)
+                )
+            )
+        return self._resp_sorted_uids
+
+    def interfering_triples(self) -> Tuple[InterferingTriple, ...]:
+        """All interfering triples ``(a, b, c)`` (D 4.2), cached.
+
+        For every reads-from edge ``b --x--> a`` and every other writer
+        ``c`` of ``x``, the triple interferes.  Enumerated once per
+        history; legality, diagnostics and ``~rw`` derivation all share
+        this tuple.
+        """
+        if self._triples is None:
+            triples: List[InterferingTriple] = []
+            seen = set()
+            timelines = self.writer_timelines
+            for (a_uid, obj), b_uid in self.history.reads_from_map.items():
+                if a_uid == b_uid:
+                    continue
+                for c_uid in timelines.get(obj, ()):
+                    if c_uid == a_uid or c_uid == b_uid:
+                        continue
+                    triple = (a_uid, b_uid, c_uid)
+                    if triple not in seen:
+                        seen.add(triple)
+                        triples.append(triple)
+            self._triples = tuple(triples)
+        return self._triples
+
+    def _positional_triples(self) -> List[Tuple[int, int, int]]:
+        """Interfering triples as universe positions, for mask tests."""
+        if self._triples_idx is None:
+            pos = self._positions
+            self._triples_idx = [
+                (pos[a], pos[b], pos[c])
+                for a, b, c in self.interfering_triples()
+            ]
+        return self._triples_idx
+
+    # ------------------------------------------------------------------
+    # Legality against a closure (D 4.6)
+    # ------------------------------------------------------------------
+
+    def _aligned(self, closure: Relation) -> bool:
+        return closure.nodes == self.history.uids
+
+    def legal_under(self, closure: Relation) -> bool:
+        """D 4.6 scan of the cached triples against a closed order.
+
+        ``closure`` must be the transitive closure of the order under
+        test, over the history's full uid universe (as every relation
+        built via :meth:`base_relation` is).  One pair of bit tests per
+        cached triple.
+        """
+        succ = closure._succ
+        for ia, ib, ic in self._positional_triples():
+            if succ[ib] >> ic & 1 and succ[ic] >> ia & 1:
+                return False
+        return True
+
+    def illegal_triples_under(
+        self, closure: Relation
+    ) -> List[InterferingTriple]:
+        """The D 4.6-violating triples — diagnostic twin of
+        :meth:`legal_under`, sharing the same cached enumeration."""
+        succ = closure._succ
+        bad: List[InterferingTriple] = []
+        for triple, (ia, ib, ic) in zip(
+            self.interfering_triples(), self._positional_triples()
+        ):
+            if succ[ib] >> ic & 1 and succ[ic] >> ia & 1:
+                bad.append(triple)
+        return bad
+
+    def rw_pairs_under(self, closure: Relation) -> List[Pair]:
+        """D 4.11 ``~rw`` pairs against a closed order over the full
+        universe — the fast twin of
+        :func:`repro.core.constraints.rw_pairs`."""
+        succ = closure._succ
+        pairs = set()
+        for (a_uid, _b_uid, c_uid), (_ia, ib, ic) in zip(
+            self.interfering_triples(), self._positional_triples()
+        ):
+            if succ[ib] >> ic & 1 and a_uid != c_uid:
+                pairs.add((a_uid, c_uid))
+        return sorted(pairs)
+
+    # ------------------------------------------------------------------
+    # Conflict structure (D 4.1 / D 4.8)
+    # ------------------------------------------------------------------
+
+    @property
+    def conflict_masks(self) -> List[int]:
+        """Per-position bitmask of conflicting m-operations (D 4.1).
+
+        ``conflict_masks[i]`` has bit ``j`` set iff m-operations at
+        universe positions ``i`` and ``j`` conflict — they share an
+        object at least one of them writes.  Built per object:
+        a writer conflicts with every toucher, a toucher with every
+        writer.
+        """
+        if self._conflict_masks is None:
+            n = len(self.history.uids)
+            touch_mask: Dict[str, int] = {}
+            write_mask: Dict[str, int] = {}
+            pos = self._positions
+            for mop in self.history.all_mops:
+                bit = 1 << pos[mop.uid]
+                for obj in mop.objects:
+                    touch_mask[obj] = touch_mask.get(obj, 0) | bit
+                for obj in mop.wobjects:
+                    write_mask[obj] = write_mask.get(obj, 0) | bit
+            masks = [0] * n
+            for mop in self.history.all_mops:
+                i = pos[mop.uid]
+                acc = 0
+                for obj in mop.objects:
+                    if obj in mop.wobjects:
+                        acc |= touch_mask[obj]
+                    else:
+                        acc |= write_mask.get(obj, 0)
+                masks[i] = acc & ~(1 << i)
+            self._conflict_masks = masks
+        return self._conflict_masks
+
+    @property
+    def conflict_pair_count(self) -> int:
+        """Number of unordered conflicting pairs (the OO denominator)."""
+        return sum(mask.bit_count() for mask in self.conflict_masks) // 2
+
+    # ------------------------------------------------------------------
+    # Generating orders (Section 2.3) from cover edges
+    # ------------------------------------------------------------------
+
+    def base_relation(
+        self, condition: str, extra_pairs: Tuple[Pair, ...] = ()
+    ) -> Relation:
+        """The cached generating order ``~H`` for a condition.
+
+        Built from cover edges (initial-m-op fan-out, per-process
+        chains, ``~rf``, and the ``~t``/``~x`` interval covers — see
+        the module docstring); the transitive closure equals the full
+        paper order and is itself cached on the returned relation.
+
+        The result is shared: do not mutate it — ``.copy()`` first.
+        ``extra_pairs`` must be a normalised (sorted, deduplicated,
+        irreflexive) tuple so equal requests hit the same cache entry.
+        """
+        if condition not in CONDITION_ORDERS:
+            raise ValueError(
+                f"unknown condition {condition!r}; expected one of "
+                f"{tuple(CONDITION_ORDERS)}"
+            )
+        key = (condition, extra_pairs)
+        rel = self._bases.get(key)
+        if rel is None:
+            if extra_pairs:
+                rel = self.base_relation(condition).copy()
+                for a, b in extra_pairs:
+                    rel.add(a, b)
+            else:
+                real_time, objects = CONDITION_ORDERS[condition]
+                history = self.history
+                rel = Relation(history.uids)
+                init_uid = history.init.uid
+                for mop in history.mops:
+                    rel.add(init_uid, mop.uid)
+                for chain in self.process_chains.values():
+                    for a, b in zip(chain, chain[1:]):
+                        rel.add(a, b)
+                for writer, reader in self.reads_from_pairs:
+                    rel.add(writer, reader)
+                if real_time:
+                    rel.add_all(self.real_time_cover())
+                if objects:
+                    rel.add_all(self.object_cover())
+            self._bases[key] = rel
+        return rel
+
+    def closure(
+        self, condition: str, extra_pairs: Tuple[Pair, ...] = ()
+    ) -> Relation:
+        """Transitive closure of :meth:`base_relation` (cached)."""
+        return self.base_relation(condition, extra_pairs).transitive_closure()
+
+    def real_time_cover(self) -> List[Pair]:
+        """Cover edges of ``~t`` (without the initial fan-out)."""
+        history = self.history
+        if not history.is_timed:
+            raise MissingTimestampsError(
+                "real-time order requires inv/resp timestamps on every "
+                "m-operation"
+            )
+        return _interval_cover(
+            [(m.inv, m.resp, m.uid) for m in history.mops]
+        )
+
+    def object_cover(self) -> List[Pair]:
+        """Cover edges of ``~x`` (without the initial fan-out)."""
+        history = self.history
+        if not history.is_timed:
+            raise MissingTimestampsError(
+                "object order requires inv/resp timestamps on every "
+                "m-operation"
+            )
+        groups: Dict[str, List[Tuple[float, float, int]]] = {}
+        for mop in history.mops:
+            for obj in mop.objects:
+                groups.setdefault(obj, []).append((mop.inv, mop.resp, mop.uid))
+        edges = set()
+        for items in groups.values():
+            edges.update(_interval_cover(items))
+        return sorted(edges)
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+
+    def stats(self) -> IndexStats:
+        history = self.history
+        updates = len(self.update_uids) - 1  # exclude the initial m-op
+        return IndexStats(
+            mops=len(history.mops),
+            updates=updates,
+            queries=len(history.mops) - updates,
+            objects=len(history.objects),
+            processes=len(history.processes),
+            reads_from_edges=len(self.reads_from_pairs),
+            interfering_triples=len(self.interfering_triples()),
+        )
+
+
+class LiveIndex:
+    """Incrementally maintained order + legality state for a live run.
+
+    Streaming twin of :class:`HistoryIndex` for the protocol recorder
+    and the chaos harness: instead of rebuilding a ``History`` and
+    re-deriving everything per audit, the cluster feeds completions
+    (:meth:`observe`) and broadcast deliveries (:meth:`announce`) as
+    they happen, and :meth:`audit` answers in ``O(triples)`` bit tests
+    against an :class:`~repro.core.relations.IncrementalClosure`.
+
+    The maintained order is ``~p ∪ ~rf ∪ ~ww`` plus the initial
+    fan-out — exactly the base the batch m-sc check uses with a run's
+    ``ww_pairs()`` as ``extra_pairs`` — and the interfering triples
+    accumulate as reads-from edges and writers appear.  Both the edge
+    set and the triple set only grow, so a violation reported mid-run
+    is permanent (and will also be flagged by the end-of-run batch
+    check); a clean mid-run audit is provisional.
+
+    Like :class:`~repro.core.monitor.LiveMonitor`, completions may
+    arrive before the writers they read from are announced; such
+    completions are buffered and applied once their dependencies are
+    known.
+    """
+
+    __slots__ = (
+        "_closure",
+        "_last_update",
+        "_last_by_process",
+        "_writers",
+        "_rf_by_obj",
+        "_triples",
+        "_announced",
+        "_pending",
+        "applied",
+        "announced",
+        "audits",
+    )
+
+    def __init__(self) -> None:
+        self._closure = IncrementalClosure()
+        self._closure.add_node(INIT_UID)
+        self._last_update: Optional[int] = None
+        self._last_by_process: Dict[int, int] = {}
+        self._writers: Dict[str, List[int]] = {}
+        self._rf_by_obj: Dict[str, List[Tuple[int, int]]] = {}
+        self._triples: List[InterferingTriple] = []
+        self._announced = {INIT_UID}
+        self._pending: List[
+            Tuple[int, int, Dict[str, int], bool]
+        ] = []
+        #: completions applied to the order so far.
+        self.applied = 0
+        #: broadcast deliveries registered so far.
+        self.announced = 0
+        #: audits run so far.
+        self.audits = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def announce(self, uid: int, writes: Iterable[str]) -> None:
+        """Register a broadcast delivery: ``uid`` wrote ``writes``.
+
+        Consecutive announcements form the ``~ww`` chain (D 5.3).
+        Idempotent per uid (only the first delivery counts, matching
+        the recorder's ``ww_sequence``).
+        """
+        if uid in self._announced:
+            return
+        self._announced.add(uid)
+        self.announced += 1
+        closure = self._closure
+        closure.add_node(uid)
+        closure.add_edge(INIT_UID, uid)
+        if self._last_update is not None:
+            closure.add_edge(self._last_update, uid)
+        self._last_update = uid
+        for obj in writes:
+            for a_uid, b_uid in self._rf_by_obj.get(obj, ()):
+                if uid != a_uid and uid != b_uid:
+                    self._triples.append((a_uid, b_uid, uid))
+            self._writers.setdefault(obj, [INIT_UID]).append(uid)
+        self._drain()
+
+    def observe(
+        self,
+        uid: int,
+        process: int,
+        reads_from: Mapping[str, int],
+        is_update: bool,
+    ) -> None:
+        """Register a completed m-operation at its issuing process."""
+        self._pending.append((uid, process, dict(reads_from), is_update))
+        self._drain()
+
+    def _ready(self, entry: Tuple[int, int, Dict[str, int], bool]) -> bool:
+        uid, _process, reads_from, is_update = entry
+        if is_update and uid not in self._announced:
+            return False
+        return all(w in self._announced for w in reads_from.values())
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for i, entry in enumerate(self._pending):
+                if self._ready(entry):
+                    del self._pending[i]
+                    self._apply(entry)
+                    progressed = True
+                    break
+
+    def _apply(self, entry: Tuple[int, int, Dict[str, int], bool]) -> None:
+        uid, process, reads_from, _is_update = entry
+        closure = self._closure
+        closure.add_node(uid)
+        closure.add_edge(INIT_UID, uid)
+        prev = self._last_by_process.get(process)
+        if prev is not None and prev != uid:
+            closure.add_edge(prev, uid)
+        self._last_by_process[process] = uid
+        for obj, writer in reads_from.items():
+            if writer != uid:
+                closure.add_edge(writer, uid)
+                for c_uid in self._writers.setdefault(obj, [INIT_UID]):
+                    if c_uid != uid and c_uid != writer:
+                        self._triples.append((uid, writer, c_uid))
+                self._rf_by_obj.setdefault(obj, []).append((uid, writer))
+        self.applied += 1
+
+    # ------------------------------------------------------------------
+    # Auditing
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Completions buffered awaiting their writers' announcements."""
+        return len(self._pending)
+
+    def audit(self) -> Optional[str]:
+        """Check the accumulated order; None if clean so far.
+
+        Theorem 7 under the WW-constraint (discharged by the ``~ww``
+        chain): the run is m-sequentially consistent w.r.t. the
+        accumulated order iff it is acyclic and legal (D 4.6).
+        Monotone — a reported violation can never be retracted by
+        later m-operations.
+        """
+        self.audits += 1
+        closure = self._closure
+        if closure.cyclic:
+            return "order cycle among applied m-operations"
+        for a_uid, b_uid, c_uid in self._triples:
+            if closure.has(b_uid, c_uid) and closure.has(c_uid, a_uid):
+                return (
+                    f"illegal triple (D 4.6): m-op {a_uid} reads from "
+                    f"{b_uid} but writer {c_uid} is ordered between them"
+                )
+        return None
+
+    @property
+    def consistent(self) -> bool:
+        """Boolean form of :meth:`audit`."""
+        return self.audit() is None
+
+    def snapshot(self) -> Relation:
+        """The current closed order as a :class:`Relation`."""
+        return self._closure.to_relation()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.history import History
+from repro.core.index import HistoryIndex
 from repro.core.operation import MOperation
 from repro.core.relations import Relation
 
@@ -50,23 +51,12 @@ def interfering_triples(history: History) -> Iterator[InterferingTriple]:
 
     Iterates the reads-from map rather than all ``n^3`` triples: for
     every reads-from edge ``b --x--> a`` and every other m-operation
-    ``c`` writing ``x``, the triple interferes.
+    ``c`` writing ``x``, the triple interferes.  The enumeration is
+    cached on the history's :class:`~repro.core.index.HistoryIndex`,
+    so legality, diagnostics and the ``~rw`` derivation all walk the
+    same tuple instead of regenerating it per call.
     """
-    writers_of: Dict[str, List[int]] = {}
-    for mop in history.all_mops:
-        for obj in mop.wobjects:
-            writers_of.setdefault(obj, []).append(mop.uid)
-    seen = set()
-    for (a_uid, obj), b_uid in history.reads_from_map.items():
-        if a_uid == b_uid:
-            continue
-        for c_uid in writers_of.get(obj, ()):
-            if c_uid in (a_uid, b_uid):
-                continue
-            triple = (a_uid, b_uid, c_uid)
-            if triple not in seen:
-                seen.add(triple)
-                yield triple
+    yield from HistoryIndex.of(history).interfering_triples()
 
 
 def is_legal(history: History, closure: Relation) -> bool:
@@ -82,7 +72,12 @@ def is_legal(history: History, closure: Relation) -> bool:
             consideration.  Passing a non-closed relation gives a
             weaker (unsound) test, so callers must close first.
     """
-    for a_uid, b_uid, c_uid in interfering_triples(history):
+    index = HistoryIndex.of(history)
+    if closure.nodes == history.uids:
+        return index.legal_under(closure)
+    # Closure over a different universe (e.g. a restricted history's
+    # order): fall back to membership tests on the shared triples.
+    for a_uid, b_uid, c_uid in index.interfering_triples():
         if (b_uid, c_uid) in closure and (c_uid, a_uid) in closure:
             return False
     return True
@@ -91,10 +86,17 @@ def is_legal(history: History, closure: Relation) -> bool:
 def illegal_triples(
     history: History, closure: Relation
 ) -> List[InterferingTriple]:
-    """All interfering triples that violate D 4.6 — for diagnostics."""
+    """All interfering triples that violate D 4.6 — for diagnostics.
+
+    Shares :func:`is_legal`'s cached enumeration via the history
+    index, so diagnostics never re-enumerate triples.
+    """
+    index = HistoryIndex.of(history)
+    if closure.nodes == history.uids:
+        return index.illegal_triples_under(closure)
     return [
         (a, b, c)
-        for a, b, c in interfering_triples(history)
+        for a, b, c in index.interfering_triples()
         if (b, c) in closure and (c, a) in closure
     ]
 

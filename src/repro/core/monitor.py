@@ -301,17 +301,29 @@ class LiveMonitor:
     finalize) releases the remainder.
     """
 
-    def __init__(self, condition: str = "m-sc", *, slack: float = 1e-3) -> None:
+    def __init__(
+        self,
+        condition: str = "m-sc",
+        *,
+        slack: float = 1e-3,
+        index=None,
+    ) -> None:
         self.verifier = StreamingVerifier(condition)
         self._queue: List[ObservedOp] = []
         self._now = float("-inf")
         self.slack = slack
+        #: optional :class:`repro.core.index.LiveIndex` co-fed with
+        #: the verifier, so one event stream maintains both the mark
+        #: verdicts and the incrementally closed order for audits.
+        self.index = index
 
     # -- feed ----------------------------------------------------------
 
     def announce(self, uid: int, writes: Tuple[str, ...]) -> None:
         """An update was delivered (in total order) with this write set."""
         self.verifier.observe_ww(uid, writes)
+        if self.index is not None:
+            self.index.announce(uid, writes)
         self._drain()
 
     def complete(self, op: ObservedOp, *, now: Optional[float] = None) -> None:
@@ -319,6 +331,10 @@ class LiveMonitor:
         if now is not None:
             self._now = max(self._now, now)
         bisect.insort(self._queue, op, key=lambda o: o.resp)
+        if self.index is not None:
+            self.index.observe(
+                op.uid, op.process, op.reads_from, op.is_update
+            )
         self._drain()
 
     def flush(self) -> None:

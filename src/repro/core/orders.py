@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterable, Tuple
 
 from repro.core.history import History
+from repro.core.index import HistoryIndex
 from repro.core.relations import Relation
 from repro.errors import MissingTimestampsError
 
@@ -138,15 +139,31 @@ def base_order(
 
 
 def msc_order(history: History) -> Relation:
-    """``~H`` for m-sequential consistency: ``~p ∪ ~rf``."""
-    return base_order(history)
+    """``~H`` for m-sequential consistency: ``~p ∪ ~rf``.
+
+    A mutable copy of the history index's cached generating order; the
+    copy shares the cached transitive closure until first mutated.
+    """
+    return HistoryIndex.of(history).base_relation("m-sc").copy()
 
 
 def mlin_order(history: History) -> Relation:
-    """``~H`` for m-linearizability: ``~p ∪ ~rf ∪ ~t``."""
-    return base_order(history, real_time=True)
+    """``~H`` for m-linearizability: ``~p ∪ ~rf ∪ ~t``.
+
+    Built from the index's *cover* edges: the raw relation contains
+    only the maximal real-time predecessors of each m-operation (plus
+    ``~p`` chains, ``~rf`` and the initial fan-out), and its transitive
+    closure — shared and cached — equals the full paper order.  Use
+    :func:`real_time_order` when the raw ``~t`` pairs themselves are
+    needed.
+    """
+    return HistoryIndex.of(history).base_relation("m-lin").copy()
 
 
 def mnorm_order(history: History) -> Relation:
-    """``~H`` for m-normality: ``~p ∪ ~rf ∪ ~x``."""
-    return base_order(history, objects=True)
+    """``~H`` for m-normality: ``~p ∪ ~rf ∪ ~x``.
+
+    Cover-edge construction; see :func:`mlin_order`.  Use
+    :func:`object_order` for the raw ``~x`` pairs.
+    """
+    return HistoryIndex.of(history).base_relation("m-norm").copy()

@@ -282,6 +282,20 @@ class Relation:
             total += (self._succ[i] & group & ~(1 << i)).bit_count()
         return total
 
+    def masked_pair_count(self, masks: Sequence[int]) -> int:
+        """``sum_i popcount(succ[i] & masks[i])`` over the universe.
+
+        ``masks`` is indexed by universe position.  With symmetric
+        masks (e.g. the conflict masks of
+        :class:`~repro.core.index.HistoryIndex`) and an acyclic
+        transitively closed relation, this counts each related
+        masked pair exactly once — the OO-constraint comparison.
+        """
+        return sum(
+            (mask & own).bit_count()
+            for own, mask in zip(self._succ, masks)
+        )
+
     def restricted_to(self, nodes: Iterable[int]) -> "Relation":
         """The restriction of the relation to a subset of its universe.
 

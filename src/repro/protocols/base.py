@@ -429,6 +429,7 @@ class Cluster:
             Callable[[Simulator, int], Network]
         ] = None,
         monitor=None,
+        live_index=None,
         fault_tolerant: bool = False,
         recovery: str = "replay",
         query_retry: float = 6.0,
@@ -450,6 +451,11 @@ class Cluster:
         #: optional live verifier (repro.core.monitor.LiveMonitor);
         #: fed broadcast deliveries and completions as they happen.
         self.monitor = monitor
+        #: optional repro.core.index.LiveIndex; fed the same stream
+        #: through the recorder (completions) and _deliver
+        #: (announcements), maintaining an incrementally closed order
+        #: for cheap mid-run audits.
+        self.live_index = live_index
         #: enables the crash/recovery surface (crash_process et al.)
         #: and the protocols' retry paths.
         self.fault_tolerant = fault_tolerant
@@ -476,7 +482,7 @@ class Cluster:
         self.abcast: Optional[AtomicBroadcast] = (
             abcast_factory(self.network) if abcast_factory else None
         )
-        self.recorder = HistoryRecorder()
+        self.recorder = HistoryRecorder(live_index=live_index)
         self._uid_counter = itertools.count(1)
         #: uids of broadcast m-operations in delivery order — the
         #: ``~ww`` synchronization order of D 5.3/D 5.8 (identical at
@@ -515,7 +521,7 @@ class Cluster:
             self._announced.add(payload["uid"])
             self.ww_sequence.append(payload["uid"])
         self.processes[pid].on_abcast_deliver(sender, payload)
-        if track and self.monitor is not None:
+        if track and (self.monitor is not None or self.live_index is not None):
             uid = payload["uid"]
             store = self.processes[pid].store
             writes = tuple(
@@ -523,7 +529,10 @@ class Cluster:
                 for obj in store.objects
                 if store.writer_of(obj) == uid
             )
-            self.monitor.announce(uid, writes)
+            if self.monitor is not None:
+                self.monitor.announce(uid, writes)
+            if self.live_index is not None:
+                self.live_index.announce(uid, writes)
 
     # ------------------------------------------------------------------
     # Cluster services used by processes

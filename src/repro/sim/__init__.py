@@ -6,6 +6,7 @@ from repro.sim.explore import (
     ExplorationBudgetExceeded,
     explore,
     explore_factory,
+    explore_verified,
 )
 from repro.sim.faults import CrashEvent, DelaySpike, FaultInjector, FaultPlan
 from repro.sim.kernel import EventHandle, Simulator
@@ -46,5 +47,6 @@ __all__ = [
     "estimate_size",
     "explore",
     "explore_factory",
+    "explore_verified",
     "run_chaos",
 ]

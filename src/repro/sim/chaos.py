@@ -65,8 +65,10 @@ class ChaosResult:
     """Outcome of one chaos run.
 
     ``ok`` requires *all* of: every client m-operation completed, the
-    streaming verifier saw no violation, the batch checker accepted
-    the history, and the abcast delivery logs kept total order.
+    streaming verifier saw no violation, the incremental index audits
+    (one per fault event, plus the end-of-run audit) saw no violation,
+    the batch checker accepted the history, and the abcast delivery
+    logs kept total order.
     """
 
     protocol: str
@@ -82,6 +84,13 @@ class ChaosResult:
     restarts: List[Tuple[float, int]]
     failovers: List[tuple]
     duration: float
+    #: ``(time, event, pid, verdict)`` per incremental audit run
+    #: between fault events against the live index (verdict None =
+    #: clean so far); violations are monotone, so any non-None entry
+    #: is also reflected in ``violations``.
+    audits: List[Tuple[float, str, int, Optional[str]]] = field(
+        default_factory=list
+    )
 
     def summary(self) -> str:
         """One line for assertion messages: plan plus verdict."""
@@ -93,7 +102,8 @@ class ChaosResult:
         return (
             f"{self.protocol} {self.plan.describe()}: "
             f"{self.completed}/{self.expected} ops, "
-            f"{len(self.failovers)} failover(s), {verdict}"
+            f"{len(self.failovers)} failover(s), "
+            f"{len(self.audits)} audit(s), {verdict}"
         )
 
 
@@ -129,6 +139,7 @@ def run_chaos(
         max_events: simulator event budget.
     """
     from repro.abcast.sequencer import SequencerAbcast
+    from repro.core.index import LiveIndex
     from repro.core.monitor import verify_stream
     from repro.workloads.generator import random_workloads
 
@@ -154,12 +165,14 @@ def run_chaos(
             spikes=plan.spikes,
         )
 
+    live_index = LiveIndex()
     cluster = factory(
         n,
         objects,
         seed=seed,
         fault_tolerant=True,
         recovery=recovery,
+        live_index=live_index,
         abcast_factory=lambda net: SequencerAbcast(
             net, fault_tolerant=True, failover_delay=failover_delay
         ),
@@ -171,7 +184,16 @@ def run_chaos(
             reliable=True,
         ),
     )
-    injector = FaultInjector(plan).install(cluster)
+
+    # Incremental verification between fault events: the live index
+    # closes the order online, so an audit at a crash/restart boundary
+    # is a cheap triple scan instead of a full history rebuild.
+    audits: List[Tuple[float, str, int, Optional[str]]] = []
+
+    def _audit(kind: str, pid: int, now: float) -> None:
+        audits.append((now, kind, pid, live_index.audit()))
+
+    injector = FaultInjector(plan, on_event=_audit).install(cluster)
     workloads = random_workloads(n, objects, ops_per_process, seed=seed)
     expected = sum(len(w) for w in workloads)
 
@@ -190,7 +212,14 @@ def run_chaos(
         failure = f"{type(exc).__name__}: {exc}"
 
     completed = len(cluster.recorder.records)
+    for _t, _kind, _pid, audit_verdict in audits:
+        if audit_verdict is not None:
+            violations.append(f"incremental audit: {audit_verdict}")
     if result is not None:
+        final_audit = live_index.audit()
+        audits.append((cluster.sim.now, "final", -1, final_audit))
+        if final_audit is not None:
+            violations.append(f"incremental audit (final): {final_audit}")
         abcast_violation = result.abcast_violation
         verifier = verify_stream(result, condition=condition)
         violations.extend(str(v) for v in verifier.violations)
@@ -217,4 +246,5 @@ def run_chaos(
         restarts=list(injector.restarted),
         failovers=list(cluster.abcast.failovers) if cluster.abcast else [],
         duration=cluster.sim.now,
+        audits=audits,
     )

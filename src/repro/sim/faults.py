@@ -154,11 +154,15 @@ class FaultInjector:
     normal event loop.
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, *, on_event=None) -> None:
         self.plan = plan
         #: (time, pid) pairs of crashes/restarts actually executed.
         self.crashed: list = []
         self.restarted: list = []
+        #: optional ``fn(kind, pid, now)`` called after each executed
+        #: crash ("crash") / restart ("restart") — the chaos harness
+        #: hooks incremental consistency audits here.
+        self.on_event = on_event
 
     def install(self, cluster) -> "FaultInjector":
         network = cluster.network
@@ -186,6 +190,8 @@ class FaultInjector:
             return  # overlapping hand-written plans: skip quietly
         cluster.crash_process(crash.pid)
         self.crashed.append((cluster.sim.now, crash.pid))
+        if self.on_event is not None:
+            self.on_event("crash", crash.pid, cluster.sim.now)
         if crash.restart_after is not None:
             cluster.sim.schedule(
                 crash.restart_after,
@@ -195,6 +201,8 @@ class FaultInjector:
     def _restart(self, cluster, pid: int) -> None:
         cluster.restart_process(pid)
         self.restarted.append((cluster.sim.now, pid))
+        if self.on_event is not None:
+            self.on_event("restart", pid, cluster.sim.now)
 
     def _spike_on(self, network, spike: DelaySpike) -> None:
         network.delay_factor *= spike.factor

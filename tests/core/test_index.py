@@ -1,0 +1,201 @@
+"""Unit tests for the shared history-index layer.
+
+:class:`HistoryIndex` (batch: cached covers, triples, base orders),
+:class:`LiveIndex` (streaming twin fed by the protocol recorder and
+the chaos harness) and :class:`IncrementalClosure` (the online
+reachability structure underneath it).
+"""
+
+import pytest
+
+from repro.core import (
+    HistoryIndex,
+    IncrementalClosure,
+    LiveIndex,
+    Relation,
+    base_order,
+    object_order,
+    real_time_order,
+)
+from repro.core.index import CONDITION_ORDERS
+from repro.core.operation import INIT_UID
+from repro.errors import MissingTimestampsError
+from repro.protocols import msc_cluster
+from repro.workloads import (
+    HistoryShape,
+    random_serial_history,
+    random_workloads,
+)
+from tests.conftest import simple_history
+
+
+def sample_history(n_mops=40, seed=7):
+    shape = HistoryShape(
+        n_processes=4, n_objects=3, n_mops=n_mops, query_fraction=0.4
+    )
+    return random_serial_history(shape, seed=seed)
+
+
+class TestHistoryIndex:
+    def test_of_returns_cached_instance(self):
+        h = sample_history()
+        assert HistoryIndex.of(h) is HistoryIndex.of(h)
+
+    def test_base_relation_is_cached_per_condition_and_extra(self):
+        index = HistoryIndex.of(sample_history())
+        assert index.base_relation("m-sc") is index.base_relation("m-sc")
+        augmented = index.base_relation("m-sc", ((1, 2),))
+        assert augmented is index.base_relation("m-sc", ((1, 2),))
+        assert augmented is not index.base_relation("m-sc")
+        assert (1, 2) in augmented
+
+    @pytest.mark.parametrize("condition", sorted(CONDITION_ORDERS))
+    def test_cover_closure_equals_full_order_closure(self, condition):
+        """The cover-edge bases close to exactly the paper's orders."""
+        h = sample_history()
+        real_time, objects = CONDITION_ORDERS[condition]
+        naive = base_order(h, real_time=real_time, objects=objects)
+        index_base = HistoryIndex.of(h).base_relation(condition)
+        assert (
+            index_base.transitive_closure() == naive.transitive_closure()
+        )
+
+    def test_real_time_cover_closure_matches_order(self):
+        h = sample_history(n_mops=25, seed=11)
+        cover = HistoryIndex.of(h).real_time_cover()
+        closed = Relation(h.uids, cover).transitive_closure()
+        full = real_time_order(h)
+        # ~t is itself transitive; the cover's closure restores every
+        # non-init pair (init fan-out lives in base_relation).
+        expected = {(a, b) for a, b in full.pairs() if a != INIT_UID}
+        assert set(closed.pairs()) == expected
+
+    def test_object_cover_closure_matches_order(self):
+        h = sample_history(n_mops=25, seed=11)
+        cover = HistoryIndex.of(h).object_cover()
+        closed = Relation(h.uids, cover).transitive_closure()
+        full = object_order(h)
+        expected = {(a, b) for a, b in full.pairs() if a != INIT_UID}
+        # Per-object interval covers may close over pairs of ~x only
+        # reachable through a third object — never miss one.
+        assert expected <= set(closed.pairs())
+        assert set(closed.pairs()) <= set(
+            base_order(h, objects=True).transitive_closure().pairs()
+        )
+
+    def test_covers_require_timestamps(self):
+        untimed = simple_history(
+            [(1, 0, "w x 1"), (2, 1, "r x 1")],
+            initial_values={"x": 0},
+        )
+        index = HistoryIndex.of(untimed)
+        with pytest.raises(MissingTimestampsError):
+            index.real_time_cover()
+        with pytest.raises(MissingTimestampsError):
+            index.object_cover()
+
+    def test_interfering_triples_match_brute_force(self):
+        h = sample_history(n_mops=20, seed=5)
+        writers = {}
+        for mop in h.all_mops:
+            for obj in mop.external_writes:
+                writers.setdefault(obj, set()).add(mop.uid)
+        expected = {
+            (reader, writer, other)
+            for (reader, obj), writer in h.reads_from_map.items()
+            if reader != writer
+            for other in writers.get(obj, ())
+            if other not in (reader, writer)
+        }
+        assert set(HistoryIndex.of(h).interfering_triples()) == expected
+
+    def test_stats_counts(self):
+        h = sample_history(n_mops=30, seed=9)
+        stats = HistoryIndex.of(h).stats()
+        assert stats.mops == 30
+        assert stats.updates + stats.queries == 30
+        assert stats.updates == sum(1 for m in h.mops if m.is_update)
+        assert stats.reads_from_edges == len(h.reads_from_pairs())
+        assert str(stats.mops) in stats.row()
+
+
+class TestIncrementalClosure:
+    def test_transitive_reachability(self):
+        inc = IncrementalClosure()
+        for node in (1, 2, 3, 4):
+            inc.add_node(node)
+        inc.add_edge(1, 2)
+        inc.add_edge(3, 4)
+        assert not inc.has(1, 4)
+        inc.add_edge(2, 3)  # links the two chains: 1..2 -> 3..4
+        assert inc.has(1, 4) and inc.has(1, 3) and inc.has(2, 4)
+        assert not inc.has(4, 1)
+        assert not inc.cyclic
+
+    def test_cycle_flag(self):
+        inc = IncrementalClosure()
+        inc.add_edge(1, 2)
+        inc.add_edge(2, 3)
+        assert not inc.cyclic
+        inc.add_edge(3, 1)
+        assert inc.cyclic
+
+    def test_to_relation_equals_batch_closure(self):
+        edges = [(1, 2), (2, 3), (1, 4), (4, 5), (3, 5)]
+        inc = IncrementalClosure()
+        for a, b in edges:
+            inc.add_edge(a, b)
+        batch = Relation(range(1, 6), edges).transitive_closure()
+        assert set(inc.to_relation().pairs()) == set(batch.pairs())
+
+
+class TestLiveIndex:
+    def test_buffers_until_writer_announced(self):
+        li = LiveIndex()
+        li.observe(2, 0, {"x": 1}, False)  # reads a not-yet-known writer
+        assert li.pending == 1 and li.applied == 0
+        li.announce(1, ["x"])
+        assert li.pending == 0 and li.applied == 1
+        assert li.audit() is None
+
+    def test_update_waits_for_own_announcement(self):
+        li = LiveIndex()
+        li.observe(1, 0, {}, True)
+        assert li.pending == 1
+        li.announce(1, ["x"])
+        assert li.pending == 0 and li.applied == 1
+
+    def test_detects_order_cycle(self):
+        li = LiveIndex()
+        li.announce(1, ["x"])
+        li.announce(2, ["x"])  # ~ww: 1 -> 2
+        li.observe(1, 0, {"x": 2}, True)  # ~rf: 2 -> 1 closes the cycle
+        assert li.audit() is not None
+        assert not li.consistent
+
+    def test_detects_illegal_triple(self):
+        li = LiveIndex()
+        li.announce(1, ["x"])
+        li.announce(2, ["x"])  # ~ww: 1 -> 2
+        li.observe(2, 0, {}, True)
+        li.observe(3, 0, {"x": 1}, False)  # P0: 2 -> 3, but 3 reads 1
+        verdict = li.audit()
+        assert verdict is not None and "illegal triple" in verdict
+
+    def test_announce_is_idempotent(self):
+        li = LiveIndex()
+        li.announce(1, ["x"])
+        li.announce(1, ["x"])
+        assert li.announced == 1
+
+    def test_clean_protocol_run_stays_consistent(self):
+        """End-to-end: the cluster feeds the live index during a run
+        and the final audit agrees with the batch verdict."""
+        li = LiveIndex()
+        cluster = msc_cluster(3, ["x", "y"], seed=2, live_index=li)
+        result = cluster.run(random_workloads(3, ["x", "y"], 4, seed=3))
+        assert li.applied == len(result.recorder.records)
+        assert li.pending == 0
+        assert li.audit() is None
+        assert li.snapshot().is_acyclic()
+        assert li.audits == 1

@@ -1,0 +1,235 @@
+"""Cross-validation of the index-backed checkers against a naive
+definition-level reference.
+
+The shared :class:`HistoryIndex` layer rewrote how the checkers build
+orders (cover edges instead of full pair sets), compute closures
+(lazily, cached), test legality (cached triples, bit tests) and
+evaluate the Theorem 7 constraints (popcount identities).  This test
+re-implements the paper's definitions with none of that machinery —
+full O(n²) order pairs, a hand-rolled Floyd–Warshall closure, a
+memoised search over linear extensions with legality checked by
+replay — and confirms verdict identity for m-SC, m-lin and m-norm on
+several hundred randomized histories, including corrupted (illegal)
+ones, through both the exact and the auto (constrained fast path)
+methods.
+"""
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core import check_condition
+from repro.core.history import History
+from repro.workloads import (
+    HistoryShape,
+    corrupt_history,
+    random_serial_history,
+)
+
+Pair = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# Naive reference: paper definitions, no shared derived state
+# ----------------------------------------------------------------------
+
+
+def naive_base_pairs(
+    history: History, condition: str, extra: Tuple[Pair, ...] = ()
+) -> Set[Pair]:
+    """``~H`` for the condition, as full (non-cover) ordered pairs."""
+    pairs: Set[Pair] = set(extra)
+    init = history.init.uid
+    for mop in history.mops:
+        pairs.add((init, mop.uid))
+    # ~p: all ordered pairs of each process's issue order.
+    for proc in history.processes:
+        seq = [m.uid for m in history.subhistory(proc)]
+        for i, a in enumerate(seq):
+            for b in seq[i + 1 :]:
+                pairs.add((a, b))
+    # ~rf: writer precedes reader (D 4.3).
+    for (reader, _obj), writer in history.reads_from_map.items():
+        if writer != reader:
+            pairs.add((writer, reader))
+    # ~t / ~x (Section 2.3).
+    if condition in ("m-lin", "m-norm"):
+        for a in history.mops:
+            for b in history.mops:
+                if a.uid == b.uid or not a.resp < b.inv:
+                    continue
+                if condition == "m-lin" or a.objects & b.objects:
+                    pairs.add((a.uid, b.uid))
+    return pairs
+
+
+def naive_closure(nodes: Tuple[int, ...], pairs: Set[Pair]) -> Set[Pair]:
+    """Floyd–Warshall transitive closure over plain sets."""
+    succ: Dict[int, Set[int]] = {n: set() for n in nodes}
+    for a, b in pairs:
+        succ[a].add(b)
+    for k in nodes:
+        for a in nodes:
+            if k in succ[a]:
+                succ[a] |= succ[k]
+    return {(a, b) for a in nodes for b in succ[a]}
+
+
+def naive_legal_extension_exists(
+    history: History, pairs: Set[Pair]
+) -> bool:
+    """Is some linear extension of ``pairs`` legal, by replay?
+
+    Admissibility (D 2.2/4.7) from first principles: depth-first
+    search over the linear extensions of the base order, replaying a
+    per-object last-writer store and demanding every external read
+    come from the current last writer.  Memoised on (placed set,
+    store state) so illegal histories exhaust quickly.
+    """
+    mops = history.mops
+    preds: Dict[int, Set[int]] = {m.uid: set() for m in mops}
+    for a, b in pairs:
+        if b in preds and a != history.init.uid:
+            preds[b].add(a)
+    last0 = {obj: history.init.uid for obj in history.init.external_writes}
+    dead: Set[Tuple[FrozenSet[int], Tuple[Pair, ...]]] = set()
+
+    def search(placed: FrozenSet[int], last: Dict[str, int]) -> bool:
+        if len(placed) == len(mops):
+            return True
+        key = (placed, tuple(sorted(last.items())))
+        if key in dead:
+            return False
+        for mop in mops:
+            uid = mop.uid
+            if uid in placed or not preds[uid] <= placed:
+                continue
+            if any(
+                history.reads_from_map[(uid, obj)] != last.get(obj)
+                for obj in mop.external_reads
+            ):
+                continue
+            nxt = dict(last)
+            for obj in mop.external_writes:
+                nxt[obj] = uid
+            if search(placed | {uid}, nxt):
+                return True
+        dead.add(key)
+        return False
+
+    return search(frozenset(), last0)
+
+
+def naive_holds(
+    history: History, condition: str, extra: Tuple[Pair, ...] = ()
+) -> bool:
+    pairs = naive_base_pairs(history, condition, extra)
+    closed = naive_closure(history.uids, pairs)
+    if any((a, a) in closed for a in history.uids):
+        return False  # ~H cyclic: no linear extension at all
+    return naive_legal_extension_exists(history, pairs)
+
+
+# ----------------------------------------------------------------------
+# History corpus
+# ----------------------------------------------------------------------
+
+
+def corpus(minimum: int = 200) -> List[Tuple[str, History]]:
+    """≥ ``minimum`` randomized histories, consistent and corrupted."""
+    shapes = [
+        HistoryShape(n_processes=2, n_objects=2, n_mops=5,
+                     query_fraction=0.3),
+        HistoryShape(n_processes=3, n_objects=2, n_mops=6,
+                     query_fraction=0.5),
+        HistoryShape(n_processes=3, n_objects=3, n_mops=8,
+                     query_fraction=0.4),
+        HistoryShape(n_processes=4, n_objects=2, n_mops=10,
+                     query_fraction=0.4),
+    ]
+    histories: List[Tuple[str, History]] = []
+    seed = 0
+    while len(histories) < minimum:
+        shape = shapes[seed % len(shapes)]
+        clean = random_serial_history(shape, seed=seed)
+        histories.append((f"seed={seed} clean", clean))
+        bad = corrupt_history(clean, seed=seed)
+        if bad is not None:
+            histories.append((f"seed={seed} corrupted", bad))
+        seed += 1
+    return histories
+
+
+CORPUS = corpus()
+CONDITIONS = ("m-sc", "m-lin", "m-norm")
+
+
+# ----------------------------------------------------------------------
+# The cross-validation itself
+# ----------------------------------------------------------------------
+
+
+def test_corpus_is_large_and_mixed():
+    assert len(CORPUS) >= 200
+    corrupted = [label for label, _h in CORPUS if "corrupted" in label]
+    assert len(corrupted) >= 50
+    # The corpus must actually exercise the False branch somewhere.
+    verdicts = {
+        naive_holds(h, "m-sc")
+        for label, h in CORPUS
+        if "corrupted" in label
+    }
+    assert False in verdicts
+
+
+def test_index_checkers_match_naive_reference():
+    """Verdict identity on every history × condition × method."""
+    mismatches: List[str] = []
+    for label, history in CORPUS:
+        for condition in CONDITIONS:
+            expected = naive_holds(history, condition)
+            for method in ("exact", "auto"):
+                verdict = check_condition(
+                    history, condition, method=method
+                )
+                if verdict.holds != expected:
+                    mismatches.append(
+                        f"{label} {condition} {method}: "
+                        f"index={verdict.holds} naive={expected}"
+                    )
+    assert not mismatches, mismatches[:10]
+
+
+def test_constrained_with_ww_chain_matches_naive_augmented():
+    """The protocol-style call — the ``~ww`` delivery chain as
+    ``extra_pairs`` — equals naive admissibility w.r.t. the same
+    augmented order (checked for m-SC, the condition protocols use)."""
+    mismatches: List[str] = []
+    for label, history in CORPUS[:120]:
+        updates = [m.uid for m in history.mops if m.is_update]
+        ww = tuple(zip(updates, updates[1:]))
+        expected = naive_holds(history, "m-sc", extra=ww)
+        verdict = check_condition(
+            history, "m-sc", method="auto", extra_pairs=ww
+        )
+        if verdict.holds != expected:
+            mismatches.append(
+                f"{label}: index={verdict.holds} naive={expected}"
+            )
+        if verdict.holds and verdict.witness is not None:
+            assert _legal_by_replay(history, verdict.witness), label
+    assert not mismatches, mismatches[:10]
+
+
+def _legal_by_replay(history: History, witness: List[int]) -> bool:
+    """Replay-check a checker witness (soundness of the fast path)."""
+    order = [uid for uid in witness if uid != history.init.uid]
+    if sorted(order) != sorted(m.uid for m in history.mops):
+        return False
+    last = {obj: history.init.uid for obj in history.init.external_writes}
+    for uid in order:
+        mop = history[uid]
+        for obj in mop.external_reads:
+            if history.reads_from_map[(uid, obj)] != last.get(obj):
+                return False
+        for obj in mop.external_writes:
+            last[obj] = uid
+    return True

@@ -40,6 +40,26 @@ def test_constrained_checker_on_300_mops_under_5s():
     assert seconds < 5.0
 
 
+def test_constrained_checker_on_1000_mops_under_15s():
+    # Impractical before the shared HistoryIndex layer (the O(n^2)
+    # order construction alone dominated); now ~1 s, so guard the
+    # whole pipeline — cover-edge orders, cached closure, constraint
+    # tests, legality scan, witness — at 10x headroom.
+    shape = HistoryShape(
+        n_processes=5, n_objects=4, n_mops=1000, query_fraction=0.4
+    )
+    h = random_serial_history(shape, seed=3)
+    updates = [m.uid for m in h.mops if m.is_update]
+    ww = list(zip(updates, updates[1:]))
+    verdict, seconds = timed(
+        lambda: check_m_sequential_consistency(
+            h, method="constrained", extra_pairs=ww
+        )
+    )
+    assert verdict.holds
+    assert seconds < 15.0
+
+
 def test_exact_checker_on_easy_100_mops_under_5s():
     shape = HistoryShape(
         n_processes=5, n_objects=3, n_mops=100, query_fraction=0.4
