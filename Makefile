@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos chaos-smoke report bench-json
+.PHONY: test lint chaos chaos-smoke report bench-json
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## ruff (rules from pyproject.toml) when installed, stdlib fallback
+## otherwise — see tools/lint.py.
+lint:
+	$(PYTHON) tools/lint.py
 
 ## Full chaos suite: every @pytest.mark.chaos schedule (still < 60 s).
 chaos:

@@ -16,11 +16,12 @@ legality scan and witness extraction.
 
 from __future__ import annotations
 
+import argparse
 import json
 import statistics
 import sys
 from pathlib import Path
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 from benchmarks.conftest import checker_workload, timed_samples
 from repro.core import check_condition
@@ -39,6 +40,16 @@ CASES = [
     ("m-norm", 300, 5),
 ]
 
+#: The CI smoke subset (``--quick``): one small and one medium case
+#: per condition family, two runs each — enough to prove the bench
+#: pipeline produces a well-formed artifact without burning minutes.
+QUICK_CASES = [
+    ("m-sc", 100, 2),
+    ("m-sc", 300, 2),
+    ("m-lin", 100, 2),
+    ("m-norm", 100, 2),
+]
+
 #: Median of the same 300-mop m-SC constrained check on the
 #: implementation before the shared history-index layer (commit
 #: e60816e), measured on the same machine class as the current
@@ -49,9 +60,11 @@ BASELINE_MSC_300_SECONDS = 0.147
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_checkers.json"
 
 
-def run_cases() -> List[dict]:
+def run_cases(
+    cases: Sequence[Tuple[str, int, int]] = CASES
+) -> List[dict]:
     rows: List[dict] = []
-    for condition, n_mops, runs in CASES:
+    for condition, n_mops, runs in cases:
         def make(condition=condition, n_mops=n_mops):
             history, ww = checker_workload(n_mops)
             return lambda: check_condition(
@@ -73,9 +86,22 @@ def run_cases() -> List[dict]:
     return rows
 
 
-def main(argv: List[str] | None = None) -> int:
-    out = Path(argv[0]) if argv else OUTPUT
-    rows = run_cases()
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="benchmarks.bench_checkers")
+    parser.add_argument(
+        "out",
+        nargs="?",
+        default=str(OUTPUT),
+        help="destination JSON path (default: BENCH_checkers.json)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke subset: fewer cases and runs",
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    rows = run_cases(QUICK_CASES if args.quick else CASES)
     msc_300 = next(
         r for r in rows if r["condition"] == "m-sc" and r["n_mops"] == 300
     )

@@ -16,8 +16,6 @@ from repro.analysis import (
     ProtocolMetrics,
     comparison_table,
     exponential_gadget,
-    hard_history,
-    measure_exact,
 )
 from repro.core import (
     check_admissible,

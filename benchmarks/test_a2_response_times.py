@@ -12,7 +12,7 @@ The paper's cost story, measured: with mean one-way delay ``d``,
 from benchmarks.report import exp_a2, run_protocol
 from repro.abcast import LamportAbcast
 from repro.analysis import ProtocolMetrics
-from repro.protocols import mlin_cluster, msc_cluster
+from repro.protocols import msc_cluster
 
 
 def test_a2_shapes():

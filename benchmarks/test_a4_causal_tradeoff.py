@@ -13,7 +13,6 @@ against the Fig-4 protocol on identical blind-write workloads:
   checkers prove both directions on the very same runs.
 """
 
-import pytest
 
 from repro.analysis import ProtocolMetrics
 from repro.core import (

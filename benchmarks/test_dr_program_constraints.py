@@ -22,7 +22,6 @@ all replicas with response-after-acks):
   while dropping the broadcast machinery entirely.
 """
 
-import pytest
 
 from repro.analysis import ProtocolMetrics
 from repro.core import (

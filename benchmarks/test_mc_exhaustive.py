@@ -16,7 +16,6 @@ random runs" to "no violation in any of the instance's interleavings":
   easily miss it, which is the case for exhaustion.
 """
 
-import pytest
 
 from repro.core import (
     check_m_linearizability,

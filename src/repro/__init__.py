@@ -50,11 +50,15 @@ from repro.core import (
     check_m_linearizability,
     check_m_normality,
     check_m_sequential_consistency,
+    history_from_json,
+    history_to_json,
     is_m_linearizable,
     is_m_normal,
     is_m_sequentially_consistent,
+    load_history,
     make_mop,
     read,
+    save_history,
     write,
 )
 from repro.db import (
@@ -80,12 +84,6 @@ from repro.objects import (
     transfer,
     write_reg,
 )
-from repro.core import (
-    history_from_json,
-    history_to_json,
-    load_history,
-    save_history,
-)
 from repro.protocols import (
     Cluster,
     MProgram,
@@ -106,7 +104,7 @@ from repro.workloads import (
     random_workloads,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Cluster",

@@ -15,15 +15,19 @@ Commands:
   duplicates, latency spikes, crash-restarts, sequencer failover)
   against a protocol and verify every surviving run with the
   consistency checkers; see ``docs/fault_model.md``.
+* ``trace`` — run an instrumented workload with the tracer and
+  metrics registry installed, export the spans as JSONL and print a
+  flame summary; see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.analysis import ProtocolMetrics, comparison_table
+from repro.analysis import ProtocolMetrics
 from repro.core import (
     HistoryIndex,
     check_condition,
@@ -31,9 +35,18 @@ from repro.core import (
 )
 from repro.core.serialize import load_history
 from repro.errors import MissingTimestampsError, ReproError
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    flame_summary,
+    install_metrics,
+    install_tracer,
+    uninstall_metrics,
+    uninstall_tracer,
+)
 from repro.protocols import (
-    aw_cluster,
     aggregate_cluster,
+    aw_cluster,
     causal_cluster,
     lock_cluster,
     mlin_cluster,
@@ -50,6 +63,14 @@ PROTOCOLS = {
     "server": server_cluster,
     "causal": causal_cluster,
     "lock": lock_cluster,
+}
+
+#: ``trace`` workload names -> (cluster factory, condition to check).
+#: "paper-fig4" is the Figure-4 (m-SC) protocol, "paper-fig6" the
+#: Figure-6 (m-linearizable) protocol.
+TRACE_WORKLOADS = {
+    "paper-fig4": (msc_cluster, "m-sc"),
+    "paper-fig6": (mlin_cluster, "m-lin"),
 }
 
 
@@ -166,6 +187,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             recover=not args.no_recover,
         )
         print(result.summary())
+        if args.metrics:
+            print(json.dumps(result.metrics, indent=2, sort_keys=True))
         failures += not result.ok
     if args.no_recover:
         # The negative control is *expected* to lose operations or
@@ -177,9 +200,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def cmd_report(_args: argparse.Namespace) -> int:
+def cmd_report(args: argparse.Namespace) -> int:
     try:
-        from benchmarks.report import main as report_main
+        from benchmarks import report as report_mod
     except ImportError:
         print(
             "error: the benchmarks package is not importable; run from "
@@ -187,8 +210,54 @@ def cmd_report(_args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    report_main()
+    report_mod.main()
+    if args.metrics:
+        # Machine-readable companion to the A1 comparison table: the
+        # per-protocol ProtocolMetrics snapshots as one JSON block.
+        snapshots = [m.snapshot() for m in report_mod.exp_a1()]
+        print()
+        print("A1 metrics (JSON):")
+        print(json.dumps(snapshots, indent=2, sort_keys=True))
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    factory, condition = TRACE_WORKLOADS[args.workload]
+    objects = [f"x{i}" for i in range(args.objects)]
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    install_tracer(tracer)
+    install_metrics(registry)
+    try:
+        cluster = factory(args.processes, objects, seed=args.seed)
+        workloads = random_workloads(
+            args.processes, objects, args.ops, seed=args.seed + 1
+        )
+        result = cluster.run(workloads)
+        verdict = check_condition(
+            result.history, condition, extra_pairs=result.ww_pairs()
+        )
+    finally:
+        uninstall_tracer()
+        uninstall_metrics()
+    tracer.export_jsonl(args.out)
+    print(
+        f"{args.workload}: {len(result.recorder.records)} ops, "
+        f"{condition} holds: {verdict.holds} "
+        f"[{verdict.method_used} checker]"
+    )
+    print(
+        f"trace: {len(tracer.records())} spans -> {args.out} "
+        f"({tracer.evicted} evicted)"
+    )
+    print()
+    print(flame_summary(tracer.records(), top=args.top))
+    if args.metrics:
+        metrics = registry.snapshot()
+        metrics["network"] = cluster.network.stats.snapshot()
+        print()
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+    return 0 if verdict.holds else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -234,7 +303,43 @@ def build_parser() -> argparse.ArgumentParser:
     figures.set_defaults(func=cmd_figures)
 
     report = sub.add_parser("report", help="regenerate all experiments")
+    report.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the A1 protocol-metrics snapshots as JSON",
+    )
     report.set_defaults(func=cmd_report)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an instrumented workload; export spans + flame summary",
+    )
+    trace.add_argument(
+        "--workload",
+        choices=sorted(TRACE_WORKLOADS),
+        default="paper-fig4",
+    )
+    trace.add_argument(
+        "--out",
+        default="repro.trace.jsonl",
+        help="JSONL destination for the recorded spans",
+    )
+    trace.add_argument("--processes", type=int, default=3)
+    trace.add_argument("--objects", type=int, default=3)
+    trace.add_argument("--ops", type=int, default=5)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="flame summary rows (top spans by self-time)",
+    )
+    trace.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the metrics-registry snapshot as JSON",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     chaos = sub.add_parser(
         "chaos", help="run fault-injection schedules and verify"
@@ -257,6 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="negative control: crashes become permanent, recovery "
         "never runs (the run is expected to fail)",
+    )
+    chaos.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print each run's metrics snapshot as JSON",
     )
     chaos.set_defaults(func=cmd_chaos)
 

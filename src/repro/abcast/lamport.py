@@ -27,7 +27,7 @@ experiment A2.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Set, Tuple
 
 from repro.abcast.interface import AtomicBroadcast
 from repro.errors import ProtocolError

@@ -56,6 +56,7 @@ from typing import Any, Dict, List, Optional, Set
 
 from repro.abcast.interface import AtomicBroadcast
 from repro.errors import ProtocolError, SequencerUnavailable
+from repro.obs import get_tracer
 from repro.sim.network import Message, Network
 
 #: Message kinds used on the wire.
@@ -131,6 +132,8 @@ class SequencerAbcast(AtomicBroadcast):
         self._unsequenced: Dict[int, Dict[int, Dict[str, Any]]] = {
             pid: {} for pid in range(network.n)
         }
+        #: Open tracing span covering sequencer crash -> election done.
+        self._failover_span: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # AtomicBroadcast API
@@ -203,6 +206,11 @@ class SequencerAbcast(AtomicBroadcast):
             self._seq_log = {}
             if self.fault_tolerant:
                 failed_epoch = self.epoch
+                tracer = get_tracer()
+                if tracer.enabled and self._failover_span is None:
+                    self._failover_span = tracer.begin(
+                        "abcast.failover", failed=pid, epoch=failed_epoch
+                    )
                 self.network.sim.schedule(
                     self.failover_delay,
                     lambda: self._elect(pid, failed_epoch),
@@ -271,6 +279,14 @@ class SequencerAbcast(AtomicBroadcast):
         if request["id"] in self._sequenced_ids:
             return  # duplicate or retried request: already ordered
         self._sequenced_ids.add(request["id"])
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "abcast.sequence",
+                seq=self._next_seq,
+                epoch=self.epoch,
+                sender=request["sender"],
+            )
         stamped = {
             "seq": self._next_seq,
             "epoch": self.epoch,
@@ -393,6 +409,17 @@ class SequencerAbcast(AtomicBroadcast):
         old = self.sequencer
         self.sequencer = successor
         self.failovers.append((self.network.sim.now, old, successor))
+        if self._failover_span is not None:
+            self._failover_span.end(successor=successor, epoch=self.epoch)
+            self._failover_span = None
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "abcast.epoch",
+                epoch=self.epoch,
+                sequencer=successor,
+                failed=old,
+            )
 
         # --- state collection (atomic stand-in for a gather round) ---
         live = [pid for pid in range(n) if not self.network.is_down(pid)]

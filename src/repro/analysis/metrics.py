@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.index import HistoryIndex, IndexStats
 from repro.protocols.base import RunResult
@@ -106,6 +106,29 @@ class ProtocolMetrics:
             throughput=completed / duration,
             complexity=HistoryIndex.of(result.history).stats(),
         )
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe dict rendering (the CLI ``--metrics`` payload)."""
+
+        def latency(summary: LatencySummary) -> Dict[str, float]:
+            return {
+                "count": summary.count,
+                "mean": summary.mean,
+                "p50": summary.p50,
+                "p95": summary.p95,
+                "max": summary.maximum,
+            }
+
+        return {
+            "label": self.label,
+            "query_latency": latency(self.query_latency),
+            "update_latency": latency(self.update_latency),
+            "duration": self.duration,
+            "messages": self.messages,
+            "message_size": self.message_size,
+            "messages_by_kind": dict(self.messages_by_kind),
+            "throughput": self.throughput,
+        }
 
     def row(self) -> str:
         """One formatted report row (used by benchmark printouts)."""

@@ -20,6 +20,15 @@ from repro.core.admissibility import (
     check_admissible,
     count_legal_linearizations,
 )
+from repro.core.causal import (
+    CausalVerdict,
+    causal_order,
+    check_m_causal_consistency,
+    check_m_causal_serializability,
+    is_m_causally_consistent,
+    is_m_causally_serializable,
+    restrict_history,
+)
 from repro.core.consistency import (
     ConsistencyVerdict,
     ConstraintNotSatisfied,
@@ -31,20 +40,11 @@ from repro.core.consistency import (
     is_m_normal,
     is_m_sequentially_consistent,
 )
-from repro.core.causal import (
-    CausalVerdict,
-    causal_order,
-    check_m_causal_consistency,
-    check_m_causal_serializability,
-    is_m_causally_consistent,
-    is_m_causally_serializable,
-    restrict_history,
-)
 from repro.core.constraints import (
     constraint_report,
+    extended_relation,
     is_concurrent_write_free,
     is_data_race_free,
-    extended_relation,
     rw_pairs,
     satisfies_oo,
     satisfies_wo,
@@ -71,8 +71,8 @@ from repro.core.monitor import (
 from repro.core.operation import (
     INIT_UID,
     MOperation,
-    OpKind,
     Operation,
+    OpKind,
     initial_mop,
     make_mop,
     read,

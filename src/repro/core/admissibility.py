@@ -33,7 +33,7 @@ demands.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.constraints import extended_relation
 from repro.core.history import History

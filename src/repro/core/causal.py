@@ -45,9 +45,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.admissibility import SearchStats, check_admissible
+from repro.core.admissibility import check_admissible
 from repro.core.history import History
-from repro.core.operation import INIT_UID, MOperation
+from repro.core.operation import INIT_UID
 from repro.core.orders import msc_order
 from repro.core.relations import Relation
 

@@ -27,11 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
-from repro.core.admissibility import (
-    AdmissibilityResult,
-    SearchStats,
-    check_admissible,
-)
+from repro.core.admissibility import SearchStats, check_admissible
 from repro.core.constraints import (
     rw_pairs,
     satisfies_oo,
@@ -42,6 +38,7 @@ from repro.core.index import HistoryIndex
 from repro.core.legality import is_legal
 from repro.core.relations import Relation
 from repro.errors import ReproError
+from repro.obs import get_tracer
 
 #: Checker method names accepted by the public functions.
 METHODS = ("auto", "exact", "constrained")
@@ -88,17 +85,50 @@ def _check(
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
 
-    # One shared index per history: the base order, its closure, the
-    # interfering triples and the constraint masks are computed at
-    # most once no matter how many checkers run on this history.
-    index = HistoryIndex.of(history)
-    extra = _normalize_extra(extra_pairs)
-    base = index.base_relation(condition, extra)
+    tracer = get_tracer()
+    with tracer.span(
+        f"check.{condition}", method=method, mops=len(history.mops)
+    ):
+        # One shared index per history: the base order, its closure,
+        # the interfering triples and the constraint masks are computed
+        # at most once no matter how many checkers run on this history.
+        with tracer.span("check.index"):
+            index = HistoryIndex.of(history)
+            extra = _normalize_extra(extra_pairs)
+            base = index.base_relation(condition, extra)
 
-    if method == "exact":
-        # The exact search needs neither the closure nor the
-        # constraint verdicts.
-        result = check_admissible(history, base, node_limit=node_limit)
+        if method == "exact":
+            # The exact search needs neither the closure nor the
+            # constraint verdicts.
+            with tracer.span("check.exact"):
+                result = check_admissible(history, base, node_limit=node_limit)
+            return ConsistencyVerdict(
+                holds=result.admissible,
+                condition=condition,
+                method_used="exact",
+                witness=result.witness,
+                stats=result.stats,
+            )
+
+        with tracer.span("check.closure"):
+            closure = base.transitive_closure()
+        with tracer.span("check.constraints"):
+            constrained_ok = satisfies_ww(history, closure) or satisfies_oo(
+                history, closure
+            )
+
+        if method == "constrained" and not constrained_ok:
+            raise ConstraintNotSatisfied(
+                "history does not satisfy the OO- or WW-constraint under "
+                f"the {condition} order; the Theorem-7 fast path does not "
+                "apply"
+            )
+
+        if constrained_ok:
+            return _check_constrained(history, base, closure, condition)
+
+        with tracer.span("check.exact"):
+            result = check_admissible(history, base, node_limit=node_limit)
         return ConsistencyVerdict(
             holds=result.admissible,
             condition=condition,
@@ -106,30 +136,6 @@ def _check(
             witness=result.witness,
             stats=result.stats,
         )
-
-    closure = base.transitive_closure()
-    constrained_ok = satisfies_ww(history, closure) or satisfies_oo(
-        history, closure
-    )
-
-    if method == "constrained" and not constrained_ok:
-        raise ConstraintNotSatisfied(
-            "history does not satisfy the OO- or WW-constraint under "
-            f"the {condition} order; the Theorem-7 fast path does not "
-            "apply"
-        )
-
-    if constrained_ok:
-        return _check_constrained(history, base, closure, condition)
-
-    result = check_admissible(history, base, node_limit=node_limit)
-    return ConsistencyVerdict(
-        holds=result.admissible,
-        condition=condition,
-        method_used="exact",
-        witness=result.witness,
-        stats=result.stats,
-    )
 
 
 def _check_constrained(
@@ -144,15 +150,18 @@ def _check_constrained(
     so the witness is read off ``~H ∪ ~rw`` directly without
     materialising ``~H+``.
     """
-    if not closure.is_acyclic():
-        return ConsistencyVerdict(False, condition, "constrained")
-    if not is_legal(history, closure):
-        return ConsistencyVerdict(False, condition, "constrained")
-    extended = base.copy()
-    for a_uid, c_uid in rw_pairs(history, closure):
-        if a_uid != c_uid:
-            extended.add(a_uid, c_uid)
-    witness = extended.topological_order()
+    tracer = get_tracer()
+    with tracer.span("check.legality"):
+        if not closure.is_acyclic():
+            return ConsistencyVerdict(False, condition, "constrained")
+        if not is_legal(history, closure):
+            return ConsistencyVerdict(False, condition, "constrained")
+    with tracer.span("check.witness"):
+        extended = base.copy()
+        for a_uid, c_uid in rw_pairs(history, closure):
+            if a_uid != c_uid:
+                extended.add(a_uid, c_uid)
+        witness = extended.topological_order()
     assert witness is not None, (
         "Lemma 3/4 violated: extended relation of a legal constrained "
         "history is cyclic"

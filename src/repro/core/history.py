@@ -28,7 +28,6 @@ from typing import (
     Any,
     Dict,
     FrozenSet,
-    Iterable,
     List,
     Mapping,
     Optional,

@@ -38,7 +38,7 @@ per m-operation instead of a whole-history rescan per query.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.operation import INIT_UID

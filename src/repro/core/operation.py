@@ -30,7 +30,7 @@ expose exactly the visible behaviour, and all legality machinery in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 

@@ -10,11 +10,11 @@ from repro.db.reduction import (
     schedule_to_history,
 )
 from repro.db.schedule import (
+    T_FINAL,
+    T_INIT,
     Action,
     ActionKind,
     Schedule,
-    T_FINAL,
-    T_INIT,
     r,
     schedule_from_string,
     w,

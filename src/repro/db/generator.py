@@ -12,7 +12,7 @@ with unconstrained random interleavings.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.db.schedule import Action, ActionKind, Schedule
 from repro.errors import WorkloadError

@@ -33,7 +33,7 @@ from typing import Dict, List, Tuple
 
 from repro.core.history import History
 from repro.core.operation import MOperation, Operation, read, write
-from repro.db.schedule import Schedule, T_INIT
+from repro.db.schedule import T_INIT, Schedule
 
 #: Value written by the initial transaction / initial m-operation.
 INITIAL_VALUE = 0

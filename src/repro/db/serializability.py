@@ -28,10 +28,10 @@ Definitions (Papadimitriou; footnote 2 of the paper):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.db.schedule import Action, Schedule, T_INIT
+from repro.db.schedule import T_INIT, Schedule
 
 
 def view_equivalent(a: Schedule, b: Schedule) -> bool:

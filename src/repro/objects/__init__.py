@@ -1,6 +1,5 @@
 """Multi-object operation library (S17)."""
 
-from repro.objects.structures import EMPTY, FULL, RegisterQueue, RegisterStack
 from repro.objects.multimethods import (
     balance_total,
     casn,
@@ -15,6 +14,7 @@ from repro.objects.multimethods import (
     transfer,
     write_reg,
 )
+from repro.objects.structures import EMPTY, FULL, RegisterQueue, RegisterStack
 
 __all__ = [
     "EMPTY",

@@ -24,7 +24,7 @@ function of the values it reads, as Section 2.1 requires.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Mapping, Sequence, Tuple
 
 from repro.protocols.store import MProgram, ObjectView
 

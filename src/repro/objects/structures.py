@@ -37,7 +37,7 @@ process).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, List
 
 from repro.protocols.store import MProgram, ObjectView
 

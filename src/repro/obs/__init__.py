@@ -1,0 +1,135 @@
+"""repro.obs — observability: tracing, metrics and profiling hooks.
+
+Dependency-free instrumentation for the checking and simulation
+stack:
+
+* :class:`Tracer` / :class:`Span` — span-based tracing with a
+  ring-buffer collector and JSONL export (:mod:`repro.obs.trace`);
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` (:mod:`repro.obs.metrics`);
+* :func:`flame_summary` — a text table of where time went
+  (:mod:`repro.obs.flame`).
+
+Installation model
+------------------
+
+One module-level slot holds the active tracer (default: the no-op
+:data:`NULL_TRACER`) and one holds an optional global metrics
+registry.  Instrumented code fetches them via :func:`get_tracer` /
+:func:`get_metrics` and guards every span with a single ``enabled``
+attribute check, so an uninstrumented run pays one attribute load per
+candidate span and nothing else::
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event("net.send", kind=message.kind)
+
+Install a collector around the code under observation (both functions
+return the previously installed object, for restoring)::
+
+    from repro.obs import Tracer, install_tracer, uninstall_tracer
+
+    tracer = Tracer()
+    install_tracer(tracer)
+    try:
+        run_workload()
+    finally:
+        uninstall_tracer()
+    tracer.export_jsonl("run.trace.jsonl")
+
+See ``docs/observability.md`` for the span taxonomy and metric names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.obs.flame import FlameRow, aggregate_spans, flame_summary
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "FlameRow",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+    "flame_summary",
+    "get_metrics",
+    "get_tracer",
+    "install_metrics",
+    "install_tracer",
+    "uninstall_metrics",
+    "uninstall_tracer",
+]
+
+
+class _ObsState:
+    """The module-level observability slots (one instance, module-wide)."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self) -> None:
+        self.tracer: Union[Tracer, NullTracer] = NULL_TRACER
+        self.metrics: Optional[MetricsRegistry] = None
+
+
+_STATE = _ObsState()
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The active tracer (the no-op :data:`NULL_TRACER` by default)."""
+    return _STATE.tracer
+
+
+def install_tracer(tracer: Tracer) -> Union[Tracer, NullTracer]:
+    """Make ``tracer`` the active tracer; returns the previous one."""
+    previous = _STATE.tracer
+    _STATE.tracer = tracer
+    return previous
+
+
+def uninstall_tracer() -> Union[Tracer, NullTracer]:
+    """Restore the no-op tracer; returns the tracer that was active."""
+    previous = _STATE.tracer
+    _STATE.tracer = NULL_TRACER
+    return previous
+
+
+def get_metrics() -> Optional[MetricsRegistry]:
+    """The global metrics registry, or None when none is installed.
+
+    Component-local registries (e.g. the network's
+    :class:`~repro.sim.network.NetworkStats`) exist regardless; the
+    global slot is for cross-component series such as the kernel's
+    queue-depth gauge.
+    """
+    return _STATE.metrics
+
+
+def install_metrics(
+    registry: MetricsRegistry,
+) -> Optional[MetricsRegistry]:
+    """Install a global registry; returns the previous one (or None)."""
+    previous = _STATE.metrics
+    _STATE.metrics = registry
+    return previous
+
+
+def uninstall_metrics() -> Optional[MetricsRegistry]:
+    """Remove the global registry; returns what was installed."""
+    previous = _STATE.metrics
+    _STATE.metrics = None
+    return previous

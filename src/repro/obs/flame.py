@@ -1,0 +1,72 @@
+"""Text flame summary: aggregate span records by name.
+
+Not a flame *graph* — a terminal-friendly table of where time went,
+ranked by self-time (duration minus directly nested spans), which is
+the number that answers "which layer is hot" without double-counting
+parents for their children's work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping
+
+__all__ = ["FlameRow", "aggregate_spans", "flame_summary"]
+
+
+class FlameRow:
+    """Aggregated statistics for one span name."""
+
+    __slots__ = ("name", "count", "total", "self_time", "clock")
+
+    def __init__(self, name: str, clock: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.self_time = 0.0
+        self.clock = clock
+
+    def add(self, record: Mapping[str, Any]) -> None:
+        self.count += 1
+        self.total += record["dur"]
+        self.self_time += record["self"]
+
+
+def aggregate_spans(
+    records: Iterable[Mapping[str, Any]]
+) -> List[FlameRow]:
+    """Group records by span name, ranked by self-time descending.
+
+    Records from different clocks (virtual simulation time vs. wall
+    time) aggregate into separate rows — their durations are not
+    commensurable, and the summary marks each row's clock.
+    """
+    rows: Dict[tuple, FlameRow] = {}
+    for record in records:
+        key = (record["name"], record.get("clock", "wall"))
+        row = rows.get(key)
+        if row is None:
+            row = FlameRow(record["name"], key[1])
+            rows[key] = row
+        row.add(record)
+    return sorted(
+        rows.values(), key=lambda r: (-r.self_time, -r.total, r.name)
+    )
+
+
+def flame_summary(
+    records: Iterable[Mapping[str, Any]], *, top: int = 10
+) -> str:
+    """The top-``top`` span names by self-time, as a text table."""
+    rows = aggregate_spans(records)
+    lines = [
+        f"{'span':<28} {'clock':<5} {'count':>7} "
+        f"{'total':>12} {'self':>12}"
+    ]
+    for row in rows[:top]:
+        lines.append(
+            f"{row.name:<28} {row.clock:<5} {row.count:>7} "
+            f"{row.total:>12.6f} {row.self_time:>12.6f}"
+        )
+    if len(rows) > top:
+        lines.append(f"... and {len(rows) - top} more span name(s)")
+    return "\n".join(lines)

@@ -1,0 +1,237 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments,
+created on first use and shared by name thereafter — the structured
+replacement for the hand-rolled ``+= 1`` counter fields that used to
+live in :class:`~repro.sim.network.NetworkStats`.  Instruments may
+carry *labels* (``registry.counter("net.sent", kind="abc-seq")``);
+each distinct label set is its own time series, exactly as in the
+Prometheus data model this deliberately mirrors (dependency-free).
+
+``registry.snapshot()`` renders everything as one plain dict, which is
+what the CLI ``--metrics`` flags and :class:`~repro.sim.chaos.
+ChaosResult` expose — consumers read recorded numbers instead of
+poking private attributes of live objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram bucket upper bounds (virtual-time latencies and
+#: wall-clock checker phases both land comfortably inside).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+)
+
+#: A label set, normalised to a sorted tuple of (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down; tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.maximum = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+
+class Histogram:
+    """Fixed-boundary cumulative-bucket histogram.
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; one implicit
+    overflow bucket counts the rest.  Bucket boundaries are fixed at
+    construction so merging and snapshotting stay trivial.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "overflow", "count", "total")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        ordered = tuple(buckets)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"histogram {name} buckets must be strictly increasing: "
+                f"{buckets!r}"
+            )
+        self.name = name
+        self.buckets = ordered
+        self.counts = [0] * len(ordered)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot on demand."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (get-or-create)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = Counter(_series_name(name, key[1]))
+            self._counters[key] = counter
+        return counter
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = Gauge(_series_name(name, key[1]))
+            self._gauges[key] = gauge
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = Histogram(_series_name(name, key[1]), buckets)
+            self._histograms[key] = histogram
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def by_label(self, name: str, label: str) -> Dict[str, int]:
+        """``label``-value -> count over every series of counter ``name``.
+
+        E.g. ``registry.by_label("net.sent_by_kind", "kind")`` returns
+        per-kind send counts as a plain dict.
+        """
+        out: Dict[str, int] = {}
+        for (base, labels), counter in self._counters.items():
+            if base == name:
+                values = dict(labels)
+                if label in values:
+                    out[values[label]] = counter.value
+        return out
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Everything, as one plain nested dict (JSON-safe)."""
+        counters = {
+            c.name: c.value for c in self._counters.values()
+        }
+        gauges = {
+            g.name: {"value": g.value, "max": g.maximum}
+            for g in self._gauges.values()
+        }
+        histograms = {
+            h.name: {
+                "count": h.count,
+                "total": h.total,
+                "mean": h.mean,
+                "buckets": {
+                    str(bound): cumulative
+                    for bound, cumulative in zip(
+                        h.buckets, _cumulative(h.counts)
+                    )
+                },
+                "overflow": h.overflow,
+            }
+            for h in self._histograms.values()
+        }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+def _cumulative(counts: Iterable[int]) -> List[int]:
+    total = 0
+    out: List[int] = []
+    for count in counts:
+        total += count
+        out.append(total)
+    return out

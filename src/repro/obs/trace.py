@@ -1,0 +1,392 @@
+"""Span-based tracing with a ring-buffer collector (substrate S31).
+
+A :class:`Tracer` records *spans* — named intervals with attributes —
+into a bounded ring buffer, and exports them as JSONL (one span per
+line) for offline analysis.  Two span shapes cover every use in the
+package:
+
+* **scoped** spans (:meth:`Tracer.span`) are context managers; they
+  nest on a per-tracer stack, so parentage and self-time (duration
+  minus the durations of directly nested spans) fall out for free.
+  They instrument call-shaped work: a checker phase, a legality scan.
+* **unscoped** spans (:meth:`Tracer.begin`) are ended explicitly via
+  :meth:`Span.end`; they instrument work that crosses simulator
+  events, where no Python call frame spans the interval — an
+  m-operation from invocation to response, a sequencer failover from
+  crash to election.
+* **events** (:meth:`Tracer.event`) are zero-duration spans — a
+  message send, a broadcast delivery, an epoch change.
+
+Clocks
+------
+
+The tracer reads timestamps from a pluggable ``clock``.  Outside a
+simulation this is ``time.perf_counter`` (wall time); while a
+:class:`~repro.sim.kernel.Simulator` is draining its queue it rebinds
+the installed tracer's clock to *virtual* time, so every span emitted
+from simulated code carries deterministic timestamps: the same seed
+yields byte-identical trace timelines.  Each record is tagged with the
+clock that produced it (``"sim"`` or ``"wall"``).
+
+Overhead
+--------
+
+The module-level default tracer is :data:`NULL_TRACER`, whose
+``enabled`` attribute is ``False`` and whose methods are no-ops
+returning a shared inert span.  Hot paths guard instrumentation with
+one attribute check (``if tracer.enabled:``), so with no collector
+installed the cost per candidate span is a single attribute load —
+verified by the performance-guard tests.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from functools import wraps
+from typing import IO, Any, Callable, Deque, Dict, List, Optional, Union
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer"]
+
+#: Default ring-buffer capacity (finished spans retained).
+DEFAULT_CAPACITY = 65536
+
+
+class Span:
+    """One named interval; finished spans become ring-buffer records."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "t0",
+        "t1",
+        "attrs",
+        "clock_name",
+        "scoped",
+        "child_time",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        t0: float,
+        attrs: Dict[str, Any],
+        clock_name: str,
+        scoped: bool,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.t0 = t0
+        self.t1: Optional[float] = None
+        self.attrs = attrs
+        self.clock_name = clock_name
+        self.scoped = scoped
+        #: total duration of directly nested scoped spans, for
+        #: self-time computation.
+        self.child_time = 0.0
+
+    def end(self, **attrs: Any) -> None:
+        """Finish the span (idempotent); extra attrs are merged in."""
+        if self.t1 is not None:
+            return
+        if attrs:
+            self.attrs.update(attrs)
+        self.tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.end()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.t1 is None else f"dur={self.t1 - self.t0:.6f}"
+        return f"<Span {self.name!r} {state}>"
+
+
+class _NullSpan:
+    """Inert span shared by every :class:`NullTracer` call."""
+
+    __slots__ = ()
+
+    def end(self, **_attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The do-nothing tracer installed by default.
+
+    ``enabled`` is False so instrumented code can skip even the
+    argument packing of a span call with one attribute check.
+    """
+
+    enabled = False
+    clock_name = "wall"
+
+    def span(self, _name: str, **_attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def begin(self, _name: str, **_attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, _name: str, **_attrs: Any) -> None:
+        pass
+
+    def wrap(self, _name: str) -> Callable:
+        def decorate(fn: Callable) -> Callable:
+            return fn
+
+        return decorate
+
+    def records(self) -> List[Dict[str, Any]]:
+        return []
+
+
+#: The shared no-op tracer (a singleton; identity-comparable).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """A recording tracer with a bounded ring buffer.
+
+    Args:
+        capacity: maximum finished spans retained; older records are
+            evicted FIFO (the JSONL export is therefore a suffix of
+            the run under sustained load).
+        clock: timestamp source (default ``time.perf_counter``).  The
+            simulation kernel rebinds this to virtual time while
+            running — see :meth:`bind_clock`.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.clock: Callable[[], float] = clock or time.perf_counter
+        self.clock_name = "wall"
+        self._buffer: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._stack: List[Span] = []
+        self._next_id = 0
+        #: finished spans ever recorded (eviction-independent).
+        self.finished = 0
+        #: records dropped by ring-buffer eviction.
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    # Clock binding (used by the simulation kernel)
+    # ------------------------------------------------------------------
+
+    def bind_clock(
+        self, clock: Callable[[], float], name: str
+    ) -> "_ClockBinding":
+        """Temporarily read timestamps from ``clock``.
+
+        Returns a context manager restoring the previous clock; the
+        kernel wraps its event loop in one so spans emitted from
+        simulated code carry virtual, deterministic timestamps.
+        """
+        return _ClockBinding(self, clock, name)
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Begin a scoped span (use as a context manager)."""
+        span = Span(
+            self,
+            name,
+            self._alloc_id(),
+            self._stack[-1].span_id if self._stack else None,
+            self.clock(),
+            attrs,
+            self.clock_name,
+            scoped=True,
+        )
+        self._stack.append(span)
+        return span
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """Begin an unscoped span; finish it later with ``.end()``.
+
+        Unscoped spans do not join the nesting stack (they outlive the
+        call frame that opened them); their parent is whatever scoped
+        span was open at begin time.
+        """
+        return Span(
+            self,
+            name,
+            self._alloc_id(),
+            self._stack[-1].span_id if self._stack else None,
+            self.clock(),
+            attrs,
+            self.clock_name,
+            scoped=False,
+        )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration span."""
+        now = self.clock()
+        self._record(
+            name=name,
+            span_id=self._alloc_id(),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            t0=now,
+            t1=now,
+            self_time=0.0,
+            attrs=attrs,
+            clock_name=self.clock_name,
+        )
+
+    def wrap(self, name: str) -> Callable:
+        """Decorator: trace every call of the wrapped function."""
+
+        def decorate(fn: Callable) -> Callable:
+            @wraps(fn)
+            def traced(*args: Any, **kwargs: Any) -> Any:
+                with self.span(name):
+                    return fn(*args, **kwargs)
+
+            return traced
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _alloc_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _finish(self, span: Span) -> None:
+        span.t1 = self.clock()
+        duration = span.t1 - span.t0
+        if span.scoped:
+            # Unwind to the span (tolerates a child left open by an
+            # exception: it is finished here with its parent's t1).
+            while self._stack:
+                top = self._stack.pop()
+                if top is span:
+                    break
+                top.t1 = span.t1  # pragma: no cover - defensive
+            if self._stack:
+                self._stack[-1].child_time += duration
+        self._record(
+            name=span.name,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            t0=span.t0,
+            t1=span.t1,
+            self_time=max(0.0, duration - span.child_time),
+            attrs=span.attrs,
+            clock_name=span.clock_name,
+        )
+
+    def _record(
+        self,
+        *,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        t0: float,
+        t1: float,
+        self_time: float,
+        attrs: Dict[str, Any],
+        clock_name: str,
+    ) -> None:
+        if len(self._buffer) == self.capacity:
+            self.evicted += 1
+        self.finished += 1
+        self._buffer.append(
+            {
+                "name": name,
+                "id": span_id,
+                "parent": parent_id,
+                "t0": t0,
+                "t1": t1,
+                "dur": t1 - t0,
+                "self": self_time,
+                "clock": clock_name,
+                "attrs": attrs,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection / export
+    # ------------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Finished span records, oldest first (a copy)."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        """Drop all recorded spans (open spans are unaffected)."""
+        self._buffer.clear()
+
+    def export_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Write one JSON object per finished span; returns the count.
+
+        ``destination`` is a path or an open text file.  Attribute
+        values that are not JSON-serialisable are stringified rather
+        than failing the export.
+        """
+        records = self.records()
+        if hasattr(destination, "write"):
+            self._write_jsonl(destination, records)
+        else:
+            with open(destination, "w", encoding="utf-8") as fh:
+                self._write_jsonl(fh, records)
+        return len(records)
+
+    @staticmethod
+    def _write_jsonl(fh: IO[str], records: List[Dict[str, Any]]) -> None:
+        for record in records:
+            fh.write(json.dumps(record, default=repr) + "\n")
+
+
+class _ClockBinding:
+    """Context manager swapping a tracer's clock in and out."""
+
+    __slots__ = ("tracer", "clock", "name", "_saved")
+
+    def __init__(
+        self, tracer: Tracer, clock: Callable[[], float], name: str
+    ) -> None:
+        self.tracer = tracer
+        self.clock = clock
+        self.name = name
+        self._saved: Optional[tuple] = None
+
+    def __enter__(self) -> "_ClockBinding":
+        self._saved = (self.tracer.clock, self.tracer.clock_name)
+        self.tracer.clock = self.clock
+        self.tracer.clock_name = self.name
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        assert self._saved is not None
+        self.tracer.clock, self.tracer.clock_name = self._saved

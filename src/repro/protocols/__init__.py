@@ -2,7 +2,6 @@
 
 from repro.protocols.aggregate import AggregateProcess, aggregate_cluster
 from repro.protocols.attiya_welch import AWCluster, AWProcess, aw_cluster
-from repro.protocols.causal import CausalProcess, causal_cluster
 from repro.protocols.base import (
     BaseProcess,
     Cluster,
@@ -10,12 +9,11 @@ from repro.protocols.base import (
     RunResult,
     Workloads,
 )
+from repro.protocols.causal import CausalProcess, causal_cluster
 from repro.protocols.local import LocalProcess, local_cluster
 from repro.protocols.locking import LockProcess, home_of, lock_cluster
 from repro.protocols.mlin import MLinCluster, MLinProcess, mlin_cluster
 from repro.protocols.msc import MSCProcess, msc_cluster
-from repro.protocols.writeall import WriteAllProcess, writeall_cluster
-from repro.protocols.traditional import TraditionalProcess, traditional_cluster
 from repro.protocols.recorder import HistoryRecorder, OpRecord
 from repro.protocols.server import ServerProcess, server_cluster
 from repro.protocols.store import (
@@ -24,6 +22,8 @@ from repro.protocols.store import (
     ObjectView,
     VersionedStore,
 )
+from repro.protocols.traditional import TraditionalProcess, traditional_cluster
+from repro.protocols.writeall import WriteAllProcess, writeall_cluster
 
 __all__ = [
     "AWCluster",

@@ -38,7 +38,7 @@ guarantee (experiment AW).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 from repro.errors import ProtocolError
 from repro.protocols.base import BaseProcess, Cluster, PendingOp

@@ -30,6 +30,7 @@ from repro.abcast.interface import AtomicBroadcast
 from repro.abcast.sequencer import SequencerAbcast
 from repro.core.history import History
 from repro.errors import ProcessCrashed, ProtocolError, SimulationError
+from repro.obs import get_tracer
 from repro.protocols.recorder import HistoryRecorder, OpRecord
 from repro.protocols.store import ExecutionRecord, MProgram, VersionedStore
 from repro.sim.kernel import Simulator
@@ -52,6 +53,9 @@ class PendingOp:
     program: MProgram
     inv: float
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Open tracing span covering invocation → response (None when no
+    #: tracer is installed); ended by :meth:`BaseProcess.respond`.
+    span: Optional[Any] = None
 
 
 class BaseProcess:
@@ -105,6 +109,17 @@ class BaseProcess:
         uid = self.cluster.next_uid()
         inv = self.cluster.sim.now
         self._pending = PendingOp(uid=uid, program=program, inv=inv)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # The operation's issue → abcast → apply → respond arc
+            # crosses simulator events, so the span is unscoped and
+            # ended by respond().
+            self._pending.span = tracer.begin(
+                "op.update" if program.may_write else "op.query",
+                uid=uid,
+                process=self.pid,
+                program=program.name,
+            )
         self.cluster.recorder.begin(uid, inv, program.name)
         self.on_invoke(self._pending)
 
@@ -150,6 +165,9 @@ class BaseProcess:
                 ),
                 now=self.cluster.sim.now,
             )
+        if pending.span is not None:
+            pending.span.end(resp=resp)
+            pending.span = None
         self._responded_uids.add(pending.uid)
         self._pending = None
         # Schedule the next invocation strictly after the (possibly
@@ -266,6 +284,11 @@ class BaseProcess:
         """
         uid: int = payload["uid"]
         program: MProgram = payload["program"]
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "proto.apply", uid=uid, process=self.pid, sender=sender
+            )
         record = self.store.execute(program, uid)
         if sender != self.pid:
             return

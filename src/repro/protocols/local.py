@@ -33,7 +33,7 @@ from blind writes.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any
 
 from repro.protocols.base import BaseProcess, Cluster, PendingOp
 from repro.protocols.store import MProgram

@@ -32,7 +32,7 @@ conservative-classification stance applied to object sets).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.errors import ProtocolError
 from repro.protocols.base import BaseProcess, Cluster, PendingOp

@@ -37,15 +37,12 @@ message in flight.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Optional
 
 from repro.errors import ProtocolError
+from repro.obs import get_tracer
 from repro.protocols.base import BaseProcess, Cluster, PendingOp
-from repro.protocols.store import (
-    ExecutionRecord,
-    MProgram,
-    VersionedStore,
-)
+from repro.protocols.store import MProgram, VersionedStore
 from repro.sim.network import Message
 
 QUERY = "query"
@@ -62,6 +59,11 @@ class MLinProcess(BaseProcess):
             if abcast is None:
                 raise ProtocolError(
                     "the Fig-6 protocol requires an atomic-broadcast layer"
+                )
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "proto.abcast", uid=pending.uid, process=self.pid
                 )
             abcast.broadcast(
                 self.pid,
@@ -134,6 +136,19 @@ class MLinProcess(BaseProcess):
         the new round's count.
         """
         relevant = self._relevant_objects(pending.program)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # One span per gather round; a retried/restarted gather
+            # closes the previous round's span first.
+            previous = pending.extra.get("gather_span")
+            if previous is not None:
+                previous.end(superseded=True)
+            pending.extra["gather_span"] = tracer.begin(
+                "mlin.gather",
+                uid=pending.uid,
+                process=self.pid,
+                attempt=attempt,
+            )
         pending.extra["attempt"] = attempt
         pending.extra["awaiting"] = self.cluster.n - 1
         # Own copy counts as one of the n query responses (see module
@@ -200,6 +215,9 @@ class MLinProcess(BaseProcess):
 
     def _finish_query(self, pending: PendingOp) -> None:
         # (A6): run the query against the constructed copy othX.
+        gather_span = pending.extra.pop("gather_span", None)
+        if gather_span is not None:
+            gather_span.end()
         oth_store = VersionedStore.from_export(pending.extra["best"])
         record = oth_store.execute(pending.program, pending.uid)
         self.respond(pending, record)

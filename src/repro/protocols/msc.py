@@ -25,17 +25,18 @@ implementation, generalised to multi-object operations.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.errors import ProtocolError
+from repro.obs import get_tracer
 from repro.protocols.base import BaseProcess, Cluster, PendingOp
-from repro.protocols.store import ExecutionRecord, MProgram
 
 
 class MSCProcess(BaseProcess):
     """One participant in the Figure-4 protocol."""
 
     def on_invoke(self, pending: PendingOp) -> None:
+        tracer = get_tracer()
         if pending.program.may_write:
             # (A1): atomically broadcast the update.
             abcast = self.cluster.abcast
@@ -43,13 +44,20 @@ class MSCProcess(BaseProcess):
                 raise ProtocolError(
                     "the Fig-4 protocol requires an atomic-broadcast layer"
                 )
+            if tracer.enabled:
+                tracer.event(
+                    "proto.abcast", uid=pending.uid, process=self.pid
+                )
             abcast.broadcast(
                 self.pid,
                 {"uid": pending.uid, "program": pending.program},
             )
         else:
             # (A3): queries execute against the local copy at once.
-            record = self.store.execute(pending.program, pending.uid)
+            with tracer.span(
+                "msc.query.local", uid=pending.uid, process=self.pid
+            ):
+                record = self.store.execute(pending.program, pending.uid)
             self.respond(pending, record)
 
     def on_abcast_deliver(self, sender: int, payload: Dict[str, Any]) -> None:

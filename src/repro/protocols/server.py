@@ -13,7 +13,7 @@ replication, and the server serialises everything.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any
 
 from repro.errors import ProtocolError
 from repro.protocols.base import BaseProcess, Cluster, PendingOp

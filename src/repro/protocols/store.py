@@ -19,7 +19,7 @@ both comparisons succeed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.core.operation import INIT_UID, Operation, read, write

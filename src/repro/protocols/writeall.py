@@ -31,7 +31,7 @@ reasoning as :mod:`repro.protocols.causal`).
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any
 
 from repro.errors import ProtocolError
 from repro.protocols.base import BaseProcess, Cluster, PendingOp

@@ -24,7 +24,7 @@ positive runs sound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     DeliveryTimeout,
@@ -91,6 +91,10 @@ class ChaosResult:
     audits: List[Tuple[float, str, int, Optional[str]]] = field(
         default_factory=list
     )
+    #: Metrics snapshot of the run: the network registry's counters /
+    #: gauges plus fault-schedule tallies (see ``--metrics`` on the
+    #: ``chaos`` CLI subcommand).
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         """One line for assertion messages: plan plus verdict."""
@@ -233,6 +237,16 @@ def run_chaos(
         and not violations
         and completed == expected
     )
+    metrics = cluster.network.stats.snapshot()
+    metrics["chaos"] = {
+        "crashes": len(injector.crashed),
+        "restarts": len(injector.restarted),
+        "failovers": len(cluster.abcast.failovers) if cluster.abcast else 0,
+        "audits": len(audits),
+        "completed": completed,
+        "expected": expected,
+        "duration": cluster.sim.now,
+    }
     return ChaosResult(
         protocol=protocol,
         plan=plan,
@@ -247,4 +261,5 @@ def run_chaos(
         failovers=list(cluster.abcast.failovers) if cluster.abcast else [],
         duration=cluster.sim.now,
         audits=audits,
+        metrics=metrics,
     )

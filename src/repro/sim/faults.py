@@ -16,7 +16,7 @@ protocols implement to survive the relaxation.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import SimulationError

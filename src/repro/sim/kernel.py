@@ -15,9 +15,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs import get_metrics, get_tracer
 
 
 @dataclass(order=True)
@@ -131,6 +132,20 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         fired_this_run = 0
+        # Observability: while the queue drains, the installed tracer
+        # reads *virtual* time, so spans emitted from simulated code
+        # are deterministic under a fixed seed.  With no collector
+        # installed the per-event cost is one attribute check.
+        tracer = get_tracer()
+        binding = run_span = None
+        if tracer.enabled:
+            binding = tracer.bind_clock(lambda: self._now, "sim")
+            binding.__enter__()
+            run_span = tracer.begin("kernel.run")
+        metrics = get_metrics()
+        depth_gauge = (
+            metrics.gauge("kernel.queue_depth") if metrics is not None else None
+        )
         try:
             while self._queue:
                 entry = self._queue[0]
@@ -149,9 +164,15 @@ class Simulator:
                 self._now = entry.time
                 self._events_fired += 1
                 fired_this_run += 1
+                if depth_gauge is not None:
+                    depth_gauge.set(len(self._queue))
                 entry.callback()
         finally:
             self._running = False
+            if run_span is not None:
+                run_span.end(events=fired_this_run)
+            if binding is not None:
+                binding.__exit__()
         if until is not None and self._now < until and not self._queue:
             self._now = until
         return self._now

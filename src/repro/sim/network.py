@@ -33,10 +33,11 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.errors import DeliveryTimeout, ProcessCrashed, SimulationError
+from repro.obs import MetricsRegistry, get_tracer
 from repro.sim.kernel import EventHandle, Simulator
 from repro.sim.latency import FixedLatency, LatencyModel
 
@@ -108,7 +109,29 @@ def _estimate_size(value: Any, depth: int, seen: Set[int]) -> int:
     return 8
 
 
-@dataclass
+class _CounterProperty:
+    """Expose a registry counter as a plain int attribute.
+
+    Keeps the pre-registry surface (``stats.dropped += 1`` and
+    ``stats.dropped == 3``) working while the numbers live in a
+    :class:`~repro.obs.MetricsRegistry`.
+    """
+
+    __slots__ = ("attr",)
+
+    def __init__(self, attr: str) -> None:
+        self.attr = attr
+
+    def __get__(self, obj: "NetworkStats", _objtype=None) -> int:
+        if obj is None:  # pragma: no cover - class access
+            return self
+        return getattr(obj, self.attr).value
+
+    def __set__(self, obj: "NetworkStats", value: int) -> None:
+        counter = getattr(obj, self.attr)
+        counter.inc(value - counter.value)
+
+
 class NetworkStats:
     """Aggregate statistics of messages that entered the network.
 
@@ -117,33 +140,67 @@ class NetworkStats:
     frames affected by fault injection on any path (data, broadcast
     copy, retransmission, acknowledgment); the remaining fields are
     the reliable-delivery shim's ledger.
+
+    The numbers are held in a per-network
+    :class:`~repro.obs.MetricsRegistry` (``stats.registry``); the int
+    attributes below are views into it, and :meth:`snapshot` renders
+    the whole registry as one plain dict.
     """
 
-    sent: int = 0
-    delivered: int = 0
-    dropped: int = 0
-    duplicated: int = 0
-    #: Retransmission attempts by the reliable shim (physical resends
-    #: beyond each frame's first transmission).
-    retransmitted: int = 0
-    #: Acknowledgments that reached their sender.
-    acked: int = 0
-    #: Duplicate data frames suppressed at the receiver by transfer id.
-    deduped: int = 0
-    #: Frames discarded because the destination endpoint was down.
-    lost_to_crash: int = 0
-    total_size: int = 0
-    by_kind: Dict[str, int] = field(default_factory=dict)
-    size_by_kind: Dict[str, int] = field(default_factory=dict)
+    _SCALARS = (
+        ("sent", "net.sent"),
+        ("delivered", "net.delivered"),
+        ("dropped", "net.dropped"),
+        ("duplicated", "net.duplicated"),
+        # Retransmission attempts by the reliable shim (physical
+        # resends beyond each frame's first transmission).
+        ("retransmitted", "net.retransmitted"),
+        # Acknowledgments that reached their sender.
+        ("acked", "net.acked"),
+        # Duplicate data frames suppressed at the receiver by
+        # transfer id.
+        ("deduped", "net.deduped"),
+        # Frames discarded because the destination endpoint was down.
+        ("lost_to_crash", "net.lost_to_crash"),
+        ("total_size", "net.total_size"),
+    )
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        for attr, metric in self._SCALARS:
+            setattr(self, f"_{attr}", self.registry.counter(metric))
+
+    sent = _CounterProperty("_sent")
+    delivered = _CounterProperty("_delivered")
+    dropped = _CounterProperty("_dropped")
+    duplicated = _CounterProperty("_duplicated")
+    retransmitted = _CounterProperty("_retransmitted")
+    acked = _CounterProperty("_acked")
+    deduped = _CounterProperty("_deduped")
+    lost_to_crash = _CounterProperty("_lost_to_crash")
+    total_size = _CounterProperty("_total_size")
+
+    @property
+    def by_kind(self) -> Dict[str, int]:
+        """Logical sends per message kind (a fresh dict)."""
+        return self.registry.by_label("net.sent_by_kind", "kind")
+
+    @property
+    def size_by_kind(self) -> Dict[str, int]:
+        """Estimated payload units per message kind (a fresh dict)."""
+        return self.registry.by_label("net.size_by_kind", "kind")
 
     def record_send(self, message: Message) -> None:
-        self.sent += 1
+        self._sent.inc()
         size = estimate_size(message.payload)
-        self.total_size += size
-        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
-        self.size_by_kind[message.kind] = (
-            self.size_by_kind.get(message.kind, 0) + size
-        )
+        self._total_size.inc(size)
+        registry = self.registry
+        registry.counter("net.sent_by_kind", kind=message.kind).inc()
+        registry.counter("net.size_by_kind", kind=message.kind).inc(size)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The registry's counters/gauges/histograms as a plain dict."""
+        return self.registry.snapshot()
 
 
 #: Backwards-compatible alias (the pre-fault-layer name).
@@ -292,6 +349,9 @@ class Network:
         self._check_pid(dst)
         if src in self._down:
             raise ProcessCrashed(f"endpoint {src} sent while down")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("net.send", kind=message.kind, src=src, dst=dst)
         self.stats.record_send(message)
         if not self.reliable:
             self._transmit(src, dst, ("data", None, message))
@@ -322,11 +382,17 @@ class Network:
     def _transmit(self, src: int, dst: int, frame: Tuple) -> None:
         if self.drop_prob and self._rng.random() < self.drop_prob:
             self.stats.dropped += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event("net.drop", kind=frame[0], src=src, dst=dst)
             return
         copies = 1
         if self.dup_prob and self._rng.random() < self.dup_prob:
             copies = 2
             self.stats.duplicated += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event("net.dup", kind=frame[0], src=src, dst=dst)
         for _ in range(copies):
             delay = self.latency.sample(self._rng, src, dst)
             if delay < 0:
@@ -379,6 +445,11 @@ class Network:
                 f"endpoint {dst}"
             )
         self.stats.delivered += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "net.deliver", kind=message.kind, src=src, dst=dst
+            )
         handler(src, message)
 
     # ------------------------------------------------------------------
@@ -408,6 +479,15 @@ class Network:
                 f"{self.max_retries} retransmissions"
             )
         self.stats.retransmitted += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "net.retransmit",
+                kind=transfer.message.kind,
+                src=src,
+                dst=transfer.dst,
+                attempt=transfer.attempts,
+            )
         self._transmit(src, transfer.dst, ("data", xfer, transfer.message))
         self._arm_timer(src, xfer)
 

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.history import History
-from repro.core.operation import INIT_UID, MOperation, Operation, read, write
+from repro.core.operation import MOperation, Operation, read, write
 from repro.errors import WorkloadError
 from repro.objects.multimethods import (
     balance_total,

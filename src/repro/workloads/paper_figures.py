@@ -20,7 +20,7 @@ against the prose rather than taken on faith.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.core.history import History
 from repro.core.operation import MOperation, read, write

@@ -12,7 +12,6 @@ from repro.errors import ProtocolError
 from repro.sim import (
     ExponentialLatency,
     FixedLatency,
-    Message,
     Network,
     Simulator,
     UniformLatency,

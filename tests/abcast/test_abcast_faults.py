@@ -21,7 +21,7 @@ from repro.abcast.lamport import LamportAbcast
 from repro.abcast.sequencer import SequencerAbcast
 from repro.sim.kernel import Simulator
 from repro.sim.latency import UniformLatency
-from repro.sim.network import Message, Network
+from repro.sim.network import Network
 
 N = 3
 BROADCASTS = 8

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis import exponential_gadget
 from repro.core import (
     Relation,
     SearchBudgetExceeded,
@@ -11,7 +12,6 @@ from repro.core import (
     is_legal_sequence,
     msc_order,
 )
-from repro.analysis import exponential_gadget
 from repro.workloads import figure2_h1
 from tests.conftest import simple_history
 

@@ -1,6 +1,5 @@
 """Unit tests for execution constraints and ``~rw`` / ``~H+`` (Section 4)."""
 
-import pytest
 
 from repro.core import (
     base_order,

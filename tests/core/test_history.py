@@ -2,12 +2,8 @@
 
 import pytest
 
-from repro.core import History, INIT_UID, make_mop, read, write
-from repro.errors import (
-    MalformedHistoryError,
-    MissingTimestampsError,
-    ReadsFromError,
-)
+from repro.core import INIT_UID, History, make_mop, write
+from repro.errors import MalformedHistoryError, ReadsFromError
 from tests.conftest import simple_history
 
 

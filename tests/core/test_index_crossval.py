@@ -14,7 +14,7 @@ ones, through both the exact and the auto (constrained fast path)
 methods.
 """
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.core import check_condition
 from repro.core.history import History

@@ -23,7 +23,7 @@ from repro.core import (
     is_m_linearizable,
     is_m_sequentially_consistent,
 )
-from repro.workloads import HistoryShape, random_serial_history, stretch_history
+from repro.workloads import stretch_history
 from tests.conftest import simple_history
 
 

@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.core import History, make_mop, read, write
 from repro.core.serialize import (
     history_from_dict,
     history_from_json,
-    history_to_dict,
     history_to_json,
     load_history,
     save_history,

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.db import (
-    Schedule,
     T_INIT,
+    Schedule,
     r,
     schedule_from_string,
     w,

@@ -1,6 +1,5 @@
 """Unit tests for (strict) view and conflict serializability."""
 
-import pytest
 
 from repro.db import (
     conflict_pairs,

@@ -1,0 +1,96 @@
+"""Integration tests: instrumentation overhead and trace determinism."""
+
+import json
+import time
+
+import pytest
+
+from repro.__main__ import main
+from repro.core import check_m_sequential_consistency
+from repro.obs import Tracer, get_tracer, install_tracer, uninstall_tracer
+from repro.protocols import msc_cluster
+from repro.workloads import HistoryShape, random_serial_history, random_workloads
+
+
+def run_traced_workload(seed):
+    """Run a small Fig-4 workload under a fresh tracer; return its records."""
+    tracer = Tracer()
+    install_tracer(tracer)
+    try:
+        cluster = msc_cluster(3, ["x", "y", "z"], seed=seed)
+        cluster.run(random_workloads(3, ["x", "y", "z"], 5, seed=seed + 1))
+    finally:
+        uninstall_tracer()
+    return tracer.records()
+
+
+class TestNoOpOverhead:
+    def test_no_collector_stays_within_guard_budget(self):
+        # The 300-mop constrained guard budget is 5 s
+        # (tests/test_performance_guards.py); with no tracer installed
+        # the instrumented path must stay within 10% of it.
+        assert get_tracer().enabled is False
+        shape = HistoryShape(
+            n_processes=5, n_objects=4, n_mops=300, query_fraction=0.4
+        )
+        h = random_serial_history(shape, seed=3)
+        updates = [m.uid for m in h.mops if m.is_update]
+        ww = list(zip(updates, updates[1:]))
+        start = time.perf_counter()
+        verdict = check_m_sequential_consistency(
+            h, method="constrained", extra_pairs=ww
+        )
+        elapsed = time.perf_counter() - start
+        assert verdict.holds
+        assert elapsed < 5.5, f"no-op instrumented check took {elapsed:.2f}s"
+
+
+class TestTraceDeterminism:
+    def test_same_seed_same_sim_clock_trace(self):
+        first = run_traced_workload(seed=7)
+        second = run_traced_workload(seed=7)
+        sim_first = [
+            (r["name"], r["t0"], r["t1"]) for r in first if r["clock"] == "sim"
+        ]
+        sim_second = [
+            (r["name"], r["t0"], r["t1"]) for r in second if r["clock"] == "sim"
+        ]
+        assert sim_first, "expected sim-clock spans from the traced run"
+        assert sim_first == sim_second
+
+    def test_different_seed_differs(self):
+        base = run_traced_workload(seed=7)
+        other = run_traced_workload(seed=8)
+        sim_base = [(r["name"], r["t0"], r["t1"]) for r in base if r["clock"] == "sim"]
+        sim_other = [
+            (r["name"], r["t0"], r["t1"]) for r in other if r["clock"] == "sim"
+        ]
+        assert sim_base != sim_other
+
+    def test_wall_clock_restored_after_run(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        try:
+            cluster = msc_cluster(2, ["x"], seed=1)
+            cluster.run(random_workloads(2, ["x"], 2, seed=2))
+            tracer.event("after")
+        finally:
+            uninstall_tracer()
+        last = tracer.records()[-1]
+        assert last["name"] == "after"
+        assert last["clock"] == "wall"
+
+
+@pytest.mark.parametrize("workload", ["paper-fig4", "paper-fig6"])
+def test_trace_cli_end_to_end(workload, tmp_path, capsys):
+    out = tmp_path / "t.jsonl"
+    code = main(
+        ["trace", "--workload", workload, "--out", str(out), "--ops", "4"]
+    )
+    assert code == 0
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    assert records
+    names = {r["name"] for r in records}
+    assert len(names) >= 5
+    captured = capsys.readouterr().out
+    assert "span" in captured and "self" in captured

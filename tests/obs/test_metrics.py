@@ -1,0 +1,86 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_get_or_create_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("net.sent").inc()
+        registry.counter("net.sent").inc(2)
+        assert registry.counter("net.sent").value == 3
+
+    def test_counters_cannot_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("sent", kind="req").inc()
+        registry.counter("sent", kind="seq").inc(4)
+        registry.counter("sent", kind="req").inc()
+        assert registry.by_label("sent", "kind") == {"req": 2, "seq": 4}
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("m", a=1, b=2).inc()
+        registry.counter("m", b=2, a=1).inc()
+        assert registry.counter("m", a=1, b=2).value == 2
+
+
+class TestGauge:
+    def test_tracks_high_water_mark(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.set(2)
+        gauge.inc(1)
+        assert gauge.value == 3
+        assert gauge.maximum == 5
+        gauge.dec(4)
+        assert gauge.value == -1
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 3.0, 7.0, 100.0):
+            hist.observe(value)
+        # Per-bucket (non-cumulative): <=1: 2, <=5: 1, <=10: 1, over: 1.
+        assert hist.counts == [2, 1, 1]
+        assert hist.overflow == 1
+        assert hist.count == 5
+        assert hist.mean == pytest.approx(111.5 / 5)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_snapshot_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 3.0, 50.0):
+            hist.observe(value)
+        snap = registry.snapshot()["histograms"]["lat"]
+        assert snap["buckets"] == {"1.0": 1, "10.0": 3}
+        assert snap["overflow"] == 1
+        assert snap["count"] == 4
+
+
+class TestSnapshot:
+    def test_plain_dict_with_series_names(self):
+        registry = MetricsRegistry()
+        registry.counter("sent", kind="req").inc()
+        registry.gauge("depth").set(3)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"sent{kind=req}": 1}
+        assert snap["gauges"]["depth"] == {"value": 3, "max": 3}
+        # JSON-safe: only plain types.
+        import json
+
+        json.dumps(snap)

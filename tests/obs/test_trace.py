@@ -1,0 +1,174 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    uninstall_tracer,
+)
+
+
+def fake_clock(times):
+    """A clock yielding the given readings in order."""
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestScopedSpans:
+    def test_nesting_assigns_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        outer_rec, = [r for r in tracer.records() if r["name"] == "outer"]
+        inner_rec, = [r for r in tracer.records() if r["name"] == "inner"]
+        assert inner_rec["parent"] == outer_rec["id"]
+        assert outer_rec["parent"] is None
+
+    def test_self_time_excludes_children(self):
+        # outer: 0 -> 10, inner: 2 -> 7  =>  outer self-time = 5.
+        tracer = Tracer(clock=fake_clock([0.0, 2.0, 7.0, 10.0]))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {r["name"]: r for r in tracer.records()}
+        assert by_name["inner"]["dur"] == pytest.approx(5.0)
+        assert by_name["inner"]["self"] == pytest.approx(5.0)
+        assert by_name["outer"]["dur"] == pytest.approx(10.0)
+        assert by_name["outer"]["self"] == pytest.approx(5.0)
+
+    def test_attrs_recorded_and_merged_on_end(self):
+        tracer = Tracer()
+        span = tracer.span("op", uid=7)
+        span.end(resp=3)
+        record, = tracer.records()
+        assert record["attrs"] == {"uid": 7, "resp": 3}
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.span("once")
+        span.end()
+        span.end()
+        assert len(tracer.records()) == 1
+
+
+class TestUnscopedSpans:
+    def test_begin_does_not_join_stack(self):
+        tracer = Tracer()
+        pending = tracer.begin("op.update", uid=1)
+        # A scoped span opened after begin() is NOT a child of it.
+        with tracer.span("phase"):
+            pass
+        pending.end()
+        by_name = {r["name"]: r for r in tracer.records()}
+        assert by_name["phase"]["parent"] is None
+        assert by_name["op.update"]["parent"] is None
+
+    def test_interval_crosses_scoped_spans(self):
+        tracer = Tracer(clock=fake_clock([0.0, 1.0, 2.0, 5.0]))
+        pending = tracer.begin("op")
+        with tracer.span("callback"):
+            pass
+        pending.end()
+        by_name = {r["name"]: r for r in tracer.records()}
+        assert by_name["op"]["dur"] == pytest.approx(5.0)
+        # Unscoped spans accrue no child time.
+        assert by_name["op"]["self"] == pytest.approx(5.0)
+
+
+class TestEventsAndWrap:
+    def test_event_is_zero_duration(self):
+        tracer = Tracer()
+        tracer.event("net.send", kind="abc-req")
+        record, = tracer.records()
+        assert record["dur"] == 0.0
+        assert record["attrs"]["kind"] == "abc-req"
+
+    def test_wrap_traces_each_call(self):
+        tracer = Tracer()
+
+        @tracer.wrap("fn")
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+        assert double(1) == 2
+        assert [r["name"] for r in tracer.records()] == ["fn", "fn"]
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_newest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.event("e", i=i)
+        records = tracer.records()
+        assert [r["attrs"]["i"] for r in records] == [2, 3, 4]
+        assert tracer.finished == 5
+        assert tracer.evicted == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", n=1):
+            tracer.event("b")
+        path = tmp_path / "t.jsonl"
+        assert tracer.export_jsonl(str(path)) == 2
+        lines = path.read_text().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [p["name"] for p in parsed] == ["b", "a"]
+        assert all(p["clock"] == "wall" for p in parsed)
+
+    def test_unserialisable_attrs_are_stringified(self):
+        tracer = Tracer()
+        tracer.event("e", obj=object())
+        buffer = io.StringIO()
+        tracer.export_jsonl(buffer)
+        parsed = json.loads(buffer.getvalue())
+        assert "object object" in parsed["attrs"]["obj"]
+
+
+class TestClockBinding:
+    def test_bind_and_restore(self):
+        tracer = Tracer()
+        with tracer.bind_clock(lambda: 42.0, "sim"):
+            tracer.event("inside")
+        tracer.event("outside")
+        inside, outside = tracer.records()
+        assert inside["clock"] == "sim"
+        assert inside["t0"] == 42.0
+        assert outside["clock"] == "wall"
+
+
+class TestInstallation:
+    def test_default_is_null_tracer(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_install_and_uninstall(self):
+        tracer = Tracer()
+        previous = install_tracer(tracer)
+        try:
+            assert previous is NULL_TRACER
+            assert get_tracer() is tracer
+        finally:
+            assert uninstall_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("x") as span:
+            span.end()
+        NULL_TRACER.begin("y").end()
+        NULL_TRACER.event("z")
+        assert NULL_TRACER.records() == []
+        assert NULL_TRACER.wrap("w")(len)([1, 2]) == 2

@@ -17,7 +17,7 @@ from repro.core.monitor import LiveMonitor, MonitorUsageError
 from repro.objects import read_reg, write_reg
 from repro.protocols import mlin_cluster, msc_cluster
 from repro.sim import ExponentialLatency
-from repro.workloads import figure5_scenario, random_workloads
+from repro.workloads import random_workloads
 
 
 class TestLiveRuns:

@@ -7,7 +7,6 @@ from repro.errors import ProtocolError
 from repro.objects import (
     balance_total,
     dcas,
-    m_assign,
     m_read,
     read_reg,
     transfer,

@@ -6,13 +6,12 @@ the total-order step, and accepts that some lucky seeds stay
 consistent (gossip can happen to arrive in compatible orders).
 """
 
-import pytest
 
 from repro.core import (
     check_m_linearizability,
     check_m_sequential_consistency,
 )
-from repro.objects import m_read, read_reg, write_reg
+from repro.objects import read_reg, write_reg
 from repro.protocols import local_cluster
 from repro.sim import UniformLatency
 from repro.workloads import BLIND_MIX, random_workloads

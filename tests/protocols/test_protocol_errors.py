@@ -11,7 +11,7 @@ from repro.protocols import (
     msc_cluster,
 )
 from repro.protocols.mlin import QUERY_RESP
-from repro.sim import Message, Simulator
+from repro.sim import Message
 
 
 class TestMLinErrors:

@@ -8,7 +8,7 @@ Runs are verified with the *exact* checker (ground truth).
 
 import pytest
 
-from repro.abcast import LamportAbcast, SequencerAbcast
+from repro.abcast import LamportAbcast
 from repro.core import (
     check_m_linearizability,
     check_m_sequential_consistency,

@@ -9,13 +9,14 @@ machines.
 
 import time
 
-from repro.core import (
-    check_m_sequential_consistency,
-    msc_order,
-)
+import pytest
+
+from repro.core import check_m_sequential_consistency
 from repro.core.monitor import verify_stream
 from repro.protocols import msc_cluster
 from repro.workloads import HistoryShape, random_serial_history, random_workloads
+
+pytestmark = pytest.mark.perf
 
 
 def timed(fn):

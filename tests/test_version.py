@@ -1,0 +1,35 @@
+"""The package version is single-sourced from ``repro.__version__``."""
+
+import re
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def load_pyproject():
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11
+        return None
+    with open(PYPROJECT, "rb") as f:
+        return tomllib.load(f)
+
+
+def test_version_is_dynamic():
+    data = load_pyproject()
+    text = PYPROJECT.read_text()
+    if data is not None:
+        project = data["project"]
+        assert "version" in project.get("dynamic", [])
+        assert "version" not in project
+        attr = data["tool"]["setuptools"]["dynamic"]["version"]["attr"]
+        assert attr == "repro.__version__"
+    else:
+        assert 'dynamic = ["version"]' in text
+        assert re.search(r'version\s*=\s*\{\s*attr\s*=\s*"repro.__version__"', text)
+
+
+def test_dunder_version_shape():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
