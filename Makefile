@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint chaos chaos-smoke report bench-json
+.PHONY: test lint analyze chaos chaos-smoke report bench-json
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,6 +10,11 @@ test:
 ## otherwise — see tools/lint.py.
 lint:
 	$(PYTHON) tools/lint.py
+
+## Static analyzer: determinism/race lints + workload constraint
+## prover infrastructure — see docs/static_analysis.md.
+analyze:
+	$(PYTHON) -m repro analyze
 
 ## Full chaos suite: every @pytest.mark.chaos schedule (still < 60 s).
 chaos:

@@ -18,6 +18,9 @@ Commands:
 * ``trace`` — run an instrumented workload with the tracer and
   metrics registry installed, export the spans as JSONL and print a
   flame summary; see ``docs/observability.md``.
+* ``analyze`` — run the static analyzer (workload constraint prover
+  infrastructure + determinism/race lints) over the source tree and
+  fail on unsuppressed findings; see ``docs/static_analysis.md``.
 """
 
 from __future__ import annotations
@@ -260,6 +263,66 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if verdict.holds else 1
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.static import (
+        Analyzer,
+        AnalyzerConfig,
+        analyze_repo,
+        load_config,
+        registered_rules,
+        render_json,
+        render_text,
+        rule_descriptions,
+    )
+
+    if args.list_rules:
+        for rule, description in sorted(rule_descriptions().items()):
+            print(f"{rule}: {description}")
+        return 0
+    select = (
+        tuple(
+            token.strip()
+            for token in args.rules.split(",")
+            if token.strip()
+        )
+        if args.rules
+        else ()
+    )
+    unknown = set(select) - set(registered_rules())
+    if unknown:
+        print(
+            f"error: unknown rule(s) {sorted(unknown)}; see "
+            "--list-rules",
+            file=sys.stderr,
+        )
+        return 2
+    if args.paths:
+        config = load_config(Path("pyproject.toml"))
+        if select:
+            config = AnalyzerConfig(
+                select=select, exclude=config.exclude
+            )
+        report = Analyzer(config=config).analyze_paths(
+            [Path(p) for p in args.paths]
+        )
+    else:
+        config = None
+        if select:
+            config = AnalyzerConfig(select=select)
+        report = analyze_repo(config=config)
+    if args.json:
+        print(render_json(report))
+    else:
+        print(
+            render_text(
+                report, include_suppressed=args.include_suppressed
+            )
+        )
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -369,6 +432,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each run's metrics snapshot as JSON",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the static analyzer (prover infra + determinism lints)",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyze (default: the repro package)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+    analyze.add_argument(
+        "--rules",
+        help="comma-separated rule names to run (default: all registered)",
+    )
+    analyze.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules with descriptions and exit",
+    )
+    analyze.add_argument(
+        "--include-suppressed",
+        action="store_true",
+        help="show findings silenced by '# repro: allow[rule]' comments",
+    )
+    analyze.set_defaults(func=cmd_analyze)
 
     return parser
 

@@ -1,5 +1,12 @@
-"""Metrics and checker-scaling analysis (S19)."""
+"""Metrics, checker-scaling analysis (S19) and static analysis.
 
+The :mod:`repro.analysis.static` subpackage hosts the pass-based
+static analyzer: the workload constraint prover (OO/WW/WO
+certificates consumed by the checkers, Theorem 7) and the
+determinism/race lint passes behind ``python -m repro analyze``.
+"""
+
+from repro.analysis import static
 from repro.analysis.complexity import (
     ScalingPoint,
     exponential_gadget,
@@ -26,4 +33,5 @@ __all__ = [
     "measure",
     "measure_exact",
     "scaling_table",
+    "static",
 ]

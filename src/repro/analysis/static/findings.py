@@ -1,0 +1,144 @@
+"""Finding objects and suppression parsing for the static analyzer.
+
+A :class:`Finding` pins one rule violation to a ``file:line`` location.
+Findings are plain data — ordering, severity ranking and rendering all
+live here so every pass and reporter agrees on them.
+
+Suppressions are in-source comments::
+
+    something_flagged()  # repro: allow[rule-name]
+
+Placing the comment on the flagged line or on the line directly above
+it silences that rule at that location (``allow[*]`` silences every
+rule).  Suppressed findings are still *collected* — reporters can show
+them with ``--include-suppressed`` and the repo-cleanliness test counts
+them — they just don't fail the run.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Tuple
+
+#: Recognised severities, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+#: ``# repro: allow[rule-a,rule-b]`` (whitespace-tolerant).
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\- ]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: repo-relative path of the offending file.
+        line: 1-based line number.
+        rule: the pass's rule name (kebab-case).
+        message: human-readable description of the violation.
+        severity: ``"error"``, ``"warning"`` or ``"info"``.
+        suppressed: True when a ``# repro: allow[...]`` covers it.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "warning"
+    suppressed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; expected one of "
+                f"{SEVERITIES}"
+            )
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def sort_key(self) -> Tuple:
+        return (
+            self.path,
+            self.line,
+            SEVERITIES.index(self.severity),
+            self.rule,
+            self.message,
+        )
+
+    def row(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.location}: {self.severity}: [{self.rule}] "
+            f"{self.message}{tag}"
+        )
+
+    def as_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity,
+            "suppressed": self.suppressed,
+        }
+
+    def suppressed_by(self, allows: "Dict[int, FrozenSet[str]]") -> bool:
+        """Whether an allow-comment map covers this finding."""
+        for line in (self.line, self.line - 1):
+            rules = allows.get(line)
+            if rules and (self.rule in rules or "*" in rules):
+                return True
+        return False
+
+    def with_suppressed(self, suppressed: bool) -> "Finding":
+        return replace(self, suppressed=suppressed)
+
+
+def parse_allows(text: str) -> Dict[int, FrozenSet[str]]:
+    """Extract ``line -> allowed rules`` from a module's source text."""
+    allows: Dict[int, FrozenSet[str]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            rules = frozenset(
+                token.strip()
+                for token in match.group(1).split(",")
+                if token.strip()
+            )
+            if rules:
+                allows[number] = rules
+    return allows
+
+
+@dataclass
+class Report:
+    """All findings from one analyzer run, plus run metadata.
+
+    ``findings`` is sorted (path, line, severity, rule); the analyzer
+    guarantees this so reporters and tests can rely on stable output.
+    """
+
+    findings: Tuple[Finding, ...] = ()
+    files_analyzed: int = 0
+    rules_run: Tuple[str, ...] = ()
+    elapsed_s: float = 0.0
+    #: Non-fatal file problems (unreadable, syntax error), as rows.
+    errors: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def unsuppressed(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if not f.suppressed)
+
+    @property
+    def ok(self) -> bool:
+        """Clean run: no unsuppressed findings and no file errors."""
+        return not self.unsuppressed and not self.errors
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.unsuppressed:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts

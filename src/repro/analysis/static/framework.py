@@ -1,0 +1,338 @@
+"""The pass framework: source model, shared AST walker, analyzer.
+
+Design mirrors the checker pipeline's "one shared index" idea
+(:mod:`repro.core.index`): each file is parsed **once** into a
+:class:`SourceFile` (text, AST with parent links, import aliases,
+suppression map) and every registered :class:`LintPass` runs against
+that shared model — adding a pass never adds a parse.
+
+Everything here is standard library only, so the analyzer runs in the
+hermetic container where ruff is absent (``tools/lint.py`` falls back
+to it).
+"""
+
+from __future__ import annotations
+
+import ast
+import time  # repro: allow[wall-clock] - measures the analyzer itself
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from repro.analysis.static.findings import Finding, Report, parse_allows
+from repro.errors import StaticAnalysisError
+
+
+@dataclass
+class SourceFile:
+    """One parsed module: the shared input model for every pass.
+
+    Attributes:
+        rel: repo-relative path (used in findings).
+        text: raw source.
+        tree: the module AST; every node carries a ``parent`` link
+            (added here) so passes can look outward without tracking
+            context themselves.
+        allows: suppression map (line -> allowed rules).
+        import_aliases: local name -> dotted module for ``import x`` /
+            ``import x as y`` statements.
+        from_imports: local name -> ``module.attr`` for
+            ``from m import a [as b]`` statements.
+    """
+
+    rel: str
+    text: str
+    tree: ast.Module
+    allows: Dict[int, FrozenSet[str]]
+    import_aliases: Dict[str, str] = field(default_factory=dict)
+    from_imports: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, text: str, rel: str) -> "SourceFile":
+        try:
+            tree = ast.parse(text)
+        except SyntaxError as exc:
+            raise StaticAnalysisError(
+                f"{rel}: cannot parse: {exc}"
+            ) from exc
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                child.parent = parent  # type: ignore[attr-defined]
+        source = cls(
+            rel=rel, text=text, tree=tree, allows=parse_allows(text)
+        )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    source.import_aliases[
+                        alias.asname or alias.name.split(".")[0]
+                    ] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    source.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return source
+
+    @classmethod
+    def from_path(cls, path: Path, root: Optional[Path] = None) -> "SourceFile":
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise StaticAnalysisError(f"{path}: unreadable: {exc}") from exc
+        rel = str(path.relative_to(root)) if root else str(path)
+        return cls.from_source(text, rel)
+
+    # ------------------------------------------------------------------
+    # Shared AST queries used by several passes
+    # ------------------------------------------------------------------
+
+    def dotted(self, node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for a Name/Attribute chain, else None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def resolved(self, node: ast.AST) -> Optional[str]:
+        """Like :meth:`dotted`, with the head resolved through imports.
+
+        ``import time as t; t.sleep`` resolves to ``time.sleep``;
+        ``from random import Random; Random`` to ``random.Random``.
+        """
+        dotted = self.dotted(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.from_imports:
+            head = self.from_imports[head]
+        elif head in self.import_aliases:
+            head = self.import_aliases[head]
+        return f"{head}.{rest}" if rest else head
+
+    def calls(self) -> Iterator[ast.Call]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                yield node
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The nearest enclosing function/async-function def, if any."""
+        current = getattr(node, "parent", None)
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return current
+            current = getattr(current, "parent", None)
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        current = getattr(node, "parent", None)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = getattr(current, "parent", None)
+        return None
+
+
+class LintPass:
+    """Base class for analyzer passes.
+
+    Subclasses set the class attributes and implement :meth:`run`,
+    yielding :class:`Finding` objects (without worrying about
+    suppression — the analyzer applies the allow-map afterwards).
+    """
+
+    #: kebab-case rule name; also the suppression key.
+    rule: str = ""
+    severity: str = "warning"
+    #: one-line description for ``--list-rules`` and the docs.
+    description: str = ""
+
+    def run(self, source: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=source.rel,
+            line=getattr(node, "lineno", 1),
+            rule=self.rule,
+            message=message,
+            severity=self.severity,
+        )
+
+
+#: Global registry: rule name -> pass class (populated by register()).
+_REGISTRY: Dict[str, Type[LintPass]] = {}
+
+
+def register(cls: Type[LintPass]) -> Type[LintPass]:
+    """Class decorator adding a pass to the default registry."""
+    if not cls.rule:
+        raise StaticAnalysisError(f"{cls.__name__} has no rule name")
+    if cls.rule in _REGISTRY:
+        raise StaticAnalysisError(f"duplicate rule {cls.rule!r}")
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def registered_rules() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def rule_descriptions() -> Dict[str, str]:
+    return {name: cls.description for name, cls in _REGISTRY.items()}
+
+
+@dataclass(frozen=True)
+class AnalyzerConfig:
+    """Which rules run and which paths are skipped.
+
+    ``select=()`` means every registered rule.  ``exclude`` entries are
+    substring matches against the repo-relative path (kept dead simple
+    so the pyproject fallback parser stays honest).
+    """
+
+    select: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def wants_rule(self, rule: str) -> bool:
+        return not self.select or rule in self.select
+
+    def wants_path(self, rel: str) -> bool:
+        return not any(part in rel for part in self.exclude)
+
+
+def load_config(pyproject: Path) -> AnalyzerConfig:
+    """Read ``[tool.repro.analyze]`` from pyproject.toml.
+
+    Uses :mod:`tomllib` on 3.11+; on older interpreters falls back to a
+    minimal parser that understands exactly the shape we write there
+    (``key = ["a", "b"]`` lines inside the section).  Missing file or
+    section yields the default config.
+    """
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError:
+        return AnalyzerConfig()
+    table: Dict[str, List[str]] = {}
+    try:
+        import tomllib  # Python >= 3.11
+
+        data = tomllib.loads(text)
+        section = (
+            data.get("tool", {}).get("repro", {}).get("analyze", {})
+        )
+        for key in ("select", "exclude"):
+            value = section.get(key, [])
+            if isinstance(value, list):
+                table[key] = [str(item) for item in value]
+    except ImportError:  # pragma: no cover - exercised on py<=3.10
+        in_section = False
+        for line in text.splitlines():
+            stripped = line.strip()
+            if stripped.startswith("["):
+                in_section = stripped == "[tool.repro.analyze]"
+                continue
+            if not in_section or "=" not in stripped:
+                continue
+            key, _, value = stripped.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key in ("select", "exclude") and value.startswith("["):
+                items = [
+                    token.strip().strip("\"'")
+                    for token in value.strip("[]").split(",")
+                ]
+                table[key] = [item for item in items if item]
+    return AnalyzerConfig(
+        select=tuple(table.get("select", ())),
+        exclude=tuple(table.get("exclude", ())),
+    )
+
+
+class Analyzer:
+    """Runs a set of passes over files, applying config + suppressions."""
+
+    def __init__(
+        self,
+        passes: Optional[Sequence[LintPass]] = None,
+        config: Optional[AnalyzerConfig] = None,
+    ) -> None:
+        self.config = config or AnalyzerConfig()
+        if passes is None:
+            passes = [
+                cls()
+                for name, cls in sorted(_REGISTRY.items())
+                if self.config.wants_rule(name)
+            ]
+        self.passes: List[LintPass] = list(passes)
+
+    def analyze_source(self, text: str, rel: str) -> List[Finding]:
+        """Analyze one in-memory module (the unit tests' entry point)."""
+        source = SourceFile.from_source(text, rel)
+        return self._run_passes(source)
+
+    def _run_passes(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for lint_pass in self.passes:
+            for finding in lint_pass.run(source):
+                findings.append(
+                    finding.with_suppressed(
+                        finding.suppressed_by(source.allows)
+                    )
+                )
+        return sorted(findings, key=Finding.sort_key)
+
+    def analyze_paths(
+        self, paths: Iterable[Path], *, root: Optional[Path] = None
+    ) -> Report:
+        """Analyze ``*.py`` files under each path (files or directories)."""
+        start = time.perf_counter()  # repro: allow[wall-clock]
+        findings: List[Finding] = []
+        errors: List[str] = []
+        files = 0
+        for path in self._expand(paths):
+            rel = str(path.relative_to(root)) if root else str(path)
+            if not self.config.wants_path(rel):
+                continue
+            files += 1
+            try:
+                source = SourceFile.from_path(path, root)
+            except StaticAnalysisError as exc:
+                errors.append(str(exc))
+                continue
+            findings.extend(self._run_passes(source))
+        return Report(
+            findings=tuple(sorted(findings, key=Finding.sort_key)),
+            files_analyzed=files,
+            rules_run=tuple(p.rule for p in self.passes),
+            elapsed_s=time.perf_counter() - start,  # repro: allow[wall-clock]
+            errors=tuple(errors),
+        )
+
+    @staticmethod
+    def _expand(paths: Iterable[Path]) -> List[Path]:
+        out: List[Path] = []
+        for path in paths:
+            if path.is_dir():
+                out.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                out.append(path)
+        return out

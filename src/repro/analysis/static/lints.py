@@ -1,0 +1,412 @@
+"""Determinism and race lint passes (the repo-invariant family).
+
+These passes guard invariants the test suite can only probe
+dynamically and which past PRs paid for the hard way:
+
+* same-seed runs must produce bit-identical traces (deterministic
+  simulation) — so no wall clocks and no unseeded/global RNG;
+* anything feeding ordered protocol or trace output must not iterate
+  a ``set`` (string hashing is randomized per process);
+* the simulated concurrency model is "kernel-mediated": processes
+  interact with shared cluster state only through the cluster's
+  service objects, never by mutating its fields directly — the static
+  analogue of a race detector for the event-driven model;
+* unscoped tracer spans (``tracer.begin``) must keep their handle and
+  be ``.end()``-ed, or the trace tree corrupts silently;
+* ``repro.errors`` exceptions must never be swallowed with a bare
+  ``pass`` — they encode protocol violations the chaos harness relies
+  on observing.
+
+Every pass is suppressible with ``# repro: allow[rule]`` on the
+flagged line or the one above; intentional uses in this repo carry
+those comments (see docs/static_analysis.md for the catalog).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.static.findings import Finding
+from repro.analysis.static.framework import (
+    LintPass,
+    SourceFile,
+    register,
+)
+
+#: Wall-clock sources that break virtual-time determinism.
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.sleep",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: Module-level random.* functions (they share one hidden global RNG).
+GLOBAL_RANDOM_CALLS = {
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.uniform",
+    "random.gauss",
+    "random.expovariate",
+    "random.betavariate",
+    "random.getrandbits",
+    "random.seed",
+}
+
+#: Mutating methods whose receiver must not be shared cluster state.
+MUTATOR_METHODS = {
+    "append",
+    "add",
+    "extend",
+    "update",
+    "insert",
+    "remove",
+    "discard",
+    "pop",
+    "popitem",
+    "clear",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+
+@register
+class WallClockPass(LintPass):
+    rule = "wall-clock"
+    severity = "error"
+    description = (
+        "wall-clock reads (time.*, datetime.now) break same-seed "
+        "trace determinism; use the simulator's virtual clock"
+    )
+
+    def run(self, source: SourceFile) -> Iterator[Finding]:
+        for call in source.calls():
+            name = source.resolved(call.func)
+            if name in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    source,
+                    call,
+                    f"call to {name}() reads the wall clock; "
+                    "simulation code must use the kernel's virtual "
+                    "time",
+                )
+
+
+@register
+class UnseededRandomPass(LintPass):
+    rule = "unseeded-random"
+    severity = "error"
+    description = (
+        "global random.* functions and argument-less random.Random() "
+        "draw from unseeded state; construct random.Random(seed) "
+        "explicitly"
+    )
+
+    def run(self, source: SourceFile) -> Iterator[Finding]:
+        for call in source.calls():
+            name = source.resolved(call.func)
+            if name == "random.Random" and not (
+                call.args or call.keywords
+            ):
+                yield self.finding(
+                    source,
+                    call,
+                    "random.Random() without a seed argument is "
+                    "nondeterministic across runs",
+                )
+            elif name in GLOBAL_RANDOM_CALLS:
+                yield self.finding(
+                    source,
+                    call,
+                    f"{name}() uses the shared module-level RNG; "
+                    "thread an explicit random.Random(seed) instead",
+                )
+
+
+def _is_set_like(node: ast.AST) -> bool:
+    """Syntactically certain to evaluate to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_like(node.left) or _is_set_like(node.right)
+    return False
+
+
+@register
+class UnorderedIterPass(LintPass):
+    rule = "unordered-iter"
+    severity = "error"
+    description = (
+        "iterating a set feeds hash order (randomized for strings) "
+        "into downstream output; wrap in sorted()"
+    )
+
+    def run(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            target: Optional[ast.AST] = None
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                target = node.iter
+            elif isinstance(node, ast.comprehension):
+                target = node.iter
+            elif isinstance(node, ast.Call):
+                func = node.func
+                consumer = None
+                if isinstance(func, ast.Name) and func.id in (
+                    "list",
+                    "tuple",
+                ):
+                    consumer = func.id
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                ):
+                    consumer = "join"
+                if consumer and node.args and _is_set_like(node.args[0]):
+                    yield self.finding(
+                        source,
+                        node,
+                        f"{consumer}() over a set materializes hash "
+                        "order; use sorted() for a stable sequence",
+                    )
+                continue
+            if target is not None and _is_set_like(target):
+                yield self.finding(
+                    source,
+                    node,
+                    "iteration over a set visits elements in hash "
+                    "order; wrap the iterable in sorted()",
+                )
+
+
+def _class_is_process(node: ast.ClassDef) -> bool:
+    if node.name.endswith("Process"):
+        return True
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if "Process" in name:
+            return True
+    return False
+
+
+@register
+class KernelBypassPass(LintPass):
+    rule = "kernel-bypass"
+    severity = "error"
+    description = (
+        "process classes mutating cluster-shared state directly "
+        "(self.cluster.attr = / .append(...)) bypass the kernel-"
+        "mediated access discipline — a race in the simulated "
+        "concurrency model"
+    )
+
+    def run(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class_defaults(source, node)
+                if _class_is_process(node):
+                    yield from self._check_cluster_mutations(
+                        source, node
+                    )
+
+    def _check_class_defaults(
+        self, source: SourceFile, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        """Mutable class-level defaults are shared across instances."""
+        for stmt in node.body:
+            target: Optional[ast.AST] = None
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name.startswith("__") or name.isupper():
+                continue  # dunders and read-only constants
+            if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+                yield self.finding(
+                    source,
+                    stmt,
+                    f"class attribute {name!r} holds a mutable "
+                    "default shared by every instance; initialise it "
+                    "in __init__",
+                )
+
+    def _check_cluster_mutations(
+        self, source: SourceFile, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in ast.walk(node):
+            if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    base = target
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    dotted = source.dotted(base) or ""
+                    if dotted.startswith("self.cluster."):
+                        yield self.finding(
+                            source,
+                            stmt,
+                            f"direct write to shared {dotted!r} from "
+                            "a process class; route it through a "
+                            "Cluster service method",
+                        )
+            elif isinstance(stmt, ast.Call) and isinstance(
+                stmt.func, ast.Attribute
+            ):
+                if stmt.func.attr in MUTATOR_METHODS:
+                    dotted = source.dotted(stmt.func.value) or ""
+                    if dotted.startswith("self.cluster."):
+                        yield self.finding(
+                            source,
+                            stmt,
+                            f"mutating call {dotted}."
+                            f"{stmt.func.attr}() on shared cluster "
+                            "state from a process class; route it "
+                            "through a Cluster service method",
+                        )
+
+
+@register
+class SpanPairingPass(LintPass):
+    rule = "span-pairing"
+    severity = "warning"
+    description = (
+        "tracer.begin() returns an unscoped span that must be kept "
+        "and .end()-ed; a discarded handle (or a module with begins "
+        "but no ends) leaks an open span"
+    )
+
+    def run(self, source: SourceFile) -> Iterator[Finding]:
+        begins = []
+        has_end = False
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr == "begin":
+                    dotted = source.dotted(node.func.value) or ""
+                    if "tracer" in dotted.lower():
+                        begins.append(node)
+                elif node.func.attr == "end":
+                    has_end = True
+        for call in begins:
+            parent = getattr(call, "parent", None)
+            if isinstance(parent, ast.Expr):
+                yield self.finding(
+                    source,
+                    call,
+                    "span handle from tracer.begin() is discarded; "
+                    "it can never be ended",
+                )
+        if begins and not has_end:
+            yield self.finding(
+                source,
+                begins[0],
+                "module calls tracer.begin() but never calls .end() "
+                "on any span",
+            )
+
+
+def _repro_error_names() -> Set[str]:
+    """Every exception class defined by :mod:`repro.errors`."""
+    import repro.errors as errors_mod
+
+    names = set()
+    for name in dir(errors_mod):
+        obj = getattr(errors_mod, name)
+        if isinstance(obj, type) and issubclass(
+            obj, errors_mod.ReproError
+        ):
+            names.add(name)
+    return names
+
+
+@register
+class SwallowedErrorPass(LintPass):
+    rule = "swallowed-error"
+    severity = "error"
+    description = (
+        "except blocks that silently drop repro.errors exceptions "
+        "(or everything, via bare/Exception handlers) hide protocol "
+        "violations"
+    )
+
+    #: Computed once; repro.errors has no import-time side effects.
+    _swallowable = None
+
+    def run(self, source: SourceFile) -> Iterator[Finding]:
+        if SwallowedErrorPass._swallowable is None:
+            SwallowedErrorPass._swallowable = _repro_error_names() | {
+                "Exception",
+                "BaseException",
+            }
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._body_swallows(node.body):
+                continue
+            for name in self._handler_names(source, node):
+                if name is None or name in SwallowedErrorPass._swallowable:
+                    label = name or "everything (bare except)"
+                    yield self.finding(
+                        source,
+                        node,
+                        f"except block swallows {label} with no "
+                        "re-raise or handling",
+                    )
+                    break
+
+    @staticmethod
+    def _handler_names(source: SourceFile, node: ast.ExceptHandler):
+        if node.type is None:
+            return [None]
+        types = (
+            node.type.elts
+            if isinstance(node.type, ast.Tuple)
+            else [node.type]
+        )
+        names = []
+        for type_node in types:
+            dotted = source.dotted(type_node) or ""
+            names.append(dotted.split(".")[-1] or dotted)
+        return names
+
+    @staticmethod
+    def _body_swallows(body) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or Ellipsis
+            return False
+        return True

@@ -1,0 +1,50 @@
+"""Text and JSON rendering of analyzer reports (CLI + CI surface)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.analysis.static.findings import Report
+
+
+def render_text(report: Report, *, include_suppressed: bool = False) -> str:
+    """Human-readable findings listing plus a one-line summary."""
+    lines = []
+    for finding in report.findings:
+        if finding.suppressed and not include_suppressed:
+            continue
+        lines.append(finding.row())
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    visible = len(report.unsuppressed)
+    suppressed = len(report.findings) - visible
+    summary = (
+        f"analyze: {report.files_analyzed} file(s), "
+        f"{len(report.rules_run)} rule(s), {visible} finding(s)"
+    )
+    if suppressed:
+        summary += f" (+{suppressed} suppressed)"
+    if report.errors:
+        summary += f", {len(report.errors)} file error(s)"
+    summary += f" in {report.elapsed_s:.3f}s"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: Report, *, include_suppressed: bool = True) -> str:
+    """Machine-readable report (stable key order) for the CI job."""
+    payload: Dict = {
+        "files_analyzed": report.files_analyzed,
+        "rules_run": list(report.rules_run),
+        "elapsed_s": round(report.elapsed_s, 4),
+        "findings": [
+            finding.as_dict()
+            for finding in report.findings
+            if include_suppressed or not finding.suppressed
+        ],
+        "errors": list(report.errors),
+        "counts_by_rule": report.counts_by_rule(),
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -20,6 +20,16 @@ Each checker comes in three methods:
   :class:`ConstraintNotSatisfied` when the precondition fails.
 * ``"auto"`` (default) — use the constrained path when the constraint
   holds, fall back to exact search otherwise.
+
+Every checker also accepts a ``certificate`` — a static proof from
+:mod:`repro.analysis.static.prover` that the workload can only emit
+OO-/WW-constrained histories.  A certificate replaces the dynamic
+constraint phase (the closure scans of
+:func:`~repro.core.constraints.satisfies_ww` /
+:func:`~repro.core.constraints.satisfies_oo`) with an O(n) structural
+audit; the audit is trust-but-verify — a mismatch raises
+:class:`~repro.errors.InvalidCertificate` rather than risking an
+unsound Theorem-7 shortcut.
 """
 
 from __future__ import annotations
@@ -37,7 +47,7 @@ from repro.core.history import History
 from repro.core.index import HistoryIndex
 from repro.core.legality import is_legal
 from repro.core.relations import Relation
-from repro.errors import ReproError
+from repro.errors import InvalidCertificate, ReproError
 from repro.obs import get_tracer
 
 #: Checker method names accepted by the public functions.
@@ -63,6 +73,10 @@ class ConsistencyVerdict:
             topological order; the exact path returns the search
             witness.
         stats: exact-search statistics (zeroed for constrained runs).
+        certificate: rule name of the static constraint certificate
+            that replaced the dynamic constraint phase, or None when
+            the constraint was (or would have been) checked
+            dynamically.
     """
 
     holds: bool
@@ -70,6 +84,7 @@ class ConsistencyVerdict:
     method_used: str
     witness: Optional[List[int]] = None
     stats: SearchStats = field(default_factory=SearchStats)
+    certificate: Optional[str] = None
 
     def __bool__(self) -> bool:
         return self.holds
@@ -81,6 +96,7 @@ def _check(
     method: str,
     node_limit: Optional[int],
     extra_pairs: Iterable[Tuple[int, int]],
+    certificate=None,
 ) -> ConsistencyVerdict:
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
@@ -112,6 +128,25 @@ def _check(
 
         with tracer.span("check.closure"):
             closure = base.transitive_closure()
+
+        # A static certificate (repro.analysis.static.prover) replaces
+        # the dynamic constraint phase: Theorem 7's precondition was
+        # proved from the workload, so only the O(n) structural audit
+        # runs here — never the closure scans below.
+        if certificate is not None and getattr(
+            certificate, "unlocks_theorem7", False
+        ):
+            with tracer.span("check.certificate"):
+                failure = certificate.audit(history, extra)
+            if failure is not None:
+                raise InvalidCertificate(
+                    f"{certificate.rule} certificate rejected for the "
+                    f"{condition} check: {failure}"
+                )
+            verdict = _check_constrained(history, base, closure, condition)
+            verdict.certificate = certificate.rule
+            return verdict
+
         with tracer.span("check.constraints"):
             constrained_ok = satisfies_ww(history, closure) or satisfies_oo(
                 history, closure
@@ -182,6 +217,7 @@ def check_m_sequential_consistency(
     method: str = "auto",
     node_limit: Optional[int] = None,
     extra_pairs: Iterable[Tuple[int, int]] = (),
+    certificate=None,
 ) -> ConsistencyVerdict:
     """Is the history m-sequentially consistent? (Section 2.3)
 
@@ -197,7 +233,9 @@ def check_m_sequential_consistency(
     admissibility w.r.t. a larger order implies m-sequential
     consistency, but not conversely.
     """
-    return _check(history, "m-sc", method, node_limit, extra_pairs)
+    return _check(
+        history, "m-sc", method, node_limit, extra_pairs, certificate
+    )
 
 
 def check_m_linearizability(
@@ -206,6 +244,7 @@ def check_m_linearizability(
     method: str = "auto",
     node_limit: Optional[int] = None,
     extra_pairs: Iterable[Tuple[int, int]] = (),
+    certificate=None,
 ) -> ConsistencyVerdict:
     """Is the history m-linearizable? (Section 2.3)
 
@@ -216,7 +255,9 @@ def check_m_linearizability(
     history.  See :func:`check_m_sequential_consistency` for
     ``extra_pairs``.
     """
-    return _check(history, "m-lin", method, node_limit, extra_pairs)
+    return _check(
+        history, "m-lin", method, node_limit, extra_pairs, certificate
+    )
 
 
 def check_m_normality(
@@ -225,6 +266,7 @@ def check_m_normality(
     method: str = "auto",
     node_limit: Optional[int] = None,
     extra_pairs: Iterable[Tuple[int, int]] = (),
+    certificate=None,
 ) -> ConsistencyVerdict:
     """Is the history m-normal? (Section 2.3)
 
@@ -234,7 +276,9 @@ def check_m_normality(
     m-normality implies m-sequential consistency.  See
     :func:`check_m_sequential_consistency` for ``extra_pairs``.
     """
-    return _check(history, "m-norm", method, node_limit, extra_pairs)
+    return _check(
+        history, "m-norm", method, node_limit, extra_pairs, certificate
+    )
 
 
 #: condition name -> checker, for the :func:`check_condition` dispatcher.
@@ -252,7 +296,7 @@ def check_condition(
     the simulator and the chaos harness share.
 
     ``kwargs`` are forwarded to the named checker (``method``,
-    ``node_limit``, ``extra_pairs``).
+    ``node_limit``, ``extra_pairs``, ``certificate``).
     """
     try:
         checker = CHECKERS[condition]

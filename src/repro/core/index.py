@@ -135,6 +135,7 @@ class HistoryIndex:
         "_writer_timelines",
         "_rf_pairs",
         "_update_uids",
+        "_client_updates",
         "_resp_sorted_uids",
         "_triples",
         "_triples_idx",
@@ -149,6 +150,7 @@ class HistoryIndex:
         self._writer_timelines: Optional[Dict[str, Tuple[int, ...]]] = None
         self._rf_pairs: Optional[Tuple[Pair, ...]] = None
         self._update_uids: Optional[Tuple[int, ...]] = None
+        self._client_updates: Optional[Tuple[Tuple[int, int], ...]] = None
         self._resp_sorted_uids: Optional[Tuple[int, ...]] = None
         self._triples: Optional[Tuple[InterferingTriple, ...]] = None
         self._triples_idx: Optional[List[Tuple[int, int, int]]] = None
@@ -218,6 +220,24 @@ class HistoryIndex:
                 m.uid for m in self.history.all_mops if m.is_update
             )
         return self._update_uids
+
+    @property
+    def client_updates(self) -> Tuple[Tuple[int, int], ...]:
+        """``(uid, process)`` of non-initial update m-operations.
+
+        The structural facts certificate audits consume
+        (:meth:`repro.analysis.static.ConstraintCertificate.audit`):
+        cached here so repeated certified checks on one history pay
+        the O(n) scan once.
+        """
+        if self._client_updates is None:
+            init_uid = self.history.init.uid
+            self._client_updates = tuple(
+                (m.uid, m.process)
+                for m in self.history.all_mops
+                if m.is_update and m.uid != init_uid
+            )
+        return self._client_updates
 
     @property
     def resp_sorted_uids(self) -> Tuple[int, ...]:

@@ -92,3 +92,29 @@ class ProtocolError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received unsatisfiable parameters."""
+
+
+class StaticAnalysisError(ReproError):
+    """The static analyzer could not read or parse a source file."""
+
+
+class CertificationRefused(StaticAnalysisError):
+    """The constraint prover cannot soundly certify a workload.
+
+    Raised when no prover rule applies — e.g. multiple processes issue
+    updates without a total synchronization order, or a program's
+    write set is not statically declared.  A refusal is *not* a proof
+    that histories will violate the constraint; it only means the
+    checker must fall back to the dynamic constraint phase.
+    """
+
+
+class InvalidCertificate(StaticAnalysisError):
+    """A constraint certificate failed its structural audit.
+
+    The checker cross-checks every certificate against the concrete
+    history in O(n) before trusting it (Theorem 7 is only sound when
+    the constraint actually holds); a mismatch means the certificate
+    was issued for a different workload or the promised synchronization
+    pairs were not passed to the checker.
+    """

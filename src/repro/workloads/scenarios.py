@@ -47,11 +47,21 @@ SCENARIO_LATENCY = AsymmetricLatency(
 )
 
 
-def _scenario_workloads(n_reads: int) -> List[List]:
+def scenario_workloads(n_reads: int = 10) -> List[List]:
+    """The Figure-5/Figure-7 workload: one writer, one far reader.
+
+    All updates originate at ``WRITER``, so the workload is statically
+    WW-constrained — :func:`repro.analysis.static.prover.certify_workloads`
+    proves it by the single-updater rule without running anything.
+    """
     workloads: List[List] = [[] for _ in range(3)]
     workloads[WRITER] = [write_reg("x", 1), m_assign({"x": 4, "y": 3})]
     workloads[READER] = [read_reg("x") for _ in range(n_reads)]
     return workloads
+
+
+#: Backwards-compatible alias (pre-1.4 private name).
+_scenario_workloads = scenario_workloads
 
 
 def _run(factory, n_reads: int, **kwargs) -> RunResult:

@@ -1,0 +1,225 @@
+"""The pass framework: source model, suppression, config, reporters."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.static import (
+    Analyzer,
+    AnalyzerConfig,
+    Finding,
+    LintPass,
+    Report,
+    SourceFile,
+    load_config,
+    parse_allows,
+    registered_rules,
+    render_json,
+    render_text,
+    rule_descriptions,
+)
+from repro.errors import StaticAnalysisError
+
+
+def src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+class TestSourceFile:
+    def test_parent_links(self):
+        source = SourceFile.from_source("def f():\n    return 1\n", "m.py")
+        returns = [
+            n
+            for n in __import__("ast").walk(source.tree)
+            if n.__class__.__name__ == "Return"
+        ]
+        assert returns[0].parent.__class__.__name__ == "FunctionDef"
+
+    def test_import_alias_resolution(self):
+        source = SourceFile.from_source(
+            src(
+                """
+                import time as t
+                from random import Random as R
+                t.sleep(1)
+                R()
+                """
+            ),
+            "m.py",
+        )
+        calls = list(source.calls())
+        assert source.resolved(calls[0].func) == "time.sleep"
+        assert source.resolved(calls[1].func) == "random.Random"
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(StaticAnalysisError, match="cannot parse"):
+            SourceFile.from_source("def f(:\n", "broken.py")
+
+
+class TestSuppression:
+    def test_parse_allows_same_line_and_multi_rule(self):
+        allows = parse_allows(
+            "x = 1  # repro: allow[wall-clock]\n"
+            "y = 2  # repro: allow[a, b]\n"
+        )
+        assert allows[1] == frozenset({"wall-clock"})
+        assert allows[2] == frozenset({"a", "b"})
+
+    def test_finding_suppressed_by_line_above(self):
+        finding = Finding("m.py", 5, "wall-clock", "msg", "error")
+        assert finding.suppressed_by({4: frozenset({"wall-clock"})})
+        assert finding.suppressed_by({5: frozenset({"*"})})
+        assert not finding.suppressed_by({3: frozenset({"wall-clock"})})
+        assert not finding.suppressed_by({5: frozenset({"other"})})
+
+    def test_analyzer_applies_allow_comment(self):
+        flagged = Analyzer().analyze_source(
+            "import time\ntime.time()\n", "m.py"
+        )
+        assert [f.rule for f in flagged if not f.suppressed] == [
+            "wall-clock"
+        ]
+        silenced = Analyzer().analyze_source(
+            "import time\ntime.time()  # repro: allow[wall-clock]\n",
+            "m.py",
+        )
+        assert all(f.suppressed for f in silenced)
+
+
+class TestRegistryAndConfig:
+    def test_builtin_rules_registered(self):
+        rules = registered_rules()
+        for expected in (
+            "kernel-bypass",
+            "span-pairing",
+            "swallowed-error",
+            "unordered-iter",
+            "unseeded-random",
+            "wall-clock",
+        ):
+            assert expected in rules
+        descriptions = rule_descriptions()
+        assert all(descriptions[rule] for rule in rules)
+
+    def test_select_filters_passes(self):
+        analyzer = Analyzer(config=AnalyzerConfig(select=("wall-clock",)))
+        assert [p.rule for p in analyzer.passes] == ["wall-clock"]
+        findings = analyzer.analyze_source(
+            "import time, random\ntime.time()\nrandom.random()\n",
+            "m.py",
+        )
+        assert {f.rule for f in findings} == {"wall-clock"}
+
+    def test_exclude_skips_paths(self, tmp_path):
+        bad = tmp_path / "skipme" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\ntime.time()\n")
+        config = AnalyzerConfig(exclude=("skipme",))
+        report = Analyzer(config=config).analyze_paths(
+            [tmp_path], root=tmp_path
+        )
+        assert report.files_analyzed == 0
+        assert report.ok
+
+    def test_load_config_reads_repo_pyproject(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro.analyze]\n"
+            'select = ["wall-clock", "unseeded-random"]\n'
+            'exclude = ["vendored"]\n'
+        )
+        config = load_config(pyproject)
+        assert config.select == ("wall-clock", "unseeded-random")
+        assert config.exclude == ("vendored",)
+
+    def test_load_config_missing_file(self, tmp_path):
+        config = load_config(tmp_path / "nope.toml")
+        assert config == AnalyzerConfig()
+
+
+class TestAnalyzePaths:
+    def test_directory_walk_and_error_capture(self, tmp_path):
+        (tmp_path / "ok.py").write_text("import time\ntime.time()\n")
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        report = Analyzer().analyze_paths([tmp_path], root=tmp_path)
+        assert report.files_analyzed == 2
+        assert [f.rule for f in report.unsuppressed] == ["wall-clock"]
+        assert len(report.errors) == 1 and "broken.py" in report.errors[0]
+        assert not report.ok
+
+    def test_findings_sorted(self, tmp_path):
+        (tmp_path / "b.py").write_text("import time\ntime.time()\n")
+        (tmp_path / "a.py").write_text(
+            "import random\nrandom.random()\nrandom.random()\n"
+        )
+        report = Analyzer().analyze_paths([tmp_path], root=tmp_path)
+        keys = [f.sort_key() for f in report.findings]
+        assert keys == sorted(keys)
+
+
+class TestReporters:
+    @pytest.fixture
+    def report(self):
+        findings = (
+            Finding("a.py", 2, "wall-clock", "tick", "error"),
+            Finding(
+                "a.py", 9, "span-pairing", "leak", "warning", suppressed=True
+            ),
+        )
+        return Report(
+            findings=findings,
+            files_analyzed=1,
+            rules_run=("span-pairing", "wall-clock"),
+            elapsed_s=0.01,
+        )
+
+    def test_render_text(self, report):
+        text = render_text(report)
+        assert "a.py:2: error: [wall-clock] tick" in text
+        assert "leak" not in text  # suppressed hidden by default
+        assert "1 finding(s)" in text and "+1 suppressed" in text
+        assert "leak" in render_text(report, include_suppressed=True)
+
+    def test_render_json_stable_and_complete(self, report):
+        payload = json.loads(render_json(report))
+        assert payload["ok"] is False
+        assert payload["files_analyzed"] == 1
+        assert payload["counts_by_rule"] == {"wall-clock": 1}
+        suppressed = [f for f in payload["findings"] if f["suppressed"]]
+        assert len(suppressed) == 1
+        assert json.loads(render_json(report)) == payload
+
+
+class TestCustomPass:
+    def test_register_rejects_duplicates_and_anonymous(self):
+        class Anonymous(LintPass):
+            rule = ""
+
+        with pytest.raises(StaticAnalysisError, match="no rule name"):
+            from repro.analysis.static import register
+
+            register(Anonymous)
+
+        class Duplicate(LintPass):
+            rule = "wall-clock"
+
+        with pytest.raises(StaticAnalysisError, match="duplicate"):
+            from repro.analysis.static import register
+
+            register(Duplicate)
+
+    def test_explicit_passes_bypass_registry(self):
+        class CountCalls(LintPass):
+            rule = "count-calls"
+            severity = "info"
+
+            def run(self, source):
+                for call in source.calls():
+                    yield self.finding(source, call, "a call")
+
+        findings = Analyzer(passes=[CountCalls()]).analyze_source(
+            "f()\ng()\n", "m.py"
+        )
+        assert [f.rule for f in findings] == ["count-calls"] * 2
+        assert all(f.severity == "info" for f in findings)

@@ -1,0 +1,271 @@
+"""Each determinism/race lint pass: positives flag, negatives stay quiet."""
+
+import textwrap
+
+from repro.analysis.static import Analyzer, AnalyzerConfig
+
+
+def run_rule(rule: str, text: str):
+    analyzer = Analyzer(config=AnalyzerConfig(select=(rule,)))
+    return analyzer.analyze_source(textwrap.dedent(text).lstrip("\n"), "m.py")
+
+
+class TestWallClock:
+    def test_flags_time_calls(self):
+        findings = run_rule(
+            "wall-clock",
+            """
+            import time
+            t0 = time.perf_counter()
+            time.sleep(1)
+            """,
+        )
+        assert len(findings) == 2
+        assert all(f.severity == "error" for f in findings)
+
+    def test_flags_aliased_import(self):
+        findings = run_rule(
+            "wall-clock",
+            """
+            import time as clock
+            clock.monotonic()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_datetime_now(self):
+        findings = run_rule(
+            "wall-clock",
+            """
+            import datetime
+            datetime.datetime.now()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_attribute_reference_not_flagged(self):
+        # Passing the function as a default clock (obs/trace.py idiom)
+        # is not a wall-clock *read*.
+        findings = run_rule(
+            "wall-clock",
+            """
+            import time
+            DEFAULT_CLOCK = time.perf_counter
+            """,
+        )
+        assert findings == []
+
+
+class TestUnseededRandom:
+    def test_flags_argless_random_and_module_functions(self):
+        findings = run_rule(
+            "unseeded-random",
+            """
+            import random
+            rng = random.Random()
+            x = random.randint(0, 9)
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_seeded_random_ok(self):
+        findings = run_rule(
+            "unseeded-random",
+            """
+            import random
+            rng = random.Random(42)
+            rng.randint(0, 9)
+            """,
+        )
+        assert findings == []
+
+    def test_from_import_resolution(self):
+        findings = run_rule(
+            "unseeded-random",
+            """
+            from random import Random
+            rng = Random()
+            """,
+        )
+        assert len(findings) == 1
+
+
+class TestUnorderedIter:
+    def test_flags_for_over_set(self):
+        findings = run_rule(
+            "unordered-iter",
+            """
+            for item in {"a", "b"}:
+                print(item)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_comprehension_and_list_of_set(self):
+        findings = run_rule(
+            "unordered-iter",
+            """
+            names = [n for n in set(words)]
+            order = list({"x", "y"} | {"z"})
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_flags_join_over_set(self):
+        findings = run_rule(
+            "unordered-iter",
+            """
+            text = ", ".join({"a", "b"})
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_sorted_set_ok(self):
+        findings = run_rule(
+            "unordered-iter",
+            """
+            for item in sorted({"a", "b"}):
+                print(item)
+            order = list(sorted(set("abc")))
+            """,
+        )
+        assert findings == []
+
+
+class TestKernelBypass:
+    def test_flags_direct_cluster_write_in_process_class(self):
+        findings = run_rule(
+            "kernel-bypass",
+            """
+            class ReplicaProcess:
+                def handle(self, msg):
+                    self.cluster.log = msg
+                    self.cluster.pending.append(msg)
+                    self.cluster.seen[msg.uid] = True
+            """,
+        )
+        assert len(findings) == 3
+
+    def test_non_process_class_not_scanned_for_cluster(self):
+        findings = run_rule(
+            "kernel-bypass",
+            """
+            class Helper:
+                def handle(self, msg):
+                    self.cluster.log = msg
+            """,
+        )
+        assert findings == []
+
+    def test_flags_mutable_class_default(self):
+        findings = run_rule(
+            "kernel-bypass",
+            """
+            class Recorder:
+                records = []
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_constants_and_init_state_ok(self):
+        findings = run_rule(
+            "kernel-bypass",
+            """
+            class ReplicaProcess:
+                RETRIES = 3
+
+                def __init__(self):
+                    self.pending = []
+
+                def handle(self, msg):
+                    self.pending.append(msg)
+                    self.cluster.recorder.observe(msg)
+            """,
+        )
+        assert findings == []
+
+
+class TestSpanPairing:
+    def test_flags_discarded_begin(self):
+        findings = run_rule(
+            "span-pairing",
+            """
+            def f(tracer):
+                tracer.begin("phase")
+            """,
+        )
+        assert any("discarded" in f.message for f in findings)
+
+    def test_flags_begin_without_any_end(self):
+        findings = run_rule(
+            "span-pairing",
+            """
+            def f(tracer):
+                span = tracer.begin("phase")
+                return span
+            """,
+        )
+        assert any("never calls .end()" in f.message for f in findings)
+
+    def test_paired_begin_end_ok(self):
+        findings = run_rule(
+            "span-pairing",
+            """
+            def f(tracer):
+                span = tracer.begin("phase")
+                span.end()
+            """,
+        )
+        assert findings == []
+
+
+class TestSwallowedError:
+    def test_flags_bare_except_pass(self):
+        findings = run_rule(
+            "swallowed-error",
+            """
+            try:
+                risky()
+            except:
+                pass
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_repro_error_swallow(self):
+        findings = run_rule(
+            "swallowed-error",
+            """
+            from repro.errors import ReproError
+            try:
+                risky()
+            except ReproError:
+                pass
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_import_error_guard_ok(self):
+        # The stdlib-fallback idiom in tools/lint.py must stay legal.
+        findings = run_rule(
+            "swallowed-error",
+            """
+            try:
+                import ruff
+            except ImportError:
+                pass
+            """,
+        )
+        assert findings == []
+
+    def test_handled_exception_ok(self):
+        findings = run_rule(
+            "swallowed-error",
+            """
+            try:
+                risky()
+            except Exception as exc:
+                log(exc)
+            """,
+        )
+        assert findings == []

@@ -52,3 +52,13 @@ def test_extending_guide_snippets_are_syntactic():
     only compile them — still catches API-name drift at parse level."""
     for block in python_blocks(DOCS / "extending.md"):
         compile(block, "<extending.md>", "exec")
+
+
+def test_static_analysis_guide_snippets_are_syntactic():
+    """Executing these would register the example lint pass globally,
+    so only compile them (the real flows are covered by
+    tests/analysis/)."""
+    blocks = python_blocks(DOCS / "static_analysis.md")
+    assert len(blocks) >= 2
+    for block in blocks:
+        compile(block, "<static_analysis.md>", "exec")

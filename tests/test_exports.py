@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.objects",
     "repro.workloads",
     "repro.analysis",
+    "repro.analysis.static",
 ]
 
 
