@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint analyze chaos chaos-smoke report bench-json
+.PHONY: test lint analyze chaos chaos-smoke report bench-json run-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,11 @@ chaos:
 chaos-smoke:
 	$(PYTHON) -m repro chaos --protocol msc --runs 5 --fault-seed 0
 	$(PYTHON) -m repro chaos --protocol mlin --runs 5 --fault-seed 0
+
+## One small RunSpec per registered protocol through `repro run`;
+## spec/artifact JSON pairs land in run-smoke/ (CI uploads them).
+run-smoke:
+	$(PYTHON) tools/run_smoke.py
 
 report:
 	$(PYTHON) -m repro report

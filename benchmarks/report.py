@@ -39,11 +39,13 @@ from repro.db import (
     random_serializable_schedule,
     reduction_decides,
 )
-from repro.protocols import (
-    aggregate_cluster,
-    mlin_cluster,
-    msc_cluster,
-    server_cluster,
+from repro.runtime import (
+    LatencySpec,
+    RunSpec,
+    VerifyPolicy,
+    execute,
+    get_protocol,
+    resolve_protocol,
 )
 from repro.sim import UniformLatency
 from repro.workloads import (
@@ -118,7 +120,7 @@ def exp_f2_f3() -> Dict[str, bool]:
 
 
 def run_protocol(
-    factory: Callable,
+    protocol,
     *,
     n: int = 4,
     ops: int = 8,
@@ -126,21 +128,28 @@ def run_protocol(
     latency=None,
     **kwargs,
 ):
-    cluster = factory(
-        n,
-        DEFAULT_OBJECTS,
+    """Run one protocol through the runtime layer's pipeline.
+
+    ``protocol`` is a registry name or a registered factory; extra
+    keywords (a custom abcast, protocol options) ride along as
+    non-serialized execute() overrides.  Verification is disabled —
+    each experiment asserts exactly the condition it is about.
+    """
+    spec = RunSpec(
+        protocol=resolve_protocol(protocol).name,
+        workload="random",
+        n=n,
+        objects=tuple(DEFAULT_OBJECTS),
+        ops=ops,
         seed=seed,
-        latency=latency or UniformLatency(0.5, 1.5),
-        **kwargs,
+        latency=LatencySpec.of(latency),
+        verify=VerifyPolicy(enabled=False),
     )
-    workloads = random_workloads(
-        n, DEFAULT_OBJECTS, ops, seed=seed + 1
-    )
-    return cluster.run(workloads)
+    return execute(spec, **kwargs).result
 
 
 def exp_f4() -> ProtocolMetrics:
-    result = run_protocol(msc_cluster)
+    result = run_protocol("msc")
     assert check_m_sequential_consistency(
         result.history, extra_pairs=result.ww_pairs()
     ).holds
@@ -148,7 +157,7 @@ def exp_f4() -> ProtocolMetrics:
 
 
 def exp_f6(**kwargs) -> ProtocolMetrics:
-    result = run_protocol(mlin_cluster, **kwargs)
+    result = run_protocol("mlin", **kwargs)
     assert check_m_linearizability(
         result.history, extra_pairs=result.ww_pairs()
     ).holds
@@ -324,7 +333,7 @@ def exp_t7(n_seeds: int = 40) -> Dict[str, int]:
 def exp_t15(n_seeds: int = 15) -> Dict[str, int]:
     violations = 0
     for seed in range(n_seeds):
-        result = run_protocol(msc_cluster, n=3, ops=5, seed=seed)
+        result = run_protocol("msc", n=3, ops=5, seed=seed)
         ok = check_m_sequential_consistency(
             result.history, method="exact"
         ).holds
@@ -339,7 +348,7 @@ def exp_t15(n_seeds: int = 15) -> Dict[str, int]:
 def exp_t20(n_seeds: int = 15) -> Dict[str, int]:
     violations = 0
     for seed in range(n_seeds):
-        result = run_protocol(mlin_cluster, n=3, ops=5, seed=seed)
+        result = run_protocol("mlin", n=3, ops=5, seed=seed)
         ok = check_m_linearizability(
             result.history, method="exact"
         ).holds
@@ -354,13 +363,13 @@ def exp_t20(n_seeds: int = 15) -> Dict[str, int]:
 
 def exp_a1(seed: int = 11) -> List[ProtocolMetrics]:
     metrics = []
-    for label, factory in [
-        ("fig4-msc", msc_cluster),
-        ("fig6-mlin", mlin_cluster),
-        ("aggregate", aggregate_cluster),
-        ("single-server", server_cluster),
+    for label, protocol in [
+        ("fig4-msc", "msc"),
+        ("fig6-mlin", "mlin"),
+        ("aggregate", "aggregate"),
+        ("single-server", "server"),
     ]:
-        result = run_protocol(factory, seed=seed)
+        result = run_protocol(protocol, seed=seed)
         metrics.append(ProtocolMetrics.of(label, result))
     return metrics
 
@@ -373,12 +382,12 @@ def exp_a1(seed: int = 11) -> List[ProtocolMetrics]:
 def exp_a2(seed: int = 11) -> Dict[str, Dict[str, float]]:
     mean_delay = UniformLatency(0.5, 1.5).mean()
     out: Dict[str, Dict[str, float]] = {"one_way_delay": {"mean": mean_delay}}
-    for label, factory in [
-        ("fig4-msc", msc_cluster),
-        ("fig6-mlin", mlin_cluster),
-        ("aggregate", aggregate_cluster),
+    for label, protocol in [
+        ("fig4-msc", "msc"),
+        ("fig6-mlin", "mlin"),
+        ("aggregate", "aggregate"),
     ]:
-        result = run_protocol(factory, seed=seed)
+        result = run_protocol(protocol, seed=seed)
         metrics = ProtocolMetrics.of(label, result)
         out[label] = {
             "query_mean": metrics.query_latency.mean,
@@ -393,8 +402,8 @@ def exp_a2(seed: int = 11) -> Dict[str, Dict[str, float]]:
 
 
 def exp_a3(seed: int = 11) -> Dict[str, float]:
-    full = run_protocol(mlin_cluster, seed=seed)
-    slim = run_protocol(mlin_cluster, seed=seed, reply_relevant_only=True)
+    full = run_protocol("mlin", seed=seed)
+    slim = run_protocol("mlin", seed=seed, reply_relevant_only=True)
     full_bytes = full.net_stats.size_by_kind.get("query-resp", 0)
     slim_bytes = slim.net_stats.size_by_kind.get("query-resp", 0)
     return {
@@ -411,19 +420,18 @@ def exp_a3(seed: int = 11) -> Dict[str, float]:
 
 def exp_a4(seed: int = 11) -> Dict[str, object]:
     from repro.core import check_m_causal_consistency
-    from repro.protocols import causal_cluster
     from repro.workloads import BLIND_MIX
 
     latency = UniformLatency(0.5, 1.5)
     workloads = random_workloads(
         3, DEFAULT_OBJECTS, 6, seed=seed, mix=BLIND_MIX
     )
-    causal = causal_cluster(
+    causal = get_protocol("causal").factory(
         3, DEFAULT_OBJECTS, seed=seed, latency=latency
     ).run(workloads)
-    msc = msc_cluster(3, DEFAULT_OBJECTS, seed=seed, latency=latency).run(
-        workloads
-    )
+    msc = get_protocol("msc").factory(
+        3, DEFAULT_OBJECTS, seed=seed, latency=latency
+    ).run(workloads)
     causal_metrics = ProtocolMetrics.of("causal", causal)
     msc_metrics = ProtocolMetrics.of("fig4-msc", msc)
     return {
@@ -447,7 +455,6 @@ def exp_a4(seed: int = 11) -> Dict[str, object]:
 
 def exp_a5() -> List[Tuple[int, float, float]]:
     from repro.objects import m_assign
-    from repro.protocols import lock_cluster
 
     objects = [f"o{i}" for i in range(8)]
     latency = UniformLatency(0.9, 1.1)
@@ -461,10 +468,10 @@ def exp_a5() -> List[Tuple[int, float, float]]:
                 for _ in range(4)
             ]
 
-        lock = lock_cluster(
+        lock = get_protocol("lock").factory(
             3, objects, seed=13, latency=latency, think_jitter=0.0
         ).run([programs(), [], []])
-        bcast = msc_cluster(
+        bcast = get_protocol("msc").factory(
             3, objects, seed=13, latency=latency, think_jitter=0.0
         ).run([programs(), [], []])
         mean = lambda xs: sum(xs) / len(xs)
@@ -481,11 +488,10 @@ def exp_a5() -> List[Tuple[int, float, float]]:
 
 def exp_m0(n_seeds: int = 8) -> Dict[str, object]:
     from repro.objects import m_assign, m_read
-    from repro.protocols import traditional_cluster
 
     violations = 0
     for seed in range(n_seeds):
-        cluster = traditional_cluster(
+        cluster = get_protocol("traditional").factory(
             3,
             ["x", "y"],
             seed=seed,
@@ -511,7 +517,7 @@ def exp_mc() -> Dict[str, object]:
     from repro.objects import read_reg, write_reg
     from repro.sim.explore import explore, explore_factory
 
-    factory = explore_factory(msc_cluster, 2, ["x"])
+    factory = explore_factory("msc", 2, ["x"])
     t15_total = t15_bad = 0
     for result in explore(
         factory,
@@ -521,7 +527,7 @@ def exp_mc() -> Dict[str, object]:
         t15_bad += not check_m_sequential_consistency(
             result.history, method="exact"
         ).holds
-    factory = explore_factory(mlin_cluster, 2, ["x"])
+    factory = explore_factory("mlin", 2, ["x"])
     t20_total = t20_bad = 0
     for result in explore(factory, [[write_reg("x", 1)], [read_reg("x")]]):
         t20_total += 1
@@ -539,7 +545,9 @@ def exp_mc() -> Dict[str, object]:
 def exp_sv() -> Dict[str, object]:
     from repro.core.monitor import verify_stream
 
-    cluster = msc_cluster(6, ["x", "y", "z", "u", "v"], seed=77)
+    cluster = get_protocol("msc").factory(
+        6, ["x", "y", "z", "u", "v"], seed=77
+    )
     result = cluster.run(
         random_workloads(6, ["x", "y", "z", "u", "v"], 40, seed=78)
     )

@@ -18,9 +18,15 @@ Commands:
 * ``trace`` — run an instrumented workload with the tracer and
   metrics registry installed, export the spans as JSONL and print a
   flame summary; see ``docs/observability.md``.
+* ``run`` — execute a declarative ``RunSpec`` JSON file through the
+  runtime layer and print (or save) the resulting ``RunArtifact``;
+  see ``docs/architecture.md``'s Runtime layer section.
 * ``analyze`` — run the static analyzer (workload constraint prover
   infrastructure + determinism/race lints) over the source tree and
   fail on unsuppressed findings; see ``docs/static_analysis.md``.
+
+Protocols and workloads are resolved through :mod:`repro.runtime` —
+there is no CLI-private protocol table.
 """
 
 from __future__ import annotations
@@ -38,42 +44,23 @@ from repro.core import (
 )
 from repro.core.serialize import load_history
 from repro.errors import MissingTimestampsError, ReproError
-from repro.obs import (
-    MetricsRegistry,
-    Tracer,
-    flame_summary,
-    install_metrics,
-    install_tracer,
-    uninstall_metrics,
-    uninstall_tracer,
+from repro.obs import flame_summary
+from repro.runtime import (
+    RunSpec,
+    crash_tolerant_protocols,
+    protocol_names,
 )
-from repro.protocols import (
-    aggregate_cluster,
-    aw_cluster,
-    causal_cluster,
-    lock_cluster,
-    mlin_cluster,
-    msc_cluster,
-    server_cluster,
+from repro.runtime import (
+    execute as execute_spec,
 )
-from repro.workloads import figure1, figure2_h1, random_workloads
+from repro.workloads import figure1, figure2_h1
 
-PROTOCOLS = {
-    "aw": aw_cluster,
-    "msc": msc_cluster,
-    "mlin": mlin_cluster,
-    "aggregate": aggregate_cluster,
-    "server": server_cluster,
-    "causal": causal_cluster,
-    "lock": lock_cluster,
-}
-
-#: ``trace`` workload names -> (cluster factory, condition to check).
-#: "paper-fig4" is the Figure-4 (m-SC) protocol, "paper-fig6" the
-#: Figure-6 (m-linearizable) protocol.
-TRACE_WORKLOADS = {
-    "paper-fig4": (msc_cluster, "m-sc"),
-    "paper-fig6": (mlin_cluster, "m-lin"),
+#: ``trace`` workload names -> registered protocol (the condition and
+#: factory come from the registry).  "paper-fig4" is the Figure-4
+#: (m-SC) protocol, "paper-fig6" the Figure-6 (m-lin) protocol.
+TRACE_FIGURES = {
+    "paper-fig4": "msc",
+    "paper-fig6": "mlin",
 }
 
 
@@ -121,14 +108,38 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if failures and args.strict else 0
 
 
+def _print_verdicts(artifact) -> None:
+    """Render an artifact's verdicts in the demo's classic format."""
+    if not artifact.verdicts:
+        print(
+            f"{artifact.protocol}: no declared consistency condition; "
+            "verification skipped"
+        )
+        return
+    for verdict in artifact.verdicts:
+        if verdict.condition == "m-causal":
+            print(f"m-causally consistent: {verdict.holds}")
+        else:
+            print(
+                f"{verdict.condition} holds: {verdict.holds} "
+                f"[{verdict.method} checker]"
+            )
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
-    factory = PROTOCOLS[args.protocol]
-    objects = [f"x{i}" for i in range(args.objects)]
-    cluster = factory(args.processes, objects, seed=args.seed)
-    workloads = random_workloads(
-        args.processes, objects, args.ops, seed=args.seed + 1
+    # The registry carries each protocol's strongest condition — Fig-4
+    # (msc) and the delay-bound AW baseline claim m-SC, the causal
+    # protocol m-causal, mlin/aggregate/server/lock m-linearizability.
+    spec = RunSpec(
+        protocol=args.protocol,
+        workload="random",
+        n=args.processes,
+        objects=tuple(f"x{i}" for i in range(args.objects)),
+        ops=args.ops,
+        seed=args.seed,
     )
-    result = cluster.run(workloads)
+    artifact = execute_spec(spec)
+    result = artifact.result
     print(result.history.pretty())
     print()
     metrics = ProtocolMetrics.of(args.protocol, result)
@@ -136,23 +147,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
     if metrics.complexity is not None:
         print(f"index: {metrics.complexity.row()}")
     print()
-    if args.protocol == "causal":
-        verdict = check_m_causal_consistency(result.history)
-        print(f"m-causally consistent: {verdict.holds}")
-    else:
-        # Fig-4 (msc) guarantees m-SC; the AW baseline is linearizable
-        # only inside its delay bound — the demo's default network
-        # respects it, but report the weaker condition to stay honest.
-        # mlin / aggregate / server / lock are all m-linearizable.
-        condition = "m-sc" if args.protocol in ("msc", "aw") else "m-lin"
-        verdict = check_condition(
-            result.history, condition, extra_pairs=result.ww_pairs()
-        )
-        print(
-            f"{verdict.condition} holds: {verdict.holds} "
-            f"[{verdict.method_used} checker]"
-        )
-    return 0 if verdict.holds else 1
+    _print_verdicts(artifact)
+    return 0 if artifact.ok else 1
 
 
 def cmd_figures(_args: argparse.Namespace) -> int:
@@ -225,42 +221,57 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    factory, condition = TRACE_WORKLOADS[args.workload]
-    objects = [f"x{i}" for i in range(args.objects)]
-    tracer = Tracer()
-    registry = MetricsRegistry()
-    install_tracer(tracer)
-    install_metrics(registry)
-    try:
-        cluster = factory(args.processes, objects, seed=args.seed)
-        workloads = random_workloads(
-            args.processes, objects, args.ops, seed=args.seed + 1
-        )
-        result = cluster.run(workloads)
-        verdict = check_condition(
-            result.history, condition, extra_pairs=result.ww_pairs()
-        )
-    finally:
-        uninstall_tracer()
-        uninstall_metrics()
-    tracer.export_jsonl(args.out)
+    spec = RunSpec(
+        protocol=TRACE_FIGURES[args.workload],
+        workload="random",
+        n=args.processes,
+        objects=tuple(f"x{i}" for i in range(args.objects)),
+        ops=args.ops,
+        seed=args.seed,
+        tracing=True,
+        trace_path=args.out,
+        metrics=True,
+    )
+    artifact = execute_spec(spec)
+    verdict = artifact.verdicts[0]
+    tracer = artifact.tracer
     print(
-        f"{args.workload}: {len(result.recorder.records)} ops, "
-        f"{condition} holds: {verdict.holds} "
-        f"[{verdict.method_used} checker]"
+        f"{args.workload}: {artifact.completed} ops, "
+        f"{verdict.condition} holds: {verdict.holds} "
+        f"[{verdict.method} checker]"
     )
     print(
-        f"trace: {len(tracer.records())} spans -> {args.out} "
+        f"trace: {artifact.trace_spans} spans -> {args.out} "
         f"({tracer.evicted} evicted)"
     )
     print()
     print(flame_summary(tracer.records(), top=args.top))
     if args.metrics:
-        metrics = registry.snapshot()
-        metrics["network"] = cluster.network.stats.snapshot()
+        metrics = dict(artifact.metrics or {})
+        metrics["network"] = artifact.net_stats
         print()
         print(json.dumps(metrics, indent=2, sort_keys=True))
-    return 0 if verdict.holds else 1
+    return 0 if artifact.ok else 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = RunSpec.load(args.spec)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        artifact = execute_spec(spec)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(artifact.summary())
+    if args.out:
+        artifact.save(args.out)
+        print(f"artifact -> {args.out}")
+    if args.json:
+        print(artifact.to_json())
+    return 0 if artifact.ok else 1
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -354,7 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run and verify a protocol")
     demo.add_argument(
-        "--protocol", choices=sorted(PROTOCOLS), default="mlin"
+        "--protocol", choices=protocol_names(), default="mlin"
     )
     demo.add_argument("--processes", type=int, default=3)
     demo.add_argument("--objects", type=int, default=3)
@@ -379,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--workload",
-        choices=sorted(TRACE_WORKLOADS),
+        choices=sorted(TRACE_FIGURES),
         default="paper-fig4",
     )
     trace.add_argument(
@@ -407,7 +418,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos", help="run fault-injection schedules and verify"
     )
-    chaos.add_argument("--protocol", choices=["msc", "mlin"], default="msc")
+    chaos.add_argument(
+        "--protocol",
+        choices=sorted(crash_tolerant_protocols()),
+        default="msc",
+        help="any protocol whose registry entry is crash-tolerant",
+    )
     chaos.add_argument("--processes", type=int, default=4)
     chaos.add_argument("--ops", type=int, default=5)
     chaos.add_argument(
@@ -432,6 +448,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each run's metrics snapshot as JSON",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    run = sub.add_parser(
+        "run",
+        help="execute a declarative RunSpec JSON through the runtime",
+    )
+    run.add_argument("spec", help="path to the RunSpec JSON file")
+    run.add_argument(
+        "--out", help="also save the RunArtifact JSON to this path"
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full RunArtifact JSON to stdout",
+    )
+    run.set_defaults(func=cmd_run)
 
     analyze = sub.add_parser(
         "analyze",

@@ -20,12 +20,17 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.errors import ProtocolError
-from repro.protocols.base import BaseProcess, Cluster, PendingOp
-from repro.protocols.store import MProgram
+from repro.protocols.base import BaseProcess, Cluster, PendingOp, make_cluster
+from repro.runtime.registry import Capabilities, ProtocolSpec, register_protocol
 
 
 class AggregateProcess(BaseProcess):
     """Every m-operation is broadcast, as if on one big object."""
+
+    # Queries ride the abcast like updates, so the shared replay-
+    # tolerant delivery path answers them and recovery must replay an
+    # unanswered query's slot.
+    abcast_answers_queries = True
 
     def on_invoke(self, pending: PendingOp) -> None:
         abcast = self.cluster.abcast
@@ -39,19 +44,20 @@ class AggregateProcess(BaseProcess):
         )
 
     def on_abcast_deliver(self, sender: int, payload: Dict[str, Any]) -> None:
-        uid: int = payload["uid"]
-        program: MProgram = payload["program"]
-        record = self.store.execute(program, uid)
-        if sender == self.pid:
-            pending = self._pending
-            if pending is None or pending.uid != uid:
-                raise ProtocolError(
-                    f"P{self.pid}: delivery of own m-operation {uid} but "
-                    "no matching pending m-operation"
-                )
-            self.respond(pending, record)
+        self._apply_update_delivery(sender, payload)
 
 
 def aggregate_cluster(n: int, objects, **kwargs) -> Cluster:
     """Build an aggregate-object baseline cluster."""
-    return Cluster(n, objects, process_class=AggregateProcess, **kwargs)
+    return make_cluster(AggregateProcess, n, objects, **kwargs)
+
+
+register_protocol(
+    ProtocolSpec(
+        name="aggregate",
+        factory=aggregate_cluster,
+        condition="m-lin",
+        summary="strawman: one big object, every m-operation broadcast",
+        capabilities=Capabilities(crash_tolerant=True),
+    )
+)

@@ -41,8 +41,9 @@ import heapq
 from typing import Any, List, Tuple
 
 from repro.errors import ProtocolError
-from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.base import BaseProcess, Cluster, PendingOp, make_cluster
 from repro.protocols.store import MProgram
+from repro.runtime.registry import ProtocolSpec, register_protocol
 from repro.sim.network import Message
 
 UPDATE = "aw-update"
@@ -176,5 +177,24 @@ def aw_cluster(n: int, objects, *, delta: float = 2.0, **kwargs) -> AWCluster:
             holds iff the latency model respects it.
         **kwargs: any :class:`~repro.protocols.base.Cluster` keyword.
     """
-    kwargs.setdefault("abcast_factory", None)
-    return AWCluster(n, objects, delta=delta, **kwargs)
+    return make_cluster(
+        AWProcess,
+        n,
+        objects,
+        cluster_class=AWCluster,
+        uses_abcast=False,
+        delta=delta,
+        **kwargs,
+    )
+
+
+register_protocol(
+    ProtocolSpec(
+        name="aw",
+        factory=aw_cluster,
+        condition="m-sc",
+        summary="Attiya-Welch clocks: fast writes, delta-delayed applies",
+        uses_abcast=False,
+        options=("delta",),
+    )
+)

@@ -61,6 +61,11 @@ class PendingOp:
 class BaseProcess:
     """One participant: a sequential client plus its replica state."""
 
+    #: The protocol answers *queries* from abcast deliveries too (the
+    #: aggregate-object baseline broadcasts everything); recovery then
+    #: treats an unanswered query like an unanswered update.
+    abcast_answers_queries = False
+
     def __init__(self, pid: int, cluster: "Cluster") -> None:
         self.pid = pid
         self.cluster = cluster
@@ -219,14 +224,19 @@ class BaseProcess:
         if abcast is None:
             self._resume_client()
             return
-        # An unresponded update forces replay recovery even in
-        # snapshot mode: its response can only be generated by
+        # An unresponded broadcast operation forces replay recovery
+        # even in snapshot mode: its response can only be generated by
         # (re)delivering it, and a snapshot whose cursor lies past the
-        # update's slot folds it into adopted state silently — the
-        # client would wait forever.
+        # operation's slot folds it into adopted state silently — the
+        # client would wait forever.  Updates always ride the abcast;
+        # protocols that broadcast queries too (the aggregate-object
+        # baseline) set ``abcast_answers_queries``.
         unanswered_update = (
             self._pending is not None
-            and self._pending.program.may_write
+            and (
+                self._pending.program.may_write
+                or self.abcast_answers_queries
+            )
             and self._pending.uid not in self._responded_uids
         )
         if (
@@ -544,18 +554,40 @@ class Cluster:
             self._announced.add(payload["uid"])
             self.ww_sequence.append(payload["uid"])
         self.processes[pid].on_abcast_deliver(sender, payload)
-        if track and (self.monitor is not None or self.live_index is not None):
-            uid = payload["uid"]
-            store = self.processes[pid].store
-            writes = tuple(
-                obj
-                for obj in store.objects
-                if store.writer_of(obj) == uid
-            )
-            if self.monitor is not None:
-                self.monitor.announce(uid, writes)
-            if self.live_index is not None:
-                self.live_index.announce(uid, writes)
+        if track:
+            self._notify_announce(payload["uid"], pid)
+
+    def _notify_announce(self, uid: int, pid: int) -> None:
+        """Feed one synchronization-order entry to the live verifiers.
+
+        Must run *after* process ``pid`` applied ``uid`` — the write
+        set is read back from its store.
+        """
+        if self.monitor is None and self.live_index is None:
+            return
+        store = self.processes[pid].store
+        writes = tuple(
+            obj for obj in store.objects if store.writer_of(obj) == uid
+        )
+        if self.monitor is not None:
+            self.monitor.announce(uid, writes)
+        if self.live_index is not None:
+            self.live_index.announce(uid, writes)
+
+    def announce_sync(self, uid: int, pid: int) -> None:
+        """Record ``uid`` in the ``~ww`` sequence outside the abcast path.
+
+        Protocols that serialize updates through something other than
+        atomic broadcast (the single-server baseline's arrival order)
+        call this at execution time so their runs still expose the
+        total synchronization order the Theorem-7 fast path and the
+        live verifiers key on.  Idempotent across recovery replays.
+        """
+        if uid in self._announced:
+            return
+        self._announced.add(uid)
+        self.ww_sequence.append(uid)
+        self._notify_announce(uid, pid)
 
     # ------------------------------------------------------------------
     # Cluster services used by processes
@@ -675,3 +707,29 @@ class Cluster:
             abcast_violation=violation,
             ww_sequence=list(self.ww_sequence),
         )
+
+
+def make_cluster(
+    process_class: Type[BaseProcess],
+    n: int,
+    objects: Sequence[str],
+    *,
+    cluster_class: Optional[Type[Cluster]] = None,
+    uses_abcast: bool = True,
+    **kwargs,
+) -> Cluster:
+    """Shared builder behind every ``*_cluster`` factory.
+
+    Per-protocol modules only declare what differs: the process class,
+    a :class:`Cluster` subclass when they carry extra state (AW's
+    ``delta``, locking's ``rw_locks``, Fig-6's reply optimization) and
+    whether the protocol rides the atomic-broadcast layer.  Protocols
+    with ``uses_abcast=False`` get ``abcast_factory=None`` defaulted
+    in (still overridable by explicit keyword, matching the historic
+    factories).
+    """
+    if not uses_abcast:
+        kwargs.setdefault("abcast_factory", None)
+    kwargs.setdefault("process_class", process_class)
+    cls = cluster_class or Cluster
+    return cls(n, objects, **kwargs)

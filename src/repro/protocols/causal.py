@@ -33,7 +33,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Tuple
 
-from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.base import BaseProcess, Cluster, PendingOp, make_cluster
+from repro.runtime.registry import ProtocolSpec, register_protocol
 from repro.sim.network import Message
 
 CAUSAL = "causal-update"
@@ -109,5 +110,15 @@ class CausalProcess(BaseProcess):
 
 def causal_cluster(n: int, objects, **kwargs) -> Cluster:
     """Build a causally consistent replication cluster."""
-    kwargs.setdefault("abcast_factory", None)
-    return Cluster(n, objects, process_class=CausalProcess, **kwargs)
+    return make_cluster(CausalProcess, n, objects, uses_abcast=False, **kwargs)
+
+
+register_protocol(
+    ProtocolSpec(
+        name="causal",
+        factory=causal_cluster,
+        condition="m-causal",
+        summary="vector-clock gossip: causal delivery, no total order",
+        uses_abcast=False,
+    )
+)

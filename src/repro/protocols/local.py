@@ -35,8 +35,9 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.base import BaseProcess, Cluster, PendingOp, make_cluster
 from repro.protocols.store import MProgram
+from repro.runtime.registry import ProtocolSpec, register_protocol
 from repro.sim.network import Message
 
 GOSSIP = "gossip"
@@ -74,5 +75,15 @@ class LocalProcess(BaseProcess):
 
 def local_cluster(n: int, objects, **kwargs) -> Cluster:
     """Build the (inconsistent) local-gossip control cluster."""
-    kwargs.setdefault("abcast_factory", None)
-    return Cluster(n, objects, process_class=LocalProcess, **kwargs)
+    return make_cluster(LocalProcess, n, objects, uses_abcast=False, **kwargs)
+
+
+register_protocol(
+    ProtocolSpec(
+        name="local",
+        factory=local_cluster,
+        condition=None,
+        summary="negative control: apply locally, gossip unordered",
+        uses_abcast=False,
+    )
+)

@@ -35,8 +35,9 @@ from __future__ import annotations
 from typing import Any, Dict, List, Tuple
 
 from repro.errors import ProtocolError
-from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.base import BaseProcess, Cluster, PendingOp, make_cluster
 from repro.protocols.store import VersionedStore
+from repro.runtime.registry import Capabilities, ProtocolSpec, register_protocol
 from repro.sim.network import Message
 
 LOCK_REQ = "lk-req"
@@ -340,5 +341,24 @@ def lock_cluster(
             ablation of experiment A6.
         **kwargs: any :class:`~repro.protocols.base.Cluster` keyword.
     """
-    kwargs.setdefault("abcast_factory", None)
-    return LockCluster(n, objects, rw_locks=rw_locks, **kwargs)
+    return make_cluster(
+        LockProcess,
+        n,
+        objects,
+        cluster_class=LockCluster,
+        uses_abcast=False,
+        rw_locks=rw_locks,
+        **kwargs,
+    )
+
+
+register_protocol(
+    ProtocolSpec(
+        name="lock",
+        factory=lock_cluster,
+        condition="m-lin",
+        summary="partitioned ordered-2PL (the OO-constraint route)",
+        uses_abcast=False,
+        options=("rw_locks",),
+    )
+)

@@ -41,8 +41,9 @@ from typing import Any, Dict, FrozenSet, Optional
 
 from repro.errors import ProtocolError
 from repro.obs import get_tracer
-from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.base import BaseProcess, Cluster, PendingOp, make_cluster
 from repro.protocols.store import MProgram, VersionedStore
+from repro.runtime.registry import Capabilities, ProtocolSpec, register_protocol
 from repro.sim.network import Message
 
 QUERY = "query"
@@ -248,9 +249,27 @@ def mlin_cluster(
             (query replies carry only the declared relevant objects).
         **kwargs: any :class:`~repro.protocols.base.Cluster` keyword.
     """
-    return MLinCluster(
+    return make_cluster(
+        MLinProcess,
         n,
         objects,
+        cluster_class=MLinCluster,
         reply_relevant_only=reply_relevant_only,
         **kwargs,
     )
+
+
+register_protocol(
+    ProtocolSpec(
+        name="mlin",
+        factory=mlin_cluster,
+        condition="m-lin",
+        summary="Figure-6 protocol: broadcast updates, gather queries",
+        capabilities=Capabilities(
+            crash_tolerant=True,
+            certificate_eligible=True,
+            query_optimizable=True,
+        ),
+        options=("reply_relevant_only",),
+    )
+)

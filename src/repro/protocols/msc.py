@@ -29,7 +29,8 @@ from typing import Any, Dict
 
 from repro.errors import ProtocolError
 from repro.obs import get_tracer
-from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.base import BaseProcess, Cluster, PendingOp, make_cluster
+from repro.runtime.registry import Capabilities, ProtocolSpec, register_protocol
 
 
 class MSCProcess(BaseProcess):
@@ -74,4 +75,17 @@ def msc_cluster(
 
     Accepts every :class:`~repro.protocols.base.Cluster` keyword.
     """
-    return Cluster(n, objects, process_class=MSCProcess, **kwargs)
+    return make_cluster(MSCProcess, n, objects, **kwargs)
+
+
+register_protocol(
+    ProtocolSpec(
+        name="msc",
+        factory=msc_cluster,
+        condition="m-sc",
+        summary="Figure-4 protocol: broadcast updates, local queries",
+        capabilities=Capabilities(
+            crash_tolerant=True, certificate_eligible=True
+        ),
+    )
+)

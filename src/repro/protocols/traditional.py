@@ -33,9 +33,10 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.errors import ProtocolError
-from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.base import BaseProcess, Cluster, PendingOp, make_cluster
 from repro.protocols.locking import home_of
 from repro.protocols.store import VersionedStore
+from repro.runtime.registry import ProtocolSpec, register_protocol
 from repro.sim.network import Message
 
 FETCH = "td-fetch"
@@ -174,5 +175,17 @@ class TraditionalProcess(BaseProcess):
 
 def traditional_cluster(n: int, objects, **kwargs) -> Cluster:
     """Build the traditional (single-object-atomicity) DSM baseline."""
-    kwargs.setdefault("abcast_factory", None)
-    return Cluster(n, objects, process_class=TraditionalProcess, **kwargs)
+    return make_cluster(
+        TraditionalProcess, n, objects, uses_abcast=False, **kwargs
+    )
+
+
+register_protocol(
+    ProtocolSpec(
+        name="traditional",
+        factory=traditional_cluster,
+        condition=None,
+        summary="per-object atomicity only (torn m-operations visible)",
+        uses_abcast=False,
+    )
+)

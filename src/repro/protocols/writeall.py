@@ -34,7 +34,8 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import ProtocolError
-from repro.protocols.base import BaseProcess, Cluster, PendingOp
+from repro.protocols.base import BaseProcess, Cluster, PendingOp, make_cluster
+from repro.runtime.registry import ProtocolSpec, register_protocol
 from repro.sim.network import Message
 
 APPLY = "wa-apply"
@@ -88,5 +89,17 @@ class WriteAllProcess(BaseProcess):
 
 def writeall_cluster(n: int, objects, **kwargs) -> Cluster:
     """Build a write-all cluster (correct for DRF/CWF programs only)."""
-    kwargs.setdefault("abcast_factory", None)
-    return Cluster(n, objects, process_class=WriteAllProcess, **kwargs)
+    return make_cluster(
+        WriteAllProcess, n, objects, uses_abcast=False, **kwargs
+    )
+
+
+register_protocol(
+    ProtocolSpec(
+        name="writeall",
+        factory=writeall_cluster,
+        condition=None,
+        summary="write-all-read-local (sound for DRF/CWF programs only)",
+        uses_abcast=False,
+    )
+)

@@ -1,0 +1,391 @@
+"""Declarative run specifications — ``RunSpec`` and its JSON codec.
+
+A :class:`RunSpec` is a complete, serializable description of one
+protocol run: which protocol and workload, the cluster shape, the
+seeds, the latency model, an optional fault plan, observability
+toggles and the verification policy.  ``from_json(to_json(spec)) ==
+spec`` holds for every spec, so runs can be stored, shipped and
+replayed bit-for-bit (``python -m repro run SPEC.json``).
+
+The executable half lives in :mod:`repro.runtime.execute`; this
+module is pure data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.sim.faults import CrashEvent, DelaySpike, FaultPlan
+from repro.sim.latency import (
+    AsymmetricLatency,
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    UniformLatency,
+)
+
+__all__ = [
+    "FaultSpec",
+    "InvalidSpecError",
+    "LatencySpec",
+    "RunSpec",
+    "VerifyPolicy",
+    "fault_plan_from_dict",
+    "fault_plan_to_dict",
+]
+
+
+class InvalidSpecError(ReproError):
+    """The spec (or its JSON form) is malformed."""
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """A serializable latency-model description.
+
+    ``kind`` selects the :mod:`repro.sim.latency` class; ``params``
+    are its positional constructor arguments:
+
+    * ``uniform(low, high)`` — the default, the paper's reordering
+      channel;
+    * ``fixed(delay)``;
+    * ``exponential(mean_delay, floor)``;
+    * ``asymmetric(base, jitter, slow_node, slow_extra)``.
+    """
+
+    kind: str = "uniform"
+    params: Tuple[float, ...] = (0.5, 1.5)
+
+    _BUILDERS = {
+        "uniform": UniformLatency,
+        "fixed": FixedLatency,
+        "exponential": ExponentialLatency,
+        "asymmetric": lambda base, jitter, slow_node, slow_extra: (
+            AsymmetricLatency(base, jitter, int(slow_node), slow_extra)
+        ),
+    }
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._BUILDERS:
+            raise InvalidSpecError(
+                f"unknown latency kind {self.kind!r}; expected one of "
+                f"{sorted(self._BUILDERS)}"
+            )
+        object.__setattr__(self, "params", tuple(self.params))
+
+    def build(self) -> LatencyModel:
+        """Instantiate the concrete latency model."""
+        try:
+            return self._BUILDERS[self.kind](*self.params)
+        except TypeError as exc:
+            raise InvalidSpecError(
+                f"latency {self.kind!r} rejected params {self.params}: "
+                f"{exc}"
+            ) from None
+
+    @classmethod
+    def of(cls, model: Optional[LatencyModel]) -> "LatencySpec":
+        """Describe a concrete latency model (None = the default)."""
+        if model is None:
+            return cls()
+        if isinstance(model, UniformLatency):
+            return cls("uniform", (model.low, model.high))
+        if isinstance(model, FixedLatency):
+            return cls("fixed", (model.delay,))
+        if isinstance(model, ExponentialLatency):
+            return cls("exponential", (model.mean_delay, model.floor))
+        if isinstance(model, AsymmetricLatency):
+            return cls(
+                "asymmetric",
+                (model.base, model.jitter, model.slow_node,
+                 model.slow_extra),
+            )
+        raise InvalidSpecError(
+            f"latency model {type(model).__name__} has no spec form"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": list(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LatencySpec":
+        return cls(
+            kind=data.get("kind", "uniform"),
+            params=tuple(data.get("params", (0.5, 1.5))),
+        )
+
+
+def fault_plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    """A :class:`~repro.sim.faults.FaultPlan` as plain JSON data."""
+    return asdict(plan)
+
+
+def fault_plan_from_dict(data: Mapping[str, Any]) -> FaultPlan:
+    """Rebuild a :class:`~repro.sim.faults.FaultPlan` from JSON data."""
+    return FaultPlan(
+        seed=data.get("seed", 0),
+        drop_prob=data.get("drop_prob", 0.0),
+        dup_prob=data.get("dup_prob", 0.0),
+        crashes=tuple(
+            CrashEvent(
+                pid=c["pid"],
+                at=c["at"],
+                restart_after=c.get("restart_after"),
+            )
+            for c in data.get("crashes", ())
+        ),
+        spikes=tuple(
+            DelaySpike(
+                at=s["at"], duration=s["duration"], factor=s["factor"]
+            )
+            for s in data.get("spikes", ())
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault injection for a run (requires a crash-tolerant protocol).
+
+    Attributes:
+        seed: seeds :meth:`~repro.sim.faults.FaultPlan.random` when no
+            explicit ``plan`` is given.
+        horizon: virtual-time spread of the generated plan.
+        recovery: ``"replay"`` (re-deliver the log) or ``"snapshot"``
+            (peer state transfer).
+        recover: False = negative control; crashes become permanent
+            and the run is *expected* to fail.
+        failover_delay: sequencer failure-detection delay.
+        plan: explicit fault plan, overriding the seeded draw.
+    """
+
+    seed: int = 0
+    horizon: float = 40.0
+    recovery: str = "replay"
+    recover: bool = True
+    failover_delay: float = 4.0
+    plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.recovery not in ("replay", "snapshot"):
+            raise InvalidSpecError(
+                f"unknown recovery mode {self.recovery!r}; expected "
+                "'replay' or 'snapshot'"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "recovery": self.recovery,
+            "recover": self.recover,
+            "failover_delay": self.failover_delay,
+            "plan": (
+                None if self.plan is None else fault_plan_to_dict(self.plan)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        plan = data.get("plan")
+        return cls(
+            seed=data.get("seed", 0),
+            horizon=data.get("horizon", 40.0),
+            recovery=data.get("recovery", "replay"),
+            recover=data.get("recover", True),
+            failover_delay=data.get("failover_delay", 4.0),
+            plan=None if plan is None else fault_plan_from_dict(plan),
+        )
+
+
+@dataclass(frozen=True)
+class VerifyPolicy:
+    """What to check after the run, and how.
+
+    Attributes:
+        enabled: run the consistency checkers at all.
+        condition: condition to check; None = the protocol's declared
+            strongest condition (skip verification when the protocol
+            declares none).
+        method: checker selection (``auto``/``exact``/``constrained``),
+            forwarded to :func:`repro.core.check_condition`.
+        use_ww: feed the run's recorded ``~ww`` synchronization order
+            as ``extra_pairs`` (the Theorem-7 fast path).
+        certificate: ``"auto"`` = ask the static prover to certify
+            the workload and hand the checkers the resulting
+            :class:`~repro.analysis.static.prover.ConstraintCertificate`
+            (falling back silently when it refuses); ``"off"`` = always
+            use the dynamic constraint phase.
+    """
+
+    enabled: bool = True
+    condition: Optional[str] = None
+    method: str = "auto"
+    use_ww: bool = True
+    certificate: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.method not in ("auto", "exact", "constrained"):
+            raise InvalidSpecError(
+                f"unknown check method {self.method!r}"
+            )
+        if self.certificate not in ("auto", "off"):
+            raise InvalidSpecError(
+                f"certificate policy must be 'auto' or 'off', got "
+                f"{self.certificate!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "condition": self.condition,
+            "method": self.method,
+            "use_ww": self.use_ww,
+            "certificate": self.certificate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VerifyPolicy":
+        return cls(
+            enabled=data.get("enabled", True),
+            condition=data.get("condition"),
+            method=data.get("method", "auto"),
+            use_ww=data.get("use_ww", True),
+            certificate=data.get("certificate", "auto"),
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A complete, declarative description of one protocol run.
+
+    Seeding convention (shared by the demo CLI and the benchmark
+    report): the cluster's randomness uses ``seed``, the workload
+    generator uses ``seed + 1``, and the network is internally seeded
+    ``seed + 1`` by the cluster — one integer reproduces the run.
+    """
+
+    protocol: str
+    workload: str = "random"
+    n: int = 3
+    objects: Tuple[str, ...] = ("x", "y", "z")
+    ops: int = 5
+    seed: int = 0
+    latency: LatencySpec = LatencySpec()
+    faults: Optional[FaultSpec] = None
+    tracing: bool = False
+    trace_path: Optional[str] = None
+    metrics: bool = False
+    verify: VerifyPolicy = VerifyPolicy()
+    settle: float = 0.0
+    max_events: int = 5_000_000
+    #: Protocol-specific factory keywords (sorted key/value pairs so
+    #: specs stay hashable and order-insensitively equal); the keys
+    #: must appear in the protocol's ``ProtocolSpec.options``.
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "objects", tuple(self.objects))
+        options = self.options
+        if isinstance(options, Mapping):
+            options = options.items()
+        object.__setattr__(
+            self, "options", tuple(sorted((k, v) for k, v in options))
+        )
+        if self.n <= 0:
+            raise InvalidSpecError("n must be positive")
+        if self.ops < 0:
+            raise InvalidSpecError("ops must be non-negative")
+
+    def options_dict(self) -> Dict[str, Any]:
+        """The protocol options as a plain keyword dict."""
+        return dict(self.options)
+
+    def with_(self, **changes) -> "RunSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # JSON codec
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "n": self.n,
+            "objects": list(self.objects),
+            "ops": self.ops,
+            "seed": self.seed,
+            "latency": self.latency.to_dict(),
+            "faults": (
+                None if self.faults is None else self.faults.to_dict()
+            ),
+            "tracing": self.tracing,
+            "trace_path": self.trace_path,
+            "metrics": self.metrics,
+            "verify": self.verify.to_dict(),
+            "settle": self.settle,
+            "max_events": self.max_events,
+            "options": dict(self.options),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        if "protocol" not in data:
+            raise InvalidSpecError("run spec needs a 'protocol'")
+        unknown = set(data) - {
+            "protocol", "workload", "n", "objects", "ops", "seed",
+            "latency", "faults", "tracing", "trace_path", "metrics",
+            "verify", "settle", "max_events", "options",
+        }
+        if unknown:
+            raise InvalidSpecError(
+                f"unknown run-spec field(s): {sorted(unknown)}"
+            )
+        faults = data.get("faults")
+        return cls(
+            protocol=data["protocol"],
+            workload=data.get("workload", "random"),
+            n=data.get("n", 3),
+            objects=tuple(data.get("objects", ("x", "y", "z"))),
+            ops=data.get("ops", 5),
+            seed=data.get("seed", 0),
+            latency=LatencySpec.from_dict(data.get("latency", {})),
+            faults=None if faults is None else FaultSpec.from_dict(faults),
+            tracing=data.get("tracing", False),
+            trace_path=data.get("trace_path"),
+            metrics=data.get("metrics", False),
+            verify=VerifyPolicy.from_dict(data.get("verify", {})),
+            settle=data.get("settle", 0.0),
+            max_events=data.get("max_events", 5_000_000),
+            options=tuple(
+                sorted(data.get("options", {}).items())
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidSpecError(f"run spec is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise InvalidSpecError("run spec JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "RunSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")

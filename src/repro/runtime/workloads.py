@@ -1,0 +1,70 @@
+"""Workload registrations for the runtime layer.
+
+Each :class:`~repro.runtime.registry.WorkloadSpec` adapts one workload
+family to the uniform builder signature ``builder(n, objects, ops,
+seed) -> workloads`` (one program list per process).  The module is
+imported lazily by :func:`repro.runtime.registry.workload_registry`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.runtime.registry import WorkloadSpec, register_workload
+from repro.workloads.generator import BLIND_MIX, random_workloads
+from repro.workloads.scenarios import scenario_workloads
+
+__all__ = ["BLIND", "HOTSPOT", "RANDOM", "SCENARIO"]
+
+
+def _random(n: int, objects: Sequence[str], ops: int, seed: int):
+    return random_workloads(n, objects, ops, seed=seed)
+
+
+def _blind(n: int, objects: Sequence[str], ops: int, seed: int):
+    return random_workloads(n, objects, ops, mix=BLIND_MIX, seed=seed)
+
+
+def _hotspot(n: int, objects: Sequence[str], ops: int, seed: int):
+    return random_workloads(n, objects, ops, seed=seed, zipf_s=1.5)
+
+
+def _scenario(n: int, objects: Sequence[str], ops: int, seed: int) -> List:
+    # Scripted (Figure 5/7): shape is fixed by the scenario, the seed
+    # is irrelevant, and ``ops`` sets the reader's read count.
+    return scenario_workloads(n_reads=ops)
+
+
+RANDOM = register_workload(
+    WorkloadSpec(
+        name="random",
+        builder=_random,
+        summary="mixed reads/writes/m-ops, uniform object choice",
+    )
+)
+
+BLIND = register_workload(
+    WorkloadSpec(
+        name="blind",
+        builder=_blind,
+        summary="blind writes and reads only (safe for local gossip)",
+    )
+)
+
+HOTSPOT = register_workload(
+    WorkloadSpec(
+        name="hotspot",
+        builder=_hotspot,
+        summary="zipf-skewed object choice (contention stress)",
+    )
+)
+
+SCENARIO = register_workload(
+    WorkloadSpec(
+        name="scenario",
+        builder=_scenario,
+        summary="Figure-5/7 script: one writer, one far reader",
+        fixed_n=3,
+        fixed_objects=("x", "y"),
+    )
+)

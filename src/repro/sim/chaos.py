@@ -40,24 +40,33 @@ from repro.sim.network import Network
 __all__ = ["ChaosResult", "run_chaos"]
 
 
-def _protocol_table():
-    """protocol name -> (cluster factory, condition, batch checker).
+def _chaos_protocol(protocol: str):
+    """Resolve a chaos-eligible protocol from the runtime registry.
 
     Imported lazily: this module is re-exported from ``repro.sim``,
     which the abcast/protocol layers themselves import — resolving
-    the table at call time keeps the package import graph acyclic.
+    the registry at call time keeps the package import graph acyclic.
+    Eligibility is the registry's ``crash_tolerant`` capability flag;
+    anything else gets a clear error naming the eligible set.
     """
-    from repro.core.consistency import (
-        check_m_linearizability,
-        check_m_sequential_consistency,
+    from repro.runtime.registry import (
+        crash_tolerant_protocols,
+        protocol_registry,
     )
-    from repro.protocols.mlin import mlin_cluster
-    from repro.protocols.msc import msc_cluster
 
-    return {
-        "msc": (msc_cluster, "m-sc", check_m_sequential_consistency),
-        "mlin": (mlin_cluster, "m-lin", check_m_linearizability),
-    }
+    eligible = crash_tolerant_protocols()
+    spec = eligible.get(protocol)
+    if spec is not None:
+        return spec
+    if protocol in protocol_registry():
+        raise SimulationError(
+            f"protocol {protocol!r} has no crash-recovery support; "
+            f"chaos-eligible protocols: {sorted(eligible)}"
+        )
+    raise SimulationError(
+        f"unknown chaos protocol {protocol!r}; expected one of "
+        f"{sorted(eligible)}"
+    )
 
 
 @dataclass
@@ -95,6 +104,10 @@ class ChaosResult:
     #: gauges plus fault-schedule tallies (see ``--metrics`` on the
     #: ``chaos`` CLI subcommand).
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Live :class:`~repro.protocols.base.RunResult` handle (None when
+    #: the run itself failed, e.g. the negative control); carried for
+    #: the runtime layer's artifact, never serialized.
+    result: Any = field(default=None, repr=False, compare=False)
 
     def summary(self) -> str:
         """One line for assertion messages: plan plus verdict."""
@@ -124,13 +137,19 @@ def run_chaos(
     horizon: float = 40.0,
     failover_delay: float = 4.0,
     max_events: int = 3_000_000,
+    workloads: Optional[Sequence[Sequence]] = None,
+    latency=None,
+    cluster_seed: Optional[int] = None,
+    **factory_kwargs,
 ) -> ChaosResult:
     """Run one protocol under one fault plan and verify the result.
 
     Args:
-        protocol: ``"msc"`` (Fig-4) or ``"mlin"`` (Fig-6).
-        seed: seeds the fault plan (unless ``plan`` is given), the
-            workload, and the cluster's own randomness.
+        protocol: any registry entry whose ``crash_tolerant``
+            capability flag is set (``repro.runtime
+            .crash_tolerant_protocols()``).
+        seed: seeds the fault plan (unless ``plan`` is given) and, by
+            default, the workload and the cluster's own randomness.
         n: cluster size (>= 2 so failover has a successor).
         objects: shared object names.
         ops_per_process: workload length per process.
@@ -141,20 +160,24 @@ def run_chaos(
         horizon: virtual-time spread of the generated plan.
         failover_delay: sequencer failure-detection delay.
         max_events: simulator event budget.
+        workloads: explicit per-process program lists (the runtime
+            layer passes spec-built workloads); default random with
+            seed ``seed``.
+        latency: message-delay model (default Uniform[0.5, 1.5]).
+        cluster_seed: cluster randomness seed when the fault seed
+            should not double as it (default ``seed``).
+        **factory_kwargs: extra cluster-factory keywords (protocol
+            options such as ``reply_relevant_only``).
     """
     from repro.abcast.sequencer import SequencerAbcast
     from repro.core.index import LiveIndex
     from repro.core.monitor import verify_stream
     from repro.workloads.generator import random_workloads
 
-    table = _protocol_table()
-    try:
-        factory, condition, batch_check = table[protocol]
-    except KeyError:
-        raise SimulationError(
-            f"unknown chaos protocol {protocol!r}; expected one of "
-            f"{sorted(table)}"
-        ) from None
+    spec = _chaos_protocol(protocol)
+    factory, condition = spec.factory, spec.condition
+    if cluster_seed is None:
+        cluster_seed = seed
     if plan is None:
         plan = FaultPlan.random(seed, n, horizon=horizon)
     if not recover:
@@ -170,23 +193,29 @@ def run_chaos(
         )
 
     live_index = LiveIndex()
+    if spec.uses_abcast:
+        # Only broadcast protocols get the fault-tolerant sequencer;
+        # the others default their own abcast_factory=None and must
+        # not have one forced in (``server_cluster`` et al. use
+        # setdefault, which an explicit keyword would override).
+        factory_kwargs["abcast_factory"] = lambda net: SequencerAbcast(
+            net, fault_tolerant=True, failover_delay=failover_delay
+        )
     cluster = factory(
         n,
         objects,
-        seed=seed,
+        seed=cluster_seed,
         fault_tolerant=True,
         recovery=recovery,
         live_index=live_index,
-        abcast_factory=lambda net: SequencerAbcast(
-            net, fault_tolerant=True, failover_delay=failover_delay
-        ),
         network_factory=lambda sim, size: Network(
             sim,
             size,
-            latency=UniformLatency(0.5, 1.5),
+            latency=latency or UniformLatency(0.5, 1.5),
             seed=seed + 1,
             reliable=True,
         ),
+        **factory_kwargs,
     )
 
     # Incremental verification between fault events: the live index
@@ -198,7 +227,10 @@ def run_chaos(
         audits.append((now, kind, pid, live_index.audit()))
 
     injector = FaultInjector(plan, on_event=_audit).install(cluster)
-    workloads = random_workloads(n, objects, ops_per_process, seed=seed)
+    if workloads is None:
+        workloads = random_workloads(
+            n, objects, ops_per_process, seed=seed
+        )
     expected = sum(len(w) for w in workloads)
 
     failure: Optional[str] = None
@@ -227,7 +259,11 @@ def run_chaos(
         abcast_violation = result.abcast_violation
         verifier = verify_stream(result, condition=condition)
         violations.extend(str(v) for v in verifier.violations)
-        verdict = batch_check(result.history, extra_pairs=result.ww_pairs())
+        from repro.core.consistency import check_condition
+
+        verdict = check_condition(
+            result.history, condition, extra_pairs=result.ww_pairs()
+        )
         if not verdict.holds:
             violations.append(f"batch {condition} checker rejected the run")
 
@@ -262,4 +298,5 @@ def run_chaos(
         duration=cluster.sim.now,
         audits=audits,
         metrics=metrics,
+        result=result,
     )

@@ -76,6 +76,19 @@ class ControlledNetwork(Network):
         self._schedule_delivery(src, dst, message, 1.0)
 
 
+def _resolve_exploration_factory(cluster_factory):
+    """Accept a registry protocol name alongside bare factories.
+
+    Resolved lazily through :mod:`repro.runtime.registry` so exploring
+    ``"msc"`` and exploring ``msc_cluster`` are the same thing.
+    """
+    if not isinstance(cluster_factory, str):
+        return cluster_factory
+    from repro.runtime.registry import get_protocol
+
+    return get_protocol(cluster_factory).factory
+
+
 def explore(
     cluster_factory: "Callable[..., Cluster]",
     workloads: "Workloads",
@@ -86,7 +99,8 @@ def explore(
     """Yield a :class:`RunResult` for every message interleaving.
 
     Args:
-        cluster_factory: e.g. ``msc_cluster``; called as
+        cluster_factory: a registered protocol name (``"msc"``) or a
+            factory such as ``msc_cluster``; called as
             ``cluster_factory(n, objects, network_factory=...,
             think_jitter=0, start_jitter=0, **cluster_kwargs)`` — the
             caller supplies ``n``/``objects`` via ``cluster_kwargs``.
@@ -98,6 +112,7 @@ def explore(
             raises :class:`ExplorationBudgetExceeded`.
         cluster_kwargs: forwarded to the factory.
     """
+    cluster_factory = _resolve_exploration_factory(cluster_factory)
     kwargs = dict(cluster_kwargs or {})
 
     def replay(schedule: List[int]) -> Tuple[str, object]:
@@ -146,7 +161,7 @@ def explore_verified(
     cluster_factory: "Callable[..., Cluster]",
     workloads: "Workloads",
     *,
-    condition: str = "m-sc",
+    condition: Optional[str] = None,
     method: str = "auto",
     limit: int = 20_000,
     cluster_kwargs: Optional[dict] = None,
@@ -159,8 +174,18 @@ def explore_verified(
     recorded ``~ww`` delivery order as ``extra_pairs`` — the same call
     the demo and chaos paths make, so exhaustive interleaving coverage
     and single-run verification cannot drift apart.
+
+    ``condition`` defaults to the registry's declared condition when
+    ``cluster_factory`` is a protocol name, else ``"m-sc"``.
     """
     from repro.core.consistency import check_condition
+
+    if condition is None:
+        condition = "m-sc"
+        if isinstance(cluster_factory, str):
+            from repro.runtime.registry import get_protocol
+
+            condition = get_protocol(cluster_factory).condition or "m-sc"
 
     for result in explore(
         cluster_factory,
@@ -183,7 +208,11 @@ def explore_factory(
     objects,
     **kwargs,
 ) -> "Callable[..., Cluster]":
-    """Bind ``n``/``objects``/extras into an exploration factory."""
+    """Bind ``n``/``objects``/extras into an exploration factory.
+
+    ``factory`` may be a registered protocol name or a callable.
+    """
+    factory = _resolve_exploration_factory(factory)
 
     def build(**extra) -> "Cluster":
         merged = dict(kwargs)

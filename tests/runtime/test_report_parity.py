@@ -1,0 +1,76 @@
+"""Cross-validation: the runtime pipeline reproduces the report runs.
+
+The benchmark report's ``run_protocol`` used to wire clusters by hand
+(factory + ``UniformLatency(0.5, 1.5)`` + workload seed ``seed + 1``).
+It now routes through ``execute(RunSpec(...))``; these tests pin the
+migration by rebuilding the legacy wiring inline and asserting the
+pipeline's runs are *identical* — same history (to the byte, via the
+canonical JSON digest), same network counters, same virtual duration —
+for the Fig-4 (msc) and Fig-6 (mlin) report configurations.
+"""
+
+import pytest
+
+from repro.core.serialize import history_to_dict
+from repro.protocols import mlin_cluster, msc_cluster
+from repro.runtime import RunSpec, VerifyPolicy, execute, history_hash
+from repro.sim import UniformLatency
+from repro.workloads import random_workloads
+
+#: The report's fig4/fig6 configuration: n=4, ops=8, seed=11, x/y/z.
+REPORT = {"n": 4, "ops": 8, "seed": 11, "objects": ("x", "y", "z")}
+
+
+def legacy_run(factory, **factory_kwargs):
+    """The pre-runtime report wiring, reconstructed verbatim."""
+    cluster = factory(
+        REPORT["n"],
+        list(REPORT["objects"]),
+        seed=REPORT["seed"],
+        latency=UniformLatency(0.5, 1.5),
+        **factory_kwargs,
+    )
+    workloads = random_workloads(
+        REPORT["n"],
+        list(REPORT["objects"]),
+        REPORT["ops"],
+        seed=REPORT["seed"] + 1,
+    )
+    return cluster.run(workloads)
+
+
+def pipeline_run(protocol, **options):
+    spec = RunSpec(
+        protocol=protocol,
+        n=REPORT["n"],
+        objects=REPORT["objects"],
+        ops=REPORT["ops"],
+        seed=REPORT["seed"],
+        verify=VerifyPolicy(enabled=False),
+        options=options,
+    )
+    return execute(spec)
+
+
+@pytest.mark.parametrize(
+    ("figure", "protocol", "factory", "options"),
+    [
+        ("fig4", "msc", msc_cluster, {}),
+        ("fig6", "mlin", mlin_cluster, {}),
+        ("fig6-slim", "mlin", mlin_cluster, {"reply_relevant_only": True}),
+    ],
+)
+def test_report_figures_identical_across_migration(
+    figure, protocol, factory, options
+):
+    legacy = legacy_run(factory, **options)
+    artifact = pipeline_run(protocol, **options)
+    result = artifact.result
+
+    assert history_to_dict(result.history) == history_to_dict(
+        legacy.history
+    ), f"{figure}: histories diverge"
+    assert artifact.history_hash == history_hash(legacy.history)
+    assert result.duration == legacy.duration
+    assert result.net_stats.snapshot() == legacy.net_stats.snapshot()
+    assert result.latencies() == legacy.latencies()

@@ -1,0 +1,48 @@
+"""Chaos suite: the aggregate-broadcast protocol under fault schedules.
+
+The aggregate protocol became chaos-eligible when the runtime layer's
+capability flags replaced the harness's hardcoded msc/mlin table; this
+suite mirrors ``test_chaos_msc.py`` for it.  Aggregate answers queries
+through the broadcast too (``abcast_answers_queries``), so recovery
+must replay unanswered *queries* as well as updates.
+"""
+
+import pytest
+
+from repro.sim.chaos import run_chaos
+
+
+def _recovery(seed: int) -> str:
+    return "replay" if seed % 2 == 0 else "snapshot"
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", range(10))
+def test_aggregate_survives_fault_schedule(seed):
+    result = run_chaos("aggregate", seed, recovery=_recovery(seed))
+    assert result.ok, result.summary()
+    assert result.completed == result.expected
+    assert result.plan.drop_prob > 0
+    assert result.crashes and result.restarts, result.summary()
+    assert result.failovers, result.summary()
+
+
+def test_aggregate_chaos_smoke():
+    """Tier-1 smoke subset: both recovery modes, two schedules each."""
+    for seed in (0, 1):
+        for recovery in ("replay", "snapshot"):
+            result = run_chaos("aggregate", seed, recovery=recovery)
+            assert result.ok, result.summary()
+            assert result.failovers, result.summary()
+
+
+def test_aggregate_without_recovery_loses_operations():
+    """Negative control: permanent crashes must break the run."""
+    for seed in range(3):
+        result = run_chaos("aggregate", seed, recover=False)
+        assert not result.ok, result.summary()
+        assert (
+            result.completed < result.expected
+            or result.failure is not None
+            or result.violations
+        ), result.summary()

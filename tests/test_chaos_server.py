@@ -1,0 +1,48 @@
+"""Chaos suite: the single-server baseline under fault schedules.
+
+The server baseline has no broadcast layer, so there are no sequencer
+failovers here; what the sweep exercises instead is the write-ahead
+commit log — a restarting server reinstalls its durable image and
+answers retried requests from the log without re-executing them — and
+the client retry timers that regenerate responses lost to a crash.
+"""
+
+import pytest
+
+from repro.sim.chaos import run_chaos
+
+
+def _recovery(seed: int) -> str:
+    return "replay" if seed % 2 == 0 else "snapshot"
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", range(10))
+def test_server_survives_fault_schedule(seed):
+    result = run_chaos("server", seed, recovery=_recovery(seed))
+    assert result.ok, result.summary()
+    assert result.completed == result.expected
+    assert result.plan.drop_prob > 0
+    assert result.crashes and result.restarts, result.summary()
+    # No abcast layer -> no sequencer failovers, ever.
+    assert not result.failovers
+
+
+def test_server_chaos_smoke():
+    """Tier-1 smoke subset: both recovery modes, two schedules each."""
+    for seed in (0, 1):
+        for recovery in ("replay", "snapshot"):
+            result = run_chaos("server", seed, recovery=recovery)
+            assert result.ok, result.summary()
+
+
+def test_server_without_recovery_loses_operations():
+    """Negative control: permanent crashes must break the run."""
+    for seed in range(3):
+        result = run_chaos("server", seed, recover=False)
+        assert not result.ok, result.summary()
+        assert (
+            result.completed < result.expected
+            or result.failure is not None
+            or result.violations
+        ), result.summary()

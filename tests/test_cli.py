@@ -83,6 +83,69 @@ class TestDemo:
         assert "holds: True" in out or "consistent: True" in out
 
 
+class TestRun:
+    def spec_file(self, tmp_path, **fields):
+        from repro.runtime import RunSpec
+
+        payload = {"protocol": "msc", "ops": 3, "seed": 1}
+        payload.update(fields)
+        path = tmp_path / "spec.json"
+        RunSpec.from_dict(payload).save(str(path))
+        return str(path)
+
+    def test_run_executes_a_spec_file(self, tmp_path, capsys):
+        assert main(["run", self.spec_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "msc/random seed=1" in out
+        assert "-> ok" in out
+
+    def test_run_writes_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "artifact.json"
+        code = main(
+            ["run", self.spec_file(tmp_path), "--out", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["ok"] is True and payload["protocol"] == "msc"
+
+    def test_run_json_output(self, tmp_path, capsys):
+        assert main(["run", self.spec_file(tmp_path), "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["history"]["mops"]
+
+    def test_run_missing_spec_file(self, capsys):
+        assert main(["run", "/nonexistent/spec.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_invalid_spec_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"protocol": "paxos"}')
+        assert main(["run", str(path)]) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+
+class TestChaosChoices:
+    def test_chaos_accepts_every_crash_tolerant_protocol(self):
+        from repro.__main__ import build_parser
+        from repro.runtime import crash_tolerant_protocols
+
+        parser = build_parser()
+        eligible = sorted(crash_tolerant_protocols())
+        assert len(eligible) >= 4
+        for name in eligible:
+            args = parser.parse_args(["chaos", "--protocol", name])
+            assert args.protocol == name
+
+    def test_chaos_rejects_non_crash_tolerant_protocol(self, capsys):
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["chaos", "--protocol", "causal"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
 class TestFigures:
     def test_figures_render(self, capsys):
         assert main(["figures"]) == 0

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.analysis",
     "repro.analysis.static",
+    "repro.runtime",
 ]
 
 

@@ -1,0 +1,58 @@
+"""Run-smoke: one small RunSpec per registered protocol, via the CLI.
+
+CI's ``run-smoke`` job (and ``make run-smoke``) executes this script:
+for every protocol in the runtime registry it writes a small spec
+file, drives it through ``python -m repro run SPEC.json --out ...``
+(the same entry point users get), and leaves the spec + artifact JSON
+pairs in ``--out-dir`` for upload.  Any non-zero exit — a failed run,
+a violated condition — fails the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.__main__ import main as repro_main  # noqa: E402
+from repro.runtime import RunSpec, protocol_names  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out-dir",
+        default="run-smoke",
+        help="directory for spec/artifact JSON pairs (default run-smoke/)",
+    )
+    parser.add_argument("--ops", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = []
+    names = protocol_names()
+    for name in names:
+        spec = RunSpec(protocol=name, ops=args.ops, seed=args.seed)
+        spec_path = out_dir / f"{name}.spec.json"
+        artifact_path = out_dir / f"{name}.artifact.json"
+        spec.save(str(spec_path))
+        code = repro_main(
+            ["run", str(spec_path), "--out", str(artifact_path)]
+        )
+        print(f"[run-smoke] {name}: exit {code}")
+        if code != 0:
+            failures.append(name)
+    if failures:
+        print(f"[run-smoke] FAILED: {failures}", file=sys.stderr)
+        return 1
+    print(f"[run-smoke] {len(names)} protocols ok -> {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
