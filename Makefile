@@ -36,3 +36,4 @@ report:
 ## Checker wall-clock medians -> BENCH_checkers.json (repo root).
 bench-json:
 	$(PYTHON) -m benchmarks.bench_checkers
+	$(PYTHON) -m benchmarks.bench_chaos

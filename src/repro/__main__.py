@@ -48,6 +48,7 @@ from repro.obs import flame_summary
 from repro.runtime import (
     RunSpec,
     crash_tolerant_protocols,
+    partition_tolerant_protocols,
     protocol_names,
 )
 from repro.runtime import (
@@ -176,6 +177,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.sim.chaos import run_chaos
 
     failures = 0
+    artifacts = []
     for seed in range(args.fault_seed, args.fault_seed + args.runs):
         result = run_chaos(
             args.protocol,
@@ -184,12 +186,46 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             ops_per_process=args.ops,
             recovery=args.recovery,
             recover=not args.no_recover,
+            partition=args.partition,
+            quorum_aware=not args.no_quorum,
         )
         print(result.summary())
         if args.metrics:
             print(json.dumps(result.metrics, indent=2, sort_keys=True))
+        if args.out:
+            artifacts.append(
+                {
+                    "seed": seed,
+                    "ok": result.ok,
+                    "summary": result.summary(),
+                    "violations": result.violations,
+                    "abcast_violation": result.abcast_violation,
+                    "failure": result.failure,
+                    "detector": result.detector,
+                    "degraded": len(result.degraded),
+                    "partitions": result.partitions,
+                    "failovers": result.failovers,
+                    "metrics": result.metrics,
+                }
+            )
         failures += not result.ok
-    if args.no_recover:
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "protocol": args.protocol,
+                    "runs": args.runs,
+                    "failures": failures,
+                    "negative_control": args.no_recover or args.no_quorum,
+                    "results": artifacts,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"artifact: {args.out}")
+    if args.no_recover or args.no_quorum:
         # The negative control is *expected* to lose operations or
         # fail verification; succeeding would mean the control proves
         # nothing.
@@ -420,9 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--protocol",
-        choices=sorted(crash_tolerant_protocols()),
+        choices=sorted(
+            crash_tolerant_protocols() | partition_tolerant_protocols()
+        ),
         default="msc",
-        help="any protocol whose registry entry is crash-tolerant",
+        help="any protocol whose registry entry is crash-tolerant "
+        "(or partition-tolerant, for --partition runs)",
     )
     chaos.add_argument("--processes", type=int, default=4)
     chaos.add_argument("--ops", type=int, default=5)
@@ -441,6 +480,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="negative control: crashes become permanent, recovery "
         "never runs (the run is expected to fail)",
+    )
+    chaos.add_argument(
+        "--partition",
+        action="store_true",
+        help="inject a link-level network partition schedule instead "
+        "of crash/recover faults (requires a partition-tolerant "
+        "protocol)",
+    )
+    chaos.add_argument(
+        "--no-quorum",
+        action="store_true",
+        help="negative control: disable quorum-aware degradation so "
+        "both sides of a partition keep sequencing (the run is "
+        "expected to fail with a split-brain violation)",
+    )
+    chaos.add_argument(
+        "--out",
+        help="write a JSON artifact with per-seed results to this path",
     )
     chaos.add_argument(
         "--metrics",

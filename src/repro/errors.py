@@ -67,6 +67,12 @@ class ProcessCrashed(SimulationError):
     """
 
 
+class PartitionedError(SimulationError):
+    """An operation was refused because the caller sits on the
+    minority side of a network partition (quorum-aware degraded mode,
+    ``degraded="refuse"``)."""
+
+
 class DeliveryTimeout(SimulationError):
     """The reliable-delivery shim exhausted its retransmission budget.
 

@@ -58,6 +58,8 @@ register_protocol(
         factory=aggregate_cluster,
         condition="m-lin",
         summary="strawman: one big object, every m-operation broadcast",
-        capabilities=Capabilities(crash_tolerant=True),
+        capabilities=Capabilities(
+            crash_tolerant=True, partition_tolerant=True
+        ),
     )
 )

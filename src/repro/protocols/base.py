@@ -33,6 +33,7 @@ from repro.errors import ProcessCrashed, ProtocolError, SimulationError
 from repro.obs import get_tracer
 from repro.protocols.recorder import HistoryRecorder, OpRecord
 from repro.protocols.store import ExecutionRecord, MProgram, VersionedStore
+from repro.sim.detector import HEARTBEAT_KIND, HeartbeatDetector
 from repro.sim.kernel import Simulator
 from repro.sim.latency import LatencyModel, UniformLatency
 from repro.sim.network import ChannelStats, Message, Network
@@ -252,8 +253,14 @@ class BaseProcess:
                     self.pid, peer, Message(SNAP_REQ, {"pid": self.pid})
                 )
                 return
-        abcast.recover(self.pid, cursor=0)
-        self._resume_client()
+        # The client resumes only once the replay catches up to the
+        # sequencer's log: a local query answered from the
+        # half-replayed store could read values older than ones this
+        # process's earlier responses already exposed (an illegal
+        # triple under any condition with a total update order).
+        abcast.recover(
+            self.pid, cursor=0, on_caught_up=self._resume_client
+        )
 
     def _pick_snapshot_peer(self) -> Optional[int]:
         """Deterministic donor choice: the lowest live peer."""
@@ -318,7 +325,12 @@ class BaseProcess:
     # ------------------------------------------------------------------
 
     def on_network(self, src: int, message: Message) -> None:
-        """Route an incoming message to the abcast layer or the protocol."""
+        """Route an incoming message to the detector, abcast or protocol."""
+        if message.kind == HEARTBEAT_KIND:
+            detector = self.cluster.detector
+            if detector is not None:
+                detector.on_heartbeat(self.pid, src)
+            return
         abcast = self.cluster.abcast
         if abcast is not None and abcast.handles(message.kind):
             abcast.handle(self.pid, src, message)
@@ -362,8 +374,14 @@ class BaseProcess:
             self.store.install(body["snapshot"])
             abcast = self.cluster.abcast
             abcast.install_snapshot(self.pid, body["cursor"], body["log"])
-            abcast.recover(self.pid, cursor=body["cursor"])
-            self._resume_client()
+            # Same client gate as replay recovery: the donor's cursor
+            # may trail this process's own pre-crash deliveries, so
+            # the adopted state alone is not safe to answer from.
+            abcast.recover(
+                self.pid,
+                cursor=body["cursor"],
+                on_caught_up=self._resume_client,
+            )
             return
         raise ProtocolError(
             f"P{self.pid}: unexpected message kind {message.kind!r}"
@@ -533,10 +551,31 @@ class Cluster:
                         _pid, sender, payload
                     ),
                 )
+        #: Optional heartbeat failure detector (see
+        #: :meth:`attach_detector`); heartbeat frames are routed to it
+        #: by :meth:`BaseProcess.on_network`, never to the protocol.
+        self.detector: Optional[HeartbeatDetector] = None
         self._ran = False
         #: uids already recorded in ``ww_sequence`` (recovery replay
         #: re-delivers them at pid 0; they must not be re-announced).
         self._announced: set = set()
+
+    def attach_detector(self, detector: HeartbeatDetector) -> None:
+        """Arm a heartbeat failure detector for this cluster.
+
+        Routes incoming heartbeats to it and wires its stop predicate
+        to "every workload is done" — a detector that kept beating
+        would hold the event queue open and the run would never
+        quiesce.
+        """
+        if self.detector is not None:
+            raise ProtocolError("cluster already has a detector attached")
+        self.detector = detector
+        if detector.should_stop is None:
+            detector.should_stop = lambda: all(
+                proc.done for proc in self.processes
+            )
+        detector.start()
 
     def _deliver(self, pid: int, sender: int, payload) -> None:
         # Record the broadcast order at each uid's *first* delivery,

@@ -267,6 +267,7 @@ register_protocol(
         summary="Figure-6 protocol: broadcast updates, gather queries",
         capabilities=Capabilities(
             crash_tolerant=True,
+            partition_tolerant=True,
             certificate_eligible=True,
             query_optimizable=True,
         ),

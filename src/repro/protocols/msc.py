@@ -85,7 +85,9 @@ register_protocol(
         condition="m-sc",
         summary="Figure-4 protocol: broadcast updates, local queries",
         capabilities=Capabilities(
-            crash_tolerant=True, certificate_eligible=True
+            crash_tolerant=True,
+            partition_tolerant=True,
+            certificate_eligible=True,
         ),
     )
 )

@@ -168,7 +168,9 @@ register_protocol(
         factory=server_cluster,
         condition="m-lin",
         summary="single server at pid 0; every m-operation a round trip",
-        capabilities=Capabilities(crash_tolerant=True),
+        capabilities=Capabilities(
+            crash_tolerant=True, partition_tolerant=True
+        ),
         uses_abcast=False,
     )
 )

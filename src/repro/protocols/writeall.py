@@ -35,7 +35,11 @@ from typing import Any
 
 from repro.errors import ProtocolError
 from repro.protocols.base import BaseProcess, Cluster, PendingOp, make_cluster
-from repro.runtime.registry import ProtocolSpec, register_protocol
+from repro.runtime.registry import (
+    Capabilities,
+    ProtocolSpec,
+    register_protocol,
+)
 from repro.sim.network import Message
 
 APPLY = "wa-apply"
@@ -100,6 +104,12 @@ register_protocol(
         factory=writeall_cluster,
         condition=None,
         summary="write-all-read-local (sound for DRF/CWF programs only)",
+        # A cut only delays the write-all acknowledgments: the
+        # reliable shim carries them across at heal time, so the
+        # protocol blocks through a partition rather than diverging.
+        # No crash tolerance, so it is eligible for crash-free
+        # partition plans only.
+        capabilities=Capabilities(partition_tolerant=True),
         uses_abcast=False,
     )
 )

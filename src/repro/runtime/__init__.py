@@ -28,6 +28,7 @@ from repro.runtime.registry import (
     crash_tolerant_protocols,
     get_protocol,
     get_workload,
+    partition_tolerant_protocols,
     protocol_names,
     protocol_registry,
     register_protocol,
@@ -62,6 +63,7 @@ __all__ = [
     "get_protocol",
     "get_workload",
     "history_hash",
+    "partition_tolerant_protocols",
     "protocol_names",
     "protocol_registry",
     "register_protocol",

@@ -365,13 +365,29 @@ def _execute_faulty(
 ) -> RunArtifact:
     from repro.sim.chaos import run_chaos
 
-    if not proto.capabilities.crash_tolerant:
+    faults = spec.faults
+    # Eligibility follows the plan, not a blanket flag: crash events
+    # need crash tolerance, partition events need partition tolerance.
+    # With an explicit plan the requirements are read off it; a seeded
+    # draw is a crash plan unless ``partition`` selects the partition
+    # generator.
+    plan = faults.plan
+    needs_crash = plan.crashes if plan is not None else not faults.partition
+    needs_partition = (
+        bool(plan.partitions) if plan is not None else faults.partition
+    )
+    if needs_crash and not proto.capabilities.crash_tolerant:
         raise FaultPolicyError(
             f"protocol {proto.name!r} has no crash-recovery support; "
-            "fault plans require a crash-tolerant protocol (see "
+            "crash plans require a crash-tolerant protocol (see "
             "repro.runtime.crash_tolerant_protocols())"
         )
-    faults = spec.faults
+    if needs_partition and not proto.capabilities.partition_tolerant:
+        raise FaultPolicyError(
+            f"protocol {proto.name!r} has no partition-tolerance "
+            "support; partition plans require the partition_tolerant "
+            "capability (see repro.runtime.partition_tolerant_protocols())"
+        )
     workloads = _build_workloads(workload, n, objects, spec)
     chaos = run_chaos(
         proto.name,
@@ -382,12 +398,21 @@ def _execute_faulty(
         recovery=faults.recovery,
         recover=faults.recover,
         plan=faults.plan,
+        partition=faults.partition,
+        quorum_aware=faults.quorum_aware,
+        degraded=faults.degraded,
+        detector_period=faults.detector_period,
+        detector_timeout=faults.detector_timeout,
         horizon=faults.horizon,
         failover_delay=faults.failover_delay,
         max_events=spec.max_events,
         workloads=workloads,
         latency=spec.latency.build(),
         cluster_seed=spec.seed,
+        ack_timeout=faults.ack_timeout,
+        retry_backoff=faults.retry_backoff,
+        retry_jitter=faults.retry_jitter,
+        max_retries=faults.max_retries,
         **options,
     )
     result = chaos.result

@@ -32,6 +32,7 @@ __all__ = [
     "WorkloadSpec",
     "crash_tolerant_protocols",
     "get_protocol",
+    "partition_tolerant_protocols",
     "get_workload",
     "protocol_names",
     "protocol_registry",
@@ -58,7 +59,14 @@ class Capabilities:
     Attributes:
         crash_tolerant: the protocol survives process crash-restarts
             (and, where it uses atomic broadcast, sequencer failover);
-            only these protocols are eligible for the chaos harness.
+            only these protocols are eligible for crash chaos.
+        partition_tolerant: the protocol survives link-level network
+            partitions — its liveness may degrade (blocked updates,
+            deferred sequencing, explicit
+            :class:`~repro.errors.PartitionedError` refusals on the
+            minority side) but its claimed consistency condition
+            holds on every history the run records; required for
+            chaos plans that contain partition events.
         certificate_eligible: runs expose a total synchronization
             order (``RunResult.ww_sequence``), so the static prover
             can bind a ``total-update-order``
@@ -69,6 +77,7 @@ class Capabilities:
     """
 
     crash_tolerant: bool = False
+    partition_tolerant: bool = False
     certificate_eligible: bool = False
     query_optimizable: bool = False
 
@@ -248,4 +257,13 @@ def crash_tolerant_protocols() -> Dict[str, ProtocolSpec]:
         name: spec
         for name, spec in protocol_registry().items()
         if spec.capabilities.crash_tolerant
+    }
+
+
+def partition_tolerant_protocols() -> Dict[str, ProtocolSpec]:
+    """The partition-chaos subset (capability ``partition_tolerant``)."""
+    return {
+        name: spec
+        for name, spec in protocol_registry().items()
+        if spec.capabilities.partition_tolerant
     }

@@ -18,7 +18,13 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ReproError
-from repro.sim.faults import CrashEvent, DelaySpike, FaultPlan
+from repro.sim.faults import (
+    CrashEvent,
+    DelaySpike,
+    FaultPlan,
+    HealEvent,
+    PartitionEvent,
+)
 from repro.sim.latency import (
     AsymmetricLatency,
     ExponentialLatency,
@@ -143,6 +149,31 @@ def fault_plan_from_dict(data: Mapping[str, Any]) -> FaultPlan:
             )
             for s in data.get("spikes", ())
         ),
+        partitions=tuple(
+            PartitionEvent(
+                at=p["at"],
+                links=tuple(
+                    (link[0], link[1]) for link in p.get("links", ())
+                ),
+                symmetric=p.get("symmetric", True),
+                duration=p.get("duration"),
+            )
+            for p in data.get("partitions", ())
+        ),
+        heals=tuple(
+            HealEvent(
+                at=h["at"],
+                links=(
+                    None
+                    if h.get("links") is None
+                    else tuple(
+                        (link[0], link[1]) for link in h["links"]
+                    )
+                ),
+                symmetric=h.get("symmetric", True),
+            )
+            for h in data.get("heals", ())
+        ),
     )
 
 
@@ -160,6 +191,22 @@ class FaultSpec:
             and the run is *expected* to fail.
         failover_delay: sequencer failure-detection delay.
         plan: explicit fault plan, overriding the seeded draw.
+        partition: draw the seeded plan from
+            :meth:`~repro.sim.faults.FaultPlan.random_partition`
+            (link-level partition schedule) instead of the crash
+            schedule; requires a partition-tolerant protocol.
+        quorum_aware: False = partition negative control (quorum
+            safeguards stripped; a split-brain is *expected* and must
+            be caught by the checkers).
+        degraded: minority-side sequencer behaviour, ``"defer"`` or
+            ``"refuse"``.
+        detector_period / detector_timeout: heartbeat interval and
+            initial silence threshold of the failure detector (armed
+            whenever the plan contains partitions).
+        ack_timeout / retry_backoff / retry_jitter / max_retries: the
+            reliable shim's retransmission schedule — serialized so a
+            replayed spec reproduces every ``DeliveryTimeout``
+            bit-for-bit.
     """
 
     seed: int = 0
@@ -168,12 +215,26 @@ class FaultSpec:
     recover: bool = True
     failover_delay: float = 4.0
     plan: Optional[FaultPlan] = None
+    partition: bool = False
+    quorum_aware: bool = True
+    degraded: str = "defer"
+    detector_period: float = 1.0
+    detector_timeout: float = 3.5
+    ack_timeout: float = 4.0
+    retry_backoff: float = 2.0
+    retry_jitter: float = 0.25
+    max_retries: int = 40
 
     def __post_init__(self) -> None:
         if self.recovery not in ("replay", "snapshot"):
             raise InvalidSpecError(
                 f"unknown recovery mode {self.recovery!r}; expected "
                 "'replay' or 'snapshot'"
+            )
+        if self.degraded not in ("defer", "refuse"):
+            raise InvalidSpecError(
+                f"unknown degraded mode {self.degraded!r}; expected "
+                "'defer' or 'refuse'"
             )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -186,6 +247,15 @@ class FaultSpec:
             "plan": (
                 None if self.plan is None else fault_plan_to_dict(self.plan)
             ),
+            "partition": self.partition,
+            "quorum_aware": self.quorum_aware,
+            "degraded": self.degraded,
+            "detector_period": self.detector_period,
+            "detector_timeout": self.detector_timeout,
+            "ack_timeout": self.ack_timeout,
+            "retry_backoff": self.retry_backoff,
+            "retry_jitter": self.retry_jitter,
+            "max_retries": self.max_retries,
         }
 
     @classmethod
@@ -198,6 +268,15 @@ class FaultSpec:
             recover=data.get("recover", True),
             failover_delay=data.get("failover_delay", 4.0),
             plan=None if plan is None else fault_plan_from_dict(plan),
+            partition=data.get("partition", False),
+            quorum_aware=data.get("quorum_aware", True),
+            degraded=data.get("degraded", "defer"),
+            detector_period=data.get("detector_period", 1.0),
+            detector_timeout=data.get("detector_timeout", 3.5),
+            ack_timeout=data.get("ack_timeout", 4.0),
+            retry_backoff=data.get("retry_backoff", 2.0),
+            retry_jitter=data.get("retry_jitter", 0.25),
+            max_retries=data.get("max_retries", 40),
         )
 
 

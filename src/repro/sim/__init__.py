@@ -1,6 +1,11 @@
 """Discrete-event simulation substrate (systems S9-S10)."""
 
 from repro.sim.chaos import ChaosResult, run_chaos
+from repro.sim.detector import (
+    HEARTBEAT_KIND,
+    DetectorEvent,
+    HeartbeatDetector,
+)
 from repro.sim.explore import (
     ControlledNetwork,
     ExplorationBudgetExceeded,
@@ -8,7 +13,14 @@ from repro.sim.explore import (
     explore_factory,
     explore_verified,
 )
-from repro.sim.faults import CrashEvent, DelaySpike, FaultInjector, FaultPlan
+from repro.sim.faults import (
+    CrashEvent,
+    DelaySpike,
+    FaultInjector,
+    FaultPlan,
+    HealEvent,
+    PartitionEvent,
+)
 from repro.sim.kernel import EventHandle, Simulator
 from repro.sim.latency import (
     AsymmetricLatency,
@@ -31,6 +43,7 @@ __all__ = [
     "ControlledNetwork",
     "CrashEvent",
     "DelaySpike",
+    "DetectorEvent",
     "ExplorationBudgetExceeded",
     "ChannelStats",
     "EventHandle",
@@ -38,10 +51,14 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FixedLatency",
+    "HEARTBEAT_KIND",
+    "HealEvent",
+    "HeartbeatDetector",
     "LatencyModel",
     "Message",
     "Network",
     "NetworkStats",
+    "PartitionEvent",
     "Simulator",
     "UniformLatency",
     "estimate_size",

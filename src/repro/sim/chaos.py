@@ -19,6 +19,17 @@ every crash: processes stay down, recovery never runs.  Those runs
 demonstrably lose client operations (the run cannot complete) — the
 evidence that the recovery machinery, not luck, is what makes the
 positive runs sound.
+
+Partition chaos (``partition=True``) swaps the crash schedule for a
+seeded link-level partition (:meth:`FaultPlan.random_partition`): the
+cluster splits into a majority and a minority side for a window, a
+:class:`~repro.sim.detector.HeartbeatDetector` is armed, and the
+fault-tolerant sequencer runs quorum-aware — majority-side failover
+with epoch fencing, minority degradation, post-heal reconciliation.
+Its negative control is ``quorum_aware=False``: the detector still
+drives elections but every quorum safeguard is stripped, and the
+resulting split-brain is caught by the same checkers (delivery-log
+total order plus the m-sc/m-lin condition checkers).
 """
 
 from __future__ import annotations
@@ -28,11 +39,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     DeliveryTimeout,
+    PartitionedError,
     ProcessCrashed,
     ProtocolError,
     SequencerUnavailable,
     SimulationError,
 )
+from repro.sim.detector import HeartbeatDetector
 from repro.sim.faults import CrashEvent, FaultInjector, FaultPlan
 from repro.sim.latency import UniformLatency
 from repro.sim.network import Network
@@ -40,28 +53,46 @@ from repro.sim.network import Network
 __all__ = ["ChaosResult", "run_chaos"]
 
 
-def _chaos_protocol(protocol: str):
+def _chaos_protocol(protocol: str, plan: FaultPlan):
     """Resolve a chaos-eligible protocol from the runtime registry.
 
     Imported lazily: this module is re-exported from ``repro.sim``,
     which the abcast/protocol layers themselves import — resolving
     the registry at call time keeps the package import graph acyclic.
-    Eligibility is the registry's ``crash_tolerant`` capability flag;
-    anything else gets a clear error naming the eligible set.
+    Eligibility follows the plan: crashes in the schedule require the
+    ``crash_tolerant`` capability flag, partitions require
+    ``partition_tolerant``; anything else gets a clear error naming
+    the eligible set.
     """
     from repro.runtime.registry import (
         crash_tolerant_protocols,
+        partition_tolerant_protocols,
         protocol_registry,
     )
 
-    eligible = crash_tolerant_protocols()
+    crash_ok = crash_tolerant_protocols()
+    partition_ok = partition_tolerant_protocols()
+    eligible = dict(crash_ok) if plan.crashes else dict(
+        {**crash_ok, **partition_ok}
+    )
+    if plan.partitions:
+        eligible = {
+            name: spec
+            for name, spec in eligible.items()
+            if name in partition_ok
+        }
     spec = eligible.get(protocol)
     if spec is not None:
         return spec
     if protocol in protocol_registry():
+        missing = (
+            "crash-recovery"
+            if plan.crashes and protocol not in crash_ok
+            else "partition-tolerance"
+        )
         raise SimulationError(
-            f"protocol {protocol!r} has no crash-recovery support; "
-            f"chaos-eligible protocols: {sorted(eligible)}"
+            f"protocol {protocol!r} has no {missing} support; "
+            f"chaos-eligible protocols for this plan: {sorted(eligible)}"
         )
     raise SimulationError(
         f"unknown chaos protocol {protocol!r}; expected one of "
@@ -93,6 +124,14 @@ class ChaosResult:
     restarts: List[Tuple[float, int]]
     failovers: List[tuple]
     duration: float
+    #: ``(time, "partition"|"heal", link count)`` per topology change.
+    partitions: List[Tuple[float, str, int]] = field(default_factory=list)
+    #: Detector accuracy counters (``HeartbeatDetector.summary()``);
+    #: empty when the plan armed no detector.
+    detector: Dict[str, float] = field(default_factory=dict)
+    #: Degraded-mode incidents recorded by the quorum-aware sequencer:
+    #: ``(time, pid, reason, msg id|None)``.
+    degraded: List[tuple] = field(default_factory=list)
     #: ``(time, event, pid, verdict)`` per incremental audit run
     #: between fault events against the live index (verdict None =
     #: clean so far); violations are monotone, so any non-None entry
@@ -120,6 +159,7 @@ class ChaosResult:
             f"{self.protocol} {self.plan.describe()}: "
             f"{self.completed}/{self.expected} ops, "
             f"{len(self.failovers)} failover(s), "
+            f"{len(self.partitions)} partition event(s), "
             f"{len(self.audits)} audit(s), {verdict}"
         )
 
@@ -134,12 +174,21 @@ def run_chaos(
     recovery: str = "replay",
     recover: bool = True,
     plan: Optional[FaultPlan] = None,
+    partition: bool = False,
+    quorum_aware: bool = True,
+    degraded: str = "defer",
+    detector_period: float = 1.0,
+    detector_timeout: float = 3.5,
     horizon: float = 40.0,
     failover_delay: float = 4.0,
     max_events: int = 3_000_000,
     workloads: Optional[Sequence[Sequence]] = None,
     latency=None,
     cluster_seed: Optional[int] = None,
+    ack_timeout: float = 4.0,
+    retry_backoff: float = 2.0,
+    retry_jitter: float = 0.25,
+    max_retries: int = 40,
     **factory_kwargs,
 ) -> ChaosResult:
     """Run one protocol under one fault plan and verify the result.
@@ -156,7 +205,21 @@ def run_chaos(
         recovery: ``"replay"`` or ``"snapshot"`` (peer state transfer).
         recover: False = negative control; crashes become permanent
             and the run is expected to fail.
-        plan: explicit fault plan; default ``FaultPlan.random(seed, n)``.
+        plan: explicit fault plan; default ``FaultPlan.random(seed, n)``
+            (or ``FaultPlan.random_partition`` with ``partition=True``).
+        partition: generate a partition schedule instead of a crash
+            schedule, and arm the heartbeat detector.
+        quorum_aware: False = partition negative control; the detector
+            still drives elections but the quorum safeguards (gated
+            delivery, minority degradation, election abort) are
+            stripped, so a split-brain is allowed to happen and the
+            checkers must catch it.
+        degraded: minority-side behaviour, ``"defer"`` (park requests
+            until quorum returns) or ``"refuse"`` (``broadcast()``
+            raises :class:`~repro.errors.PartitionedError`).
+        detector_period / detector_timeout: heartbeat interval and
+            initial silence threshold (armed only when the plan has
+            partitions).
         horizon: virtual-time spread of the generated plan.
         failover_delay: sequencer failure-detection delay.
         max_events: simulator event budget.
@@ -166,6 +229,9 @@ def run_chaos(
         latency: message-delay model (default Uniform[0.5, 1.5]).
         cluster_seed: cluster randomness seed when the fault seed
             should not double as it (default ``seed``).
+        ack_timeout / retry_backoff / retry_jitter / max_retries: the
+            reliable shim's retransmission schedule (all forwarded to
+            the network, all replayable from a ``RunSpec``).
         **factory_kwargs: extra cluster-factory keywords (protocol
             options such as ``reply_relevant_only``).
     """
@@ -174,22 +240,34 @@ def run_chaos(
     from repro.core.monitor import verify_stream
     from repro.workloads.generator import random_workloads
 
-    spec = _chaos_protocol(protocol)
-    factory, condition = spec.factory, spec.condition
     if cluster_seed is None:
         cluster_seed = seed
     if plan is None:
-        plan = FaultPlan.random(seed, n, horizon=horizon)
+        plan = (
+            FaultPlan.random_partition(seed, n, horizon=horizon)
+            if partition
+            else FaultPlan.random(seed, n, horizon=horizon)
+        )
+    spec = _chaos_protocol(protocol, plan)
+    factory, condition = spec.factory, spec.condition
     if not recover:
+        # Negative control: every crash becomes permanent.  Keep only
+        # each pid's first crash — a restartless window extends to the
+        # end of the run, so a second crash of the same pid could
+        # never fire (and would trip the plan's overlap validation).
+        first: Dict[int, CrashEvent] = {}
+        for c in sorted(plan.crashes, key=lambda c: c.at):
+            first.setdefault(
+                c.pid, CrashEvent(pid=c.pid, at=c.at, restart_after=None)
+            )
         plan = FaultPlan(
             seed=plan.seed,
             drop_prob=plan.drop_prob,
             dup_prob=plan.dup_prob,
-            crashes=tuple(
-                CrashEvent(pid=c.pid, at=c.at, restart_after=None)
-                for c in plan.crashes
-            ),
+            crashes=tuple(first.values()),
             spikes=plan.spikes,
+            partitions=plan.partitions,
+            heals=plan.heals,
         )
 
     live_index = LiveIndex()
@@ -214,9 +292,32 @@ def run_chaos(
             latency=latency or UniformLatency(0.5, 1.5),
             seed=seed + 1,
             reliable=True,
+            ack_timeout=ack_timeout,
+            backoff=retry_backoff,
+            retry_jitter=retry_jitter,
+            max_retries=max_retries,
         ),
         **factory_kwargs,
     )
+
+    detector: Optional[HeartbeatDetector] = None
+    if plan.partitions:
+        # Partition plans need a failure detector: nothing else tells
+        # a protocol the far side went silent.  The detector rides the
+        # same (lossy, partitionable) network as the protocol, so its
+        # view degrades honestly with the topology.
+        detector = HeartbeatDetector(
+            cluster.network,
+            period=detector_period,
+            timeout=detector_timeout,
+        )
+        cluster.attach_detector(detector)
+        if cluster.abcast is not None and hasattr(
+            cluster.abcast, "bind_detector"
+        ):
+            cluster.abcast.bind_detector(
+                detector, quorum_aware=quorum_aware, degraded=degraded
+            )
 
     # Incremental verification between fault events: the live index
     # closes the order online, so an audit at a crash/restart boundary
@@ -241,6 +342,7 @@ def run_chaos(
         result = cluster.run(workloads, max_events=max_events)
     except (
         DeliveryTimeout,
+        PartitionedError,
         ProcessCrashed,
         ProtocolError,
         SequencerUnavailable,
@@ -257,15 +359,18 @@ def run_chaos(
         if final_audit is not None:
             violations.append(f"incremental audit (final): {final_audit}")
         abcast_violation = result.abcast_violation
-        verifier = verify_stream(result, condition=condition)
-        violations.extend(str(v) for v in verifier.violations)
-        from repro.core.consistency import check_condition
+        if condition is not None:
+            verifier = verify_stream(result, condition=condition)
+            violations.extend(str(v) for v in verifier.violations)
+            from repro.core.consistency import check_condition
 
-        verdict = check_condition(
-            result.history, condition, extra_pairs=result.ww_pairs()
-        )
-        if not verdict.holds:
-            violations.append(f"batch {condition} checker rejected the run")
+            verdict = check_condition(
+                result.history, condition, extra_pairs=result.ww_pairs()
+            )
+            if not verdict.holds:
+                violations.append(
+                    f"batch {condition} checker rejected the run"
+                )
 
     ok = (
         failure is None
@@ -273,16 +378,21 @@ def run_chaos(
         and not violations
         and completed == expected
     )
+    degraded_log = list(getattr(cluster.abcast, "degraded", ()))
     metrics = cluster.network.stats.snapshot()
     metrics["chaos"] = {
         "crashes": len(injector.crashed),
         "restarts": len(injector.restarted),
         "failovers": len(cluster.abcast.failovers) if cluster.abcast else 0,
+        "partitions": len(injector.partitioned),
+        "degraded": len(degraded_log),
         "audits": len(audits),
         "completed": completed,
         "expected": expected,
         "duration": cluster.sim.now,
     }
+    if detector is not None:
+        metrics["detector"] = detector.summary()
     return ChaosResult(
         protocol=protocol,
         plan=plan,
@@ -296,6 +406,9 @@ def run_chaos(
         restarts=list(injector.restarted),
         failovers=list(cluster.abcast.failovers) if cluster.abcast else [],
         duration=cluster.sim.now,
+        partitions=list(injector.partitioned),
+        detector=detector.summary() if detector is not None else {},
+        degraded=degraded_log,
         audits=audits,
         metrics=metrics,
         result=result,

@@ -12,6 +12,12 @@ chaos`):
 * a mutable **delay factor** for latency spikes;
 * endpoint **crash/restore** (frames to a down endpoint vanish, the
   endpoint's own retransmission timers are volatile and die with it);
+* **link-level partitions**: a reachability matrix of directed link
+  cuts (:meth:`Network.cut_link` / :meth:`Network.partition`); frames
+  on a cut link are discarded (``lost_to_partition``), and healing a
+  link immediately *flushes* the sender's outstanding reliable
+  transfers across it, so the ack/dedup shim delivers every queued
+  logical message exactly once after the heal;
 * an optional **reliable-delivery shim** (``reliable=True``): every
   logical send is assigned a transfer id, the receiver acknowledges
   each data frame, the sender retransmits unacknowledged frames with
@@ -162,6 +168,10 @@ class NetworkStats:
         ("deduped", "net.deduped"),
         # Frames discarded because the destination endpoint was down.
         ("lost_to_crash", "net.lost_to_crash"),
+        # Frames discarded because the directed link was cut.
+        ("lost_to_partition", "net.lost_to_partition"),
+        # Outstanding reliable transfers re-fired by a link heal.
+        ("flushed", "net.flushed"),
         ("total_size", "net.total_size"),
     )
 
@@ -178,6 +188,8 @@ class NetworkStats:
     acked = _CounterProperty("_acked")
     deduped = _CounterProperty("_deduped")
     lost_to_crash = _CounterProperty("_lost_to_crash")
+    lost_to_partition = _CounterProperty("_lost_to_partition")
+    flushed = _CounterProperty("_flushed")
     total_size = _CounterProperty("_total_size")
 
     @property
@@ -239,6 +251,12 @@ class Network:
         backoff: exponential backoff multiplier per retry.
         max_backoff: cap on the backoff multiplier.
         max_retries: retransmissions before :class:`DeliveryTimeout`.
+        retry_jitter: desynchronizing jitter fraction added to every
+            retransmission timeout.  Drawn from a *dedicated* RNG
+            (seeded from ``seed``), so jitter draws never perturb the
+            drop/duplicate/latency sampling stream and
+            :class:`DeliveryTimeout` behavior is replayable from a
+            spec.
     """
 
     def __init__(
@@ -256,6 +274,7 @@ class Network:
         backoff: float = 2.0,
         max_backoff: float = 8.0,
         max_retries: int = 40,
+        retry_jitter: float = 0.25,
     ) -> None:
         if n <= 0:
             raise SimulationError("network needs at least one endpoint")
@@ -270,11 +289,19 @@ class Network:
         self.backoff = backoff
         self.max_backoff = max_backoff
         self.max_retries = max_retries
+        if retry_jitter < 0:
+            raise SimulationError("retry_jitter must be non-negative")
+        self.retry_jitter = retry_jitter
         #: Multiplier applied to every sampled latency; fault plans
         #: raise it temporarily to model congestion/delay spikes.
         self.delay_factor = 1.0
         self.stats = NetworkStats()
         self._rng = random.Random(seed)
+        # Dedicated stream for retransmission jitter: timer behavior
+        # stays identical however many frames the fault layer samples.
+        self._retry_rng = random.Random((seed + 1) * 0x9E3779B1)
+        #: Directed link cuts: ``(src, dst)`` pairs currently severed.
+        self._cut: Set[Tuple[int, int]] = set()
         self._handlers: Dict[int, Handler] = {}
         self._last_delivery: Dict[Tuple[int, int], float] = {}
         self._down: Set[int] = set()
@@ -335,15 +362,135 @@ class Network:
         return set(self._down)
 
     # ------------------------------------------------------------------
+    # Link-level partitions
+    # ------------------------------------------------------------------
+
+    def cut_link(self, src: int, dst: int, *, symmetric: bool = True) -> None:
+        """Sever the ``src -> dst`` link (both directions by default).
+
+        Frames in flight are unaffected; frames *transmitted* while
+        the link is cut are discarded and counted in
+        ``stats.lost_to_partition``.  Reliable transfers keep backing
+        off against the dead link and are flushed by
+        :meth:`heal_link`.
+        """
+        self._check_pid(src)
+        self._check_pid(dst)
+        if src == dst:
+            raise SimulationError(f"cannot cut the self-link of pid {src}")
+        pairs = [(src, dst), (dst, src)] if symmetric else [(src, dst)]
+        tracer = get_tracer()
+        for pair in pairs:
+            if pair not in self._cut:
+                self._cut.add(pair)
+                if tracer.enabled:
+                    tracer.event("net.cut", src=pair[0], dst=pair[1])
+
+    def heal_link(self, src: int, dst: int, *, symmetric: bool = True) -> None:
+        """Restore the ``src -> dst`` link (both directions by default).
+
+        For each direction actually healed, the sender's outstanding
+        reliable transfers across that link are flushed immediately:
+        their backoff state resets and the frames are retransmitted
+        now, so queued logical messages cross the healed link without
+        waiting out the (possibly maximal) backoff.  Receiver-side
+        dedup guarantees exactly-once delivery regardless of how many
+        retransmissions raced the heal.
+        """
+        self._check_pid(src)
+        self._check_pid(dst)
+        pairs = [(src, dst), (dst, src)] if symmetric else [(src, dst)]
+        tracer = get_tracer()
+        for pair in pairs:
+            if pair in self._cut:
+                self._cut.discard(pair)
+                if tracer.enabled:
+                    tracer.event("net.heal", src=pair[0], dst=pair[1])
+                self._flush_link(*pair)
+
+    def partition(self, groups) -> None:
+        """Cut every link between distinct groups of pids.
+
+        ``groups`` is an iterable of pid collections; pids must not
+        repeat across groups.  Pids absent from every group keep all
+        their links (use explicit singleton groups to isolate them).
+        """
+        groups = [tuple(g) for g in groups]
+        seen: Set[int] = set()
+        for group in groups:
+            for pid in group:
+                self._check_pid(pid)
+                if pid in seen:
+                    raise SimulationError(
+                        f"pid {pid} appears in two partition groups"
+                    )
+                seen.add(pid)
+        for i, left in enumerate(groups):
+            for right in groups[i + 1:]:
+                for a in left:
+                    for b in right:
+                        self.cut_link(a, b)
+
+    def heal_all(self) -> None:
+        """Heal every cut link (flushing each, see :meth:`heal_link`)."""
+        for src, dst in sorted(self._cut):
+            self.heal_link(src, dst, symmetric=False)
+
+    def is_cut(self, src: int, dst: int) -> bool:
+        """True iff the directed ``src -> dst`` link is severed."""
+        return (src, dst) in self._cut
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """True iff a frame sent now from ``src`` would reach ``dst``
+        (link intact and destination endpoint up)."""
+        return (src, dst) not in self._cut and dst not in self._down
+
+    @property
+    def cut_links(self) -> Set[Tuple[int, int]]:
+        """The set of currently severed directed links (a copy)."""
+        return set(self._cut)
+
+    def _flush_link(self, src: int, dst: int) -> None:
+        for xfer, transfer in sorted(self._outstanding[src].items()):
+            if transfer.dst != dst:
+                continue
+            if transfer.timer is not None:
+                transfer.timer.cancel()
+            transfer.attempts = 0
+            self.stats.flushed += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "net.flush",
+                    kind=transfer.message.kind,
+                    src=src,
+                    dst=dst,
+                )
+            self._transmit(src, dst, ("data", xfer, transfer.message))
+            self._arm_timer(src, xfer)
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
 
-    def send(self, src: int, dst: int, message: Message) -> None:
+    def send(
+        self,
+        src: int,
+        dst: int,
+        message: Message,
+        *,
+        reliable: Optional[bool] = None,
+    ) -> None:
         """Send ``message`` from ``src`` to ``dst``.
 
         Self-sends are permitted and also traverse the (zero-distance
         but still asynchronous) channel: the handler runs in a later
         simulator event, never synchronously.
+
+        ``reliable`` overrides the network-wide shim setting for this
+        one send: the failure detector passes ``reliable=False`` so
+        heartbeats stay fire-and-forget (a retransmitted heartbeat
+        would defeat its own purpose).
         """
         self._check_pid(src)
         self._check_pid(dst)
@@ -353,7 +500,8 @@ class Network:
         if tracer.enabled:
             tracer.event("net.send", kind=message.kind, src=src, dst=dst)
         self.stats.record_send(message)
-        if not self.reliable:
+        use_shim = self.reliable if reliable is None else reliable
+        if not use_shim:
             self._transmit(src, dst, ("data", None, message))
             return
         xfer = next(self._next_xfer)
@@ -380,6 +528,17 @@ class Network:
     # ------------------------------------------------------------------
 
     def _transmit(self, src: int, dst: int, frame: Tuple) -> None:
+        if (src, dst) in self._cut:
+            # A cut link loses the frame before it reaches the wire:
+            # no drop/dup sampling, so partition windows do not shift
+            # the fault layer's RNG stream.
+            self.stats.lost_to_partition += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "net.partition_drop", kind=frame[0], src=src, dst=dst
+                )
+            return
         if self.drop_prob and self._rng.random() < self.drop_prob:
             self.stats.dropped += 1
             tracer = get_tracer()
@@ -462,7 +621,8 @@ class Network:
             return
         scale = min(self.backoff ** transfer.attempts, self.max_backoff)
         timeout = self.ack_timeout * scale
-        timeout *= 1.0 + 0.25 * self._rng.random()  # desynchronizing jitter
+        # Desynchronizing jitter from the dedicated retry stream.
+        timeout *= 1.0 + self.retry_jitter * self._retry_rng.random()
         transfer.timer = self.sim.schedule(
             timeout, lambda: self._on_timeout(src, xfer)
         )
