@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint analyze chaos chaos-smoke report bench-json run-smoke
+.PHONY: test lint analyze chaos chaos-smoke report bench-json \
+	bench-gate run-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +35,14 @@ report:
 	$(PYTHON) -m repro report
 
 ## Checker wall-clock medians -> BENCH_checkers.json (repo root).
+## Extra flags pass through BENCH_ARGS, e.g.
+## `make bench-json BENCH_ARGS=--quick`.
 bench-json:
-	$(PYTHON) -m benchmarks.bench_checkers
+	$(PYTHON) -m benchmarks.bench_checkers $(BENCH_ARGS)
 	$(PYTHON) -m benchmarks.bench_chaos
+
+## Regenerate the checker artifact to a scratch path and fail on a
+## >2x median regression vs the committed BENCH_checkers.json.
+bench-gate:
+	$(PYTHON) -m benchmarks.bench_checkers bench-fresh.json $(BENCH_ARGS)
+	$(PYTHON) tools/bench_gate.py bench-fresh.json

@@ -57,6 +57,31 @@ QUICK_CASES = [
     ("m-norm", 100, 2),
 ]
 
+#: (condition, n_mops, mode, workers, runs) rows for the certified
+#: plan/execute engine (:mod:`repro.core.plan`).  ``full`` and
+#: ``windowed`` run the single forward legality scan over the shared
+#: serial workload's total-update-order certificate; ``sharded`` runs
+#: the object-group parallel plan over the partitioned workload.  The
+#: 100k rows are the headline: a certified 100k-mop history checks
+#: end-to-end in single-digit seconds.
+ENGINE_CASES = [
+    ("m-sc", 10_000, "full", 1, 3),
+    ("m-sc", 10_000, "sharded", 4, 3),
+    ("m-sc", 10_000, "windowed", 1, 3),
+    ("m-norm", 10_000, "full", 1, 2),
+    ("m-sc", 100_000, "full", 1, 2),
+    ("m-sc", 100_000, "sharded", 4, 1),
+    ("m-sc", 100_000, "windowed", 1, 2),
+]
+
+#: The CI smoke subset for the engine: every mode exercised at a size
+#: that finishes in well under a second.
+QUICK_ENGINE_CASES = [
+    ("m-sc", 300, "full", 1, 2),
+    ("m-sc", 300, "sharded", 2, 2),
+    ("m-sc", 300, "windowed", 1, 2),
+]
+
 #: (condition, n_mops, runs) pairs for the certified-vs-dynamic
 #: constraint-phase comparison.  The certificate is built (and its
 #: chain bound) outside the timed region: proving is a one-off static
@@ -97,6 +122,73 @@ def run_cases(
                 "condition": condition,
                 "n_mops": n_mops,
                 "method": "constrained",
+                "runs": runs,
+                "median_s": round(statistics.median(samples), 4),
+                "min_s": round(min(samples), 4),
+                "holds": bool(verdict.holds),
+            }
+        )
+    return rows
+
+
+def run_engine_cases(
+    cases: Sequence[Tuple[str, int, str, int, int]] = ENGINE_CASES
+) -> List[dict]:
+    """Plan/execute engine rows: full / sharded / windowed modes.
+
+    Certificates are built outside the timed region (proving is a
+    one-off static cost).  Witness extraction is disabled: at 100k
+    m-operations the verdict is the product, and materializing the
+    witness ordering would dominate the scan being measured — the
+    cross-validation tests cover witness fidelity at corpus scale.
+    ``windowed`` runs with ``window = min(1000, n_mops)``: large
+    enough that the serial workload's recent-read pattern never
+    refuses, small enough to demonstrate bounded state.
+    """
+    from benchmarks.conftest import partitioned_workload
+    from repro.analysis.static.prover import certify_chain
+
+    rows: List[dict] = []
+    for condition, n_mops, mode, workers, runs in cases:
+        window = min(1000, n_mops) if mode == "windowed" else None
+
+        def make(
+            condition=condition,
+            n_mops=n_mops,
+            mode=mode,
+            workers=workers,
+            window=window,
+        ):
+            if mode == "sharded":
+                # Sharded plans refuse extra_pairs (they cross
+                # shards); the object-partitioned certificate alone
+                # carries the constraint.
+                history, cert = partitioned_workload(n_mops)
+                ww = []
+            else:
+                history, ww = checker_workload(n_mops)
+                chain = [m.uid for m in history.mops if m.is_update]
+                cert = certify_chain(history, chain)
+            return lambda: check_condition(
+                history,
+                condition,
+                method="constrained",
+                extra_pairs=ww,
+                certificate=cert,
+                mode=mode,
+                workers=workers,
+                window=window,
+                witness=False,
+            )
+
+        samples, verdict = timed_samples(make, runs)
+        rows.append(
+            {
+                "condition": condition,
+                "n_mops": n_mops,
+                "method": mode,
+                "workers": workers,
+                "window": window,
                 "runs": runs,
                 "median_s": round(statistics.median(samples), 4),
                 "min_s": round(min(samples), 4),
@@ -219,6 +311,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     out = Path(args.out)
     rows = run_cases(QUICK_CASES if args.quick else CASES)
+    engine_rows = run_engine_cases(
+        QUICK_ENGINE_CASES if args.quick else ENGINE_CASES
+    )
     certificate_rows = run_certificate_cases(
         QUICK_CERTIFICATE_CASES if args.quick else CERTIFICATE_CASES
     )
@@ -233,7 +328,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             "n_objects=4, n_mops=N, query_fraction=0.4), seed=3) "
             "with the total ww update chain as extra_pairs"
         ),
-        "results": rows,
+        "results": rows + engine_rows,
+        "engine": {
+            "description": (
+                "certified plan/execute engine "
+                "(repro.core.plan): method full = single forward "
+                "legality scan, sharded = object-group parallel "
+                "plan on the partitioned workload, windowed = "
+                "bounded-memory scan with window=min(1000, n); "
+                "witness extraction disabled"
+            ),
+            "results": engine_rows,
+        },
         "certificates": {
             "description": (
                 "constrained check with the dynamic constraint phase "
@@ -264,6 +370,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     for row in rows:
         print(
             f"{row['condition']:<7} n={row['n_mops']:<5} "
+            f"median={row['median_s']:.4f}s holds={row['holds']}"
+        )
+    for row in engine_rows:
+        extras = f" workers={row['workers']}" if row["workers"] > 1 else ""
+        if row["window"] is not None:
+            extras += f" window={row['window']}"
+        print(
+            f"{row['condition']:<7} n={row['n_mops']:<6} "
+            f"[{row['method']}{extras}] "
             f"median={row['median_s']:.4f}s holds={row['holds']}"
         )
     print(

@@ -51,6 +51,35 @@ def checker_workload(
     return history, list(zip(updates, updates[1:]))
 
 
+def partitioned_workload(
+    n_mops: int,
+    *,
+    seed: int = 3,
+    n_processes: int = 4,
+    objects_per_process: int = 2,
+    query_fraction: float = 0.4,
+):
+    """The sharded-engine workload at a given size.
+
+    An object-partitioned serial history (each process owns a private
+    object namespace) plus its object-partitioned certificate — the
+    input shape the sharded execution plan in
+    :mod:`repro.core.plan` requires.  Fresh per call, like
+    :func:`checker_workload`.
+    """
+    from repro.analysis.static import certify_partitioned_history
+    from repro.workloads import HistoryShape, random_partitioned_history
+
+    shape = HistoryShape(
+        n_processes=n_processes,
+        n_objects=objects_per_process,
+        n_mops=n_mops,
+        query_fraction=query_fraction,
+    )
+    history = random_partitioned_history(shape, seed=seed)
+    return history, certify_partitioned_history(history)
+
+
 def timed_samples(
     make: Callable[[], Callable[[], object]], runs: int
 ) -> Tuple[List[float], object]:

@@ -43,7 +43,12 @@ from repro.core import (
     check_m_causal_consistency,
 )
 from repro.core.serialize import load_history
-from repro.errors import MissingTimestampsError, ReproError
+from repro.errors import (
+    MissingTimestampsError,
+    PlanRefused,
+    ReproError,
+    WindowExceeded,
+)
 from repro.obs import flame_summary
 from repro.runtime import (
     RunSpec,
@@ -76,6 +81,25 @@ def cmd_check(args: argparse.Namespace) -> int:
     print(f"index: {HistoryIndex.of(history).stats().row()}")
     print()
     method = args.method
+    mode = args.mode
+    certificate = None
+    if mode != "full":
+        # Sharded/windowed plans need a static certificate; derive the
+        # strongest one the concrete history supports (read-only >
+        # single-updater > object-partitioned).
+        from repro.analysis.static import certify_history
+        from repro.errors import CertificationRefused
+
+        try:
+            certificate = certify_history(history)
+            print(
+                f"certificate: {certificate.rule} "
+                f"({certificate.constraint}-constraint)"
+            )
+            print()
+        except CertificationRefused as exc:
+            print(f"error: cannot plan mode={mode!r}: {exc}", file=sys.stderr)
+            return 2
     failures = 0
     checks = [
         ("m-sequential consistency", "m-sc"),
@@ -84,9 +108,20 @@ def cmd_check(args: argparse.Namespace) -> int:
     ]
     for label, condition in checks:
         try:
-            verdict = check_condition(history, condition, method=method)
+            verdict = check_condition(
+                history,
+                condition,
+                method=method,
+                certificate=certificate,
+                mode=mode,
+                workers=args.workers,
+                window=args.window,
+            )
         except MissingTimestampsError:
             print(f"{label:<28} (skipped: history has no timestamps)")
+            continue
+        except (PlanRefused, WindowExceeded) as exc:
+            print(f"{label:<28} (refused: {exc})")
             continue
         status = "HOLDS" if verdict.holds else "VIOLATED"
         print(f"{label:<28} {status}  [{verdict.method_used} checker]")
@@ -188,6 +223,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             recover=not args.no_recover,
             partition=args.partition,
             quorum_aware=not args.no_quorum,
+            verify_window=args.window,
+            verify_workers=args.workers,
         )
         print(result.summary())
         if args.metrics:
@@ -291,11 +328,25 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
     try:
         spec = RunSpec.load(args.spec)
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    overrides = {}
+    if args.mode is not None:
+        overrides["mode"] = args.mode
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.window is not None:
+        overrides["window"] = args.window
+    if overrides:
+        spec = dataclasses.replace(
+            spec,
+            verify=dataclasses.replace(spec.verify, **overrides),
+        )
     try:
         artifact = execute_spec(spec)
     except ReproError as exc:
@@ -386,6 +437,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         choices=["auto", "exact", "constrained"],
         default="auto",
+    )
+    check.add_argument(
+        "--mode",
+        choices=["full", "sharded", "windowed"],
+        default="full",
+        help="verification plan: full (monolithic), sharded "
+        "(object-group parallel), or windowed (bounded-memory scan); "
+        "non-full modes derive a static certificate from the history",
+    )
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sharded plans (default: 1, "
+        "in-process)",
+    )
+    check.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="window size (broadcast positions) for windowed plans; "
+        "reads spanning more than this refuse rather than mis-answer",
     )
     check.add_argument(
         "--strict",
@@ -496,6 +569,20 @@ def build_parser() -> argparse.ArgumentParser:
         "expected to fail with a split-brain violation)",
     )
     chaos.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="audit each run with a bounded-memory WindowedIndex of "
+        "this many broadcast positions instead of the full LiveIndex",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the end-of-run batch verification "
+        "(default: 1, in-process)",
+    )
+    chaos.add_argument(
         "--out",
         help="write a JSON artifact with per-seed results to this path",
     )
@@ -511,6 +598,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute a declarative RunSpec JSON through the runtime",
     )
     run.add_argument("spec", help="path to the RunSpec JSON file")
+    run.add_argument(
+        "--mode",
+        choices=["full", "sharded", "windowed"],
+        default=None,
+        help="override the spec's verify.mode",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the spec's verify.workers",
+    )
+    run.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="override the spec's verify.window",
+    )
     run.add_argument(
         "--out", help="also save the RunArtifact JSON to this path"
     )

@@ -43,6 +43,8 @@ from repro.analysis.static.prover import (
     SampledRun,
     WorkloadSpec,
     certify_chain,
+    certify_history,
+    certify_partitioned_history,
     certify_run,
     certify_spec,
     certify_workloads,
@@ -66,6 +68,8 @@ __all__ = [
     "WorkloadSpec",
     "analyze_repo",
     "certify_chain",
+    "certify_history",
+    "certify_partitioned_history",
     "certify_run",
     "certify_spec",
     "certify_workloads",

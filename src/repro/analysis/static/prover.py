@@ -483,6 +483,83 @@ def certify_chain(
     return cert
 
 
+def certify_partitioned_history(history: History) -> ConstraintCertificate:
+    """Certify a concrete history as object-partitioned, post hoc.
+
+    One O(n) ownership scan: every object must be touched by a single
+    process, which confines every conflicting pair to one process
+    chain (D 4.8) — the shape the sharded verification plan
+    (:mod:`repro.core.plan`) decomposes along.  Unlike
+    :func:`certify_spec` this certifies *one history*, not a workload;
+    the checker's trust-but-verify audit re-runs the same scan before
+    relying on it.
+    """
+    owner: Dict[str, int] = {}
+    for mop in history.mops:
+        for obj in mop.objects:
+            previous = owner.setdefault(obj, mop.process)
+            if previous != mop.process:
+                raise CertificationRefused(
+                    f"object {obj!r} is accessed by P{previous} and "
+                    f"P{mop.process}; the history is not "
+                    "object-partitioned"
+                )
+    return ConstraintCertificate(
+        constraint="oo",
+        rule="object-partitioned",
+        reason=(
+            "every object in the concrete history is accessed by a "
+            "single process, so conflicting m-operations share a "
+            "process and are ordered by process order (D 4.8)"
+        ),
+        assumptions=_BASE_ASSUMPTIONS,
+    )
+
+
+def certify_history(history: History) -> ConstraintCertificate:
+    """Best-effort post-hoc certification of a raw history.
+
+    For checking saved histories (``python -m repro check --mode
+    sharded|windowed``) where no workload spec or run record exists:
+    tries the structural rules strongest-first — ``read-only``,
+    ``single-updater``, then ``object-partitioned`` — and raises
+    :class:`~repro.errors.CertificationRefused` when none applies.
+    Each rule mirrors its :func:`certify_spec` counterpart, evaluated
+    on the concrete m-operations instead of program profiles.
+    """
+    init_uid = history.init.uid
+    updaters = sorted(
+        {
+            m.process
+            for m in history.mops
+            if m.is_update and m.uid != init_uid
+        }
+    )
+    if not updaters:
+        return ConstraintCertificate(
+            constraint="oo",
+            rule="read-only",
+            reason=(
+                "the history contains no client update m-operation, so "
+                "no pair of client m-operations conflicts (D 4.1 "
+                "requires a write)"
+            ),
+            assumptions=_BASE_ASSUMPTIONS,
+        )
+    if len(updaters) == 1:
+        return ConstraintCertificate(
+            constraint="ww",
+            rule="single-updater",
+            reason=(
+                f"only P{updaters[0]} issues updates in this history; "
+                "its updates are totally ordered by process order and "
+                "the initial m-operation precedes them all (D 4.9)"
+            ),
+            assumptions=_BASE_ASSUMPTIONS,
+        )
+    return certify_partitioned_history(history)
+
+
 # ----------------------------------------------------------------------
 # Spec-conforming history sampling (cross-validation support)
 # ----------------------------------------------------------------------

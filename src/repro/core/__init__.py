@@ -6,6 +6,7 @@ Sub-modules:
 * :mod:`repro.core.history` — histories and the reads-from map.
 * :mod:`repro.core.relations` — relation algebra.
 * :mod:`repro.core.index` — shared per-history derived-data layer.
+* :mod:`repro.core.plan` — plan/execute verification engine.
 * :mod:`repro.core.orders` — process/reads-from/real-time/object order.
 * :mod:`repro.core.legality` — conflict, interference, legality.
 * :mod:`repro.core.constraints` — OO/WW/WO constraints, ``~rw``, ``~H+``.
@@ -52,7 +53,12 @@ from repro.core.constraints import (
 )
 from repro.core.diagnostics import Explanation, explain
 from repro.core.history import History
-from repro.core.index import HistoryIndex, IndexStats, LiveIndex
+from repro.core.index import (
+    HistoryIndex,
+    IndexStats,
+    LiveIndex,
+    WindowedIndex,
+)
 from repro.core.legality import (
     conflict,
     interfere,
@@ -78,8 +84,21 @@ from repro.core.operation import (
     read,
     write,
 )
+from repro.core.plan import (
+    MODES,
+    CheckPlan,
+    ScanResult,
+    Shard,
+    ShardOutcome,
+    object_shards,
+    plan_check,
+    run_scan,
+    run_sharded,
+    shard_history,
+)
 from repro.core.orders import (
     base_order,
+    chain_order,
     mlin_order,
     mnorm_order,
     msc_order,
@@ -105,6 +124,7 @@ from repro.core.serialize import (
 __all__ = [
     "AdmissibilityResult",
     "CausalVerdict",
+    "CheckPlan",
     "ConsistencyVerdict",
     "ConstraintNotSatisfied",
     "History",
@@ -114,18 +134,24 @@ __all__ = [
     "IndexStats",
     "LiveIndex",
     "LiveMonitor",
+    "MODES",
     "MOperation",
     "MonitorUsageError",
     "ObservedOp",
     "OpKind",
     "Operation",
     "Relation",
+    "ScanResult",
     "SearchBudgetExceeded",
     "SearchStats",
+    "Shard",
+    "ShardOutcome",
     "StreamViolation",
     "StreamingVerifier",
+    "WindowedIndex",
     "base_order",
     "causal_order",
+    "chain_order",
     "check_admissible",
     "check_condition",
     "check_m_linearizability",
@@ -161,13 +187,18 @@ __all__ = [
     "mnorm_order",
     "msc_order",
     "object_order",
+    "object_shards",
+    "plan_check",
     "process_order",
     "read",
     "reads_from_order",
     "real_time_order",
     "relation_from_sequence",
     "restrict_history",
+    "run_scan",
+    "run_sharded",
     "save_history",
+    "shard_history",
     "rw_pairs",
     "satisfies_oo",
     "satisfies_wo",

@@ -46,8 +46,9 @@ from repro.core.constraints import (
 from repro.core.history import History
 from repro.core.index import HistoryIndex
 from repro.core.legality import is_legal
+from repro.core.plan import MODES, plan_check, run_scan, run_sharded
 from repro.core.relations import Relation
-from repro.errors import InvalidCertificate, ReproError
+from repro.errors import InvalidCertificate, PlanRefused, ReproError
 from repro.obs import get_tracer
 
 #: Checker method names accepted by the public functions.
@@ -77,6 +78,10 @@ class ConsistencyVerdict:
             that replaced the dynamic constraint phase, or None when
             the constraint was (or would have been) checked
             dynamically.
+        mode: the execution mode of the plan that produced the
+            verdict (``"full"``, ``"sharded"`` or ``"windowed"``).
+            Verdicts are mode-independent — sharded and windowed runs
+            reproduce the full checker byte for byte.
     """
 
     holds: bool
@@ -85,6 +90,7 @@ class ConsistencyVerdict:
     witness: Optional[List[int]] = None
     stats: SearchStats = field(default_factory=SearchStats)
     certificate: Optional[str] = None
+    mode: str = "full"
 
     def __bool__(self) -> bool:
         return self.holds
@@ -97,13 +103,19 @@ def _check(
     node_limit: Optional[int],
     extra_pairs: Iterable[Tuple[int, int]],
     certificate=None,
+    mode: str = "full",
+    workers: int = 1,
+    window: Optional[int] = None,
+    witness: bool = True,
 ) -> ConsistencyVerdict:
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
 
     tracer = get_tracer()
     with tracer.span(
-        f"check.{condition}", method=method, mops=len(history.mops)
+        f"check.{condition}", method=method, mops=len(history.mops), mode=mode
     ):
         # One shared index per history: the base order, its closure,
         # the interfering triples and the constraint masks are computed
@@ -111,11 +123,16 @@ def _check(
         with tracer.span("check.index"):
             index = HistoryIndex.of(history)
             extra = _normalize_extra(extra_pairs)
-            base = index.base_relation(condition, extra)
 
         if method == "exact":
+            if mode != "full":
+                raise PlanRefused(
+                    "the exact admissibility search has no sharded or "
+                    "windowed form; use mode='full'"
+                )
             # The exact search needs neither the closure nor the
             # constraint verdicts.
+            base = index.base_relation(condition, extra)
             with tracer.span("check.exact"):
                 result = check_admissible(history, base, node_limit=node_limit)
             return ConsistencyVerdict(
@@ -126,25 +143,86 @@ def _check(
                 stats=result.stats,
             )
 
-        with tracer.span("check.closure"):
-            closure = base.transitive_closure()
-
         # A static certificate (repro.analysis.static.prover) replaces
         # the dynamic constraint phase: Theorem 7's precondition was
         # proved from the workload, so only the O(n) structural audit
-        # runs here — never the closure scans below.
-        if certificate is not None and getattr(
-            certificate, "unlocks_theorem7", False
-        ):
+        # runs here — never the closure scans below.  The audit runs
+        # before planning: every plan strategy relies on it.
+        cert = (
+            certificate
+            if certificate is not None
+            and getattr(certificate, "unlocks_theorem7", False)
+            else None
+        )
+        if cert is not None:
             with tracer.span("check.certificate"):
-                failure = certificate.audit(history, extra)
+                failure = cert.audit(history, extra)
             if failure is not None:
                 raise InvalidCertificate(
-                    f"{certificate.rule} certificate rejected for the "
+                    f"{cert.rule} certificate rejected for the "
                     f"{condition} check: {failure}"
                 )
-            verdict = _check_constrained(history, base, closure, condition)
-            verdict.certificate = certificate.rule
+
+        with tracer.span("check.plan"):
+            plan = plan_check(
+                history,
+                condition,
+                mode=mode,
+                workers=workers,
+                window=window,
+                extra_pairs=extra,
+                certificate=cert,
+            )
+
+        if plan.strategy == "scan":
+            with tracer.span("check.scan", chain=len(plan.chain)):
+                result = run_scan(
+                    history,
+                    condition,
+                    plan.chain,
+                    extra_pairs=extra,
+                    window=plan.window,
+                    want_witness=witness,
+                )
+            return ConsistencyVerdict(
+                holds=result.holds,
+                condition=condition,
+                method_used="constrained",
+                witness=result.witness,
+                certificate=plan.certificate_rule,
+                mode=mode,
+            )
+
+        if plan.strategy == "shard":
+            with tracer.span(
+                "check.shards", shards=len(plan.shards), workers=plan.workers
+            ):
+                outcome = run_sharded(
+                    history,
+                    condition,
+                    plan.shards,
+                    workers=plan.workers,
+                    want_witness=witness,
+                )
+            return ConsistencyVerdict(
+                holds=outcome.holds,
+                condition=condition,
+                method_used="constrained",
+                witness=outcome.witness,
+                certificate=plan.certificate_rule,
+                mode=mode,
+            )
+
+        # strategy == "closure": the monolithic Theorem-7 path.
+        base = index.base_relation(condition, extra)
+        with tracer.span("check.closure"):
+            closure = base.transitive_closure()
+
+        if cert is not None:
+            verdict = _check_constrained(
+                history, base, closure, condition, want_witness=witness
+            )
+            verdict.certificate = cert.rule
             return verdict
 
         with tracer.span("check.constraints"):
@@ -160,7 +238,9 @@ def _check(
             )
 
         if constrained_ok:
-            return _check_constrained(history, base, closure, condition)
+            return _check_constrained(
+                history, base, closure, condition, want_witness=witness
+            )
 
         with tracer.span("check.exact"):
             result = check_admissible(history, base, node_limit=node_limit)
@@ -174,7 +254,12 @@ def _check(
 
 
 def _check_constrained(
-    history: History, base: Relation, closure: Relation, condition: str
+    history: History,
+    base: Relation,
+    closure: Relation,
+    condition: str,
+    *,
+    want_witness: bool = True,
 ) -> ConsistencyVerdict:
     """Theorem 7: under OO/WW, admissible ⟺ legal.
 
@@ -191,6 +276,8 @@ def _check_constrained(
             return ConsistencyVerdict(False, condition, "constrained")
         if not is_legal(history, closure):
             return ConsistencyVerdict(False, condition, "constrained")
+    if not want_witness:
+        return ConsistencyVerdict(True, condition, "constrained")
     with tracer.span("check.witness"):
         extended = base.copy()
         for a_uid, c_uid in rw_pairs(history, closure):
@@ -218,6 +305,10 @@ def check_m_sequential_consistency(
     node_limit: Optional[int] = None,
     extra_pairs: Iterable[Tuple[int, int]] = (),
     certificate=None,
+    mode: str = "full",
+    workers: int = 1,
+    window: Optional[int] = None,
+    witness: bool = True,
 ) -> ConsistencyVerdict:
     """Is the history m-sequentially consistent? (Section 2.3)
 
@@ -232,9 +323,21 @@ def check_m_sequential_consistency(
     Note the check then becomes *sufficient* rather than exact:
     admissibility w.r.t. a larger order implies m-sequential
     consistency, but not conversely.
+
+    ``mode`` selects the plan the engine executes (see
+    :mod:`repro.core.plan`): ``"full"`` (default) checks the whole
+    history at once, ``"sharded"`` decomposes an object-partitioned
+    history into independent per-process shards run on ``workers``
+    processes, and ``"windowed"`` bounds the legality scan's lookback
+    to ``window`` broadcast positions, refusing (never deciding
+    wrongly) with :class:`~repro.errors.WindowExceeded` when a read
+    reaches further back.  ``witness=False`` skips witness
+    construction — the verdict is unchanged but large histories check
+    much faster.
     """
     return _check(
-        history, "m-sc", method, node_limit, extra_pairs, certificate
+        history, "m-sc", method, node_limit, extra_pairs, certificate,
+        mode=mode, workers=workers, window=window, witness=witness,
     )
 
 
@@ -245,6 +348,10 @@ def check_m_linearizability(
     node_limit: Optional[int] = None,
     extra_pairs: Iterable[Tuple[int, int]] = (),
     certificate=None,
+    mode: str = "full",
+    workers: int = 1,
+    window: Optional[int] = None,
+    witness: bool = True,
 ) -> ConsistencyVerdict:
     """Is the history m-linearizable? (Section 2.3)
 
@@ -253,10 +360,13 @@ def check_m_linearizability(
     an instant between its invocation and response, and the order of
     non-overlapping m-operations is preserved.  Requires a timed
     history.  See :func:`check_m_sequential_consistency` for
-    ``extra_pairs``.
+    ``extra_pairs`` and the ``mode``/``workers``/``window``/``witness``
+    plan knobs (``mode="sharded"`` is refused for m-linearizability:
+    the real-time order crosses shard boundaries).
     """
     return _check(
-        history, "m-lin", method, node_limit, extra_pairs, certificate
+        history, "m-lin", method, node_limit, extra_pairs, certificate,
+        mode=mode, workers=workers, window=window, witness=witness,
     )
 
 
@@ -267,6 +377,10 @@ def check_m_normality(
     node_limit: Optional[int] = None,
     extra_pairs: Iterable[Tuple[int, int]] = (),
     certificate=None,
+    mode: str = "full",
+    workers: int = 1,
+    window: Optional[int] = None,
+    witness: bool = True,
 ) -> ConsistencyVerdict:
     """Is the history m-normal? (Section 2.3)
 
@@ -274,10 +388,12 @@ def check_m_normality(
     ordered only when they act on a common object (object order ``~x``
     instead of real-time order ``~t``).  m-linearizability implies
     m-normality implies m-sequential consistency.  See
-    :func:`check_m_sequential_consistency` for ``extra_pairs``.
+    :func:`check_m_sequential_consistency` for ``extra_pairs`` and the
+    ``mode``/``workers``/``window``/``witness`` plan knobs.
     """
     return _check(
-        history, "m-norm", method, node_limit, extra_pairs, certificate
+        history, "m-norm", method, node_limit, extra_pairs, certificate,
+        mode=mode, workers=workers, window=window, witness=witness,
     )
 
 
@@ -296,7 +412,8 @@ def check_condition(
     the simulator and the chaos harness share.
 
     ``kwargs`` are forwarded to the named checker (``method``,
-    ``node_limit``, ``extra_pairs``, ``certificate``).
+    ``node_limit``, ``extra_pairs``, ``certificate``, ``mode``,
+    ``workers``, ``window``, ``witness``).
     """
     try:
         checker = CHECKERS[condition]

@@ -38,14 +38,14 @@ sparse closure.
 from __future__ import annotations
 
 import heapq
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.history import History
 from repro.core.operation import INIT_UID
 from repro.core.relations import IncrementalClosure, Relation
-from repro.errors import MissingTimestampsError
+from repro.errors import MissingTimestampsError, WindowExceeded
 
 #: ``(a, b, c)``: ``a`` reads from ``b`` some object that ``c`` writes.
 InterferingTriple = Tuple[int, int, int]
@@ -652,3 +652,252 @@ class LiveIndex:
     def snapshot(self) -> Relation:
         """The current closed order as a :class:`Relation`."""
         return self._closure.to_relation()
+
+
+class WindowedIndex:
+    """Bounded-memory streaming auditor — the windowed twin of
+    :class:`LiveIndex`.
+
+    :class:`LiveIndex` maintains an incremental transitive closure,
+    whose bitmask rows grow quadratically with the run; an unbounded
+    stream eventually exhausts memory.  ``WindowedIndex`` keeps the
+    same feeding interface (:meth:`announce` / :meth:`observe` /
+    :meth:`audit`) but replaces the closure with the ``~ww``
+    chain-position scan of :mod:`repro.core.plan`: every broadcast
+    delivery gets a chain position, each process carries a *mark* (the
+    highest chain position visible to it), and a completed read is
+    legal iff no other writer of the object sits between its writer
+    and the reader's mark — one :func:`bisect <bisect.bisect_right>`
+    per read against the object's retained writer positions.
+
+    **Epoch checkpoints.**  Every ``window`` announcements the index
+    seals the closed prefix: writer positions more than ``window``
+    behind the delivery frontier are discarded, keeping only the
+    *sealed head* (the newest discarded writer — reads from it remain
+    decidable).  Retained state is O(objects × window) plus one
+    integer per announced uid; the quadratic closure state is gone.
+    A read reaching behind a sealed prefix is a *refusal*, never a
+    wrong verdict: it is counted in :attr:`window_refusals` (and
+    raised as :class:`~repro.errors.WindowExceeded` when
+    ``strict=True``) — re-run with a larger window or a full
+    :class:`LiveIndex` to decide it.
+
+    **Fidelity.**  Violations reported here are real (the scan is the
+    plan engine's, cross-validated against the closure checker), but
+    the streaming mark is a lower bound on the batch mark: it folds
+    the process predecessor's mark and the read-from writers'
+    *positions*, not their full marks, so a violation visible only
+    through a longer chain of happened-before hops may surface later
+    than :class:`LiveIndex` would report it — the same contract as
+    :class:`~repro.core.monitor.StreamingVerifier`, and the end-of-run
+    batch check remains the authority.
+    """
+
+    __slots__ = (
+        "window",
+        "strict",
+        "_pos",
+        "_next_pos",
+        "_writer_pos",
+        "_writer_uid",
+        "_pruned",
+        "_mark_by_process",
+        "_announced",
+        "_pending",
+        "_violation",
+        "applied",
+        "announced",
+        "audits",
+        "epochs",
+        "sealed",
+        "window_refusals",
+    )
+
+    def __init__(self, window: int, *, strict: bool = False) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        #: retained ``~ww`` depth, in broadcast positions.
+        self.window = window
+        #: raise :class:`WindowExceeded` on refusal instead of counting.
+        self.strict = strict
+        self._pos: Dict[int, int] = {INIT_UID: 0}
+        self._next_pos = 1
+        self._writer_pos: Dict[str, List[int]] = {}
+        self._writer_uid: Dict[str, List[int]] = {}
+        self._pruned: Dict[str, bool] = {}
+        self._mark_by_process: Dict[int, int] = {}
+        self._announced = {INIT_UID}
+        self._pending: List[Tuple[int, int, Dict[str, int], bool]] = []
+        self._violation: Optional[str] = None
+        #: completions applied to the scan so far.
+        self.applied = 0
+        #: broadcast deliveries registered so far.
+        self.announced = 0
+        #: audits run so far.
+        self.audits = 0
+        #: prefix seals performed (one per ``window`` announcements).
+        self.epochs = 0
+        #: writer-timeline slots discarded by sealing.
+        self.sealed = 0
+        #: reads refused for reaching behind a sealed prefix.
+        self.window_refusals = 0
+
+    # ------------------------------------------------------------------
+    # Feeding (LiveIndex-compatible)
+    # ------------------------------------------------------------------
+
+    def announce(self, uid: int, writes: Iterable[str]) -> None:
+        """Register a broadcast delivery: ``uid`` wrote ``writes``.
+
+        Consecutive announcements form the ``~ww`` chain (D 5.3);
+        idempotent per uid, like :meth:`LiveIndex.announce`.
+        """
+        if uid in self._announced:
+            return
+        self._announced.add(uid)
+        self.announced += 1
+        p = self._next_pos
+        self._next_pos += 1
+        self._pos[uid] = p
+        for obj in writes:
+            self._writer_pos.setdefault(obj, [0]).append(p)
+            self._writer_uid.setdefault(obj, [INIT_UID]).append(uid)
+        if p % self.window == 0:
+            self._seal()
+        self._drain()
+
+    def observe(
+        self,
+        uid: int,
+        process: int,
+        reads_from: Mapping[str, int],
+        is_update: bool,
+    ) -> None:
+        """Register a completed m-operation at its issuing process."""
+        self._pending.append((uid, process, dict(reads_from), is_update))
+        self._drain()
+
+    def _seal(self) -> None:
+        """Epoch checkpoint: discard writer positions behind the window.
+
+        Keeps the sealed head — the newest discarded writer — so a
+        read from it is still decidable; anything older refuses.
+        """
+        floor = self._next_pos - 1 - self.window
+        if floor <= 0:
+            return
+        self.epochs += 1
+        for obj, positions in self._writer_pos.items():
+            cut = bisect_left(positions, floor) - 1
+            if cut <= 0:
+                continue
+            del positions[:cut]
+            del self._writer_uid[obj][:cut]
+            self._pruned[obj] = True
+            self.sealed += cut
+
+    def _ready(self, entry: Tuple[int, int, Dict[str, int], bool]) -> bool:
+        uid, _process, reads_from, is_update = entry
+        if is_update and uid not in self._announced:
+            return False
+        return all(w in self._announced for w in reads_from.values())
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for i, entry in enumerate(self._pending):
+                if self._ready(entry):
+                    del self._pending[i]
+                    self._apply(entry)
+                    progressed = True
+                    break
+
+    def _apply(self, entry: Tuple[int, int, Dict[str, int], bool]) -> None:
+        uid, process, reads_from, is_update = entry
+        pos = self._pos
+        mark = self._mark_by_process.get(process, 0)
+        for writer in reads_from.values():
+            wp = pos[writer]
+            if wp > mark:
+                mark = wp
+        own = pos.get(uid) if is_update else None
+        if own is not None and mark > own and self._violation is None:
+            # A predecessor (process order or reads-from) carries a
+            # chain position after this update's own delivery: the
+            # visible order contradicts ~ww.
+            self._violation = (
+                f"order cycle among applied m-operations: update {uid} at "
+                f"broadcast position {own} observes position {mark}"
+            )
+        for obj, writer in sorted(reads_from.items()):
+            if writer == uid:
+                continue
+            b_pos = pos[writer]
+            if b_pos >= mark:
+                # The writer is the newest delivery the reader can see:
+                # nothing can sit between them (decidable even sealed).
+                continue
+            positions = self._writer_pos.get(obj, [0])
+            if self._pruned.get(obj) and b_pos < positions[0]:
+                self.window_refusals += 1
+                if self.strict:
+                    raise WindowExceeded(
+                        f"m-op {uid} reads {obj} from {writer} at broadcast "
+                        f"position {b_pos}, behind the sealed prefix "
+                        f"(oldest retained: {positions[0]}, window "
+                        f"{self.window})"
+                    )
+                continue
+            uids = self._writer_uid.get(obj, [INIT_UID])
+            j = bisect_right(positions, mark) - 1
+            while j >= 0 and uids[j] == uid:
+                j -= 1
+            if (
+                j >= 0
+                and positions[j] > b_pos
+                and self._violation is None
+            ):
+                self._violation = (
+                    f"illegal triple (D 4.6): m-op {uid} reads from "
+                    f"{writer} but writer {uids[j]} is ordered between "
+                    "them"
+                )
+        if own is not None and own > mark:
+            mark = own
+        self._mark_by_process[process] = mark
+        self.applied += 1
+
+    # ------------------------------------------------------------------
+    # Auditing (LiveIndex-compatible)
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Completions buffered awaiting their writers' announcements."""
+        return len(self._pending)
+
+    @property
+    def frontier(self) -> int:
+        """The newest broadcast position announced so far."""
+        return self._next_pos - 1
+
+    @property
+    def retained(self) -> int:
+        """Writer-timeline slots currently held (memory gauge)."""
+        return sum(len(p) for p in self._writer_pos.values())
+
+    def audit(self) -> Optional[str]:
+        """Check the stream so far; None if clean.
+
+        Monotone, like :meth:`LiveIndex.audit` — a reported violation
+        is permanent.  Refused reads are *not* violations; see
+        :attr:`window_refusals`.
+        """
+        self.audits += 1
+        return self._violation
+
+    @property
+    def consistent(self) -> bool:
+        """Boolean form of :meth:`audit`."""
+        return self.audit() is None

@@ -297,8 +297,17 @@ class LiveMonitor:
     response-clamping protocol (see ``BaseProcess.respond``) a later
     completion can carry an *earlier* response time by up to the local
     delay, so the slack window guarantees no earlier-response
-    straggler is still coming.  ``flush()`` (called by the cluster at
-    finalize) releases the remainder.
+    straggler is still coming.
+
+    At a quiescent point (epoch boundary, fault boundary, end of run)
+    :meth:`barrier` releases every dependency-satisfied completion
+    deterministically, without waiting out the slack window.
+    ``flush()`` (called by the cluster at finalize) is the terminal
+    barrier: it releases the remainder and converts any completion
+    still blocked on a never-announced broadcast position into a
+    :class:`StreamViolation` — an executed read whose writer was never
+    delivered anywhere is itself a consistency violation, not a usage
+    error, so the tap-ordering race can no longer mask a verdict.
     """
 
     def __init__(
@@ -337,14 +346,69 @@ class LiveMonitor:
             )
         self._drain()
 
+    def barrier(self, now: Optional[float] = None) -> int:
+        """Deterministic epoch barrier: drain without the slack wait.
+
+        Releases queued completions, in response order, as long as the
+        head's broadcast dependencies are announced — the slack window
+        is ignored, so the outcome depends only on the event streams,
+        not on how far the clock has advanced.  Call at a point where
+        no earlier-response straggler can still arrive (epoch or fault
+        boundary, quiescence).  Returns the number released; anything
+        left is blocked on a delivery that has not landed yet.
+        """
+        if now is not None:
+            self._now = max(self._now, now)
+        released = 0
+        while self._queue and self._ready(self._queue[0]):
+            self.verifier.observe(self._queue.pop(0))
+            released += 1
+        return released
+
     def flush(self) -> None:
-        """Release every buffered completion (end of run)."""
+        """Terminal barrier: release everything (end of run).
+
+        A completion still blocked here depends on a broadcast
+        position that will never be announced — its writer (or the
+        update itself) was never delivered.  That is a verdict, not a
+        bookkeeping state: each such completion is recorded as a
+        :class:`StreamViolation`.
+        """
         self._now = float("inf")
         self._drain()
-        if self._queue:  # pragma: no cover - usage error surface
-            raise MonitorUsageError(
-                f"{len(self._queue)} completions still blocked on "
-                "unannounced broadcast positions at flush"
+        blocked, self._queue = self._queue, []
+        positions = self.verifier._ww_pos
+        for op in blocked:  # response order, per the insort discipline
+            missing = sorted(
+                {w for w in op.reads_from.values() if w not in positions}
+                | (
+                    {op.uid}
+                    if op.is_update and op.uid not in positions
+                    else set()
+                )
+            )
+            obj, expected = next(
+                (
+                    (o, w)
+                    for o, w in sorted(op.reads_from.items())
+                    if w not in positions
+                ),
+                (op.writes[0] if op.writes else "", op.uid),
+            )
+            self.verifier.violations.append(
+                StreamViolation(
+                    uid=op.uid,
+                    obj=obj,
+                    expected_writer=expected,
+                    actual_writer=None,
+                    detail=(
+                        f"m#{op.uid} completed but "
+                        f"{', '.join(f'm#{m}' for m in missing)} never "
+                        "received a broadcast position: the update it "
+                        "depends on was never delivered (~ww tap never "
+                        "landed)"
+                    ),
+                )
             )
 
     # -- verdict -------------------------------------------------------

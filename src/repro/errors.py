@@ -92,6 +92,30 @@ class SequencerUnavailable(SimulationError):
     """
 
 
+class PlanRefused(ReproError):
+    """The verification planner cannot build the requested plan.
+
+    Raised when a sharded or windowed check is requested but no
+    certificate of the right shape is available — e.g. sharding
+    without an object-partitioned certificate, a windowed scan without
+    a total update chain, or a condition (m-linearizability) whose
+    order crosses shard boundaries.  Like
+    :class:`CertificationRefused`, a refusal is not a verdict: the
+    caller may fall back to ``mode="full"``.
+    """
+
+
+class WindowExceeded(ReproError):
+    """A windowed check met a read reaching behind the sealed window.
+
+    The windowed scan keeps only the last ``window`` broadcast
+    positions of each object's writer timeline; a read whose visibility
+    frontier reaches further back cannot be decided at bounded memory.
+    This is a *refusal*, never a wrong verdict — re-run with a larger
+    window (or ``mode="full"``) to decide the history.
+    """
+
+
 class ProtocolError(ReproError):
     """A replication protocol violated one of its internal invariants."""
 

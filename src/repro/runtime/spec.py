@@ -298,6 +298,17 @@ class VerifyPolicy:
             :class:`~repro.analysis.static.prover.ConstraintCertificate`
             (falling back silently when it refuses); ``"off"`` = always
             use the dynamic constraint phase.
+        mode: verification plan mode (``"full"``, ``"sharded"`` or
+            ``"windowed"``), forwarded to
+            :func:`repro.core.check_condition`.  Sharded and windowed
+            plans need a certificate of the right shape; the engine
+            raises :class:`~repro.errors.PlanRefused` otherwise.
+        workers: shard-executor process count for ``mode="sharded"``
+            (1 = in-process, the safe default).
+        window: ``~ww`` lookback depth for ``mode="windowed"`` — also
+            selects the bounded-memory
+            :class:`~repro.core.index.WindowedIndex` for in-run chaos
+            audits when faults are armed.
     """
 
     enabled: bool = True
@@ -305,6 +316,9 @@ class VerifyPolicy:
     method: str = "auto"
     use_ww: bool = True
     certificate: str = "auto"
+    mode: str = "full"
+    workers: int = 1
+    window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("auto", "exact", "constrained"):
@@ -316,6 +330,19 @@ class VerifyPolicy:
                 f"certificate policy must be 'auto' or 'off', got "
                 f"{self.certificate!r}"
             )
+        if self.mode not in ("full", "sharded", "windowed"):
+            raise InvalidSpecError(
+                f"unknown verify mode {self.mode!r}; expected 'full', "
+                "'sharded' or 'windowed'"
+            )
+        if self.workers < 1:
+            raise InvalidSpecError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.window is not None and self.window < 1:
+            raise InvalidSpecError(
+                f"window must be >= 1 (or null), got {self.window}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -324,6 +351,9 @@ class VerifyPolicy:
             "method": self.method,
             "use_ww": self.use_ww,
             "certificate": self.certificate,
+            "mode": self.mode,
+            "workers": self.workers,
+            "window": self.window,
         }
 
     @classmethod
@@ -334,6 +364,9 @@ class VerifyPolicy:
             method=data.get("method", "auto"),
             use_ww=data.get("use_ww", True),
             certificate=data.get("certificate", "auto"),
+            mode=data.get("mode", "full"),
+            workers=data.get("workers", 1),
+            window=data.get("window"),
         )
 
 

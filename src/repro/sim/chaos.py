@@ -189,6 +189,8 @@ def run_chaos(
     retry_backoff: float = 2.0,
     retry_jitter: float = 0.25,
     max_retries: int = 40,
+    verify_window: Optional[int] = None,
+    verify_workers: int = 1,
     **factory_kwargs,
 ) -> ChaosResult:
     """Run one protocol under one fault plan and verify the result.
@@ -232,11 +234,21 @@ def run_chaos(
         ack_timeout / retry_backoff / retry_jitter / max_retries: the
             reliable shim's retransmission schedule (all forwarded to
             the network, all replayable from a ``RunSpec``).
+        verify_window: when set, the in-run audits use the
+            bounded-memory :class:`~repro.core.index.WindowedIndex`
+            (a ``~ww`` lookback of this many broadcast positions)
+            instead of the quadratic :class:`~repro.core.index
+            .LiveIndex`; reads refused for reaching behind a sealed
+            prefix are tallied in ``metrics["chaos"]
+            ["window_refusals"]``.  The end-of-run batch check stays
+            full-mode and authoritative either way.
+        verify_workers: forwarded to the batch checker's plan
+            executor (only effective for plans that shard).
         **factory_kwargs: extra cluster-factory keywords (protocol
             options such as ``reply_relevant_only``).
     """
     from repro.abcast.sequencer import SequencerAbcast
-    from repro.core.index import LiveIndex
+    from repro.core.index import LiveIndex, WindowedIndex
     from repro.core.monitor import verify_stream
     from repro.workloads.generator import random_workloads
 
@@ -270,7 +282,11 @@ def run_chaos(
             heals=plan.heals,
         )
 
-    live_index = LiveIndex()
+    live_index = (
+        WindowedIndex(verify_window)
+        if verify_window is not None
+        else LiveIndex()
+    )
     if spec.uses_abcast:
         # Only broadcast protocols get the fault-tolerant sequencer;
         # the others default their own abcast_factory=None and must
@@ -365,7 +381,10 @@ def run_chaos(
             from repro.core.consistency import check_condition
 
             verdict = check_condition(
-                result.history, condition, extra_pairs=result.ww_pairs()
+                result.history,
+                condition,
+                extra_pairs=result.ww_pairs(),
+                workers=verify_workers,
             )
             if not verdict.holds:
                 violations.append(
@@ -391,6 +410,9 @@ def run_chaos(
         "expected": expected,
         "duration": cluster.sim.now,
     }
+    if verify_window is not None:
+        metrics["chaos"]["window_refusals"] = live_index.window_refusals
+        metrics["chaos"]["window_epochs"] = live_index.epochs
     if detector is not None:
         metrics["detector"] = detector.summary()
     return ChaosResult(

@@ -274,6 +274,63 @@ def random_serial_history(
     return History.from_mops(mops)
 
 
+def random_partitioned_history(
+    shape: HistoryShape, *, seed: int = 0
+) -> History:
+    """A random *object-partitioned* history (the D 4.10 family input).
+
+    Like :func:`random_serial_history` — serial generation against an
+    evolving store, so the history is m-linearizable by construction —
+    but each process owns a private object namespace ``x{p}_{k}``
+    (``shape.n_objects`` objects per process) and every m-operation
+    touches only its issuing process's objects.  The result therefore
+    satisfies the object-partitioned certificate
+    (:func:`repro.analysis.static.certify_partitioned_history`), which
+    is what the sharded execution plan in :mod:`repro.core.plan`
+    requires: object groups never interact, so each process's
+    sub-history can be checked in isolation.
+    """
+    rng = random.Random(seed)
+    namespaces = [
+        [f"x{p}_{k}" for k in range(shape.n_objects)]
+        for p in range(shape.n_processes)
+    ]
+    store: Dict[str, int] = {
+        obj: 0 for objects in namespaces for obj in objects
+    }
+    value_counter = itertools.count(1)
+    mops: List[MOperation] = []
+    clock = 0.0
+    for uid in range(1, shape.n_mops + 1):
+        process = rng.randrange(shape.n_processes)
+        objects = namespaces[process]
+        is_query = rng.random() < shape.query_fraction
+        ops: List[Operation] = []
+        n_reads = rng.randint(1, max(1, shape.reads_per_mop))
+        for obj in rng.sample(objects, k=min(n_reads, len(objects))):
+            ops.append(read(obj, store[obj]))
+        if not is_query:
+            n_writes = rng.randint(1, max(1, shape.writes_per_mop))
+            for obj in rng.sample(objects, k=min(n_writes, len(objects))):
+                value = next(value_counter)
+                ops.append(write(obj, value))
+                store[obj] = value
+        inv = clock + rng.uniform(0.1, 0.5)
+        resp = inv + rng.uniform(0.1, 0.5)
+        clock = resp
+        mops.append(
+            MOperation(
+                uid=uid,
+                process=process,
+                ops=tuple(ops),
+                inv=inv,
+                resp=resp,
+                name=f"op{uid}",
+            )
+        )
+    return History.from_mops(mops)
+
+
 def stretch_history(
     history: History, *, seed: int = 0, slack: float = 5.0
 ) -> History:

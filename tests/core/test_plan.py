@@ -1,0 +1,391 @@
+"""Unit tests for the plan/execute verification engine.
+
+Planner strategy selection and refusals, the forward legality scan,
+the shard executor, the windowed scan's refusal contract, and the
+streaming :class:`WindowedIndex`.  Corpus-scale verdict fidelity lives
+in ``tests/core/test_plan_crossval.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.static import (
+    certify_chain,
+    certify_history,
+    certify_partitioned_history,
+)
+from repro.core import WindowedIndex, check_condition
+from repro.core.plan import (
+    object_shards,
+    plan_check,
+    run_scan,
+    run_sharded,
+    shard_history,
+)
+from repro.errors import (
+    CertificationRefused,
+    PlanRefused,
+    WindowExceeded,
+)
+from repro.workloads import (
+    HistoryShape,
+    random_partitioned_history,
+    random_serial_history,
+)
+
+
+def serial(n_mops=40, seed=3, **kwargs):
+    shape = HistoryShape(n_mops=n_mops, **kwargs)
+    history = random_serial_history(shape, seed=seed)
+    chain = [m.uid for m in history.mops if m.is_update]
+    return history, chain
+
+
+def partitioned(n_mops=60, seed=3, n_processes=3):
+    shape = HistoryShape(
+        n_processes=n_processes, n_objects=2, n_mops=n_mops
+    )
+    return random_partitioned_history(shape, seed=seed)
+
+
+class TestPlanner:
+    def test_full_without_certificate_is_closure(self):
+        history, _chain = serial()
+        plan = plan_check(history, "m-sc")
+        assert plan.strategy == "closure"
+        assert plan.mode == "full"
+
+    def test_full_with_chain_certificate_is_scan(self):
+        history, chain = serial()
+        cert = certify_chain(history, chain)
+        plan = plan_check(history, "m-sc", certificate=cert)
+        assert plan.strategy == "scan"
+        assert plan.chain == tuple(chain)
+        assert plan.certificate_rule == "total-update-order"
+        # full mode never carries a window, even when one is passed.
+        plan = plan_check(
+            history, "m-sc", certificate=cert, window=10
+        )
+        assert plan.window is None
+
+    def test_windowed_requires_chain_certificate(self):
+        history = partitioned()
+        cert = certify_partitioned_history(history)
+        with pytest.raises(PlanRefused, match="chain"):
+            plan_check(
+                history,
+                "m-sc",
+                mode="windowed",
+                window=16,
+                certificate=cert,
+            )
+        with pytest.raises(PlanRefused):
+            plan_check(history, "m-sc", mode="windowed", window=16)
+
+    def test_windowed_plan_carries_window(self):
+        history, chain = serial()
+        cert = certify_chain(history, chain)
+        plan = plan_check(
+            history, "m-sc", mode="windowed", window=16,
+            certificate=cert,
+        )
+        assert plan.strategy == "scan"
+        assert plan.window == 16
+
+    def test_sharded_requires_partitioned_certificate(self):
+        history, chain = serial()
+        cert = certify_chain(history, chain)
+        with pytest.raises(PlanRefused, match="object-partitioned"):
+            plan_check(
+                history, "m-sc", mode="sharded", certificate=cert
+            )
+        with pytest.raises(PlanRefused):
+            plan_check(history, "m-sc", mode="sharded")
+
+    def test_sharded_refuses_mlin_and_extra_pairs(self):
+        history = partitioned()
+        cert = certify_partitioned_history(history)
+        with pytest.raises(PlanRefused, match="real-time"):
+            plan_check(
+                history, "m-lin", mode="sharded", certificate=cert
+            )
+        with pytest.raises(PlanRefused, match="extra_pairs"):
+            plan_check(
+                history,
+                "m-sc",
+                mode="sharded",
+                certificate=cert,
+                extra_pairs=((1, 2),),
+            )
+
+    def test_sharded_plan_shards_by_process(self):
+        history = partitioned(n_processes=3)
+        cert = certify_partitioned_history(history)
+        plan = plan_check(
+            history, "m-sc", mode="sharded", certificate=cert,
+            workers=2,
+        )
+        assert plan.strategy == "shard"
+        assert [s.key for s in plan.shards] == sorted(
+            {m.process for m in history.mops}
+        )
+        assert plan.workers == 2
+
+    def test_unknown_mode_rejected(self):
+        history, _chain = serial()
+        with pytest.raises(ValueError, match="mode"):
+            plan_check(history, "m-sc", mode="parallel")
+
+
+class TestScan:
+    def test_scan_matches_closure_verdict_and_witness(self):
+        history, chain = serial(n_mops=60)
+        ww = tuple(zip(chain, chain[1:]))
+        cert = certify_chain(history, chain)
+        for condition in ("m-sc", "m-lin", "m-norm"):
+            fast = check_condition(
+                history,
+                condition,
+                method="constrained",
+                extra_pairs=ww,
+                certificate=cert,
+            )
+            slow = check_condition(
+                history, condition, method="constrained", extra_pairs=ww
+            )
+            assert fast.holds == slow.holds
+            assert fast.witness == slow.witness
+
+    def test_scan_detects_illegal_read(self):
+        # Two updates of x in chain order, a reader holding the stale
+        # value while the newer writer is ordered between them.
+        from repro.core import History, make_mop, read, write
+
+        history = History.from_mops(
+            [
+                make_mop(1, 0, [write("x", 1)]),
+                make_mop(2, 0, [write("x", 2)]),
+                make_mop(3, 1, [read("x", 1)]),
+            ],
+            reads_from={(3, "x"): 1},
+        )
+        result = run_scan(
+            history, "m-sc", (1, 2), extra_pairs=((1, 2),)
+        )
+        # The reader's mark does not cover writer 2 here, so the
+        # history is legal; force the interleaving via extra pairs.
+        result = run_scan(
+            history,
+            "m-sc",
+            (1, 2),
+            extra_pairs=((1, 2), (2, 3)),
+        )
+        assert result.acyclic and not result.legal
+
+    def test_scan_rw_pairs_match_index(self):
+        from repro.core.index import HistoryIndex
+
+        history, chain = serial(n_mops=50, seed=9)
+        ww = tuple(zip(chain, chain[1:]))
+        result = run_scan(
+            history, "m-sc", tuple(chain), extra_pairs=ww, want_rw=True
+        )
+        index = HistoryIndex.of(history)
+        base = index.base_relation("m-sc").copy()
+        for pair in ww:
+            base.add(*pair)
+        expected = set(index.rw_pairs_under(base.transitive_closure()))
+        assert set(result.rw) == expected
+
+
+class TestWindowedScan:
+    def test_window_none_equals_full(self):
+        history, chain = serial(n_mops=50, seed=4)
+        ww = tuple(zip(chain, chain[1:]))
+        full = run_scan(
+            history, "m-sc", tuple(chain), extra_pairs=ww,
+            want_witness=True,
+        )
+        windowed = run_scan(
+            history, "m-sc", tuple(chain), extra_pairs=ww,
+            window=None, want_witness=True,
+        )
+        assert (full.acyclic, full.legal, full.witness) == (
+            windowed.acyclic,
+            windowed.legal,
+            windowed.witness,
+        )
+
+    def test_tiny_window_refuses_not_misanswers(self):
+        history, chain = serial(n_mops=80, seed=5)
+        ww = tuple(zip(chain, chain[1:]))
+        with pytest.raises(WindowExceeded):
+            run_scan(
+                history, "m-sc", tuple(chain), extra_pairs=ww, window=1
+            )
+
+    def test_safe_window_matches_full(self):
+        history, chain = serial(n_mops=80, seed=5)
+        ww = tuple(zip(chain, chain[1:]))
+        full = run_scan(history, "m-sc", tuple(chain), extra_pairs=ww)
+        windowed = run_scan(
+            history,
+            "m-sc",
+            tuple(chain),
+            extra_pairs=ww,
+            window=len(history.mops),
+        )
+        assert (full.acyclic, full.legal) == (
+            windowed.acyclic,
+            windowed.legal,
+        )
+
+
+class TestSharded:
+    def test_shard_histories_partition_the_mops(self):
+        history = partitioned(n_mops=80)
+        shards = object_shards(history)
+        seen = []
+        for shard in shards:
+            sub = shard_history(history, shard)
+            seen.extend(m.uid for m in sub.mops)
+        assert sorted(seen) == sorted(m.uid for m in history.mops)
+
+    def test_shard_history_rejects_cross_shard_writer(self):
+        history, _chain = serial()
+        shards = object_shards(history)
+        with pytest.raises(PlanRefused):
+            for shard in shards:
+                shard_history(history, shard)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sharded_matches_monolithic(self, workers):
+        history = partitioned(n_mops=90, seed=11)
+        cert = certify_partitioned_history(history)
+        for condition in ("m-sc", "m-norm"):
+            sharded = check_condition(
+                history,
+                condition,
+                method="constrained",
+                certificate=cert,
+                mode="sharded",
+                workers=workers,
+            )
+            mono = check_condition(
+                history, condition, method="constrained"
+            )
+            assert sharded.holds == mono.holds
+            assert sharded.witness == mono.witness
+            assert sharded.mode == "sharded"
+
+    def test_sharded_outcome_merges_reports(self):
+        history = partitioned(n_mops=60, seed=2)
+        shards = object_shards(history)
+        outcome = run_sharded(history, "m-sc", shards)
+        assert outcome.holds
+        assert len(outcome.reports) == len(shards)
+        assert not outcome.parallel
+
+
+class TestCertifyHistory:
+    def test_strongest_rule_first(self):
+        history, chain = serial(n_mops=30, seed=1, n_processes=1)
+        assert certify_history(history).rule == "single-updater"
+        part = partitioned()
+        assert certify_history(part).rule == "object-partitioned"
+
+    def test_refuses_shared_multi_writer(self):
+        history, _chain = serial(n_mops=30, seed=1)
+        with pytest.raises(CertificationRefused):
+            certify_history(history)
+
+
+class TestWindowedIndex:
+    def feed(self, index, history):
+        for mop in history.mops:
+            if mop.is_update:
+                index.announce(mop.uid, list(mop.external_writes))
+            index.observe(
+                mop.uid,
+                mop.process,
+                {
+                    obj: writer
+                    for (reader, obj), writer
+                    in history.reads_from_map.items()
+                    if reader == mop.uid
+                },
+                mop.is_update,
+            )
+
+    def test_clean_serial_history_is_consistent(self):
+        history, _chain = serial(n_mops=100, seed=6)
+        index = WindowedIndex(window=16)
+        self.feed(index, history)
+        assert index.audit() is None
+        assert index.consistent
+        assert not index.pending
+        assert index.epochs > 0
+
+    def test_memory_stays_bounded(self):
+        history, _chain = serial(n_mops=200, seed=7, n_objects=2)
+        index = WindowedIndex(window=10)
+        self.feed(index, history)
+        # Per object the timeline keeps at most the sealed head plus
+        # the live window of writer positions.
+        assert index.retained <= 2 * (10 + 2)
+        assert index.sealed > 0
+
+    def test_window_one_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedIndex(window=0)
+
+    def stale_feed(self, index):
+        # Two x writers, then enough y traffic that the seal discards
+        # x's older position; a reader whose mark advanced on y then
+        # reads x from the *pruned* older writer — undecidable.
+        index.announce(1, ["x"])
+        index.observe(1, 0, {}, True)
+        index.announce(2, ["x"])
+        index.observe(2, 0, {"x": 1}, True)
+        for uid in range(3, 9):
+            index.announce(uid, ["y"])
+            index.observe(uid, 1, {}, True)
+        index.observe(10, 2, {"y": 8}, False)
+
+    def test_stale_read_behind_seal_counts_refusal(self):
+        index = WindowedIndex(window=2)
+        self.stale_feed(index)
+        index.observe(11, 2, {"x": 1}, False)
+        assert index.window_refusals >= 1
+        assert index.audit() is None  # refusal, never a verdict
+
+    def test_strict_raises_instead_of_counting(self):
+        index = WindowedIndex(window=2, strict=True)
+        self.stale_feed(index)
+        with pytest.raises(WindowExceeded):
+            index.observe(11, 2, {"x": 1}, False)
+
+    def test_illegal_triple_detected_within_window(self):
+        index = WindowedIndex(window=32)
+        index.announce(1, ["x"])
+        index.observe(1, 0, {}, True)
+        index.announce(2, ["x"])
+        index.observe(2, 0, {"x": 1}, True)
+        # Reader saw writer 2 (via y-less mark: its own process read
+        # of 2) yet reads x from 1: illegal D 4.6 triple.
+        index.observe(3, 1, {"x": 2}, False)
+        index.observe(4, 1, {"x": 1}, False)
+        violation = index.audit()
+        assert violation is not None
+        assert "illegal triple" in violation
+
+    def test_chaos_accepts_verify_window(self):
+        from repro.sim.chaos import run_chaos
+
+        result = run_chaos(
+            "msc", 0, n=3, ops_per_process=4, verify_window=64
+        )
+        assert result.ok
+        assert result.metrics["chaos"]["window_refusals"] == 0
+        assert "window_epochs" in result.metrics["chaos"]

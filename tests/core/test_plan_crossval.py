@@ -1,0 +1,215 @@
+"""Verdict fidelity of the plan/execute engine at corpus scale.
+
+The acceptance bar for the engine: on the same randomized corpus the
+monolithic checker is validated against
+(``tests/core/test_index_crossval.py``), the certified scan, the
+windowed scan and the sharded executor must return **byte-identical**
+verdicts — same ``holds``, same witness list, not merely
+equi-satisfiable — plus the refusal paths must refuse rather than
+mis-answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.static import (
+    certify_chain,
+    certify_partitioned_history,
+)
+from repro.core import check_condition
+from repro.errors import PlanRefused, WindowExceeded
+from repro.workloads import (
+    HistoryShape,
+    corrupt_history,
+    random_partitioned_history,
+)
+from tests.core.test_index_crossval import CONDITIONS, CORPUS
+
+
+def chain_and_ww(history):
+    chain = [m.uid for m in history.mops if m.is_update]
+    return chain, tuple(zip(chain, chain[1:]))
+
+
+def partitioned_corpus(minimum=40):
+    """Clean + corrupted object-partitioned histories."""
+    histories = []
+    shapes = [
+        HistoryShape(n_processes=2, n_objects=2, n_mops=10),
+        HistoryShape(n_processes=3, n_objects=2, n_mops=14),
+        HistoryShape(n_processes=4, n_objects=1, n_mops=16),
+    ]
+    seed = 0
+    while len(histories) < minimum:
+        for shape in shapes:
+            clean = random_partitioned_history(shape, seed=seed)
+            histories.append(clean)
+            bad = corrupt_history(clean, seed=seed)
+            if bad is not None:
+                histories.append(bad)
+        seed += 1
+    return histories
+
+
+PARTITIONED_CORPUS = partitioned_corpus()
+
+
+@pytest.mark.parametrize("condition", CONDITIONS)
+def test_certified_scan_is_byte_identical(condition):
+    for _label, history in CORPUS:
+        chain, ww = chain_and_ww(history)
+        cert = certify_chain(history, chain)
+        scan = check_condition(
+            history,
+            condition,
+            method="constrained",
+            extra_pairs=ww,
+            certificate=cert,
+        )
+        closure = check_condition(
+            history, condition, method="constrained", extra_pairs=ww
+        )
+        assert scan.holds == closure.holds
+        assert scan.witness == closure.witness
+
+
+@pytest.mark.parametrize("condition", CONDITIONS)
+def test_windowed_none_is_byte_identical(condition):
+    for _label, history in CORPUS[::4]:
+        chain, ww = chain_and_ww(history)
+        cert = certify_chain(history, chain)
+        windowed = check_condition(
+            history,
+            condition,
+            method="constrained",
+            extra_pairs=ww,
+            certificate=cert,
+            mode="windowed",
+            window=None,
+        )
+        closure = check_condition(
+            history, condition, method="constrained", extra_pairs=ww
+        )
+        assert windowed.holds == closure.holds
+        assert windowed.witness == closure.witness
+        assert windowed.mode == "windowed"
+
+
+@pytest.mark.parametrize("condition", CONDITIONS)
+def test_wide_window_is_byte_identical(condition):
+    for _label, history in CORPUS[::4]:
+        chain, ww = chain_and_ww(history)
+        cert = certify_chain(history, chain)
+        windowed = check_condition(
+            history,
+            condition,
+            method="constrained",
+            extra_pairs=ww,
+            certificate=cert,
+            mode="windowed",
+            window=len(history.mops) + 1,
+        )
+        closure = check_condition(
+            history, condition, method="constrained", extra_pairs=ww
+        )
+        assert windowed.holds == closure.holds
+        assert windowed.witness == closure.witness
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+@pytest.mark.parametrize("condition", ["m-sc", "m-norm"])
+def test_sharded_is_byte_identical(condition, workers):
+    corpus = (
+        PARTITIONED_CORPUS if workers == 1 else PARTITIONED_CORPUS[::6]
+    )
+    for history in corpus:
+        cert = certify_partitioned_history(history)
+        sharded = check_condition(
+            history,
+            condition,
+            method="constrained",
+            certificate=cert,
+            mode="sharded",
+            workers=workers,
+        )
+        mono = check_condition(
+            history, condition, method="constrained"
+        )
+        assert sharded.holds == mono.holds
+        assert sharded.witness == mono.witness
+        assert sharded.mode == "sharded"
+
+
+class TestRefusalPaths:
+    """Refusals are errors, never wrong verdicts."""
+
+    def test_sharded_without_certificate(self):
+        history = CORPUS[0][1]
+        with pytest.raises(PlanRefused):
+            check_condition(history, "m-sc", mode="sharded")
+
+    def test_sharded_refuses_mlin(self):
+        history = PARTITIONED_CORPUS[0]
+        cert = certify_partitioned_history(history)
+        with pytest.raises(PlanRefused):
+            check_condition(
+                history,
+                "m-lin",
+                certificate=cert,
+                mode="sharded",
+            )
+
+    def test_sharded_refuses_extra_pairs(self):
+        history = PARTITIONED_CORPUS[0]
+        cert = certify_partitioned_history(history)
+        chain, ww = chain_and_ww(history)
+        with pytest.raises(PlanRefused):
+            check_condition(
+                history,
+                "m-sc",
+                certificate=cert,
+                mode="sharded",
+                extra_pairs=ww,
+            )
+
+    def test_windowed_without_chain_certificate(self):
+        history = CORPUS[0][1]
+        with pytest.raises(PlanRefused):
+            check_condition(
+                history, "m-sc", mode="windowed", window=8
+            )
+
+    def test_tiny_window_raises_window_exceeded(self):
+        # Find a corpus history whose reads genuinely span more than
+        # one position; window=1 must refuse it.
+        for _label, history in CORPUS:
+            chain, ww = chain_and_ww(history)
+            if len(chain) < 4:
+                continue
+            cert = certify_chain(history, chain)
+            try:
+                check_condition(
+                    history,
+                    "m-sc",
+                    method="constrained",
+                    extra_pairs=ww,
+                    certificate=cert,
+                    mode="windowed",
+                    window=1,
+                )
+            except WindowExceeded:
+                return
+        pytest.fail("no corpus history triggered a window refusal")
+
+    def test_exact_method_refuses_engine_modes(self):
+        history = PARTITIONED_CORPUS[0]
+        cert = certify_partitioned_history(history)
+        with pytest.raises(PlanRefused):
+            check_condition(
+                history,
+                "m-sc",
+                method="exact",
+                certificate=cert,
+                mode="sharded",
+            )

@@ -160,3 +160,87 @@ class TestBufferingDiscipline:
         monitor.announce(1, ("x",))
         assert monitor.pending == 0
         assert monitor.consistent
+
+
+class TestBarrierAndFlush:
+    """Regression tests for the ~ww tap ordering caveat.
+
+    A completion can race its own (or its writer's) broadcast
+    position: the tap fires after the completion is fed.  The old
+    contract surfaced that as a `MonitorUsageError` at flush time —
+    a bookkeeping failure, not a verdict.  Now `barrier()` gives a
+    deterministic drain point (slack-independent, so the outcome
+    depends only on the event streams) and `flush()` converts
+    anything still blocked into an explicit `StreamViolation`.
+    """
+
+    def test_barrier_releases_ready_completions_ignoring_slack(self):
+        from repro.core.monitor import ObservedOp
+
+        monitor = LiveMonitor("m-sc", slack=100.0)
+        monitor.announce(1, ("x",))
+        monitor.complete(
+            ObservedOp(1, 0, 0.0, 1.0, {}, ("x",), True), now=1.0
+        )
+        # Within the (huge) slack window: _drain holds it back...
+        assert monitor.pending == 1
+        # ...but the barrier releases it deterministically.
+        assert monitor.barrier() == 1
+        assert monitor.pending == 0
+        assert monitor.consistent
+
+    def test_barrier_stops_at_blocked_head(self):
+        from repro.core.monitor import ObservedOp
+
+        monitor = LiveMonitor("m-sc", slack=0.0)
+        # Head reads from the never-announced uid 9; the later
+        # completion must stay queued behind it (response order).
+        monitor.complete(
+            ObservedOp(2, 1, 0.0, 0.5, {"x": 9}, (), False), now=10.0
+        )
+        monitor.announce(3, ("y",))
+        monitor.complete(
+            ObservedOp(3, 0, 0.6, 1.0, {}, ("y",), True), now=10.0
+        )
+        assert monitor.barrier() == 0
+        assert monitor.pending == 2
+
+    def test_flush_reports_missing_tap_as_violation(self):
+        from repro.core.monitor import ObservedOp
+
+        monitor = LiveMonitor("m-sc")
+        monitor.complete(
+            ObservedOp(2, 1, 0.0, 0.5, {"x": 9}, (), False), now=10.0
+        )
+        assert monitor.pending == 1
+        monitor.flush()  # no MonitorUsageError
+        assert monitor.pending == 0
+        assert not monitor.consistent
+        violation = monitor.violations[-1]
+        assert violation.uid == 2
+        assert "never received a broadcast position" in violation.detail
+        assert "m#9" in violation.detail
+
+    def test_flush_reports_update_missing_own_position(self):
+        from repro.core.monitor import ObservedOp
+
+        monitor = LiveMonitor("m-sc")
+        # An update completes but its own broadcast never landed.
+        monitor.complete(
+            ObservedOp(4, 0, 0.0, 1.0, {}, ("x",), True), now=5.0
+        )
+        monitor.flush()
+        assert not monitor.consistent
+        assert "m#4" in monitor.violations[-1].detail
+
+    def test_flush_clean_monitor_stays_consistent(self):
+        from repro.core.monitor import ObservedOp
+
+        monitor = LiveMonitor("m-sc", slack=50.0)
+        monitor.announce(1, ("x",))
+        monitor.complete(
+            ObservedOp(1, 0, 0.0, 1.0, {}, ("x",), True), now=1.0
+        )
+        monitor.flush()
+        assert monitor.pending == 0
+        assert monitor.consistent

@@ -60,6 +60,15 @@ SPECS = [
         verify=VerifyPolicy(enabled=False),
         latency=LatencySpec("fixed", (1.0,)),
     ),
+    RunSpec(
+        protocol="msc",
+        workload="hotspot",
+        verify=VerifyPolicy(mode="sharded", workers=4),
+    ),
+    RunSpec(
+        protocol="msc",
+        verify=VerifyPolicy(mode="windowed", window=256),
+    ),
 ]
 
 
@@ -127,6 +136,22 @@ class TestValidation:
             VerifyPolicy(method="guess")
         with pytest.raises(InvalidSpecError, match="certificate"):
             VerifyPolicy(certificate="maybe")
+
+    def test_verify_policy_engine_knobs(self):
+        with pytest.raises(InvalidSpecError, match="mode"):
+            VerifyPolicy(mode="parallel")
+        with pytest.raises(InvalidSpecError, match="workers"):
+            VerifyPolicy(workers=0)
+        with pytest.raises(InvalidSpecError, match="window"):
+            VerifyPolicy(window=0)
+
+    def test_verify_policy_engine_defaults(self):
+        policy = VerifyPolicy()
+        assert (policy.mode, policy.workers, policy.window) == (
+            "full",
+            1,
+            None,
+        )
 
 
 class TestLatencySpec:

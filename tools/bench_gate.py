@@ -1,0 +1,121 @@
+"""Benchmark regression gate over ``BENCH_checkers.json`` artifacts.
+
+``python tools/bench_gate.py FRESH.json --baseline BENCH_checkers.json``
+compares a freshly produced checker-benchmark artifact against the
+committed baseline, row by row.  Rows are keyed by
+``(condition, n_mops, method)`` — the "method" column distinguishes
+the dynamic ``constrained`` checker from the plan/execute engine's
+``full`` / ``sharded`` / ``windowed`` modes — and the gate fails when
+any shared row's median regresses by more than ``--factor`` (default
+2x, absorbing CI machine-class noise while still catching
+complexity-class slips).
+
+Rows present in only one artifact are reported but never fail the
+gate: new benchmark sizes land before their baselines do, and retired
+sizes linger in old baselines.  Sub-millisecond baselines are skipped
+outright — at that scale the medians are dominated by timer and
+allocator jitter, not by the checkers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Baseline medians below this are too noisy to gate on.
+MIN_GATED_SECONDS = 0.001
+
+Key = Tuple[str, int, str]
+
+
+def _rows(artifact: dict) -> Dict[Key, dict]:
+    table: Dict[Key, dict] = {}
+    for row in artifact.get("results", []):
+        key = (row["condition"], int(row["n_mops"]), row["method"])
+        table[key] = row
+    return table
+
+
+def _label(key: Key) -> str:
+    condition, n_mops, method = key
+    return f"{condition}/{n_mops}/{method}"
+
+
+def gate(
+    fresh: dict, baseline: dict, *, factor: float = 2.0
+) -> Tuple[List[str], List[str]]:
+    """Compare artifacts; returns (failures, notes)."""
+    fresh_rows = _rows(fresh)
+    base_rows = _rows(baseline)
+    failures: List[str] = []
+    notes: List[str] = []
+    for key in sorted(base_rows.keys() - fresh_rows.keys()):
+        notes.append(f"{_label(key)}: only in baseline (not gated)")
+    for key in sorted(fresh_rows.keys() - base_rows.keys()):
+        notes.append(f"{_label(key)}: new row, no baseline (not gated)")
+    for key in sorted(fresh_rows.keys() & base_rows.keys()):
+        base_median = float(base_rows[key]["median_s"])
+        fresh_median = float(fresh_rows[key]["median_s"])
+        if base_median < MIN_GATED_SECONDS:
+            notes.append(
+                f"{_label(key)}: baseline {base_median:.4f}s below "
+                f"{MIN_GATED_SECONDS}s noise floor (not gated)"
+            )
+            continue
+        ratio = fresh_median / base_median
+        line = (
+            f"{_label(key)}: {fresh_median:.4f}s vs baseline "
+            f"{base_median:.4f}s ({ratio:.2f}x)"
+        )
+        if ratio > factor:
+            failures.append(line)
+        else:
+            notes.append(line)
+    return failures, notes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="bench_gate")
+    parser.add_argument("fresh", help="freshly produced artifact JSON")
+    parser.add_argument(
+        "--baseline",
+        default=str(
+            Path(__file__).resolve().parent.parent
+            / "BENCH_checkers.json"
+        ),
+        help="committed baseline artifact (default: repo root copy)",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="maximum tolerated median ratio fresh/baseline",
+    )
+    args = parser.parse_args(argv)
+    try:
+        fresh = json.loads(Path(args.fresh).read_text())
+        baseline = json.loads(Path(args.baseline).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    failures, notes = gate(fresh, baseline, factor=args.factor)
+    for line in notes:
+        print(line)
+    for line in failures:
+        print(f"REGRESSION {line}", file=sys.stderr)
+    if failures:
+        print(
+            f"{len(failures)} row(s) regressed beyond "
+            f"{args.factor}x the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench gate ok ({len(notes)} row(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
