@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint analyze chaos chaos-smoke report bench-json \
-	bench-gate run-smoke
+	bench-gate run-smoke serve-smoke serve-gate
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,18 +31,33 @@ chaos-smoke:
 run-smoke:
 	$(PYTHON) tools/run_smoke.py
 
+## Boot a real `repro serve` subprocess, drive one spec per protocol
+## through the HTTP client, and assert cached resubmission.  Request
+## log + artifacts land in serve-smoke/ (CI uploads them).
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
+
 report:
 	$(PYTHON) -m repro report
 
-## Checker wall-clock medians -> BENCH_checkers.json (repo root).
-## Extra flags pass through BENCH_ARGS, e.g.
-## `make bench-json BENCH_ARGS=--quick`.
+## Benchmark artifacts -> repo root (BENCH_checkers.json,
+## BENCH_serve.json).  Extra flags pass through BENCH_ARGS /
+## SERVE_ARGS, e.g. `make bench-json BENCH_ARGS=--quick
+## SERVE_ARGS=--quick`.
 bench-json:
 	$(PYTHON) -m benchmarks.bench_checkers $(BENCH_ARGS)
 	$(PYTHON) -m benchmarks.bench_chaos
+	$(PYTHON) -m benchmarks.bench_serve $(SERVE_ARGS)
 
 ## Regenerate the checker artifact to a scratch path and fail on a
 ## >2x median regression vs the committed BENCH_checkers.json.
 bench-gate:
 	$(PYTHON) -m benchmarks.bench_checkers bench-fresh.json $(BENCH_ARGS)
 	$(PYTHON) tools/bench_gate.py bench-fresh.json
+
+## Same gate for the serving daemon: fresh quick-profile load run vs
+## the committed BENCH_serve.json (p50 latency and throughput).
+serve-gate:
+	$(PYTHON) -m benchmarks.bench_serve bench-serve-fresh.json --quick
+	$(PYTHON) tools/bench_gate.py bench-serve-fresh.json \
+		--baseline BENCH_serve.json

@@ -24,6 +24,11 @@ Commands:
 * ``analyze`` — run the static analyzer (workload constraint prover
   infrastructure + determinism/race lints) over the source tree and
   fail on unsuppressed findings; see ``docs/static_analysis.md``.
+* ``serve`` — start the verification control plane: an HTTP daemon
+  that executes submitted ``RunSpec`` JSON on a worker pool, caches
+  verdicts by canonical spec hash, stores artifacts content-addressed
+  by history hash, and exposes metrics/trace endpoints plus an HTML
+  dashboard; see ``docs/serving.md``.
 
 Protocols and workloads are resolved through :mod:`repro.runtime` —
 there is no CLI-private protocol table.
@@ -361,6 +366,36 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if artifact.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, ServeDaemon
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store_dir=args.store,
+        queue_depth=args.queue_depth,
+        cache_entries=args.cache_entries,
+        retain_entries=args.retain,
+        retain_bytes=args.retain_bytes,
+    )
+    try:
+        daemon = ServeDaemon(config)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"repro serve: {daemon.url} (workers={args.workers}, "
+          f"store={args.store})")
+    print(f"dashboard: {daemon.url}/  metrics: {daemon.url}/metrics")
+    sys.stdout.flush()
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -625,6 +660,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full RunArtifact JSON to stdout",
     )
     run.set_defaults(func=cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the verification control plane (HTTP daemon)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port (0 = ephemeral; the bound port lands in "
+        "<store>/serve.json)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads executing queued RunSpecs",
+    )
+    serve.add_argument(
+        "--store",
+        default="repro-store",
+        help="store directory (artifacts/, verdicts/, request log)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="bounded run-queue capacity (full queue -> HTTP 503)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="in-memory verdict-cache entries (disk tier is unbounded)",
+    )
+    serve.add_argument(
+        "--retain",
+        type=int,
+        default=512,
+        help="artifact retention: max stored artifacts (LRU eviction)",
+    )
+    serve.add_argument(
+        "--retain-bytes",
+        type=int,
+        default=256 * 1024 * 1024,
+        help="artifact retention: max total artifact bytes",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     analyze = sub.add_parser(
         "analyze",

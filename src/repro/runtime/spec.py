@@ -13,6 +13,7 @@ module is pure data.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -46,6 +47,34 @@ __all__ = [
 
 class InvalidSpecError(ReproError):
     """The spec (or its JSON form) is malformed."""
+
+
+def _canonical_value(value: Any) -> Any:
+    """JSON data normalized for hashing.
+
+    Integral floats collapse to ints (a spec file saying ``"settle":
+    0`` and the in-memory default ``0.0`` are the same spec), tuples
+    become lists, and mapping keys become strings — so two
+    semantically identical specs always canonicalize to the same
+    bytes regardless of which surface built them.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return int(value) if value.is_integer() else value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, Mapping):
+        return {
+            str(key): _canonical_value(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(item) for item in value]
+    raise InvalidSpecError(
+        f"value {value!r} ({type(value).__name__}) has no canonical "
+        "JSON form"
+    )
 
 
 @dataclass(frozen=True)
@@ -447,6 +476,38 @@ class RunSpec:
 
     def to_json(self, *, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # ------------------------------------------------------------------
+    # Canonical form — the serving layer's cache key
+    # ------------------------------------------------------------------
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The spec as normalized JSON data (defaults materialized).
+
+        Every field appears (dataclass defaults are filled in at
+        construction), ``options`` are already key-sorted, and values
+        are normalized via :func:`_canonical_value` — so two specs
+        that execute identically produce identical canonical dicts no
+        matter how sparsely their JSON source spelled them.
+        """
+        return _canonical_value(self.to_dict())
+
+    def canonical_json(self) -> str:
+        """The canonical dict as compact, key-sorted JSON text."""
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def spec_hash(self) -> str:
+        """SHA-256 of :meth:`canonical_json` — the verdict-cache key.
+
+        Semantically identical specs (field order, materialized
+        defaults, int/float spellings) hash identically; any change
+        that could alter the run's outcome changes the hash.
+        """
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")
+        ).hexdigest()
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":

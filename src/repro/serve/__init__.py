@@ -1,0 +1,54 @@
+"""repro.serve — the verification control plane.
+
+A dependency-free HTTP daemon that turns the runtime layer's
+``RunSpec → execute() → RunArtifact`` pipeline into a long-running
+service: specs arrive over HTTP, run on a bounded worker pool, and
+their artifacts are stored content-addressed by history hash.  A
+verdict cache keyed by the *canonical spec hash*
+(:meth:`~repro.runtime.spec.RunSpec.spec_hash`) short-circuits repeat
+submissions, an append-only JSONL audit log records every request,
+and live metrics + an HTML dashboard expose the serving state.
+
+Surfaces:
+
+* ``python -m repro serve [--port --workers --store DIR]`` — the CLI;
+* :class:`ServeDaemon` — embeddable daemon (tests, benchmarks);
+* :class:`ServeClient` — stdlib urllib client;
+* ``benchmarks/bench_serve.py`` — the load generator.
+
+See ``docs/serving.md`` for the endpoint reference and cache /
+retention semantics.
+"""
+
+from __future__ import annotations
+
+from repro.serve.audit import AuditLog
+from repro.serve.cache import VerdictCache
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.daemon import ServeDaemon
+from repro.serve.dashboard import render_dashboard
+from repro.serve.plane import (
+    ControlPlane,
+    QueueFullError,
+    RunRecord,
+    ServeConfig,
+    SubmitError,
+)
+from repro.serve.store import ArtifactStore, RetentionPolicy, StoreError
+
+__all__ = [
+    "ArtifactStore",
+    "AuditLog",
+    "ControlPlane",
+    "QueueFullError",
+    "RetentionPolicy",
+    "RunRecord",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeDaemon",
+    "StoreError",
+    "SubmitError",
+    "VerdictCache",
+    "render_dashboard",
+]

@@ -1,0 +1,277 @@
+"""The HTTP face of the control plane: ``python -m repro serve``.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` (one thread per
+connection, daemon threads) routing onto a :class:`ControlPlane`:
+
+========================  =============================================
+``POST /v1/runs``         submit a RunSpec JSON; 202 + run id (200 on a
+                          verdict-cache hit, artifact included)
+``GET /v1/runs/<id>``     run status; the artifact once terminal
+``GET /v1/artifacts/<h>`` content-addressed artifact by history hash
+``GET /metrics``          MetricsRegistry snapshot + serving summary
+``GET /trace/<id>``       recorded tracer spans of a traced run
+``GET /``                 HTML dashboard
+``GET /healthz``          liveness probe
+========================  =============================================
+
+Error mapping: malformed submissions are 400, unknown ids/hashes 404,
+a full run queue 503 — never a 500 for a *failed run* (that is a
+``status: failed`` on a 200; the daemon itself stayed healthy).
+
+On startup the daemon writes ``serve.json`` (bound host/port/pid)
+into the store directory so tooling launched against ``--port 0``
+can discover the ephemeral port.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.dashboard import render_dashboard
+from repro.serve.plane import ControlPlane, QueueFullError, ServeConfig, SubmitError
+
+__all__ = ["ServeDaemon"]
+
+#: Submission bodies beyond this are rejected outright (a RunSpec with
+#: an explicit fault plan is a few KiB; 2 MiB is generous).
+MAX_BODY_BYTES = 2 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto ``self.server.plane``."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def plane(self) -> ControlPlane:
+        return self.server.plane  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Access logging belongs to the audit log, not stderr.
+        pass
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_html(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Optional[bytes]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "invalid Content-Length")
+            return None
+        if length <= 0:
+            self._error(400, "submission body is empty")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.rstrip("/") != "/v1/runs":
+            self._error(404, f"no POST route {self.path!r}")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._error(400, f"submission is not valid JSON: {exc}")
+            return
+        if not isinstance(data, dict):
+            self._error(400, "submission must be a JSON object")
+            return
+        try:
+            record, outcome = self.plane.submit(
+                data, client=self.client_address[0]
+            )
+        except SubmitError as exc:
+            self._error(400, str(exc))
+            return
+        except QueueFullError as exc:
+            self._error(503, str(exc))
+            return
+        payload = {
+            "run_id": record.run_id,
+            "status": record.status,
+            "outcome": outcome,
+            "spec_hash": record.spec_hash,
+        }
+        if outcome == "cached":
+            payload["artifact"] = record.artifact
+            self._send_json(200, payload)
+        else:
+            self._send_json(202, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/", "/index.html"):
+            self._send_html(
+                200, render_dashboard(self.plane.state_summary())
+            )
+        elif path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif path == "/metrics":
+            self._send_json(200, self.plane.metrics_snapshot())
+        elif path.startswith("/v1/runs/"):
+            self._get_run(path[len("/v1/runs/"):])
+        elif path.startswith("/v1/artifacts/"):
+            self._get_artifact(path[len("/v1/artifacts/"):])
+        elif path.startswith("/trace/"):
+            self._get_trace(path[len("/trace/"):])
+        else:
+            self._error(404, f"no route {path!r}")
+
+    def _get_run(self, run_id: str) -> None:
+        record = self.plane.run_record(run_id)
+        if record is None:
+            self._error(404, f"unknown run {run_id!r}")
+            return
+        self._send_json(200, {"run": record.to_dict()})
+
+    def _get_artifact(self, history_hash: str) -> None:
+        try:
+            artifact = self.plane.artifact(history_hash)
+        except Exception as exc:  # bad key shape or torn file
+            self._error(400, str(exc))
+            return
+        if artifact is None:
+            self._error(
+                404,
+                f"no artifact {history_hash!r} (never stored, or "
+                "evicted by the retention policy)",
+            )
+            return
+        self._send_json(200, artifact)
+
+    def _get_trace(self, run_id: str) -> None:
+        record = self.plane.run_record(run_id)
+        if record is None:
+            self._error(404, f"unknown run {run_id!r}")
+            return
+        if record.trace is None:
+            self._error(
+                404,
+                f"run {run_id!r} was not traced; submit the spec "
+                'with "tracing": true',
+            )
+            return
+        self._send_json(
+            200, {"run_id": run_id, "spans": record.trace}
+        )
+
+
+class ServeDaemon:
+    """Owns the HTTP server + control plane pair.
+
+    ``start()`` binds, spins up the worker pool and serves in a
+    background thread; ``serve_forever()`` is the foreground variant
+    the CLI uses.  Either way ``stop()`` drains cleanly.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.plane = ControlPlane(self.config)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.plane = self.plane  # type: ignore[attr-defined]
+        self._thread = None
+        self._write_endpoint_file()
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``--port 0`` to the real one)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _write_endpoint_file(self) -> None:
+        # Discovery hook for tooling that launched us with --port 0.
+        path = Path(self.config.store_dir) / "serve.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "host": self.host,
+                    "port": self.port,
+                    "url": self.url,
+                    "pid": os.getpid(),
+                },
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def start(self) -> None:
+        """Serve in a background thread (tests, benchmarks)."""
+        import threading
+
+        self.plane.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI)."""
+        self.plane.start()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.plane.stop()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+            self.plane.stop()
+
+    def __enter__(self) -> "ServeDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

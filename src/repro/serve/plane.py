@@ -1,0 +1,471 @@
+"""The verification control plane behind ``python -m repro serve``.
+
+:class:`ControlPlane` owns everything the HTTP layer exposes: a
+bounded queue drained by a worker-thread pool (each worker drives
+:func:`repro.runtime.execute`), the verdict cache, the
+content-addressed artifact store, the JSONL audit log, and a
+:class:`~repro.obs.metrics.MetricsRegistry` of serving metrics.
+
+Submission semantics (the interesting part):
+
+* a spec whose canonical hash is in the **verdict cache** never
+  executes — the submission returns a terminal ``cached`` run that
+  carries the stored artifact;
+* a spec whose hash matches an **in-flight** run coalesces onto it —
+  N concurrent clients submitting one spec cost one execution and
+  all observe the same run id and artifact bytes;
+* anything else is enqueued, executed by a worker, stored (artifact
+  by ``history_hash``, verdict by spec hash) and marked ``done`` —
+  or ``failed``, and failures are deliberately *not* cached so a
+  resubmission retries.
+
+The simulator itself is single-threaded per run and shares no state
+across clusters, so runs execute concurrently; the one global the
+runtime touches — the :mod:`repro.obs` tracer/metrics slots — is
+serialized under ``_OBS_LOCK`` for the (rare) specs that ask for
+tracing or metrics.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry
+from repro.runtime import RunSpec, execute
+from repro.runtime.registry import get_protocol, get_workload
+from repro.serve.audit import AuditLog
+from repro.serve.cache import VerdictCache
+from repro.serve.clock import tick, wall_now
+from repro.serve.store import ArtifactStore, RetentionPolicy
+
+__all__ = [
+    "ControlPlane",
+    "QueueFullError",
+    "RunRecord",
+    "ServeConfig",
+    "SubmitError",
+]
+
+#: Serializes runs that install the process-global obs tracer/metrics.
+_OBS_LOCK = threading.Lock()
+
+
+class SubmitError(ReproError):
+    """The submission is malformed (HTTP 400)."""
+
+
+class QueueFullError(ReproError):
+    """The run queue is at capacity (HTTP 503; retry later)."""
+
+
+class ServeConfig:
+    """Daemon knobs, one place (CLI flags map 1:1 onto these)."""
+
+    __slots__ = (
+        "host",
+        "port",
+        "workers",
+        "store_dir",
+        "queue_depth",
+        "cache_entries",
+        "retain_entries",
+        "retain_bytes",
+        "max_run_records",
+    )
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        workers: int = 2,
+        store_dir: str = "repro-store",
+        queue_depth: int = 64,
+        cache_entries: int = 256,
+        retain_entries: Optional[int] = 512,
+        retain_bytes: Optional[int] = 256 * 1024 * 1024,
+        max_run_records: int = 4096,
+    ) -> None:
+        if workers < 1:
+            raise SubmitError(f"workers must be >= 1, got {workers}")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.store_dir = store_dir
+        self.queue_depth = queue_depth
+        self.cache_entries = cache_entries
+        self.retain_entries = retain_entries
+        self.retain_bytes = retain_bytes
+        self.max_run_records = max_run_records
+
+
+class RunRecord:
+    """One submission's lifecycle, from queue to terminal state."""
+
+    TERMINAL = ("done", "failed", "cached")
+
+    __slots__ = (
+        "run_id",
+        "spec",
+        "spec_hash",
+        "status",
+        "artifact",
+        "history_hash",
+        "error",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+        "run_seconds",
+        "trace",
+        "event",
+    )
+
+    def __init__(self, run_id: str, spec: RunSpec, spec_hash: str) -> None:
+        self.run_id = run_id
+        self.spec = spec
+        self.spec_hash = spec_hash
+        self.status = "queued"
+        self.artifact: Optional[Dict[str, Any]] = None
+        self.history_hash: Optional[str] = None
+        self.error: Optional[str] = None
+        self.submitted_at = wall_now()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.run_seconds: Optional[float] = None
+        self.trace: Optional[List[Dict[str, Any]]] = None
+        self.event = threading.Event()
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in self.TERMINAL
+
+    def to_dict(self, *, include_artifact: bool = True) -> Dict[str, Any]:
+        info: Dict[str, Any] = {
+            "run_id": self.run_id,
+            "status": self.status,
+            "protocol": self.spec.protocol,
+            "workload": self.spec.workload,
+            "seed": self.spec.seed,
+            "spec_hash": self.spec_hash,
+            "history_hash": self.history_hash,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "run_seconds": self.run_seconds,
+            "traced": self.trace is not None,
+        }
+        if include_artifact:
+            info["artifact"] = self.artifact if self.terminal else None
+        return info
+
+
+class ControlPlane:
+    """Worker pool + cache + store + audit behind one submit() call."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        root = Path(self.config.store_dir)
+        self.store = ArtifactStore(
+            root / "artifacts",
+            RetentionPolicy(
+                max_entries=self.config.retain_entries,
+                max_bytes=self.config.retain_bytes,
+            ),
+        )
+        self.cache = VerdictCache(
+            root / "verdicts", memory_entries=self.config.cache_entries
+        )
+        self.audit = AuditLog(root / "requests.log.jsonl")
+        self.registry = MetricsRegistry()
+        self.started_at = wall_now()
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue(
+            maxsize=self.config.queue_depth
+        )
+        self._records: Dict[str, RunRecord] = {}
+        self._order: List[str] = []
+        self._inflight: Dict[str, str] = {}
+        self._seq = 0
+        self._verdicts: Dict[Tuple[str, str], int] = {}
+        self._threads: List[threading.Thread] = []
+        # Fill the registries up front so worker threads never race a
+        # first-touch import of the protocol/workload modules.
+        get_protocol("msc")
+        get_workload("random")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._threads = []
+        self.audit.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, data: Mapping[str, Any], client: Optional[str] = None
+    ) -> Tuple[RunRecord, str]:
+        """Submit one spec; returns ``(record, outcome)``.
+
+        ``outcome`` is ``"cached"``, ``"coalesced"`` or ``"queued"``.
+        Raises :class:`SubmitError` on a malformed spec and
+        :class:`QueueFullError` when the queue is at capacity.
+        """
+        if not isinstance(data, Mapping):
+            raise SubmitError("submission body must be a JSON object")
+        try:
+            spec = RunSpec.from_dict(data)
+            # Resolve both registry names now so a typo is a 4xx at
+            # submit time, not a failed run discovered by polling.
+            get_protocol(spec.protocol)
+            get_workload(spec.workload)
+        except ReproError as exc:
+            self.registry.counter("serve.submissions", outcome="rejected").inc()
+            self.audit.record(
+                "reject", client=client, detail=str(exc)
+            )
+            raise SubmitError(str(exc)) from exc
+        spec_hash = spec.spec_hash()
+        with self._lock:
+            cached = self.cache.get(spec_hash)
+            if cached is not None:
+                record = self._new_record(spec, spec_hash)
+                record.status = "cached"
+                record.artifact = cached
+                record.history_hash = cached.get("history_hash")
+                record.finished_at = record.submitted_at
+                record.run_seconds = 0.0
+                record.event.set()
+                outcome = "cached"
+            else:
+                inflight_id = self._inflight.get(spec_hash)
+                if inflight_id is not None:
+                    record = self._records[inflight_id]
+                    outcome = "coalesced"
+                else:
+                    record = self._new_record(spec, spec_hash)
+                    try:
+                        self._queue.put_nowait(record.run_id)
+                    except queue.Full:
+                        self._drop_record(record)
+                        self.registry.counter(
+                            "serve.submissions", outcome="shed"
+                        ).inc()
+                        self.audit.record(
+                            "shed",
+                            spec_hash=spec_hash,
+                            protocol=spec.protocol,
+                            client=client,
+                        )
+                        raise QueueFullError(
+                            f"run queue is full "
+                            f"({self.config.queue_depth} deep); retry"
+                        ) from None
+                    self._inflight[spec_hash] = record.run_id
+                    outcome = "queued"
+        self.registry.counter("serve.submissions", outcome=outcome).inc()
+        self.audit.record(
+            "submit",
+            run_id=record.run_id,
+            spec_hash=spec_hash,
+            protocol=spec.protocol,
+            status=record.status,
+            client=client,
+            detail=outcome,
+        )
+        return record, outcome
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def run_record(self, run_id: str) -> Optional[RunRecord]:
+        with self._lock:
+            return self._records.get(run_id)
+
+    def wait(self, run_id: str, timeout: float = 60.0) -> Optional[RunRecord]:
+        """Block until the run reaches a terminal state (or timeout)."""
+        record = self.run_record(run_id)
+        if record is None:
+            return None
+        record.event.wait(timeout)
+        return record
+
+    def artifact(self, history_hash: str) -> Optional[Dict[str, Any]]:
+        return self.store.get(history_hash)
+
+    def trace_records(self, run_id: str) -> Optional[List[Dict[str, Any]]]:
+        record = self.run_record(run_id)
+        return record.trace if record is not None else None
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The obs-registry snapshot plus the serving state summary."""
+        snapshot = self.registry.snapshot()
+        snapshot["serve"] = self.state_summary()
+        return snapshot
+
+    def state_summary(self) -> Dict[str, Any]:
+        """Queue/cache/store/verdict state for /metrics and the dashboard."""
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for record in self._records.values():
+                by_status[record.status] = by_status.get(record.status, 0) + 1
+            verdicts = {
+                f"{protocol}/{outcome}": count
+                for (protocol, outcome), count in sorted(
+                    self._verdicts.items()
+                )
+            }
+            recent = [
+                self._records[run_id].to_dict(include_artifact=False)
+                for run_id in self._order[-20:]
+            ]
+        return {
+            "uptime_s": wall_now() - self.started_at,
+            "workers": self.config.workers,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.config.queue_depth,
+            "runs_by_status": by_status,
+            "verdicts": verdicts,
+            "cache": self.cache.stats(),
+            "store": self.store.stats(),
+            "audit_entries": self.audit.entries,
+            "recent_runs": recent,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _new_record(self, spec: RunSpec, spec_hash: str) -> RunRecord:
+        # Caller holds the lock.
+        self._seq += 1
+        run_id = f"r{self._seq:06d}-{spec_hash[:8]}"
+        record = RunRecord(run_id, spec, spec_hash)
+        self._records[run_id] = record
+        self._order.append(run_id)
+        self._prune_records()
+        return record
+
+    def _drop_record(self, record: RunRecord) -> None:
+        # Caller holds the lock.
+        self._records.pop(record.run_id, None)
+        if self._order and self._order[-1] == record.run_id:
+            self._order.pop()
+
+    def _prune_records(self) -> None:
+        # Caller holds the lock.  Drop the oldest *terminal* records
+        # beyond the bound; queued/running runs are never dropped.
+        excess = len(self._order) - self.config.max_run_records
+        if excess <= 0:
+            return
+        kept: List[str] = []
+        for run_id in self._order:
+            record = self._records.get(run_id)
+            if record is None:
+                continue
+            if excess > 0 and record.terminal:
+                del self._records[run_id]
+                excess -= 1
+            else:
+                kept.append(run_id)
+        self._order = kept
+
+    def _worker(self) -> None:
+        while True:
+            run_id = self._queue.get()
+            try:
+                if run_id is None:
+                    return
+                record = self.run_record(run_id)
+                if record is not None:
+                    self._execute(record)
+            finally:
+                if run_id is not None:
+                    record = self.run_record(run_id)
+                    if record is not None:
+                        with self._lock:
+                            if self._inflight.get(record.spec_hash) == run_id:
+                                del self._inflight[record.spec_hash]
+                        record.event.set()
+                self._queue.task_done()
+
+    def _execute(self, record: RunRecord) -> None:
+        record.status = "running"
+        record.started_at = wall_now()
+        started = tick()
+        spec = record.spec
+        try:
+            if spec.tracing or spec.metrics:
+                with _OBS_LOCK:
+                    artifact = execute(spec)
+            else:
+                artifact = execute(spec)
+        except Exception as exc:  # a failed run, not a dead daemon
+            record.error = f"{type(exc).__name__}: {exc}"
+            record.status = "failed"
+            self.registry.counter(
+                "serve.runs", result="failed", protocol=spec.protocol
+            ).inc()
+            self._count_verdict(spec.protocol, "failed")
+            self.audit.record(
+                "failed",
+                run_id=record.run_id,
+                spec_hash=record.spec_hash,
+                protocol=spec.protocol,
+                detail=record.error,
+            )
+        else:
+            payload = artifact.to_dict()
+            record.artifact = payload
+            record.history_hash = artifact.history_hash
+            if artifact.tracer is not None:
+                record.trace = artifact.tracer.records()
+            if artifact.history_hash:
+                self.store.put(artifact.history_hash, payload)
+            self.cache.put(record.spec_hash, payload)
+            record.status = "done"
+            outcome = "ok" if artifact.ok else "violated"
+            self.registry.counter(
+                "serve.runs", result=outcome, protocol=spec.protocol
+            ).inc()
+            self._count_verdict(spec.protocol, outcome)
+            self.audit.record(
+                "done",
+                run_id=record.run_id,
+                spec_hash=record.spec_hash,
+                protocol=spec.protocol,
+                status=outcome,
+            )
+        record.run_seconds = tick() - started
+        record.finished_at = wall_now()
+        self.registry.histogram(
+            "serve.run.seconds",
+            buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0),
+        ).observe(record.run_seconds)
+
+    def _count_verdict(self, protocol: str, outcome: str) -> None:
+        with self._lock:
+            key = (protocol, outcome)
+            self._verdicts[key] = self._verdicts.get(key, 0) + 1

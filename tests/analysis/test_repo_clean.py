@@ -24,16 +24,27 @@ def test_repo_is_clean():
     assert report.ok
 
 
+#: The only modules allowed to read the wall clock: the analyzer's
+#: own timing, and the serving daemon's single clock surface
+#: (`repro.serve.clock` — a real network service, not simulated
+#: code).  Justified in docs/static_analysis.md.
+WALL_CLOCK_SURFACES = (
+    "src/repro/analysis",
+    "src/repro/serve/clock.py",
+)
+
+
 def test_suppressions_are_rare_and_timing_only():
     """Every suppression in the tree is an analyzer/benchmark timing
-    call — simulated code never needs one.  If this count grows,
-    justify the new allowance in docs/static_analysis.md."""
+    call or the serve-daemon clock shim — simulated code never needs
+    one.  If this count grows, justify the new allowance in
+    docs/static_analysis.md."""
     report = analyze_repo()
     suppressed = [f for f in report.findings if f.suppressed]
     assert len(suppressed) <= 10
     assert {f.rule for f in suppressed} <= {"wall-clock"}
     for finding in suppressed:
-        assert finding.path.startswith("src/repro/analysis"), finding.row()
+        assert finding.path.startswith(WALL_CLOCK_SURFACES), finding.row()
 
 
 def test_protocol_and_sim_rngs_are_explicitly_seeded():

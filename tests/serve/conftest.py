@@ -1,0 +1,37 @@
+"""Shared fixtures for the serving-layer suite.
+
+Each test gets a real daemon on an ephemeral loopback port with a
+temp store — the contract under test is the HTTP surface, the same
+one ``python -m repro serve`` exposes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, ServeDaemon
+
+
+def make_daemon(tmp_path, **overrides) -> ServeDaemon:
+    config = ServeConfig(
+        port=0,
+        store_dir=str(tmp_path / "store"),
+        workers=overrides.pop("workers", 2),
+        **overrides,
+    )
+    return ServeDaemon(config)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    served = make_daemon(tmp_path)
+    served.start()
+    yield served
+    served.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    http = ServeClient(daemon.url, timeout=30.0)
+    assert http.wait_healthy(10.0), "daemon never became healthy"
+    return http

@@ -1,0 +1,180 @@
+"""Endpoint contract tests over a live localhost daemon.
+
+Submit/poll/artifact/metrics/trace/dashboard — every route the docs
+promise, exercised through the real HTTP surface with the stdlib
+client.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.runtime import RunSpec
+from repro.serve import ServeClientError
+
+SPEC = RunSpec(protocol="mlin", ops=4, seed=3)
+
+
+def _get_raw(url: str):
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return response.status, response.read()
+
+
+def test_submit_poll_artifact_roundtrip(client):
+    submitted = client.submit(SPEC)
+    assert submitted["outcome"] == "queued"
+    assert submitted["status"] in ("queued", "running", "done")
+    assert submitted["spec_hash"] == SPEC.spec_hash()
+
+    run = client.wait(submitted["run_id"])
+    assert run["status"] == "done"
+    assert run["error"] is None
+    artifact = run["artifact"]
+    assert artifact["ok"] is True
+    assert artifact["protocol"] == "mlin"
+    assert artifact["spec"] == SPEC.to_dict()
+    assert run["run_seconds"] > 0
+
+    # The artifact is retrievable content-addressed by history hash.
+    stored = client.artifact(artifact["history_hash"])
+    assert stored == artifact
+
+
+def test_cached_resubmission_short_circuits(client):
+    first = client.submit_and_wait(SPEC)
+    assert first["status"] == "done"
+    again = client.submit(SPEC)
+    assert again["outcome"] == "cached"
+    assert again["status"] == "cached"
+    # The cached response carries the artifact inline -- no polling.
+    assert again["artifact"] == first["artifact"]
+    metrics = client.metrics()
+    assert metrics["serve"]["cache"]["hits"] >= 1
+    assert metrics["serve"]["cache"]["hit_rate"] > 0
+
+
+def test_metrics_snapshot_shape(client):
+    client.submit_and_wait(SPEC)
+    metrics = client.metrics()
+    assert set(metrics) >= {"counters", "gauges", "histograms", "serve"}
+    serve = metrics["serve"]
+    assert serve["queue_capacity"] > 0
+    assert serve["workers"] == 2
+    assert serve["runs_by_status"].get("done", 0) >= 1
+    assert serve["verdicts"].get("mlin/ok", 0) >= 1
+    assert serve["store"]["entries"] >= 1
+    assert serve["audit_entries"] >= 1
+    assert any(
+        name.startswith("serve.runs") for name in metrics["counters"]
+    )
+
+
+def test_trace_endpoint_returns_spans(client):
+    traced = SPEC.with_(tracing=True, seed=11)
+    run = client.submit_and_wait(traced)
+    assert run["status"] == "done"
+    spans = client.trace(run["run_id"])
+    assert spans["run_id"] == run["run_id"]
+    assert len(spans["spans"]) > 0
+    # Untraced runs 404 on /trace/<id> rather than answering empty.
+    plain = client.submit_and_wait(SPEC.with_(seed=12))
+    with pytest.raises(ServeClientError) as excinfo:
+        client.trace(plain["run_id"])
+    assert excinfo.value.status == 404
+
+
+def test_dashboard_renders_state(client, daemon):
+    client.submit_and_wait(SPEC)
+    status, body = _get_raw(daemon.url + "/")
+    page = body.decode("utf-8")
+    assert status == 200
+    assert "verification control plane" in page
+    assert "cache hit rate" in page
+    assert "mlin" in page
+
+
+def test_healthz(client):
+    assert client.healthy()
+
+
+def test_malformed_spec_is_400(client):
+    for bad in (
+        {"workload": "random"},  # no protocol
+        {"protocol": "no-such-protocol"},
+        {"protocol": "mlin", "workload": "no-such-workload"},
+        {"protocol": "mlin", "n": -1},
+        {"protocol": "mlin", "bogus_field": 1},
+    ):
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit(bad)
+        assert excinfo.value.status == 400, bad
+
+
+def test_invalid_json_body_is_400(daemon):
+    request = urllib.request.Request(
+        daemon.url + "/v1/runs",
+        data=b"{not json",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10.0)
+    assert excinfo.value.code == 400
+    detail = json.loads(excinfo.value.read())
+    assert "JSON" in detail["error"]
+
+
+def test_unknown_ids_are_404(client):
+    with pytest.raises(ServeClientError) as excinfo:
+        client.run("r999999-deadbeef")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeClientError) as excinfo:
+        client.artifact("ab" * 32)
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeClientError) as excinfo:
+        client.trace("r999999-deadbeef")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeClientError) as excinfo:
+        client._request("/no/such/route")
+    assert excinfo.value.status == 404
+
+
+def test_failed_runs_report_failed_not_500(client):
+    # Crash faults on a protocol with no crash tolerance are rejected
+    # by the runtime at *execution* time (FaultPolicyError), so the
+    # submission is accepted and the run must land as status=failed.
+    from repro.runtime import FaultSpec
+
+    spec = RunSpec(protocol="lock", ops=2, faults=FaultSpec(seed=1))
+    run = client.wait(client.submit(spec)["run_id"])
+    assert run["status"] == "failed"
+    assert "FaultPolicyError" in run["error"]
+    # Failures are not cached: a resubmission re-executes.
+    again = client.submit(spec)
+    assert again["outcome"] in ("queued", "coalesced")
+    client.wait(again["run_id"])
+
+
+def test_audit_log_records_every_submission(client, daemon):
+    client.submit_and_wait(SPEC)
+    client.submit(SPEC)  # cached
+    log_path = (
+        daemon.plane.audit.path
+    )
+    lines = [
+        json.loads(line)
+        for line in log_path.read_text().splitlines()
+        if line
+    ]
+    events = [entry["event"] for entry in lines]
+    assert "submit" in events
+    assert "done" in events
+    assert all("ts" in entry for entry in lines)
+    cached = [
+        entry
+        for entry in lines
+        if entry["event"] == "submit" and entry.get("detail") == "cached"
+    ]
+    assert cached, "cache-hit submission missing from the audit log"

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.analysis.static",
     "repro.runtime",
+    "repro.serve",
 ]
 
 

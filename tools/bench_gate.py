@@ -1,20 +1,28 @@
-"""Benchmark regression gate over ``BENCH_checkers.json`` artifacts.
+"""Benchmark regression gate over BENCH_* artifacts.
 
-``python tools/bench_gate.py FRESH.json --baseline BENCH_checkers.json``
-compares a freshly produced checker-benchmark artifact against the
-committed baseline, row by row.  Rows are keyed by
-``(condition, n_mops, method)`` — the "method" column distinguishes
-the dynamic ``constrained`` checker from the plan/execute engine's
-``full`` / ``sharded`` / ``windowed`` modes — and the gate fails when
-any shared row's median regresses by more than ``--factor`` (default
-2x, absorbing CI machine-class noise while still catching
-complexity-class slips).
+``python tools/bench_gate.py FRESH.json --baseline BASELINE.json``
+compares a freshly produced benchmark artifact against its committed
+baseline, row by row.  Two row schemas are understood, auto-detected
+per row:
 
-Rows present in only one artifact are reported but never fail the
-gate: new benchmark sizes land before their baselines do, and retired
-sizes linger in old baselines.  Sub-millisecond baselines are skipped
-outright — at that scale the medians are dominated by timer and
-allocator jitter, not by the checkers.
+* **checker rows** (``BENCH_checkers.json``), keyed by ``(condition,
+  n_mops, method)`` — the "method" column distinguishes the dynamic
+  ``constrained`` checker from the plan/execute engine's ``full`` /
+  ``sharded`` / ``windowed`` modes; the gate fails when a shared
+  row's ``median_s`` regresses by more than ``--factor``;
+* **serve rows** (``BENCH_serve.json``, rows carrying ``p50_s``),
+  keyed by ``(profile, clients)`` — the gate fails when the median
+  submission latency (``p50_s``) regresses by more than ``--factor``
+  *or* sustained throughput (``specs_per_sec``) collapses below
+  ``1/factor`` of the baseline.
+
+The default factor (2x) absorbs CI machine-class noise while still
+catching complexity-class slips.  Rows present in only one artifact
+are reported but never fail the gate: new benchmark sizes land before
+their baselines do, and retired sizes linger in old baselines.
+Sub-millisecond time baselines are skipped outright — at that scale
+the medians are dominated by timer and allocator jitter, not by the
+code under test.
 """
 
 from __future__ import annotations
@@ -28,20 +36,70 @@ from typing import Dict, List, Optional, Tuple
 #: Baseline medians below this are too noisy to gate on.
 MIN_GATED_SECONDS = 0.001
 
-Key = Tuple[str, int, str]
+Key = Tuple
+
+
+def _key(row: dict) -> Key:
+    if "p50_s" in row:
+        return ("serve", str(row.get("profile", "full")),
+                int(row.get("clients", 0)))
+    return ("check", row["condition"], int(row["n_mops"]), row["method"])
 
 
 def _rows(artifact: dict) -> Dict[Key, dict]:
-    table: Dict[Key, dict] = {}
-    for row in artifact.get("results", []):
-        key = (row["condition"], int(row["n_mops"]), row["method"])
-        table[key] = row
-    return table
+    return {_key(row): row for row in artifact.get("results", [])}
 
 
 def _label(key: Key) -> str:
-    condition, n_mops, method = key
-    return f"{condition}/{n_mops}/{method}"
+    return "/".join(str(part) for part in key[1:])
+
+
+def _gate_time(
+    key: Key,
+    fresh_row: dict,
+    base_row: dict,
+    metric: str,
+    factor: float,
+    failures: List[str],
+    notes: List[str],
+) -> None:
+    base_value = float(base_row[metric])
+    fresh_value = float(fresh_row[metric])
+    if base_value < MIN_GATED_SECONDS:
+        notes.append(
+            f"{_label(key)} {metric}: baseline {base_value:.4f}s below "
+            f"{MIN_GATED_SECONDS}s noise floor (not gated)"
+        )
+        return
+    ratio = fresh_value / base_value
+    line = (
+        f"{_label(key)} {metric}: {fresh_value:.4f}s vs baseline "
+        f"{base_value:.4f}s ({ratio:.2f}x)"
+    )
+    (failures if ratio > factor else notes).append(line)
+
+
+def _gate_throughput(
+    key: Key,
+    fresh_row: dict,
+    base_row: dict,
+    factor: float,
+    failures: List[str],
+    notes: List[str],
+) -> None:
+    base_rate = float(base_row["specs_per_sec"])
+    fresh_rate = float(fresh_row["specs_per_sec"])
+    if base_rate <= 0:
+        notes.append(
+            f"{_label(key)} specs_per_sec: zero baseline (not gated)"
+        )
+        return
+    ratio = base_rate / fresh_rate if fresh_rate else float("inf")
+    line = (
+        f"{_label(key)} specs_per_sec: {fresh_rate:.1f}/s vs baseline "
+        f"{base_rate:.1f}/s ({ratio:.2f}x slower)"
+    )
+    (failures if ratio > factor else notes).append(line)
 
 
 def gate(
@@ -57,23 +115,20 @@ def gate(
     for key in sorted(fresh_rows.keys() - base_rows.keys()):
         notes.append(f"{_label(key)}: new row, no baseline (not gated)")
     for key in sorted(fresh_rows.keys() & base_rows.keys()):
-        base_median = float(base_rows[key]["median_s"])
-        fresh_median = float(fresh_rows[key]["median_s"])
-        if base_median < MIN_GATED_SECONDS:
-            notes.append(
-                f"{_label(key)}: baseline {base_median:.4f}s below "
-                f"{MIN_GATED_SECONDS}s noise floor (not gated)"
+        fresh_row, base_row = fresh_rows[key], base_rows[key]
+        if key[0] == "serve":
+            _gate_time(
+                key, fresh_row, base_row, "p50_s", factor,
+                failures, notes,
             )
-            continue
-        ratio = fresh_median / base_median
-        line = (
-            f"{_label(key)}: {fresh_median:.4f}s vs baseline "
-            f"{base_median:.4f}s ({ratio:.2f}x)"
-        )
-        if ratio > factor:
-            failures.append(line)
+            _gate_throughput(
+                key, fresh_row, base_row, factor, failures, notes
+            )
         else:
-            notes.append(line)
+            _gate_time(
+                key, fresh_row, base_row, "median_s", factor,
+                failures, notes,
+            )
     return failures, notes
 
 
