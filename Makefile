@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint analyze chaos chaos-smoke report bench-json \
-	bench-gate run-smoke serve-smoke serve-gate
+.PHONY: test lint analyze analyze-sarif chaos chaos-smoke report \
+	bench-json bench-gate run-smoke serve-smoke serve-gate
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,13 @@ lint:
 ## prover infrastructure — see docs/static_analysis.md.
 analyze:
 	$(PYTHON) -m repro analyze
+
+## Same pass, but emit a SARIF 2.1.0 log (analyze.sarif) and enforce
+## the committed findings baseline: the run fails only on findings
+## not excused by analysis_baseline.json.
+analyze-sarif:
+	$(PYTHON) -m repro analyze --sarif analyze.sarif \
+		--baseline analysis_baseline.json
 
 ## Full chaos suite: every @pytest.mark.chaos schedule (still < 60 s).
 chaos:

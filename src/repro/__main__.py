@@ -399,13 +399,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from repro import __version__
     from repro.analysis.static import (
         Analyzer,
         AnalyzerConfig,
         analyze_repo,
+        baseline_payload,
+        diff_against_baseline,
+        load_baseline,
         load_config,
         registered_rules,
         render_json,
+        render_sarif,
         render_text,
         rule_descriptions,
     )
@@ -426,10 +431,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     unknown = set(select) - set(registered_rules())
     if unknown:
         print(
-            f"error: unknown rule(s) {sorted(unknown)}; see "
-            "--list-rules",
+            f"error: unknown rule(s) {sorted(unknown)}; "
+            "the registered rules are:",
             file=sys.stderr,
         )
+        for rule, description in sorted(rule_descriptions().items()):
+            print(f"  {rule}: {description}", file=sys.stderr)
         return 2
     if args.paths:
         config = load_config(Path("pyproject.toml"))
@@ -445,6 +452,26 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         if select:
             config = AnalyzerConfig(select=select)
         report = analyze_repo(config=config)
+    if args.sarif:
+        Path(args.sarif).write_text(
+            render_sarif(
+                report,
+                rule_descriptions(),
+                tool_version=__version__,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            baseline_payload(report), encoding="utf-8"
+        )
+        print(
+            f"analyze: wrote baseline with "
+            f"{len(report.unsuppressed)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
     if args.json:
         print(render_json(report))
     else:
@@ -453,6 +480,26 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 report, include_suppressed=args.include_suppressed
             )
         )
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        new = diff_against_baseline(report, baseline)
+        if new:
+            print(
+                f"analyze: {len(new)} finding(s) not in baseline "
+                f"{args.baseline}:",
+                file=sys.stderr,
+            )
+            for finding in new:
+                print(f"  {finding.row()}", file=sys.stderr)
+            return 1
+        print(
+            f"analyze: no findings beyond baseline {args.baseline}"
+        )
+        return 0 if not report.errors else 1
     return 0 if report.ok else 1
 
 
@@ -741,6 +788,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--include-suppressed",
         action="store_true",
         help="show findings silenced by '# repro: allow[rule]' comments",
+    )
+    analyze.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="also write the report as SARIF 2.1.0 to PATH",
+    )
+    analyze.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=(
+            "fail only on findings not in this baseline file "
+            "(see --write-baseline)"
+        ),
+    )
+    analyze.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write the current findings as a new baseline and exit 0",
     )
     analyze.set_defaults(func=cmd_analyze)
 

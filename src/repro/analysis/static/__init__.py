@@ -6,10 +6,12 @@ Two pass families over one shared framework:
   OO-/WW-/WO-constraint compliance of workload specs up front,
   unlocking the Theorem-7 polynomial checking path without the
   dynamic constraint scan;
-* the **determinism & race lints** (:mod:`.lints`) guard the repo's
-  simulation invariants (seeded RNG, virtual clocks, ordered
-  iteration, kernel-mediated state access, span pairing, no swallowed
-  errors) as AST passes over the source tree.
+* the **determinism & race lints** — syntactic passes in
+  :mod:`.lints` (seeded RNG, virtual clocks, ordered iteration,
+  kernel-mediated state access) and flow-sensitive passes built on
+  the :mod:`.cfg` + :mod:`.dataflow` engine: the Eraser-style static
+  lockset race detector (:mod:`.locks`) and the path-sensitive span
+  pairing / swallowed-error / handler-atomicity rules (:mod:`.flows`).
 
 Entry points: ``python -m repro analyze`` (CLI), ``make analyze``,
 and :func:`repro.analysis.static.analyze_repo` programmatically.  See
@@ -22,7 +24,16 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional, Sequence
 
+import repro.analysis.static.flows  # noqa: F401 - registers the passes
 import repro.analysis.static.lints  # noqa: F401 - registers the passes
+import repro.analysis.static.locks  # noqa: F401 - registers the passes
+from repro.analysis.static.cfg import CFG, Block, Event, build_cfg
+from repro.analysis.static.dataflow import (
+    DataflowProblem,
+    Solution,
+    solve,
+    values_at_events,
+)
 from repro.analysis.static.findings import Finding, Report, parse_allows
 from repro.analysis.static.framework import (
     Analyzer,
@@ -51,14 +62,25 @@ from repro.analysis.static.prover import (
     sample_history,
 )
 from repro.analysis.static.report import render_json, render_text
+from repro.analysis.static.sarif import (
+    baseline_payload,
+    diff_against_baseline,
+    load_baseline,
+    render_sarif,
+)
 
 __all__ = [
     "Analyzer",
     "AnalyzerConfig",
+    "Block",
+    "CFG",
     "CONSTRAINTS",
     "ConstraintCertificate",
+    "DataflowProblem",
+    "Event",
     "Finding",
     "LintPass",
+    "Solution",
     "ProgramProfile",
     "Report",
     "SampledRun",
@@ -67,20 +89,27 @@ __all__ = [
     "TOTAL_ORDER_PROTOCOLS",
     "WorkloadSpec",
     "analyze_repo",
+    "baseline_payload",
+    "build_cfg",
     "certify_chain",
     "certify_history",
     "certify_partitioned_history",
     "certify_run",
     "certify_spec",
     "certify_workloads",
+    "diff_against_baseline",
+    "load_baseline",
     "load_config",
     "parse_allows",
     "register",
     "registered_rules",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_descriptions",
     "sample_history",
+    "solve",
+    "values_at_events",
 ]
 
 

@@ -1,0 +1,633 @@
+"""Control-flow graphs over the :class:`SourceFile` AST model.
+
+One :class:`CFG` per function body.  Nodes are basic blocks holding an
+ordered list of :class:`Event` entries; edges are plain successor
+links.  The builder understands the control constructs the flow-
+sensitive passes care about:
+
+* ``if``/``elif``/``else`` branching and short-circuit joins;
+* ``while`` and ``for`` loops, including their ``else`` clauses,
+  ``break`` and ``continue``;
+* ``try``/``except``/``else``/``finally`` — statements inside a
+  ``try`` body get an exceptional edge to each handler, and the
+  ``finally`` suite is *duplicated* per continuation (normal fall-
+  through, exceptional propagation, and each ``return``/``break``/
+  ``continue`` that crosses it) so a must-analysis never merges a
+  returning path with a falling-through one;
+* ``with`` blocks — every exit from the body (normal, ``return``,
+  ``raise``, ``break``, ``continue``, exception propagating to an
+  outer ``try``) passes through a synthesized ``with_exit`` event, so
+  a lock acquired by ``with self._lock:`` is provably released on all
+  paths, exactly like the runtime guarantee;
+* early ``return`` and ``raise`` (including the bare re-``raise``).
+
+Deliberate approximation: *implicit* exceptions (any call may raise)
+only generate edges inside ``try`` statements — from each try-body
+block to each handler.  Outside a ``try`` there is nothing to observe
+an implicit exception with, so modelling it would only add noise to
+path-sensitive rules like span-pairing.
+
+The module is analysis-agnostic: it knows nothing about locks or
+spans.  :mod:`repro.analysis.static.dataflow` runs fixpoints over it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CFG",
+    "Block",
+    "Event",
+    "build_cfg",
+    "event_roots",
+    "scoped_walk",
+]
+
+#: Event kinds a block can carry.
+STMT = "stmt"          #: one simple statement (or a test expression)
+WITH_ENTER = "with_enter"  #: entering one ``with`` item (node = withitem)
+WITH_EXIT = "with_exit"    #: leaving one ``with`` item (node = withitem)
+ASSUME = "assume"      #: branch refinement: info = (name, state)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One atomic step inside a basic block.
+
+    ``info`` carries per-kind payload; for :data:`ASSUME` events it is
+    ``(variable_name, state)`` with state one of ``"truthy"``,
+    ``"falsy"``, ``"none"``, ``"not-none"`` — the fact the branch
+    condition establishes about a local on the taken edge.  Analyses
+    that don't narrow on conditions simply ignore the kind.
+    """
+
+    kind: str
+    node: ast.AST
+    info: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        line = getattr(self.node, "lineno", "?")
+        return f"Event({self.kind}@{line})"
+
+
+def _branch_assumptions(
+    test: ast.AST,
+) -> Tuple[Optional[Tuple[str, str]], Optional[Tuple[str, str]]]:
+    """(then-branch fact, else-branch fact) for simple local tests."""
+    if isinstance(test, ast.Name):
+        return (test.id, "truthy"), (test.id, "falsy")
+    if (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and isinstance(test.operand, ast.Name)
+    ):
+        return (test.operand.id, "falsy"), (test.operand.id, "truthy")
+    if (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and len(test.ops) == 1
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        name = test.left.id
+        if isinstance(test.ops[0], ast.Is):
+            return (name, "none"), (name, "not-none")
+        if isinstance(test.ops[0], ast.IsNot):
+            return (name, "not-none"), (name, "none")
+    return None, None
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line events plus successor edges."""
+
+    id: int
+    events: List[Event] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+    #: Human-readable tag for tests/debugging ("entry", "exit", ...).
+    tag: str = ""
+
+
+class CFG:
+    """The graph for one function: blocks, entry and exit ids.
+
+    ``exit`` is the single normal/early-return sink; ``raise_exit``
+    collects paths that leave the function by raising.  Both are
+    ordinary blocks so solvers treat them uniformly.
+    """
+
+    def __init__(self, func: Optional[ast.AST] = None) -> None:
+        self.func = func
+        self.blocks: Dict[int, Block] = {}
+        self._next_id = 0
+        self.entry = self.new_block(tag="entry").id
+        self.exit = self.new_block(tag="exit").id
+        self.raise_exit = self.new_block(tag="raise-exit").id
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def new_block(self, tag: str = "") -> Block:
+        block = Block(id=self._next_id, tag=tag)
+        self._next_id += 1
+        self.blocks[block.id] = block
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def successors(self, block_id: int) -> List[int]:
+        return self.blocks[block_id].succs
+
+    def predecessors(self, block_id: int) -> List[int]:
+        return self.blocks[block_id].preds
+
+    def events(self) -> Iterator[Tuple[int, Event]]:
+        """Every (block id, event) pair, in block-id order."""
+        for block_id in sorted(self.blocks):
+            for event in self.blocks[block_id].events:
+                yield block_id, event
+
+    def reachable(self) -> List[int]:
+        """Block ids reachable from the entry, in discovery order."""
+        seen = [self.entry]
+        seen_set = {self.entry}
+        cursor = 0
+        while cursor < len(seen):
+            for succ in self.blocks[seen[cursor]].succs:
+                if succ not in seen_set:
+                    seen_set.add(succ)
+                    seen.append(succ)
+            cursor += 1
+        return seen
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder over reachable blocks (forward analyses)."""
+        order: List[int] = []
+        state: Dict[int, int] = {}  # 0 = in progress, 1 = done
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        while stack:
+            node, phase = stack.pop()
+            if phase == 0:
+                if node in state:
+                    continue
+                state[node] = 0
+                stack.append((node, 1))
+                for succ in reversed(self.blocks[node].succs):
+                    if succ not in state:
+                        stack.append((succ, 0))
+            else:
+                state[node] = 1
+                order.append(node)
+        order.reverse()
+        return order
+
+
+class _Frame:
+    """One entry of the cleanup stack crossed by non-local jumps.
+
+    ``kind`` is ``"with"`` (carries the withitems to close) or
+    ``"finally"`` (carries the suite to re-build); ``loop`` frames mark
+    break/continue targets and need no cleanup of their own.
+    """
+
+    __slots__ = ("kind", "items", "body", "break_to", "continue_to")
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        items: Sequence[ast.withitem] = (),
+        body: Sequence[ast.stmt] = (),
+        break_to: Optional[int] = None,
+        continue_to: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.items = list(items)
+        self.body = list(body)
+        self.break_to = break_to
+        self.continue_to = continue_to
+
+
+class _Builder:
+    """Recursive-descent CFG construction for one function body."""
+
+    def __init__(self, func: ast.AST, body: Sequence[ast.stmt]) -> None:
+        self.cfg = CFG(func)
+        self.body = list(body)
+        #: Innermost-last stack of with/finally/loop frames.
+        self.frames: List[_Frame] = []
+        #: Innermost exception target (handler dispatch block), if the
+        #: statement list being built sits inside a try body.
+        self.except_targets: List[int] = []
+
+    def build(self) -> CFG:
+        first = self.cfg.new_block(tag="body")
+        self.cfg.add_edge(self.cfg.entry, first.id)
+        last = self._stmts(self.body, first.id)
+        if last is not None:
+            self.cfg.add_edge(last, self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    # Core dispatch
+    # ------------------------------------------------------------------
+
+    def _stmts(
+        self, stmts: Sequence[ast.stmt], current: Optional[int]
+    ) -> Optional[int]:
+        """Build ``stmts`` starting in block ``current``.
+
+        Returns the block falling through to whatever follows, or None
+        when every path jumped away (return/raise/break/continue).
+        """
+        for stmt in stmts:
+            if current is None:
+                # Unreachable code after a jump: build nothing.  (The
+                # analyzer is not a dead-code linter; ruff covers that.)
+                return None
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, current)
+        if isinstance(stmt, ast.Return):
+            return self._return(stmt, current)
+        if isinstance(stmt, ast.Raise):
+            return self._raise(stmt, current)
+        if isinstance(stmt, ast.Break):
+            return self._break(stmt, current)
+        if isinstance(stmt, ast.Continue):
+            return self._continue(stmt, current)
+        # Simple statement: one event, with an exceptional edge when a
+        # try body encloses it (any expression may raise).
+        self._emit(current, stmt)
+        if self.except_targets:
+            self.cfg.add_edge(current, self.except_targets[-1])
+        return current
+
+    def _emit(
+        self,
+        block_id: int,
+        node: ast.AST,
+        kind: str = STMT,
+        info: Tuple[str, ...] = (),
+    ) -> None:
+        self.cfg.blocks[block_id].events.append(Event(kind, node, info))
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+
+    def _if(self, stmt: ast.If, current: int) -> Optional[int]:
+        self._emit(current, stmt.test)
+        then_info, else_info = _branch_assumptions(stmt.test)
+        then_entry = self.cfg.new_block(tag="then")
+        self.cfg.add_edge(current, then_entry.id)
+        if then_info is not None:
+            self._emit(then_entry.id, stmt.test, ASSUME, then_info)
+        then_exit = self._stmts(stmt.body, then_entry.id)
+        if stmt.orelse or else_info is not None:
+            else_entry = self.cfg.new_block(tag="else")
+            self.cfg.add_edge(current, else_entry.id)
+            if else_info is not None:
+                self._emit(else_entry.id, stmt.test, ASSUME, else_info)
+            else_exit = self._stmts(stmt.orelse, else_entry.id)
+        else:
+            else_exit = current
+        if then_exit is None and else_exit is None:
+            return None
+        join = self.cfg.new_block(tag="join")
+        for leaf in (then_exit, else_exit):
+            if leaf is not None:
+                self.cfg.add_edge(leaf, join.id)
+        return join.id
+
+    # ------------------------------------------------------------------
+    # Loops
+    # ------------------------------------------------------------------
+
+    def _while(self, stmt: ast.While, current: int) -> Optional[int]:
+        header = self.cfg.new_block(tag="while-header")
+        self.cfg.add_edge(current, header.id)
+        self._emit(header.id, stmt.test)
+        after = self.cfg.new_block(tag="after-loop")
+        infinite = (
+            isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        )
+        body_entry = self.cfg.new_block(tag="while-body")
+        self.cfg.add_edge(header.id, body_entry.id)
+        self.frames.append(
+            _Frame("loop", break_to=after.id, continue_to=header.id)
+        )
+        body_exit = self._stmts(stmt.body, body_entry.id)
+        self.frames.pop()
+        if body_exit is not None:
+            self.cfg.add_edge(body_exit, header.id)
+        # The test-false edge runs the ``else`` suite (if any) before
+        # ``after``; ``break`` skips the else, per language semantics.
+        if not infinite:
+            if stmt.orelse:
+                else_entry = self.cfg.new_block(tag="while-else")
+                self.cfg.add_edge(header.id, else_entry.id)
+                else_exit = self._stmts(stmt.orelse, else_entry.id)
+                if else_exit is not None:
+                    self.cfg.add_edge(else_exit, after.id)
+            else:
+                self.cfg.add_edge(header.id, after.id)
+        return after.id if self.cfg.blocks[after.id].preds else None
+
+    def _for(self, stmt, current: int) -> Optional[int]:
+        header = self.cfg.new_block(tag="for-header")
+        self.cfg.add_edge(current, header.id)
+        # The header event carries the whole For node: iterating reads
+        # the iterable and binds the target each trip.
+        self._emit(header.id, stmt)
+        after = self.cfg.new_block(tag="after-loop")
+        body_entry = self.cfg.new_block(tag="for-body")
+        self.cfg.add_edge(header.id, body_entry.id)
+        self.frames.append(
+            _Frame("loop", break_to=after.id, continue_to=header.id)
+        )
+        body_exit = self._stmts(stmt.body, body_entry.id)
+        self.frames.pop()
+        if body_exit is not None:
+            self.cfg.add_edge(body_exit, header.id)
+        if stmt.orelse:
+            else_entry = self.cfg.new_block(tag="for-else")
+            self.cfg.add_edge(header.id, else_entry.id)
+            else_exit = self._stmts(stmt.orelse, else_entry.id)
+            if else_exit is not None:
+                self.cfg.add_edge(else_exit, after.id)
+        else:
+            self.cfg.add_edge(header.id, after.id)
+        return after.id if self.cfg.blocks[after.id].preds else None
+
+    # ------------------------------------------------------------------
+    # with
+    # ------------------------------------------------------------------
+
+    def _with(self, stmt, current: int) -> Optional[int]:
+        for item in stmt.items:
+            self._emit(current, item, WITH_ENTER)
+        self.frames.append(_Frame("with", items=stmt.items))
+        body_exit = self._stmts(stmt.body, current)
+        self.frames.pop()
+        if body_exit is None:
+            return None
+        for item in reversed(stmt.items):
+            self._emit(body_exit, item, WITH_EXIT)
+        return body_exit
+
+    # ------------------------------------------------------------------
+    # try / except / else / finally
+    # ------------------------------------------------------------------
+
+    def _try(self, stmt: ast.Try, current: int) -> Optional[int]:
+        handlers = stmt.handlers
+        finally_body = stmt.finalbody
+        join = self.cfg.new_block(tag="try-join")
+
+        # Handler dispatch block: every try-body block that may raise
+        # edges here; it fans out to each handler (and, with a finally
+        # but no matching handler, to the exceptional finally copy).
+        dispatch: Optional[int] = None
+        if handlers or finally_body:
+            dispatch = self.cfg.new_block(tag="except-dispatch").id
+
+        body_entry = self.cfg.new_block(tag="try-body")
+        self.cfg.add_edge(current, body_entry.id)
+        if finally_body:
+            # A finally frame reroutes return/break/continue through a
+            # fresh copy of the suite.
+            self.frames.append(_Frame("finally", body=finally_body))
+        if dispatch is not None:
+            self.except_targets.append(dispatch)
+        body_exit = self._stmts(stmt.body, body_entry.id)
+        if dispatch is not None:
+            self.except_targets.pop()
+        if body_exit is not None and stmt.orelse:
+            body_exit = self._stmts(stmt.orelse, body_exit)
+
+        leaves: List[Optional[int]] = [body_exit]
+        if dispatch is not None:
+            for handler in handlers:
+                handler_entry = self.cfg.new_block(tag="except")
+                self.cfg.add_edge(dispatch, handler_entry.id)
+                self._emit(handler_entry.id, handler)
+                handler_exit = self._stmts(handler.body, handler_entry.id)
+                leaves.append(handler_exit)
+            if not handlers or not any(
+                h.type is None for h in handlers
+            ):
+                # An exception no handler matches propagates onward —
+                # through the finally (exceptional copy) when present,
+                # else to the enclosing target.
+                if finally_body:
+                    # Build the exceptional copy with the frame popped
+                    # so the copy does not route back through itself.
+                    frame = self.frames.pop()
+                    entry = self.cfg.new_block(tag="finally-raise")
+                    self.cfg.add_edge(dispatch, entry.id)
+                    tail = self._stmts(finally_body, entry.id)
+                    self.frames.append(frame)
+                    if tail is not None:
+                        self._to_raise(tail)
+                else:
+                    self._to_raise(dispatch)
+        if finally_body:
+            self.frames.pop()
+            # Normal continuation: one shared finally copy for every
+            # suite that fell through (body/else/handlers).
+            fallthrough = [leaf for leaf in leaves if leaf is not None]
+            if fallthrough:
+                entry = self.cfg.new_block(tag="finally")
+                for leaf in fallthrough:
+                    self.cfg.add_edge(leaf, entry.id)
+                tail = self._stmts(finally_body, entry.id)
+                if tail is not None:
+                    self.cfg.add_edge(tail, join.id)
+        else:
+            for leaf in leaves:
+                if leaf is not None:
+                    self.cfg.add_edge(leaf, join.id)
+        return join.id if self.cfg.blocks[join.id].preds else None
+
+    # ------------------------------------------------------------------
+    # Jumps (cleanup-stack unwinding)
+    # ------------------------------------------------------------------
+
+    def _unwind(
+        self, current: int, stop_kind: Optional[str], tag: str
+    ) -> Optional[int]:
+        """Run cleanups innermost-first down to (not incl.) ``stop_kind``.
+
+        Emits ``with_exit`` events and fresh finally copies along the
+        way; returns the block the jump continues from (or None when a
+        finally suite itself diverted the flow, e.g. by raising).
+        """
+        for frame in reversed(self.frames):
+            if stop_kind is not None and frame.kind == stop_kind:
+                break
+            if frame.kind == "with":
+                for item in reversed(frame.items):
+                    self._emit(current, item, WITH_EXIT)
+            elif frame.kind == "finally":
+                entry = self.cfg.new_block(tag=tag)
+                self.cfg.add_edge(current, entry.id)
+                # The copy must not see this frame (or any inner ones
+                # already unwound) — temporarily mask the stack.
+                index = self.frames.index(frame)
+                saved, self.frames = self.frames, self.frames[:index]
+                try:
+                    exited = self._stmts(frame.body, entry.id)
+                finally:
+                    self.frames = saved
+                if exited is None:
+                    return None
+                current = exited
+        return current
+
+    def _return(self, stmt: ast.Return, current: int) -> Optional[int]:
+        self._emit(current, stmt)
+        tail = self._unwind(current, None, "finally-return")
+        if tail is not None:
+            self.cfg.add_edge(tail, self.cfg.exit)
+        return None
+
+    def _raise(self, stmt: ast.Raise, current: int) -> Optional[int]:
+        self._emit(current, stmt)
+        if self.except_targets:
+            # Raising inside a try body: the innermost dispatch block
+            # decides which handler (or the finally) sees it.  With
+            # statements between the raise and the try still close.
+            tail = self._unwind_to_try(current)
+            if tail is not None:
+                self.cfg.add_edge(tail, self.except_targets[-1])
+        else:
+            tail = self._unwind(current, None, "finally-raise")
+            if tail is not None:
+                self._to_raise(tail)
+        return None
+
+    def _unwind_to_try(self, current: int) -> Optional[int]:
+        """Close only the with frames inside the innermost try body."""
+        for frame in reversed(self.frames):
+            if frame.kind != "with":
+                break
+            for item in reversed(frame.items):
+                self._emit(current, item, WITH_EXIT)
+        return current
+
+    def _break(self, stmt: ast.Break, current: int) -> Optional[int]:
+        self._emit(current, stmt)
+        tail = self._unwind(current, "loop", "finally-break")
+        if tail is not None:
+            frame = next(
+                (f for f in reversed(self.frames) if f.kind == "loop"),
+                None,
+            )
+            # No loop frame: this is a statement-list fragment (e.g.
+            # an except-handler body analyzed in isolation) whose loop
+            # lives outside the fragment — the jump leaves the region.
+            target = frame.break_to if frame else self.cfg.exit
+            self.cfg.add_edge(tail, target)
+        return None
+
+    def _continue(self, stmt: ast.Continue, current: int) -> Optional[int]:
+        self._emit(current, stmt)
+        tail = self._unwind(current, "loop", "finally-continue")
+        if tail is not None:
+            frame = next(
+                (f for f in reversed(self.frames) if f.kind == "loop"),
+                None,
+            )
+            target = frame.continue_to if frame else self.cfg.exit
+            self.cfg.add_edge(tail, target)
+        return None
+
+    def _to_raise(self, block_id: int) -> None:
+        self.cfg.add_edge(block_id, self.cfg.raise_exit)
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """The CFG of one function/method body.
+
+    Accepts any node with a ``body`` list of statements — function
+    defs, but also a synthesized wrapper for an ``except`` handler
+    body when a pass wants to analyze the handler in isolation.
+    """
+    return _Builder(func, getattr(func, "body", [])).build()
+
+
+def scoped_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested scopes.
+
+    Statements inside a nested def/lambda/class execute at *call*
+    time, not where the definition appears, so flow-sensitive passes
+    must not attribute their effects to the enclosing block.
+    """
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.Lambda,
+                    ast.ClassDef,
+                ),
+            ):
+                continue
+            stack.append(child)
+
+
+def event_roots(event: Event) -> List[ast.AST]:
+    """The sub-expressions that actually execute at this event.
+
+    Compound statements contribute only their header expressions (the
+    body statements have their own events); nested defs execute
+    nothing from their bodies at definition time; with-exits and
+    assume events execute nothing new at all.
+    """
+    node = event.node
+    if event.kind == WITH_ENTER:
+        roots: List[ast.AST] = [node.context_expr]
+        if node.optional_vars is not None:
+            roots.append(node.optional_vars)
+        return roots
+    if event.kind in (WITH_EXIT, ASSUME):
+        return []
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return [node.iter, node.target]
+    if isinstance(node, ast.ExceptHandler):
+        return [node.type] if node.type is not None else []
+    if isinstance(
+        node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []
+    return [node]

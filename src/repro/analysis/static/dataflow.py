@@ -1,0 +1,155 @@
+"""Generic worklist fixpoint solver over :mod:`.cfg` graphs.
+
+A :class:`DataflowProblem` supplies the lattice (``top``, ``meet``,
+``boundary``) and the semantics (``transfer`` over one block's event
+list); :func:`solve` iterates to the meet-over-paths fixpoint with a
+worklist, forward or backward.  Values must be immutable (frozensets,
+tuples, small dataclasses) — transfer functions return fresh values,
+never mutate their input.
+
+After the fixpoint, :func:`values_at_events` replays each block's
+transfer one event at a time, handing the pass the dataflow value *at*
+every event — the form the lockset detector consumes ("which locks
+are held at this attribute access?").
+
+Conventions:
+
+* ``meet(a, b)`` combines values at control-flow joins.  Intersection
+  gives a *must* analysis (lockset: a lock counts only if held on
+  every path), union a *may* analysis (handler-atomicity: a send on
+  any path taints what follows).
+* ``top`` is the value of an edge never yet reached — the identity of
+  ``meet`` (universal set for must, empty for may).  Unreachable
+  blocks keep ``top`` and are skipped by :func:`values_at_events`.
+* ``boundary`` seeds the entry (forward) or the exits (backward).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Sequence, Tuple, TypeVar
+
+from .cfg import CFG, Event
+
+__all__ = ["DataflowProblem", "Solution", "solve", "values_at_events"]
+
+V = TypeVar("V")
+
+
+class DataflowProblem(Generic[V]):
+    """Subclass and fill in the lattice + transfer for one analysis."""
+
+    #: "forward" or "backward"
+    direction: str = "forward"
+
+    def boundary(self) -> V:
+        raise NotImplementedError
+
+    def top(self) -> V:
+        raise NotImplementedError
+
+    def meet(self, a: V, b: V) -> V:
+        raise NotImplementedError
+
+    def transfer(self, value: V, events: Sequence[Event]) -> V:
+        """Push ``value`` through one block's ordered event list."""
+        for event in events:
+            value = self.transfer_event(value, event)
+        return value
+
+    def transfer_event(self, value: V, event: Event) -> V:
+        """Per-event transfer; override this *or* ``transfer``."""
+        return value
+
+
+class Solution(Generic[V]):
+    """Fixpoint result: the value entering and leaving each block.
+
+    "Entering"/"leaving" follow the analysis direction — for a
+    backward problem ``value_in`` is the value at the block's *end*.
+    """
+
+    def __init__(
+        self,
+        problem: DataflowProblem[V],
+        cfg: CFG,
+        value_in: Dict[int, V],
+        value_out: Dict[int, V],
+        reached: Sequence[int],
+    ) -> None:
+        self.problem = problem
+        self.cfg = cfg
+        self.value_in = value_in
+        self.value_out = value_out
+        self.reached = list(reached)
+
+
+def solve(problem: DataflowProblem[V], cfg: CFG) -> Solution[V]:
+    """Iterate ``problem`` over ``cfg`` to a fixpoint."""
+    forward = problem.direction == "forward"
+    if forward:
+        starts = [cfg.entry]
+        flow_preds: Callable[[int], List[int]] = cfg.predecessors
+        flow_succs: Callable[[int], List[int]] = cfg.successors
+        order = cfg.rpo()
+    else:
+        starts = [cfg.exit, cfg.raise_exit]
+        flow_preds = cfg.successors
+        flow_succs = cfg.predecessors
+        order = list(reversed(cfg.rpo()))
+
+    value_in: Dict[int, V] = {b: problem.top() for b in cfg.blocks}
+    value_out: Dict[int, V] = {b: problem.top() for b in cfg.blocks}
+    for start in starts:
+        value_in[start] = problem.boundary()
+
+    position = {block: index for index, block in enumerate(order)}
+    worklist = list(order)
+    queued = set(worklist)
+    while worklist:
+        block_id = worklist.pop(0)
+        queued.discard(block_id)
+        preds = flow_preds(block_id)
+        if preds:
+            incoming = value_out[preds[0]]
+            for pred in preds[1:]:
+                incoming = problem.meet(incoming, value_out[pred])
+            if block_id in starts:
+                incoming = problem.meet(incoming, problem.boundary())
+            value_in[block_id] = incoming
+        events = cfg.blocks[block_id].events
+        if not forward:
+            events = list(reversed(events))
+        new_out = problem.transfer(value_in[block_id], events)
+        if new_out != value_out[block_id]:
+            value_out[block_id] = new_out
+            for succ in flow_succs(block_id):
+                if succ not in queued and succ in position:
+                    queued.add(succ)
+                    worklist.append(succ)
+    reached = cfg.reachable()
+    return Solution(problem, cfg, value_in, value_out, reached)
+
+
+def values_at_events(
+    solution: Solution[V],
+) -> Iterator[Tuple[int, Event, V]]:
+    """Replay transfers, yielding the value *at* each event.
+
+    For a forward problem the value is the state just *before* the
+    event executes; for a backward one, just *after* (in program
+    order), i.e. before it in analysis order.  Unreachable blocks are
+    skipped — their ``top`` values are vacuous.
+    """
+    problem = solution.problem
+    forward = problem.direction == "forward"
+    reachable = set(solution.reached)
+    for block_id in sorted(solution.cfg.blocks):
+        if block_id not in reachable:
+            continue
+        events = solution.cfg.blocks[block_id].events
+        if not forward:
+            events = list(reversed(events))
+        value = solution.value_in[block_id]
+        for event in events:
+            yield block_id, event, value
+            value = problem.transfer_event(value, event)

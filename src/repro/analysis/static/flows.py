@@ -1,0 +1,614 @@
+"""Path-sensitive lint passes built on the CFG + dataflow engine.
+
+Three rules live here:
+
+* ``span-pairing`` — an unscoped ``tracer.begin()`` handle kept in a
+  local must reach ``.end()`` on *every* normal path out of the
+  function.  The old heuristic flagged whole modules; this version
+  walks the CFG, so a ``return`` between begin and end is caught while
+  ``if span is not None: span.end()`` guards are understood (via the
+  builder's assume events).  Handles that escape — returned, passed to
+  a call, stored into an attribute/subscript/container — transfer
+  ownership and are the callee's/owner's responsibility.
+* ``swallowed-error`` — an ``except`` over :mod:`repro.errors` types
+  (or ``Exception``/bare) whose body cannot re-raise on any path,
+  whose bound exception value is dead at handler entry (backward
+  liveness over the handler CFG — a rebound-then-logged name still
+  counts as dead), and whose reachable statements are all inert
+  (``pass``, dead constant stores, bare ``return``).  An explicit
+  ``return <value>`` converts the exception into a documented result
+  and is treated as handling.
+* ``handler-atomicity`` — in protocol process classes, a kernel
+  handler (``on_*`` / ``handle_*``) that performs a network/abcast
+  send and *then* keeps mutating process state.  A peer can react to
+  the sent message before the sender's state settles, so the mutation
+  order is a message-reordering hazard; state must be final before
+  the send (one-level helper summaries: a ``self._helper()`` that
+  sends taints the paths after it, one that mutates is flagged when
+  called on a tainted path).
+
+All three accept ``# repro: allow[<rule>]`` on the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.static.cfg import (
+    ASSUME,
+    Event,
+    build_cfg,
+    event_roots,
+    scoped_walk,
+)
+from repro.analysis.static.dataflow import (
+    DataflowProblem,
+    solve,
+    values_at_events,
+)
+from repro.analysis.static.findings import Finding
+from repro.analysis.static.framework import LintPass, SourceFile, register
+from repro.analysis.static.lints import (
+    MUTATOR_METHODS,
+    _class_is_process,
+    _repro_error_names,
+)
+
+__all__ = [
+    "HandlerAtomicityPass",
+    "SpanPairingPass",
+    "SwallowedErrorPass",
+]
+
+
+def _functions(source: SourceFile) -> Iterator[ast.AST]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _is_tracer_begin(source: SourceFile, node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "begin"
+        and "tracer" in (source.dotted(node.func.value) or "").lower()
+    )
+
+
+# ----------------------------------------------------------------------
+# span-pairing
+# ----------------------------------------------------------------------
+
+
+class _OpenSpans(DataflowProblem):
+    """Forward may-analysis: locals that may hold an un-ended span."""
+
+    direction = "forward"
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+
+    def boundary(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def top(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def meet(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a | b
+
+    def transfer_event(
+        self, value: FrozenSet[str], event: Event
+    ) -> FrozenSet[str]:
+        if event.kind == ASSUME:
+            name, state = event.info
+            if state in ("none", "falsy") and name in value:
+                # On this branch the handle is None: nothing to end.
+                return value - {name}
+            return value
+        opened: Set[str] = set()
+        closed: Set[str] = set()
+        for root in event_roots(event):
+            for node in scoped_walk(root):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    target = node.targets[0].id
+                    if _is_tracer_begin(self.source, node.value):
+                        opened.add(target)
+                    else:
+                        closed.add(target)  # rebound: old value gone
+                        if isinstance(node.value, ast.Name):
+                            # Aliasing: the new name owns the span now
+                            # and this CFG can't track both; trust the
+                            # alias to end it.
+                            closed.add(node.value.id)
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr == "end" and isinstance(
+                        node.func.value, ast.Name
+                    ):
+                        closed.add(node.func.value.id)
+                closed.update(self._escapes(node))
+        return (value - frozenset(closed)) | frozenset(opened)
+
+    @staticmethod
+    def _escapes(node: ast.AST) -> Set[str]:
+        """Names whose span (if any) escapes this expression.
+
+        Returning, yielding, passing as an argument, storing into an
+        attribute/subscript or container literal all hand the handle
+        to code this CFG cannot see; pairing becomes its problem.
+        """
+        out: Set[str] = set()
+
+        def name_of(expr: ast.AST) -> Optional[str]:
+            return expr.id if isinstance(expr, ast.Name) else None
+
+        if isinstance(node, (ast.Return, ast.Yield)):
+            name = name_of(node.value) if node.value else None
+            if name:
+                out.add(name)
+        elif isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                name = name_of(arg)
+                if name:
+                    out.add(name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    name = name_of(node.value)
+                    if name:
+                        out.add(name)
+        elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                name = name_of(element)
+                if name:
+                    out.add(name)
+        elif isinstance(node, ast.Dict):
+            for element in node.values:
+                name = name_of(element)
+                if name:
+                    out.add(name)
+        return out
+
+
+@register
+class SpanPairingPass(LintPass):
+    rule = "span-pairing"
+    severity = "warning"
+    description = (
+        "an unscoped tracer.begin() span kept in a local must reach "
+        ".end() on every normal path out of the function; escaping "
+        "handles (returned/stored/passed on) transfer ownership"
+    )
+
+    def run(self, source: SourceFile) -> Iterator[Finding]:
+        # Discarded handles are wrong in any context, module level
+        # included — nothing can ever end them.
+        for call in source.calls():
+            if _is_tracer_begin(source, call) and isinstance(
+                getattr(call, "parent", None), ast.Expr
+            ):
+                yield self.finding(
+                    source,
+                    call,
+                    "span handle from tracer.begin() is discarded; "
+                    "it can never be ended",
+                )
+        for func in _functions(source):
+            yield from self._check_function(source, func)
+
+    def _check_function(
+        self, source: SourceFile, func: ast.AST
+    ) -> Iterator[Finding]:
+        begins: Dict[str, ast.Call] = {}
+        for node in scoped_walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_tracer_begin(source, node.value)
+            ):
+                begins.setdefault(node.targets[0].id, node.value)
+        if not begins:
+            return
+        cfg = build_cfg(func)
+        solution = solve(_OpenSpans(source), cfg)
+        # Exceptional exits are excused: a span leaking on a crash
+        # path is the least of the trace's problems.  Normal exits
+        # (fall-through and returns) must have ended every handle.
+        leaked = solution.value_in[cfg.exit]
+        for name in sorted(leaked):
+            if name in begins:
+                yield self.finding(
+                    source,
+                    begins[name],
+                    f"span {name!r} from tracer.begin() is not "
+                    ".end()-ed on some path to the function exit",
+                )
+
+
+# ----------------------------------------------------------------------
+# swallowed-error
+# ----------------------------------------------------------------------
+
+
+class _Liveness(DataflowProblem):
+    """Backward may-analysis: names whose current value may be read."""
+
+    direction = "backward"
+
+    def boundary(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def top(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def meet(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a | b
+
+    def transfer_event(
+        self, value: FrozenSet[str], event: Event
+    ) -> FrozenSet[str]:
+        uses: Set[str] = set()
+        defs: Set[str] = set()
+        for root in event_roots(event):
+            for node in scoped_walk(root):
+                if isinstance(node, ast.Name):
+                    if isinstance(node.ctx, ast.Load):
+                        uses.add(node.id)
+                    elif isinstance(node.ctx, ast.Store):
+                        defs.add(node.id)
+                elif isinstance(node, ast.Raise) and node.exc is None:
+                    # A bare re-raise implicitly reads the in-flight
+                    # exception object.
+                    uses.add("<reraise>")
+        return (value - frozenset(defs)) | frozenset(uses)
+
+
+class _HandlerBody:
+    """Adapter giving an except-handler body to :func:`build_cfg`."""
+
+    def __init__(self, body: List[ast.stmt]) -> None:
+        self.body = body
+
+
+@register
+class SwallowedErrorPass(LintPass):
+    rule = "swallowed-error"
+    severity = "error"
+    description = (
+        "except blocks over repro.errors (or Exception/bare) whose "
+        "body cannot re-raise on any path, never reads the bound "
+        "exception, and does nothing but inert statements hide "
+        "protocol violations"
+    )
+
+    #: Computed once; repro.errors has no import-time side effects.
+    _swallowable = None
+
+    def run(self, source: SourceFile) -> Iterator[Finding]:
+        if SwallowedErrorPass._swallowable is None:
+            SwallowedErrorPass._swallowable = _repro_error_names() | {
+                "Exception",
+                "BaseException",
+            }
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = self._swallowable_label(source, node)
+            if label is None:
+                continue
+            if not self._swallows(node):
+                continue
+            yield self.finding(
+                source,
+                node,
+                f"except block swallows {label}: no path re-raises, "
+                "the exception value is dead, and the body has no "
+                "effect",
+            )
+
+    @classmethod
+    def _swallowable_label(
+        cls, source: SourceFile, node: ast.ExceptHandler
+    ) -> Optional[str]:
+        if node.type is None:
+            return "everything (bare except)"
+        types = (
+            node.type.elts
+            if isinstance(node.type, ast.Tuple)
+            else [node.type]
+        )
+        for type_node in types:
+            dotted = source.dotted(type_node) or ""
+            name = dotted.split(".")[-1] or dotted
+            if name in cls._swallowable:
+                return name
+        return None
+
+    def _swallows(self, handler: ast.ExceptHandler) -> bool:
+        # Any raise anywhere in the body (re-raise or transform) is
+        # handling; so is any statement with real effect.
+        for stmt in handler.body:
+            for node in scoped_walk(stmt):
+                if isinstance(node, ast.Raise):
+                    return False
+        for stmt in self._reachable_statements(handler.body):
+            if not self._inert(stmt):
+                return False
+        if handler.name is not None:
+            cfg = build_cfg(_HandlerBody(handler.body))
+            solution = solve(_Liveness(), cfg)
+            # Liveness at handler entry: does any path read the bound
+            # name before (re)defining it?
+            if handler.name in solution.value_out[cfg.entry]:
+                return False
+        return True
+
+    @staticmethod
+    def _reachable_statements(body: List[ast.stmt]) -> Iterator[ast.AST]:
+        cfg = build_cfg(_HandlerBody(body))
+        reachable = set(cfg.reachable())
+        for block_id, event in cfg.events():
+            if block_id in reachable and event.kind != ASSUME:
+                yield event.node
+
+    @staticmethod
+    def _inert(node: ast.AST) -> bool:
+        """Statements that observably do nothing with the exception.
+
+        ``return <value>`` is *not* inert — converting the exception
+        into an explicit result (even ``return None``) is a documented
+        handling strategy; a bare ``return`` just aborts silently.
+        """
+        if isinstance(node, (ast.Pass, ast.Continue, ast.Break)):
+            return True
+        if isinstance(node, ast.Return):
+            return node.value is None
+        if isinstance(node, ast.Expr) and isinstance(
+            node.value, ast.Constant
+        ):
+            return True  # docstring / ellipsis
+        if isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Constant
+        ):
+            return all(
+                isinstance(target, ast.Name) for target in node.targets
+            )
+        if isinstance(node, ast.Delete):
+            return all(
+                isinstance(target, ast.Name) for target in node.targets
+            )
+        # Branch tests and loop headers decide *which* inert path
+        # runs; they have no effect of their own unless they call out.
+        if isinstance(node, ast.expr):
+            return not any(
+                isinstance(sub, ast.Call) for sub in scoped_walk(node)
+            )
+        return False
+
+
+# ----------------------------------------------------------------------
+# handler-atomicity
+# ----------------------------------------------------------------------
+
+#: Methods whose call puts a message on the (simulated) wire.
+SEND_METHODS = frozenset({"send", "send_to_all", "broadcast"})
+
+#: Receiver chains that reach the network/abcast service objects.
+SEND_RECEIVERS = ("network", "abcast")
+
+
+def _is_send_call(source: SourceFile, node: ast.AST) -> bool:
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in SEND_METHODS
+    ):
+        return False
+    dotted = source.dotted(node.func.value) or ""
+    tail = dotted.split(".")[-1]
+    return tail in SEND_RECEIVERS
+
+
+class _SendTaint(DataflowProblem):
+    """Forward may-analysis: has a send possibly happened yet?"""
+
+    direction = "forward"
+
+    def __init__(self, source: SourceFile, senders: Set[str]) -> None:
+        self.source = source
+        self.senders = senders
+
+    def boundary(self) -> bool:
+        return False
+
+    def top(self) -> bool:
+        return False
+
+    def meet(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def transfer_event(self, value: bool, event: Event) -> bool:
+        if value:
+            return True
+        for root in event_roots(event):
+            for node in scoped_walk(root):
+                if _is_send_call(self.source, node):
+                    return True
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in self.senders
+                ):
+                    return True
+        return value
+
+
+@register
+class HandlerAtomicityPass(LintPass):
+    rule = "handler-atomicity"
+    severity = "warning"
+    description = (
+        "a protocol handler that sends on the network/abcast and then "
+        "keeps mutating process state lets a peer react before the "
+        "sender's state settles; finish the mutation before the send"
+    )
+
+    def run(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and _class_is_process(node):
+                yield from self._check_class(source, node)
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        senders = {
+            name
+            for name, method in methods.items()
+            if any(
+                _is_send_call(source, node)
+                for node in scoped_walk(method)
+            )
+        }
+        mutators = {
+            name
+            for name, method in methods.items()
+            if name != "__init__"
+            and self._mutates_self(method)
+        }
+        for name, method in methods.items():
+            if not (name.startswith("on_") or name.startswith("handle_")):
+                continue
+            finding = self._check_handler(
+                source, method, senders, mutators
+            )
+            if finding is not None:
+                yield finding
+
+    def _check_handler(
+        self,
+        source: SourceFile,
+        method: ast.AST,
+        senders: Set[str],
+        mutators: Set[str],
+    ) -> Optional[Finding]:
+        cfg = build_cfg(method)
+        solution = solve(_SendTaint(source, senders), cfg)
+        hits: List[Tuple[int, int, ast.AST, str]] = []
+        for _bid, event, sent in values_at_events(solution):
+            if not sent:
+                continue
+            mutated = self._event_mutation(event)
+            if mutated is not None:
+                node, attr = mutated
+                hits.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        node,
+                        f"mutates self.{attr}",
+                    )
+                )
+                continue
+            helper = self._helper_mutator_call(event, mutators)
+            if helper is not None:
+                node, name = helper
+                hits.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        node,
+                        f"calls state-mutating helper self.{name}()",
+                    )
+                )
+        if not hits:
+            return None
+        _line, _col, node, what = min(hits, key=lambda h: (h[0], h[1]))
+        return self.finding(
+            source,
+            node,
+            f"handler {method.name}() {what} after a network/abcast "
+            "send may already have reached a peer; move the state "
+            "change before the send",
+        )
+
+    def _mutates_self(self, method: ast.AST) -> bool:
+        return any(
+            self._node_mutation(node) is not None
+            for node in scoped_walk(method)
+        )
+
+    def _event_mutation(
+        self, event: Event
+    ) -> Optional[Tuple[ast.AST, str]]:
+        for root in event_roots(event):
+            for node in scoped_walk(root):
+                hit = self._node_mutation(node)
+                if hit is not None:
+                    return hit
+        return None
+
+    @staticmethod
+    def _node_mutation(node: ast.AST) -> Optional[Tuple[ast.AST, str]]:
+        """(node, attr) when this node writes ``self.attr`` state."""
+
+        def self_attr(expr: ast.AST) -> Optional[str]:
+            if isinstance(expr, ast.Subscript):
+                expr = expr.value
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+            ):
+                return expr.attr
+            return None
+
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                attr = self_attr(target)
+                if attr is not None:
+                    return node, attr
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in MUTATOR_METHODS:
+                attr = self_attr(node.func.value)
+                if attr is not None:
+                    return node, attr
+        return None
+
+    @staticmethod
+    def _helper_mutator_call(
+        event: Event, mutators: Set[str]
+    ) -> Optional[Tuple[ast.AST, str]]:
+        for root in event_roots(event):
+            for node in scoped_walk(root):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in mutators
+                ):
+                    return node, node.func.attr
+        return None

@@ -11,11 +11,10 @@ dynamically and which past PRs paid for the hard way:
   interact with shared cluster state only through the cluster's
   service objects, never by mutating its fields directly — the static
   analogue of a race detector for the event-driven model;
-* unscoped tracer spans (``tracer.begin``) must keep their handle and
-  be ``.end()``-ed, or the trace tree corrupts silently;
-* ``repro.errors`` exceptions must never be swallowed with a bare
-  ``pass`` — they encode protocol violations the chaos harness relies
-  on observing.
+The path-sensitive rules (``span-pairing``, ``swallowed-error``,
+``handler-atomicity``, ``lockset``) live in :mod:`.flows` and
+:mod:`.locks`; this module keeps the purely syntactic family and the
+shared vocabulary (``MUTATOR_METHODS``, ``_repro_error_names``).
 
 Every pass is suppressible with ``# repro: allow[rule]`` on the
 flagged line or the one above; intentional uses in this repo carry
@@ -294,47 +293,6 @@ class KernelBypassPass(LintPass):
                         )
 
 
-@register
-class SpanPairingPass(LintPass):
-    rule = "span-pairing"
-    severity = "warning"
-    description = (
-        "tracer.begin() returns an unscoped span that must be kept "
-        "and .end()-ed; a discarded handle (or a module with begins "
-        "but no ends) leaks an open span"
-    )
-
-    def run(self, source: SourceFile) -> Iterator[Finding]:
-        begins = []
-        has_end = False
-        for node in ast.walk(source.tree):
-            if isinstance(node, ast.Call) and isinstance(
-                node.func, ast.Attribute
-            ):
-                if node.func.attr == "begin":
-                    dotted = source.dotted(node.func.value) or ""
-                    if "tracer" in dotted.lower():
-                        begins.append(node)
-                elif node.func.attr == "end":
-                    has_end = True
-        for call in begins:
-            parent = getattr(call, "parent", None)
-            if isinstance(parent, ast.Expr):
-                yield self.finding(
-                    source,
-                    call,
-                    "span handle from tracer.begin() is discarded; "
-                    "it can never be ended",
-                )
-        if begins and not has_end:
-            yield self.finding(
-                source,
-                begins[0],
-                "module calls tracer.begin() but never calls .end() "
-                "on any span",
-            )
-
-
 def _repro_error_names() -> Set[str]:
     """Every exception class defined by :mod:`repro.errors`."""
     import repro.errors as errors_mod
@@ -347,66 +305,3 @@ def _repro_error_names() -> Set[str]:
         ):
             names.add(name)
     return names
-
-
-@register
-class SwallowedErrorPass(LintPass):
-    rule = "swallowed-error"
-    severity = "error"
-    description = (
-        "except blocks that silently drop repro.errors exceptions "
-        "(or everything, via bare/Exception handlers) hide protocol "
-        "violations"
-    )
-
-    #: Computed once; repro.errors has no import-time side effects.
-    _swallowable = None
-
-    def run(self, source: SourceFile) -> Iterator[Finding]:
-        if SwallowedErrorPass._swallowable is None:
-            SwallowedErrorPass._swallowable = _repro_error_names() | {
-                "Exception",
-                "BaseException",
-            }
-        for node in ast.walk(source.tree):
-            if not isinstance(node, ast.ExceptHandler):
-                continue
-            if not self._body_swallows(node.body):
-                continue
-            for name in self._handler_names(source, node):
-                if name is None or name in SwallowedErrorPass._swallowable:
-                    label = name or "everything (bare except)"
-                    yield self.finding(
-                        source,
-                        node,
-                        f"except block swallows {label} with no "
-                        "re-raise or handling",
-                    )
-                    break
-
-    @staticmethod
-    def _handler_names(source: SourceFile, node: ast.ExceptHandler):
-        if node.type is None:
-            return [None]
-        types = (
-            node.type.elts
-            if isinstance(node.type, ast.Tuple)
-            else [node.type]
-        )
-        names = []
-        for type_node in types:
-            dotted = source.dotted(type_node) or ""
-            names.append(dotted.split(".")[-1] or dotted)
-        return names
-
-    @staticmethod
-    def _body_swallows(body) -> bool:
-        for stmt in body:
-            if isinstance(stmt, (ast.Pass, ast.Continue)):
-                continue
-            if isinstance(stmt, ast.Expr) and isinstance(
-                stmt.value, ast.Constant
-            ):
-                continue  # docstring or Ellipsis
-            return False
-        return True

@@ -1,0 +1,729 @@
+"""Eraser-style static lockset race detector (rule ``lockset``).
+
+The dynamic Eraser algorithm tracks, per shared variable, the
+intersection of locks held across all accesses and warns when it goes
+empty.  This pass computes the same candidate set *statically*, per
+class, from the CFG + lockset dataflow:
+
+1. **Locks** are instance attributes assigned ``threading.Lock()`` /
+   ``RLock()`` in ``__init__`` (plus module-level ``Lock()`` globals).
+   A lock's identity is ``ClassName.attr`` (or ``<module>.NAME``), so
+   one class's lock can protect another class's fields — exactly the
+   ``ControlPlane._lock``-guards-``RunRecord`` shape the serve layer
+   uses.
+2. **Shared attributes** of a class are those assigned in ``__init__``
+   (or declared as dataclass fields) and *written* from at least one
+   non-init method.  Attributes that are only configured at
+   construction time are immutable-by-convention and exempt, as are
+   internally synchronized values (locks themselves, ``threading``
+   events/conditions/semaphores, ``queue`` queues).
+3. **Locks held at an access** come from a forward must-analysis over
+   the method's CFG (``with self._lock:`` regions, through every
+   branch/loop/finally), seeded with the method's *entry lockset*:
+   empty for public methods, dunders and thread targets; for private
+   helpers, the intersection over all intra-class call sites, iterated
+   to a fixpoint (the "helper summaries one call level deep" of the
+   rule card — transitively, since the fixpoint composes).
+4. Accesses through **typed receivers** — parameters annotated with a
+   same-file class, or locals assigned ``ClassName(...)`` or a
+   ``self._helper(...)`` whose return annotation names one — are
+   attributed to that class, so a worker method mutating a record
+   object participates in the record class's candidate sets.
+5. Methods reachable *only* from ``__init__`` run before the object
+   is published; their accesses are ignored (single-threaded by
+   construction).
+
+A class is analyzed when it owns a lock or its module creates
+``threading.Thread`` objects (the static stand-in for "reachable from
+an HTTP-handler/worker entry point"); purely sequential modules are
+never flagged.  Analysis is per-file — accesses from other modules
+are invisible, which is the usual pay-for-what-you-see trade of a
+lint-layer detector (documented in docs/static_analysis.md).
+
+Escapes: ``# repro: allow[lockset]`` on the reported line, or a
+class-level ``_unlocked_ok = ("attr", ...)`` tuple naming attributes
+that are intentionally unsynchronized (e.g. monotonic best-effort
+counters where lost updates are acceptable).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.static.cfg import (
+    Event,
+    WITH_ENTER,
+    WITH_EXIT,
+    build_cfg,
+    event_roots,
+    scoped_walk,
+)
+from repro.analysis.static.dataflow import (
+    DataflowProblem,
+    solve,
+    values_at_events,
+)
+from repro.analysis.static.findings import Finding
+from repro.analysis.static.framework import LintPass, SourceFile, register
+from repro.analysis.static.lints import MUTATOR_METHODS
+
+__all__ = ["LocksetPass", "LocksetProblem", "class_models", "ClassModel"]
+
+#: Constructors whose result is a mutual-exclusion lock.
+LOCK_TYPES = frozenset({"threading.Lock", "threading.RLock"})
+
+#: Constructors whose result synchronizes internally — accessing the
+#: attribute needs no external lock.
+SYNC_TYPES = LOCK_TYPES | frozenset(
+    {
+        "threading.Event",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Barrier",
+        "queue.Queue",
+        "queue.LifoQueue",
+        "queue.PriorityQueue",
+        "queue.SimpleQueue",
+    }
+)
+
+#: The solver's TOP: "every lock" (identity of intersection).
+TOP = None
+
+Lockset = Optional[FrozenSet[str]]
+
+
+def _meet(a: Lockset, b: Lockset) -> Lockset:
+    if a is TOP:
+        return b
+    if b is TOP:
+        return a
+    return a & b
+
+
+class Access(NamedTuple):
+    """One read or write of ``cls.attr`` with the locks held there."""
+
+    cls: str
+    attr: str
+    node: ast.AST
+    is_write: bool
+    lockset: Lockset
+    method: str
+
+
+class ClassModel:
+    """Everything the detector knows about one class in one file."""
+
+    def __init__(self, node: ast.ClassDef, source: SourceFile) -> None:
+        self.node = node
+        self.name = node.name
+        self.methods: Dict[str, ast.AST] = {}
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[stmt.name] = stmt
+        self.lock_attrs: Set[str] = set()
+        self.sync_attrs: Set[str] = set()
+        self.init_assigned: Set[str] = set()
+        self.unlocked_ok: Set[str] = set()
+        self._scan_body(source)
+        init = self.methods.get("__init__")
+        if init is not None:
+            self._scan_init(init, source)
+
+    def _scan_body(self, source: SourceFile) -> None:
+        is_dataclass = any(
+            (source.resolved(dec) or "").split(".")[-1] == "dataclass"
+            for dec in self.node.decorator_list
+        )
+        for stmt in self.node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "_unlocked_ok"
+                and isinstance(stmt.value, (ast.Tuple, ast.List))
+            ):
+                for element in stmt.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        self.unlocked_ok.add(element.value)
+            elif is_dataclass and isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    self.init_assigned.add(stmt.target.id)
+
+    def _scan_init(self, init: ast.AST, source: SourceFile) -> None:
+        for node in scoped_walk(init):
+            target: Optional[ast.AST] = None
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                value = node.value
+                for t in node.targets:
+                    self._record_init_target(t)
+                target = node.targets[0] if len(node.targets) == 1 else None
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                self._record_init_target(target)
+            elif isinstance(node, ast.AugAssign):
+                self._record_init_target(node.target)
+                continue
+            else:
+                continue
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and isinstance(value, ast.Call)
+            ):
+                ctor = source.resolved(value.func)
+                if ctor in LOCK_TYPES:
+                    self.lock_attrs.add(target.attr)
+                if ctor in SYNC_TYPES:
+                    self.sync_attrs.add(target.attr)
+
+    def _record_init_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_init_target(element)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.init_assigned.add(target.attr)
+
+    def tracked(self, attr: str) -> bool:
+        """Is ``attr`` instance state the detector should follow?"""
+        return (
+            attr in self.init_assigned
+            and attr not in self.sync_attrs
+            and attr not in self.unlocked_ok
+            and attr not in self.methods
+        )
+
+
+def class_models(source: SourceFile) -> Dict[str, ClassModel]:
+    models: Dict[str, ClassModel] = {}
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ClassDef):
+            models[node.name] = ClassModel(node, source)
+    return models
+
+
+def _module_locks(source: SourceFile) -> Set[str]:
+    """Module-level ``NAME = threading.Lock()`` globals."""
+    locks: Set[str] = set()
+    for stmt in source.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+            and source.resolved(stmt.value.func) in LOCK_TYPES
+        ):
+            locks.add(stmt.targets[0].id)
+    return locks
+
+
+def _creates_threads(source: SourceFile) -> bool:
+    for call in source.calls():
+        if source.resolved(call.func) == "threading.Thread":
+            return True
+    return False
+
+
+def _annotation_class(annotation: Optional[ast.AST]) -> Optional[str]:
+    """The plain class name an annotation refers to, if recognizably one.
+
+    Handles ``Foo``, ``"Foo"`` and ``Optional[Foo]``; anything fancier
+    returns None (the access simply goes unattributed).
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        text = annotation.value
+        for wrapper in ("Optional[", "typing.Optional["):
+            if text.startswith(wrapper) and text.endswith("]"):
+                text = text[len(wrapper):-1]
+        return text if text.isidentifier() else None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Subscript):
+        base = annotation.value
+        name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if name == "Optional":
+            return _annotation_class(
+                annotation.slice
+                if not isinstance(annotation.slice, ast.Index)  # py38 compat
+                else annotation.slice.value  # pragma: no cover
+            )
+    return None
+
+
+def _typed_names(
+    method: ast.AST,
+    models: Dict[str, ClassModel],
+    own: Optional[ClassModel],
+) -> Dict[str, str]:
+    """Local/parameter name -> same-file class it holds an instance of."""
+    typed: Dict[str, str] = {}
+    args = method.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        cls = _annotation_class(arg.annotation)
+        if cls in models:
+            typed[arg.arg] = cls
+    for node in scoped_walk(method):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        func = value.func
+        if isinstance(func, ast.Name) and func.id in models:
+            typed[target.id] = func.id
+        elif (
+            own is not None
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in own.methods
+        ):
+            returns = getattr(own.methods[func.attr], "returns", None)
+            cls = _annotation_class(returns)
+            if cls in models:
+                typed[target.id] = cls
+    return typed
+
+
+class LocksetProblem(DataflowProblem):
+    """Forward must-analysis: which locks are held before each event."""
+
+    direction = "forward"
+
+    def __init__(
+        self,
+        entry: Lockset,
+        lock_of: "LockResolver",
+    ) -> None:
+        self._entry = entry
+        self._lock_of = lock_of
+
+    def boundary(self) -> Lockset:
+        return self._entry if self._entry is not TOP else frozenset()
+
+    def top(self) -> Lockset:
+        return TOP
+
+    def meet(self, a: Lockset, b: Lockset) -> Lockset:
+        return _meet(a, b)
+
+    def transfer_event(self, value: Lockset, event: Event) -> Lockset:
+        if event.kind not in (WITH_ENTER, WITH_EXIT):
+            return value
+        lock = self._lock_of(event.node.context_expr)
+        if lock is None:
+            return value
+        if value is TOP:
+            value = frozenset()
+        if event.kind == WITH_ENTER:
+            return value | {lock}
+        return value - {lock}
+
+
+class LockResolver:
+    """Maps a ``with`` context expression to a lock identity, if any."""
+
+    def __init__(
+        self,
+        models: Dict[str, ClassModel],
+        module_locks: Set[str],
+        own_class: Optional[str],
+        typed: Dict[str, str],
+    ) -> None:
+        self.models = models
+        self.module_locks = module_locks
+        self.own_class = own_class
+        self.typed = typed
+
+    def __call__(self, expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            if expr.id in self.module_locks:
+                return f"<module>.{expr.id}"
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(
+            expr.value, ast.Name
+        ):
+            owner: Optional[str] = None
+            if expr.value.id == "self":
+                owner = self.own_class
+            else:
+                owner = self.typed.get(expr.value.id)
+            if owner is not None and owner in self.models:
+                if expr.attr in self.models[owner].lock_attrs:
+                    return f"{owner}.{expr.attr}"
+        return None
+
+
+class _MethodInfo(NamedTuple):
+    cls: ClassModel
+    node: ast.AST
+    name: str
+
+
+@register
+class LocksetPass(LintPass):
+    rule = "lockset"
+    severity = "error"
+    description = (
+        "shared instance attributes (assigned in __init__, written "
+        "from worker/handler methods) whose accesses hold no common "
+        "lock — an Eraser-style static race; annotate intentional "
+        "ones with _unlocked_ok or # repro: allow[lockset]"
+    )
+
+    #: Fixpoint iteration cap for private-method entry locksets (the
+    #: sets only shrink, so convergence is fast; this is a backstop).
+    MAX_ROUNDS = 10
+
+    def run(self, source: SourceFile) -> Iterator[Finding]:
+        models = class_models(source)
+        if not models:
+            return
+        threaded = _creates_threads(source)
+        relevant = {
+            name: model
+            for name, model in models.items()
+            if model.lock_attrs or threaded
+        }
+        if not relevant:
+            return
+        module_locks = _module_locks(source)
+        accesses: List[Access] = []
+        for model in relevant.values():
+            accesses.extend(
+                self._class_accesses(source, model, models, module_locks)
+            )
+        yield from self._judge(source, accesses, models)
+
+    # ------------------------------------------------------------------
+    # Per-class analysis
+    # ------------------------------------------------------------------
+
+    def _class_accesses(
+        self,
+        source: SourceFile,
+        model: ClassModel,
+        models: Dict[str, ClassModel],
+        module_locks: Set[str],
+    ) -> List[Access]:
+        init_context = self._init_context(model)
+        thread_targets = self._thread_targets(source, model)
+        entries: Dict[str, Lockset] = {}
+        for name in model.methods:
+            if name in init_context:
+                continue
+            private = name.startswith("_") and not name.startswith("__")
+            if private and name not in thread_targets:
+                entries[name] = TOP  # refined from call sites below
+            else:
+                entries[name] = frozenset()
+        cfgs = {
+            name: build_cfg(model.methods[name])
+            for name in entries
+        }
+        typed = {
+            name: _typed_names(model.methods[name], models, model)
+            for name in entries
+        }
+        resolvers = {
+            name: LockResolver(models, module_locks, model.name, typed[name])
+            for name in entries
+        }
+        # Iterate private-method entry locksets to a fixpoint: each
+        # round re-solves every method and re-derives helper entries
+        # from the locks held at their (resolved) call sites.  Callers
+        # still at TOP contribute nothing yet, so values propagate
+        # down call chains one round per level and converge.
+        refinable = {
+            name
+            for name in entries
+            if name.startswith("_")
+            and not name.startswith("__")
+            and name not in thread_targets
+        }
+        for _ in range(self.MAX_ROUNDS):
+            callsite_meet: Dict[str, Lockset] = {
+                name: TOP for name in entries
+            }
+            for name in entries:
+                if entries[name] is TOP:
+                    continue  # unresolved caller: skip this round
+                problem = LocksetProblem(entries[name], resolvers[name])
+                solution = solve(problem, cfgs[name])
+                for _bid, event, value in values_at_events(solution):
+                    held = value if value is not TOP else frozenset()
+                    for callee in self._event_callees(event, model):
+                        if callee in entries:
+                            callsite_meet[callee] = _meet(
+                                callsite_meet[callee], held
+                            )
+            changed = False
+            for name in refinable:
+                new = callsite_meet[name]
+                if new is TOP:
+                    continue  # no resolved call sites yet
+                if entries[name] is TOP or entries[name] != new:
+                    entries[name] = new
+                    changed = True
+            if not changed:
+                break
+        # Private methods never called from non-init code: assume the
+        # worst (no locks) rather than vacuous truth.
+        for name in entries:
+            if entries[name] is TOP:
+                entries[name] = frozenset()
+        accesses: List[Access] = []
+        for name in entries:
+            problem = LocksetProblem(entries[name], resolvers[name])
+            solution = solve(problem, cfgs[name])
+            for _bid, event, value in values_at_events(solution):
+                lockset = value if value is not TOP else frozenset()
+                accesses.extend(
+                    self._event_accesses(
+                        event, model, models, typed[name], lockset, name
+                    )
+                )
+        return accesses
+
+    def _init_context(self, model: ClassModel) -> Set[str]:
+        """``__init__`` plus private helpers reachable only from it."""
+        callers: Dict[str, Set[str]] = {name: set() for name in model.methods}
+        for name, method in model.methods.items():
+            for callee in self._method_callees(method, model):
+                callers[callee].add(name)
+        context: Set[str] = set()
+        if "__init__" in model.methods:
+            context.add("__init__")
+        while True:
+            grew = False
+            for name in model.methods:
+                if name in context or not callers[name]:
+                    continue
+                if callers[name] <= context:
+                    context.add(name)
+                    grew = True
+            if not grew:
+                return context
+
+    def _method_callees(
+        self, method: ast.AST, model: ClassModel
+    ) -> Set[str]:
+        callees: Set[str] = set()
+        for node in scoped_walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in model.methods
+            ):
+                callees.add(node.func.attr)
+        return callees
+
+    def _event_callees(
+        self, event: Event, model: ClassModel
+    ) -> List[str]:
+        callees: List[str] = []
+        for root in event_roots(event):
+            for node in scoped_walk(root):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in model.methods
+                ):
+                    callees.append(node.func.attr)
+        return callees
+
+    def _thread_targets(
+        self, source: SourceFile, model: ClassModel
+    ) -> Set[str]:
+        """Methods handed to ``Thread(target=...)`` or referenced bare.
+
+        Either way the method can start running with no locks held, so
+        its entry lockset is pinned empty.
+        """
+        targets: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in model.methods
+            ):
+                parent = getattr(node, "parent", None)
+                is_callee = (
+                    isinstance(parent, ast.Call) and parent.func is node
+                )
+                if not is_callee and source.enclosing_class(node) is (
+                    model.node
+                ):
+                    targets.add(node.attr)
+        return targets
+
+    # ------------------------------------------------------------------
+    # Access extraction
+    # ------------------------------------------------------------------
+
+    def _event_accesses(
+        self,
+        event: Event,
+        model: ClassModel,
+        models: Dict[str, ClassModel],
+        typed: Dict[str, str],
+        lockset: FrozenSet[str],
+        method: str,
+    ) -> List[Access]:
+        accesses: List[Access] = []
+        write_attrs = self._write_nodes(event)
+        for root in event_roots(event):
+            if root is None:
+                continue
+            for node in scoped_walk(root):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                base = node.value
+                if not isinstance(base, ast.Name):
+                    continue
+                owner = (
+                    model.name
+                    if base.id == "self"
+                    else typed.get(base.id)
+                )
+                if owner is None or owner not in models:
+                    continue
+                target_model = models[owner]
+                if not target_model.tracked(node.attr):
+                    continue
+                accesses.append(
+                    Access(
+                        cls=owner,
+                        attr=node.attr,
+                        node=node,
+                        is_write=id(node) in write_attrs,
+                        lockset=lockset,
+                        method=f"{model.name}.{method}",
+                    )
+                )
+        return accesses
+
+    @staticmethod
+    def _write_nodes(event: Event) -> Set[int]:
+        """ids of Attribute nodes written by this event.
+
+        Covers plain/augmented/tuple assignment targets, stores
+        through a subscript of the attribute, and in-place mutator
+        calls (``self.xs.append(...)``).
+        """
+        writes: Set[int] = set()
+
+        def mark_target(target: ast.AST) -> None:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    mark_target(element)
+            elif isinstance(target, ast.Starred):
+                mark_target(target.value)
+            elif isinstance(target, ast.Attribute):
+                writes.add(id(target))
+            elif isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Attribute
+            ):
+                writes.add(id(target.value))
+
+        for root in event_roots(event):
+            if root is None:
+                continue
+            for node in scoped_walk(root):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        mark_target(target)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    mark_target(node.target)
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr in MUTATOR_METHODS and isinstance(
+                        node.func.value, ast.Attribute
+                    ):
+                        writes.add(id(node.func.value))
+        return writes
+
+    # ------------------------------------------------------------------
+    # Verdict
+    # ------------------------------------------------------------------
+
+    def _judge(
+        self,
+        source: SourceFile,
+        accesses: Sequence[Access],
+        models: Dict[str, ClassModel],
+    ) -> Iterator[Finding]:
+        by_attr: Dict[Tuple[str, str], List[Access]] = {}
+        for access in accesses:
+            by_attr.setdefault((access.cls, access.attr), []).append(access)
+        for (cls, attr), group in sorted(by_attr.items()):
+            if not any(a.is_write for a in group):
+                continue  # read-only outside __init__: no race
+            candidate: Lockset = TOP
+            for access in group:
+                candidate = _meet(candidate, access.lockset)
+            if candidate is TOP or candidate:
+                continue  # some lock consistently held
+            bare = [a for a in group if not a.lockset]
+            bare_writes = [a for a in bare if a.is_write]
+            witness = min(
+                bare_writes or bare or group,
+                key=lambda a: (a.node.lineno, a.node.col_offset),
+            )
+            held_elsewhere = sorted(
+                {lock for a in group for lock in a.lockset}
+            )
+            methods = sorted({a.method for a in group})
+            if held_elsewhere:
+                detail = (
+                    f"other accesses hold {{{', '.join(held_elsewhere)}}}"
+                )
+            else:
+                detail = "no access holds any lock"
+            yield self.finding(
+                source,
+                witness.node,
+                f"shared attribute {cls}.{attr} is "
+                f"{'written' if witness.is_write else 'read'} without "
+                f"a consistently held lock ({detail}; accessed from "
+                f"{', '.join(methods)}); guard every access with one "
+                "lock, or declare it in _unlocked_ok",
+            )

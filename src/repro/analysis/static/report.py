@@ -18,13 +18,23 @@ def render_text(report: Report, *, include_suppressed: bool = False) -> str:
     for error in report.errors:
         lines.append(f"error: {error}")
     visible = len(report.unsuppressed)
-    suppressed = len(report.findings) - visible
+    suppressed_by_rule: Dict[str, int] = {}
+    for finding in report.findings:
+        if finding.suppressed:
+            suppressed_by_rule[finding.rule] = (
+                suppressed_by_rule.get(finding.rule, 0) + 1
+            )
+    suppressed = sum(suppressed_by_rule.values())
     summary = (
         f"analyze: {report.files_analyzed} file(s), "
         f"{len(report.rules_run)} rule(s), {visible} finding(s)"
     )
     if suppressed:
-        summary += f" (+{suppressed} suppressed)"
+        detail = ", ".join(
+            f"{rule}: {count}"
+            for rule, count in sorted(suppressed_by_rule.items())
+        )
+        summary += f" (+{suppressed} suppressed: {detail})"
     if report.errors:
         summary += f", {len(report.errors)} file error(s)"
     summary += f" in {report.elapsed_s:.3f}s"

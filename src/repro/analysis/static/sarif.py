@@ -1,0 +1,185 @@
+"""SARIF 2.1.0 export and the findings baseline (the CI contract).
+
+Two thin serialization layers over :class:`~.findings.Report`:
+
+* :func:`render_sarif` emits a minimal-but-valid SARIF 2.1.0 log —
+  one run, one ``tool.driver`` carrying the rule catalog, one result
+  per finding.  Suppressed findings are included with an ``inSource``
+  suppression object (SARIF viewers grey them out rather than hide
+  them), so the artifact is a faithful record of the run.
+* the **baseline** (:func:`load_baseline` / :func:`baseline_payload` /
+  :func:`diff_against_baseline`) lets CI fail only on *new* findings:
+  the committed ``analysis_baseline.json`` holds a multiset of
+  ``(path, rule, message)`` fingerprints — deliberately line-number-
+  free, so an unrelated edit shifting a known finding by a few lines
+  does not break the gate — and the diff reports any unsuppressed
+  finding whose fingerprint is not in the baseline.
+
+Severity mapping follows the SARIF spec: ``error -> "error"``,
+``warning -> "warning"``, ``info -> "note"``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.analysis.static.findings import Finding, Report
+
+__all__ = [
+    "baseline_payload",
+    "diff_against_baseline",
+    "load_baseline",
+    "render_sarif",
+]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Finding severity -> SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+BASELINE_VERSION = 1
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": finding.line},
+                }
+            }
+        ],
+    }
+    if finding.suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def render_sarif(
+    report: Report,
+    rule_catalog: Mapping[str, str],
+    *,
+    tool_version: str = "unknown",
+) -> str:
+    """The report as a SARIF 2.1.0 JSON string.
+
+    ``rule_catalog`` maps rule id -> one-line description (what
+    ``rule_descriptions()`` returns); only rules that actually ran are
+    listed in the driver, keeping result ``ruleIndex`` lookups exact.
+    """
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule,
+            "shortDescription": {
+                "text": rule_catalog.get(rule, rule)
+            },
+        }
+        for rule in report.rules_run
+    ]
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+    results = []
+    for finding in report.findings:
+        result = _result(finding)
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": (
+                            "https://github.com/repro/repro"
+                        ),
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+
+def _fingerprint(finding: Finding) -> Tuple[str, str, str]:
+    return (finding.path, finding.rule, finding.message)
+
+
+def baseline_payload(report: Report) -> str:
+    """The JSON to commit as ``analysis_baseline.json``.
+
+    Only unsuppressed findings enter the baseline: a suppression is
+    already a reviewed, in-source decision and needs no second ledger.
+    """
+    findings = sorted(_fingerprint(f) for f in report.unsuppressed)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": path, "rule": rule, "message": message}
+            for path, rule, message in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def load_baseline(path: Path) -> List[Tuple[str, str, str]]:
+    """The committed fingerprint multiset (empty when absent)."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path}; "
+            f"expected {BASELINE_VERSION} (regenerate with "
+            "--write-baseline)"
+        )
+    return [
+        (entry["path"], entry["rule"], entry["message"])
+        for entry in data.get("findings", [])
+    ]
+
+
+def diff_against_baseline(
+    report: Report, baseline: List[Tuple[str, str, str]]
+) -> List[Finding]:
+    """Unsuppressed findings not covered by the baseline (multiset).
+
+    Duplicate fingerprints are honoured count-wise: a baseline with
+    one occurrence of a fingerprint excuses exactly one finding, so a
+    *second* instance of a known race still fails the gate.
+    """
+    budget: Dict[Tuple[str, str, str], int] = {}
+    for fingerprint in baseline:
+        budget[fingerprint] = budget.get(fingerprint, 0) + 1
+    new: List[Finding] = []
+    for finding in report.unsuppressed:
+        fingerprint = _fingerprint(finding)
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+        else:
+            new.append(finding)
+    return new

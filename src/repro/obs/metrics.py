@@ -16,6 +16,7 @@ poking private attributes of live objects.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 __all__ = [
@@ -60,40 +61,70 @@ def _series_name(name: str, labels: LabelKey) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    Instruments are shared across the serve daemon's handler and
+    worker threads, so every read-modify-write happens under the
+    instrument's own lock; an unlocked ``+= 1`` drops increments under
+    contention (the load/add/store interleaves).
+    """
+
+    __slots__ = ("name", "_lock", "_value")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.value = 0
+        self._lock = threading.Lock()
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self._value += amount
 
 
 class Gauge:
     """A value that goes up and down; tracks its high-water mark."""
 
-    __slots__ = ("name", "value", "maximum")
+    __slots__ = ("name", "_lock", "_value", "_maximum")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.value = 0.0
-        self.maximum = 0.0
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._maximum = 0.0
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def maximum(self) -> float:
+        with self._lock:
+            return self._maximum
 
     def set(self, value: float) -> None:
-        self.value = value
-        if value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self._set_locked(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.set(self.value + amount)
+        with self._lock:
+            self._set_locked(self._value + amount)
 
     def dec(self, amount: float = 1.0) -> None:
-        self.set(self.value - amount)
+        with self._lock:
+            self._set_locked(self._value - amount)
+
+    def _set_locked(self, value: float) -> None:
+        self._value = value
+        if value > self._maximum:
+            self._maximum = value
 
 
 class Histogram:
@@ -104,7 +135,15 @@ class Histogram:
     construction so merging and snapshotting stay trivial.
     """
 
-    __slots__ = ("name", "buckets", "counts", "overflow", "count", "total")
+    __slots__ = (
+        "name",
+        "buckets",
+        "_lock",
+        "_counts",
+        "_overflow",
+        "_count",
+        "_total",
+    )
 
     def __init__(
         self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
@@ -117,31 +156,72 @@ class Histogram:
             )
         self.name = name
         self.buckets = ordered
-        self.counts = [0] * len(ordered)
-        self.overflow = 0
-        self.count = 0
-        self.total = 0.0
+        self._lock = threading.Lock()
+        self._counts = [0] * len(ordered)
+        self._overflow = 0
+        self._count = 0
+        self._total = 0.0
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.overflow += 1
+        with self._lock:
+            self._count += 1
+            self._total += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._overflow += 1
+
+    @property
+    def counts(self) -> List[int]:
+        with self._lock:
+            return list(self._counts)
+
+    @property
+    def overflow(self) -> int:
+        with self._lock:
+            return self._overflow
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
+
+    def state(self) -> Dict[str, Any]:
+        """count/total/mean/counts/overflow as one coherent snapshot."""
+        with self._lock:
+            return {
+                "count": self._count,
+                "total": self._total,
+                "mean": self._total / self._count if self._count else 0.0,
+                "counts": list(self._counts),
+                "overflow": self._overflow,
+            }
 
 
 class MetricsRegistry:
-    """Named instruments, created on first use, snapshot on demand."""
+    """Named instruments, created on first use, snapshot on demand.
 
-    __slots__ = ("_counters", "_gauges", "_histograms")
+    The registry lock guards only the instrument *maps* (get-or-create
+    races would otherwise mint two counters for one series and lose
+    one of them); each instrument serializes its own state.  Lock
+    ordering is registry -> instrument, never the reverse.
+    """
+
+    __slots__ = ("_lock", "_counters", "_gauges", "_histograms")
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
@@ -152,19 +232,21 @@ class MetricsRegistry:
 
     def counter(self, name: str, **labels: Any) -> Counter:
         key = (name, _label_key(labels))
-        counter = self._counters.get(key)
-        if counter is None:
-            counter = Counter(_series_name(name, key[1]))
-            self._counters[key] = counter
-        return counter
+        with self._lock:
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = Counter(_series_name(name, key[1]))
+                self._counters[key] = counter
+            return counter
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
         key = (name, _label_key(labels))
-        gauge = self._gauges.get(key)
-        if gauge is None:
-            gauge = Gauge(_series_name(name, key[1]))
-            self._gauges[key] = gauge
-        return gauge
+        with self._lock:
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = Gauge(_series_name(name, key[1]))
+                self._gauges[key] = gauge
+            return gauge
 
     def histogram(
         self,
@@ -173,11 +255,12 @@ class MetricsRegistry:
         **labels: Any,
     ) -> Histogram:
         key = (name, _label_key(labels))
-        histogram = self._histograms.get(key)
-        if histogram is None:
-            histogram = Histogram(_series_name(name, key[1]), buckets)
-            self._histograms[key] = histogram
-        return histogram
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = Histogram(_series_name(name, key[1]), buckets)
+                self._histograms[key] = histogram
+            return histogram
 
     # ------------------------------------------------------------------
     # Reading
@@ -189,8 +272,10 @@ class MetricsRegistry:
         E.g. ``registry.by_label("net.sent_by_kind", "kind")`` returns
         per-kind send counts as a plain dict.
         """
+        with self._lock:
+            series = list(self._counters.items())
         out: Dict[str, int] = {}
-        for (base, labels), counter in self._counters.items():
+        for (base, labels), counter in series:
             if base == name:
                 values = dict(labels)
                 if label in values:
@@ -199,28 +284,30 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Everything, as one plain nested dict (JSON-safe)."""
-        counters = {
-            c.name: c.value for c in self._counters.values()
-        }
+        with self._lock:
+            counter_list = list(self._counters.values())
+            gauge_list = list(self._gauges.values())
+            histogram_list = list(self._histograms.values())
+        counters = {c.name: c.value for c in counter_list}
         gauges = {
             g.name: {"value": g.value, "max": g.maximum}
-            for g in self._gauges.values()
+            for g in gauge_list
         }
-        histograms = {
-            h.name: {
-                "count": h.count,
-                "total": h.total,
-                "mean": h.mean,
+        histograms = {}
+        for h in histogram_list:
+            state = h.state()
+            histograms[h.name] = {
+                "count": state["count"],
+                "total": state["total"],
+                "mean": state["mean"],
                 "buckets": {
                     str(bound): cumulative
                     for bound, cumulative in zip(
-                        h.buckets, _cumulative(h.counts)
+                        h.buckets, _cumulative(state["counts"])
                     )
                 },
-                "overflow": h.overflow,
+                "overflow": state["overflow"],
             }
-            for h in self._histograms.values()
-        }
         return {
             "counters": counters,
             "gauges": gauges,

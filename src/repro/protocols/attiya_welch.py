@@ -75,6 +75,13 @@ class AWProcess(BaseProcess):
             return
         now = cluster.sim.now
         stamp: Stamp = (now, self.pid, pending.uid)
+        # Enqueue the local copy before the broadcast: once the
+        # update is on the wire a peer may act on it, so this
+        # process's own state must already reflect it (the
+        # handler-atomicity discipline; in the cooperative kernel the
+        # two orders are equivalent, but only this one survives a
+        # preemptive scheduler).
+        self._enqueue(stamp, pending.program)
         cluster.network.send_to_all(
             self.pid,
             Message(
@@ -83,7 +90,6 @@ class AWProcess(BaseProcess):
             ),
             include_self=False,
         )
-        self._enqueue(stamp, pending.program)
         # Respond exactly at the effect time T + delta.
         delay = cluster.delta
         cluster.sim.schedule(

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
@@ -207,7 +208,11 @@ class ServeDaemon:
         )
         self._httpd.daemon_threads = True
         self._httpd.plane = self.plane  # type: ignore[attr-defined]
-        self._thread = None
+        # start()/stop() may be called from different threads (a test
+        # harness tearing down a daemon its setup started); the serve
+        # thread handle is handed over under this lock.
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
         self._write_endpoint_file()
 
     @property
@@ -243,15 +248,15 @@ class ServeDaemon:
 
     def start(self) -> None:
         """Serve in a background thread (tests, benchmarks)."""
-        import threading
-
         self.plane.start()
-        self._thread = threading.Thread(
+        thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-serve-http",
             daemon=True,
         )
-        self._thread.start()
+        with self._lock:
+            self._thread = thread
+        thread.start()
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted (the CLI)."""
@@ -264,9 +269,10 @@ class ServeDaemon:
     def stop(self) -> None:
         self._httpd.shutdown()
         self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
-            self._thread = None
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=10.0)
             self.plane.stop()
 
     def __enter__(self) -> "ServeDaemon":

@@ -103,7 +103,19 @@ class ServeConfig:
 
 
 class RunRecord:
-    """One submission's lifecycle, from queue to terminal state."""
+    """One submission's lifecycle, from queue to terminal state.
+
+    The record is read by HTTP handler threads while a worker thread
+    drives it through ``queued -> running -> done/failed``, so every
+    mutable field lives behind the record's own lock: readers go
+    through the locked properties, writers through the three
+    transition methods.  ``to_dict`` snapshots all fields under one
+    lock acquisition so a client never observes a torn state (e.g.
+    ``status == "done"`` with ``run_seconds`` still ``None``).
+
+    Lock ordering: ``ControlPlane._lock`` may be held while taking a
+    record's lock (``state_summary`` does), never the reverse.
+    """
 
     TERMINAL = ("done", "failed", "cached")
 
@@ -111,56 +123,142 @@ class RunRecord:
         "run_id",
         "spec",
         "spec_hash",
-        "status",
-        "artifact",
-        "history_hash",
-        "error",
         "submitted_at",
-        "started_at",
-        "finished_at",
-        "run_seconds",
-        "trace",
         "event",
+        "_lock",
+        "_status",
+        "_artifact",
+        "_history_hash",
+        "_error",
+        "_started_at",
+        "_finished_at",
+        "_run_seconds",
+        "_trace",
     )
 
     def __init__(self, run_id: str, spec: RunSpec, spec_hash: str) -> None:
         self.run_id = run_id
         self.spec = spec
         self.spec_hash = spec_hash
-        self.status = "queued"
-        self.artifact: Optional[Dict[str, Any]] = None
-        self.history_hash: Optional[str] = None
-        self.error: Optional[str] = None
         self.submitted_at = wall_now()
-        self.started_at: Optional[float] = None
-        self.finished_at: Optional[float] = None
-        self.run_seconds: Optional[float] = None
-        self.trace: Optional[List[Dict[str, Any]]] = None
         self.event = threading.Event()
+        self._lock = threading.Lock()
+        self._status = "queued"
+        self._artifact: Optional[Dict[str, Any]] = None
+        self._history_hash: Optional[str] = None
+        self._error: Optional[str] = None
+        self._started_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
+        self._run_seconds: Optional[float] = None
+        self._trace: Optional[List[Dict[str, Any]]] = None
+
+    # -- locked reads ---------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        with self._lock:
+            return self._status
+
+    @property
+    def artifact(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._artifact
+
+    @property
+    def history_hash(self) -> Optional[str]:
+        with self._lock:
+            return self._history_hash
+
+    @property
+    def error(self) -> Optional[str]:
+        with self._lock:
+            return self._error
+
+    @property
+    def started_at(self) -> Optional[float]:
+        with self._lock:
+            return self._started_at
+
+    @property
+    def finished_at(self) -> Optional[float]:
+        with self._lock:
+            return self._finished_at
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        with self._lock:
+            return self._run_seconds
+
+    @property
+    def trace(self) -> Optional[List[Dict[str, Any]]]:
+        with self._lock:
+            return self._trace
 
     @property
     def terminal(self) -> bool:
-        return self.status in self.TERMINAL
+        with self._lock:
+            return self._status in self.TERMINAL
+
+    # -- transitions (worker / submit thread) ---------------------------
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self._status = "running"
+            self._started_at = wall_now()
+
+    def finish(
+        self,
+        payload: Dict[str, Any],
+        history_hash: Optional[str],
+        trace: Optional[List[Dict[str, Any]]],
+        run_seconds: float,
+    ) -> None:
+        with self._lock:
+            self._artifact = payload
+            self._history_hash = history_hash
+            self._trace = trace
+            self._run_seconds = run_seconds
+            self._finished_at = wall_now()
+            self._status = "done"
+
+    def fail(self, error: str, run_seconds: float) -> None:
+        with self._lock:
+            self._error = error
+            self._run_seconds = run_seconds
+            self._finished_at = wall_now()
+            self._status = "failed"
+
+    def complete_cached(self, artifact: Dict[str, Any]) -> None:
+        """Terminal from birth: the verdict cache had the answer."""
+        with self._lock:
+            self._artifact = artifact
+            self._history_hash = artifact.get("history_hash")
+            self._finished_at = self.submitted_at
+            self._run_seconds = 0.0
+            self._status = "cached"
+        self.event.set()
 
     def to_dict(self, *, include_artifact: bool = True) -> Dict[str, Any]:
-        info: Dict[str, Any] = {
-            "run_id": self.run_id,
-            "status": self.status,
-            "protocol": self.spec.protocol,
-            "workload": self.spec.workload,
-            "seed": self.spec.seed,
-            "spec_hash": self.spec_hash,
-            "history_hash": self.history_hash,
-            "error": self.error,
-            "submitted_at": self.submitted_at,
-            "started_at": self.started_at,
-            "finished_at": self.finished_at,
-            "run_seconds": self.run_seconds,
-            "traced": self.trace is not None,
-        }
-        if include_artifact:
-            info["artifact"] = self.artifact if self.terminal else None
-        return info
+        with self._lock:
+            terminal = self._status in self.TERMINAL
+            info: Dict[str, Any] = {
+                "run_id": self.run_id,
+                "status": self._status,
+                "protocol": self.spec.protocol,
+                "workload": self.spec.workload,
+                "seed": self.spec.seed,
+                "spec_hash": self.spec_hash,
+                "history_hash": self._history_hash,
+                "error": self._error,
+                "submitted_at": self.submitted_at,
+                "started_at": self._started_at,
+                "finished_at": self._finished_at,
+                "run_seconds": self._run_seconds,
+                "traced": self._trace is not None,
+            }
+            if include_artifact:
+                info["artifact"] = self._artifact if terminal else None
+            return info
 
 
 class ControlPlane:
@@ -202,21 +300,30 @@ class ControlPlane:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        for index in range(self.config.workers):
-            thread = threading.Thread(
-                target=self._worker,
-                name=f"repro-serve-worker-{index}",
-                daemon=True,
-            )
+        with self._lock:
+            if self._threads:
+                return  # already started; a second pool would race the queue
+            self._threads = [
+                threading.Thread(
+                    target=self._worker,
+                    name=f"repro-serve-worker-{index}",
+                    daemon=True,
+                )
+                for index in range(self.config.workers)
+            ]
+            threads = list(self._threads)
+        for thread in threads:
             thread.start()
-            self._threads.append(thread)
 
     def stop(self) -> None:
-        for _ in self._threads:
+        # Swap the pool out under the lock; join outside it so a
+        # worker draining its last run can still use the plane.
+        with self._lock:
+            threads, self._threads = self._threads, []
+        for _ in threads:
             self._queue.put(None)
-        for thread in self._threads:
+        for thread in threads:
             thread.join(timeout=30.0)
-        self._threads = []
         self.audit.close()
 
     # ------------------------------------------------------------------
@@ -251,12 +358,7 @@ class ControlPlane:
             cached = self.cache.get(spec_hash)
             if cached is not None:
                 record = self._new_record(spec, spec_hash)
-                record.status = "cached"
-                record.artifact = cached
-                record.history_hash = cached.get("history_hash")
-                record.finished_at = record.submitted_at
-                record.run_seconds = 0.0
-                record.event.set()
+                record.complete_cached(cached)
                 outcome = "cached"
             else:
                 inflight_id = self._inflight.get(spec_hash)
@@ -412,8 +514,7 @@ class ControlPlane:
                 self._queue.task_done()
 
     def _execute(self, record: RunRecord) -> None:
-        record.status = "running"
-        record.started_at = wall_now()
+        record.mark_running()
         started = tick()
         spec = record.spec
         try:
@@ -423,8 +524,9 @@ class ControlPlane:
             else:
                 artifact = execute(spec)
         except Exception as exc:  # a failed run, not a dead daemon
-            record.error = f"{type(exc).__name__}: {exc}"
-            record.status = "failed"
+            run_seconds = tick() - started
+            error = f"{type(exc).__name__}: {exc}"
+            record.fail(error, run_seconds)
             self.registry.counter(
                 "serve.runs", result="failed", protocol=spec.protocol
             ).inc()
@@ -434,18 +536,24 @@ class ControlPlane:
                 run_id=record.run_id,
                 spec_hash=record.spec_hash,
                 protocol=spec.protocol,
-                detail=record.error,
+                detail=error,
             )
         else:
             payload = artifact.to_dict()
-            record.artifact = payload
-            record.history_hash = artifact.history_hash
-            if artifact.tracer is not None:
-                record.trace = artifact.tracer.records()
+            trace = (
+                artifact.tracer.records()
+                if artifact.tracer is not None
+                else None
+            )
+            # Persist before flipping status: a client that sees
+            # "done" must find the artifact in the store/cache too.
             if artifact.history_hash:
                 self.store.put(artifact.history_hash, payload)
             self.cache.put(record.spec_hash, payload)
-            record.status = "done"
+            run_seconds = tick() - started
+            record.finish(
+                payload, artifact.history_hash, trace, run_seconds
+            )
             outcome = "ok" if artifact.ok else "violated"
             self.registry.counter(
                 "serve.runs", result=outcome, protocol=spec.protocol
@@ -458,12 +566,10 @@ class ControlPlane:
                 protocol=spec.protocol,
                 status=outcome,
             )
-        record.run_seconds = tick() - started
-        record.finished_at = wall_now()
         self.registry.histogram(
             "serve.run.seconds",
             buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0),
-        ).observe(record.run_seconds)
+        ).observe(run_seconds)
 
     def _count_verdict(self, protocol: str, outcome: str) -> None:
         with self._lock:

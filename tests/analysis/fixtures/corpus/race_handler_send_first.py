@@ -1,0 +1,12 @@
+"""Seeded hazard: the handler broadcasts before its state settles."""
+
+
+class EchoProcess:
+    def __init__(self, cluster, pid):
+        self.cluster = cluster
+        self.pid = pid
+        self.log = []
+
+    def on_deliver(self, message):
+        self.cluster.network.send_to_all(self.pid, message)
+        self.log.append(message)  # peers may already be reacting

@@ -1,0 +1,26 @@
+"""Seeded race: a helper reached both with and without the lock.
+
+``_flush`` inherits {self._lock} from ``push`` but the empty set from
+``close`` — the meet over callsites is empty, so the write inside it
+is unprotected on the ``close`` path.
+"""
+
+import threading
+
+
+class Buffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.pending = []
+
+    def push(self, item):
+        with self._lock:
+            self.pending.append(item)
+            if len(self.pending) > 8:
+                self._flush()
+
+    def close(self):
+        self._flush()  # no lock held here
+
+    def _flush(self):
+        self.pending.clear()

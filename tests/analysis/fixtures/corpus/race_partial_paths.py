@@ -1,0 +1,20 @@
+"""Seeded race: the lock is only held on one branch of the writer."""
+
+import threading
+
+
+class Switch:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = "off"
+
+    def set(self, fast, value):
+        if fast:
+            self.state = value  # skips the lock on the fast path
+        else:
+            with self._lock:
+                self.state = value
+
+    def get(self):
+        with self._lock:
+            return self.state

@@ -1,0 +1,14 @@
+"""Seeded leak: the early return skips the span's .end()."""
+
+
+def verify(tracer, history):
+    span = tracer.begin("verify")
+    if not history:
+        return None  # span leaks on this path
+    result = check(history)
+    span.end()
+    return result
+
+
+def check(history):
+    return bool(history)

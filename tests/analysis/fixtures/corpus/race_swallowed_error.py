@@ -1,0 +1,10 @@
+"""Seeded swallow: the violation vanishes without a trace."""
+
+
+def probe(cluster):
+    from repro.errors import ReproError
+
+    try:
+        cluster.verify()
+    except ReproError:
+        pass  # the checker's verdict is silently dropped

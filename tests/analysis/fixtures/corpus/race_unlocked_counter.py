@@ -1,0 +1,16 @@
+"""Seeded race: one accessor skips the lock the others hold."""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def read_fast(self):
+        return self.count  # unlocked read vs locked writes

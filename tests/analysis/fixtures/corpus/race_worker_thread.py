@@ -1,0 +1,20 @@
+"""Seeded race: a thread target mutates state nothing locks."""
+
+import threading
+
+
+class Pump:
+    def __init__(self):
+        self.items = []
+        self.done = False
+
+    def start(self):
+        thread = threading.Thread(target=self._drain, daemon=True)
+        thread.start()
+
+    def _drain(self):
+        while not self.done:
+            self.items.append(1)
+
+    def stop(self):
+        self.done = True

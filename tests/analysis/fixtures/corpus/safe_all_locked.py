@@ -1,0 +1,19 @@
+"""Non-race: every access to the shared fields holds the one lock."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.balance = 0
+        self.entries = []
+
+    def credit(self, amount):
+        with self._lock:
+            self.balance += amount
+            self.entries.append(amount)
+
+    def snapshot(self):
+        with self._lock:
+            return self.balance, list(self.entries)

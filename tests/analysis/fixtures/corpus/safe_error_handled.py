@@ -1,0 +1,12 @@
+"""Non-swallow: the exception value is read and converted."""
+
+
+def probe(cluster, log):
+    from repro.errors import ReproError
+
+    try:
+        cluster.verify()
+    except ReproError as exc:
+        log.append(str(exc))
+        return False
+    return True

@@ -1,0 +1,12 @@
+"""Non-hazard: state is final before the broadcast leaves."""
+
+
+class EchoProcess:
+    def __init__(self, cluster, pid):
+        self.cluster = cluster
+        self.pid = pid
+        self.log = []
+
+    def on_deliver(self, message):
+        self.log.append(message)
+        self.cluster.network.send_to_all(self.pid, message)

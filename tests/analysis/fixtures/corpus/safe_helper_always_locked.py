@@ -1,0 +1,21 @@
+"""Non-race: the private helper is only ever called under the lock."""
+
+import threading
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.lines = []
+
+    def write(self, line):
+        with self._lock:
+            self._append(line)
+
+    def rotate(self):
+        with self._lock:
+            self._append("--rotate--")
+            self.lines = []
+
+    def _append(self, line):
+        self.lines.append(line)

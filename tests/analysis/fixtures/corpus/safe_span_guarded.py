@@ -1,0 +1,17 @@
+"""Non-leak: the None-guard idiom from the simulator kernel.
+
+The span is only opened when tracing is on; the matching guard on the
+cleanup path means no open handle ever reaches the function exit.
+"""
+
+
+def run(tracer, enabled, steps):
+    span = None
+    if enabled:
+        span = tracer.begin("run")
+    try:
+        for step in steps:
+            step()
+    finally:
+        if span is not None:
+            span.end()

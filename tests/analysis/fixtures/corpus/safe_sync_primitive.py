@@ -1,0 +1,18 @@
+"""Non-race: synchronization primitives are internally thread-safe."""
+
+import queue
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self.ready = threading.Event()
+        self.inbox = queue.Queue()
+
+    def post(self, message):
+        self.inbox.put(message)
+        self.ready.set()
+
+    def take(self):
+        self.ready.wait()
+        return self.inbox.get()

@@ -1,0 +1,21 @@
+"""Non-race: an intentionally racy counter, declared as such."""
+
+import threading
+
+
+class Stats:
+    _unlocked_ok = ("approx_hits",)
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.approx_hits = 0
+        self.exact = 0
+
+    def hit(self):
+        self.approx_hits += 1  # monotonic, torn reads acceptable
+        with self._lock:
+            self.exact += 1
+
+    def read(self):
+        with self._lock:
+            return self.exact, self.approx_hits

@@ -1,0 +1,333 @@
+"""CFG builder edge cases and the worklist solver, in isolation.
+
+The locksets-through-``with``-regions analysis used here is a
+miniature of the real lockset pass: it exercises exactly the CFG
+properties the builder guarantees (with-exits on every path, finally
+duplication, loop back-edges) without dragging in class modelling.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.static.cfg import (
+    ASSUME,
+    WITH_ENTER,
+    WITH_EXIT,
+    build_cfg,
+    event_roots,
+    scoped_walk,
+)
+from repro.analysis.static.dataflow import (
+    DataflowProblem,
+    solve,
+    values_at_events,
+)
+
+
+def func_cfg(text: str):
+    tree = ast.parse(textwrap.dedent(text).lstrip("\n"))
+    func = tree.body[0]
+    return func, build_cfg(func)
+
+
+def with_names(event):
+    node = event.node
+    return ast.unparse(node.context_expr)
+
+
+class HeldLocks(DataflowProblem):
+    """Must-analysis of with-acquired names (miniature lockset)."""
+
+    direction = "forward"
+    TOP = None
+
+    def boundary(self):
+        return frozenset()
+
+    def top(self):
+        return self.TOP
+
+    def meet(self, a, b):
+        if a is self.TOP:
+            return b
+        if b is self.TOP:
+            return a
+        return a & b
+
+    def transfer_event(self, value, event):
+        if value is self.TOP:
+            return value
+        if event.kind == WITH_ENTER:
+            return value | {with_names(event)}
+        if event.kind == WITH_EXIT:
+            return value - {with_names(event)}
+        return value
+
+
+def locks_at_calls(text: str):
+    """call-name -> frozenset of lock names held at the call."""
+    func, cfg = func_cfg(text)
+    solution = solve(HeldLocks(), cfg)
+    out = {}
+    for _bid, event, value in values_at_events(solution):
+        for root in event_roots(event):
+            for node in scoped_walk(root):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Name
+                ):
+                    out[node.func.id] = value
+    return out
+
+
+class TestWithRegions:
+    def test_nested_with(self):
+        locks = locks_at_calls(
+            """
+            def f(a, b):
+                before()
+                with a:
+                    with b:
+                        inner()
+                    middle()
+                after()
+            """
+        )
+        assert locks["before"] == frozenset()
+        assert locks["inner"] == {"a", "b"}
+        assert locks["middle"] == {"a"}
+        assert locks["after"] == frozenset()
+
+    def test_multi_item_with(self):
+        locks = locks_at_calls(
+            """
+            def f(a, b):
+                with a, b:
+                    inner()
+                after()
+            """
+        )
+        assert locks["inner"] == {"a", "b"}
+        assert locks["after"] == frozenset()
+
+    def test_early_return_exits_with(self):
+        # The return path must still cross the with_exit events; the
+        # exit block's must-set is the meet of both paths (empty).
+        func, cfg = func_cfg(
+            """
+            def f(lock, cond):
+                with lock:
+                    if cond:
+                        return 1
+                    work()
+                return 2
+            """
+        )
+        solution = solve(HeldLocks(), cfg)
+        assert solution.value_in[cfg.exit] == frozenset()
+
+    def test_break_exits_with(self):
+        locks = locks_at_calls(
+            """
+            def f(lock, items):
+                for item in items:
+                    with lock:
+                        if item:
+                            break
+                        inner()
+                after()
+            """
+        )
+        assert locks["inner"] == {"lock"}
+        assert locks["after"] == frozenset()
+
+
+class TestLoops:
+    def test_while_else_runs_only_on_normal_exit(self):
+        # `broke` is reached via break (skipping the else); `fell` via
+        # the else.  A with held across break must still close.
+        locks = locks_at_calls(
+            """
+            def f(lock, cond):
+                while cond:
+                    with lock:
+                        if cond:
+                            break
+                else:
+                    fell()
+                broke()
+            """
+        )
+        assert locks["fell"] == frozenset()
+        assert locks["broke"] == frozenset()
+
+    def test_loop_body_fixpoint_converges(self):
+        # The lock is re-acquired each iteration; the header's
+        # must-set is the meet of the entry edge and the back edge.
+        locks = locks_at_calls(
+            """
+            def f(lock, items):
+                for item in items:
+                    with lock:
+                        inner()
+                after()
+            """
+        )
+        assert locks["inner"] == {"lock"}
+        assert locks["after"] == frozenset()
+
+    def test_while_true_without_break_kills_fallthrough(self):
+        func, cfg = func_cfg(
+            """
+            def f(lock):
+                while True:
+                    spin()
+            """
+        )
+        # No edge reaches the normal exit.
+        assert cfg.blocks[cfg.exit].preds == []
+
+
+class TestTryFinally:
+    def test_finally_runs_on_return_path(self):
+        # The finally copy on the return path sees the lock held and
+        # releases it, so the exit meet is empty, not {lock}.
+        locks = locks_at_calls(
+            """
+            def f(lock):
+                lock.acquire()
+                try:
+                    return compute()
+                finally:
+                    cleanup()
+            """
+        )
+        assert "cleanup" in locks  # the return-path copy was built
+
+    def test_finally_with_return_separates_paths(self):
+        func, cfg = func_cfg(
+            """
+            def f(a, cond):
+                with a:
+                    try:
+                        if cond:
+                            return 1
+                        work()
+                    finally:
+                        release()
+                tail()
+            """
+        )
+        solution = solve(HeldLocks(), cfg)
+        # Both the return path and the fall-through cross with_exit.
+        assert solution.value_in[cfg.exit] == frozenset()
+
+    def test_exceptional_finally_reaches_raise_exit(self):
+        func, cfg = func_cfg(
+            """
+            def f():
+                try:
+                    risky()
+                finally:
+                    cleanup()
+            """
+        )
+        assert cfg.blocks[cfg.raise_exit].preds  # propagation modeled
+
+    def test_handler_join_meets_paths(self):
+        # Lock acquired only in the try body: after the except joins,
+        # the must-set is empty.
+        locks = locks_at_calls(
+            """
+            def f(lock):
+                try:
+                    with lock:
+                        risky()
+                except ValueError:
+                    recover()
+                after()
+            """
+        )
+        assert locks["risky"] == {"lock"}
+        assert locks["after"] == frozenset()
+
+
+class TestRaise:
+    def test_bare_raise_reraises_to_raise_exit(self):
+        func, cfg = func_cfg(
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    log()
+                    raise
+            """
+        )
+        assert cfg.blocks[cfg.raise_exit].preds
+        # The re-raise does not fall through to the normal exit from
+        # the handler; only the try body's success path reaches it.
+        raise_blocks = {
+            bid
+            for bid, event in cfg.events()
+            if isinstance(event.node, ast.Raise)
+        }
+        assert raise_blocks
+        for bid in raise_blocks:
+            assert cfg.exit not in cfg.blocks[bid].succs
+
+    def test_raise_inside_with_crosses_with_exit(self):
+        func, cfg = func_cfg(
+            """
+            def f(lock):
+                with lock:
+                    raise ValueError("boom")
+            """
+        )
+        exits = [
+            event
+            for _bid, event in cfg.events()
+            if event.kind == WITH_EXIT
+        ]
+        assert exits  # the raise path closes the context manager
+
+
+class TestAssume:
+    def test_branch_refinement_events(self):
+        func, cfg = func_cfg(
+            """
+            def f(x):
+                if x is None:
+                    a()
+                else:
+                    b()
+            """
+        )
+        infos = {
+            event.info
+            for _bid, event in cfg.events()
+            if event.kind == ASSUME
+        }
+        assert ("x", "none") in infos
+        assert ("x", "not-none") in infos
+
+
+class TestScopedWalk:
+    def test_skips_nested_function_bodies(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def outer():
+                    x = 1
+                    def inner():
+                        y = 2
+                    return x
+                """
+            )
+        )
+        names = {
+            node.id
+            for node in scoped_walk(tree.body[0])
+            if isinstance(node, ast.Name)
+        }
+        assert "x" in names
+        assert "y" not in names

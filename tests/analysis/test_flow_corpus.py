@@ -1,0 +1,72 @@
+"""The seeded race/non-race corpus: zero FPs, zero FNs.
+
+Every ``race_*.py`` fixture must produce at least one finding of
+exactly its seeded rule; every ``safe_*.py`` fixture must come back
+completely clean across *all* rules.  This is the precision/recall
+contract of the flow-sensitive passes — a new heuristic that breaks
+either direction fails here before it ships.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.static import Analyzer, AnalyzerConfig
+
+CORPUS = Path(__file__).parent / "fixtures" / "corpus"
+
+#: fixture file -> the rule its seeded defect must trip.
+EXPECTED = {
+    "race_unlocked_counter.py": "lockset",
+    "race_worker_thread.py": "lockset",
+    "race_helper_mixed_entry.py": "lockset",
+    "race_partial_paths.py": "lockset",
+    "race_handler_send_first.py": "handler-atomicity",
+    "race_span_leak_path.py": "span-pairing",
+    "race_swallowed_error.py": "swallowed-error",
+}
+
+
+def analyze(path: Path):
+    analyzer = Analyzer(config=AnalyzerConfig())
+    report = analyzer.analyze_paths([path], root=CORPUS)
+    return report.unsuppressed
+
+
+def corpus_files(prefix: str):
+    files = sorted(p.name for p in CORPUS.glob(f"{prefix}_*.py"))
+    assert files, f"corpus fixtures missing under {CORPUS}"
+    return files
+
+
+class TestCorpusCoverage:
+    def test_every_race_fixture_is_expected(self):
+        assert sorted(EXPECTED) == corpus_files("race")
+
+    @pytest.mark.parametrize("name", corpus_files("race"))
+    def test_seeded_race_detected(self, name):
+        findings = analyze(CORPUS / name)
+        rules = {f.rule for f in findings}
+        assert EXPECTED[name] in rules, (
+            f"{name}: seeded {EXPECTED[name]} defect not detected "
+            f"(got {sorted(rules)})"
+        )
+
+    @pytest.mark.parametrize("name", corpus_files("race"))
+    def test_no_offtarget_findings_on_race_fixture(self, name):
+        # The seeded defect is the *only* kind of finding allowed —
+        # a second rule tripping on a race fixture is a false
+        # positive of that other rule.
+        findings = analyze(CORPUS / name)
+        rules = {f.rule for f in findings}
+        assert rules <= {EXPECTED[name]}, (
+            f"{name}: unexpected extra rules {sorted(rules)}"
+        )
+
+    @pytest.mark.parametrize("name", corpus_files("safe"))
+    def test_safe_fixture_is_clean(self, name):
+        findings = analyze(CORPUS / name)
+        assert findings == (), (
+            f"{name}: false positive(s): "
+            f"{[f.row() for f in findings]}"
+        )

@@ -1,0 +1,258 @@
+"""Unit tests for the lockset pass's inference machinery.
+
+The corpus (test_flow_corpus) covers end-to-end precision/recall;
+these tests pin the individual inference rules — init-context
+exclusion, helper-entry fixpoints, typed receivers, module-level
+locks, thread-target pinning — against the serve-layer patterns that
+motivated them.
+"""
+
+import textwrap
+
+from repro.analysis.static import Analyzer, AnalyzerConfig
+
+
+def run_lockset(text: str):
+    analyzer = Analyzer(config=AnalyzerConfig(select=("lockset",)))
+    return analyzer.analyze_source(
+        textwrap.dedent(text).lstrip("\n"), "m.py"
+    )
+
+
+class TestInitContext:
+    def test_init_only_helper_is_not_an_access(self):
+        # The ArtifactStore._load_existing pattern: a private helper
+        # reachable only from __init__ runs before any thread exists.
+        findings = run_lockset(
+            """
+            import threading
+
+            class Store:
+                def __init__(self, paths):
+                    self._lock = threading.Lock()
+                    self.entries = {}
+                    self._load(paths)
+
+                def _load(self, paths):
+                    for path in paths:
+                        self.entries[path] = 1
+
+                def put(self, key):
+                    with self._lock:
+                        self.entries[key] = 1
+            """
+        )
+        assert findings == []
+
+    def test_helper_shared_with_runtime_still_counts(self):
+        # The same helper reached from a public method too: its
+        # unlocked write is a real access and must trip.
+        findings = run_lockset(
+            """
+            import threading
+
+            class Store:
+                def __init__(self, paths):
+                    self._lock = threading.Lock()
+                    self.entries = {}
+                    self._load(paths)
+
+                def _load(self, paths):
+                    for path in paths:
+                        self.entries[path] = 1
+
+                def reload(self, paths):
+                    self._load(paths)
+
+                def put(self, key):
+                    with self._lock:
+                        self.entries[key] = 1
+            """
+        )
+        assert any(f.rule == "lockset" for f in findings)
+
+
+class TestHelperEntry:
+    def test_two_level_chain_inherits_lockset(self):
+        findings = run_lockset(
+            """
+            import threading
+
+            class Pipeline:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.stages = []
+
+                def add(self, stage):
+                    with self._lock:
+                        self._insert(stage)
+
+                def _insert(self, stage):
+                    self._really_insert(stage)
+
+                def _really_insert(self, stage):
+                    self.stages.append(stage)
+            """
+        )
+        assert findings == []
+
+
+class TestThreadTargets:
+    def test_thread_target_entry_is_unlocked(self):
+        # A private method handed to threading.Thread runs with no
+        # caller-held locks, whatever its other callsites hold.
+        findings = run_lockset(
+            """
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.beats = 0
+
+                def start(self):
+                    thread = threading.Thread(target=self._loop)
+                    thread.start()
+
+                def tick(self):
+                    with self._lock:
+                        self._loop()
+
+                def _loop(self):
+                    self.beats += 1
+            """
+        )
+        assert any(f.rule == "lockset" for f in findings)
+
+
+class TestModuleLocks:
+    def test_module_level_lock_protects(self):
+        findings = run_lockset(
+            """
+            import threading
+
+            _GLOBAL = threading.Lock()
+
+            class Shared:
+                def __init__(self):
+                    self.slots = []
+
+                def put(self, x):
+                    with _GLOBAL:
+                        self.slots.append(x)
+
+                def drain(self):
+                    with _GLOBAL:
+                        self.slots = []
+
+            def spawn(shared):
+                threading.Thread(target=shared.put, args=(1,)).start()
+            """
+        )
+        assert findings == []
+
+
+class TestTypedReceivers:
+    def test_cross_class_lock_protects_record(self):
+        # The pre-fix ControlPlane/RunRecord shape: the owner's lock
+        # consistently guards another object's fields.
+        findings = run_lockset(
+            """
+            import threading
+
+            class Record:
+                def __init__(self):
+                    self.status = "queued"
+
+            class Plane:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.records = []
+
+                def update(self, record: Record):
+                    with self._lock:
+                        record.status = "done"
+
+                def read(self, record: Record):
+                    with self._lock:
+                        return record.status
+
+                def start(self):
+                    threading.Thread(target=self._noop).start()
+
+                def _noop(self):
+                    pass
+            """
+        )
+        assert findings == []
+
+    def test_cross_class_bare_write_trips(self):
+        findings = run_lockset(
+            """
+            import threading
+
+            class Record:
+                def __init__(self):
+                    self.status = "queued"
+
+            class Plane:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.records = []
+
+                def update(self, record: Record):
+                    with self._lock:
+                        record.status = "done"
+
+                def finish(self, record: Record):
+                    record.status = "failed"
+
+                def start(self):
+                    threading.Thread(target=self._noop).start()
+
+                def _noop(self):
+                    pass
+            """
+        )
+        assert any(
+            f.rule == "lockset" and "Record.status" in f.message
+            for f in findings
+        )
+
+
+class TestSuppressions:
+    def test_allow_comment_suppresses(self):
+        findings = run_lockset(
+            """
+            import threading
+
+            class Tally:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+
+                def read(self):
+                    return self.count  # repro: allow[lockset]
+            """
+        )
+        assert findings
+        assert all(f.suppressed for f in findings)
+
+    def test_irrelevant_file_is_skipped(self):
+        # No locks owned, no threads created: plain single-threaded
+        # classes never enter the analysis.
+        findings = run_lockset(
+            """
+            class Plain:
+                def __init__(self):
+                    self.x = 0
+
+                def bump(self):
+                    self.x += 1
+            """
+        )
+        assert findings == []

@@ -1,0 +1,321 @@
+"""SARIF export, the findings baseline, and the CLI gate around them."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.analysis.static import (
+    Analyzer,
+    AnalyzerConfig,
+    baseline_payload,
+    diff_against_baseline,
+    load_baseline,
+    render_sarif,
+    rule_descriptions,
+)
+from repro.analysis.static.findings import Finding, Report
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Structural subset of the SARIF 2.1.0 schema — the required shape
+#: of everything we emit, checkable without fetching the full OASIS
+#: schema from the network.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": [
+                                                            "uri"
+                                                        ],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            }
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                        "properties": {
+                                            "kind": {
+                                                "enum": [
+                                                    "inSource",
+                                                    "external",
+                                                ]
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+RACY_SOURCE = '''
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def read(self):
+        return self.count
+'''
+
+
+def racy_report():
+    analyzer = Analyzer(config=AnalyzerConfig())
+    findings = analyzer.analyze_source(RACY_SOURCE, "tally.py")
+    return Report(
+        findings=findings,
+        files_analyzed=1,
+        rules_run=tuple(sorted(rule_descriptions())),
+    )
+
+
+class TestSarif:
+    def test_validates_against_schema_subset(self):
+        report = racy_report()
+        log = json.loads(render_sarif(report, rule_descriptions()))
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+        assert log["runs"][0]["results"], "expected the seeded race"
+
+    def test_result_fields(self):
+        report = racy_report()
+        log = json.loads(render_sarif(report, rule_descriptions()))
+        result = log["runs"][0]["results"][0]
+        assert result["ruleId"] == "lockset"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "tally.py"
+        assert location["region"]["startLine"] >= 1
+
+    def test_suppressed_findings_carry_suppression_objects(self):
+        finding = Finding(
+            path="m.py",
+            line=3,
+            rule="lockset",
+            message="x",
+            severity="error",
+            suppressed=True,
+        )
+        report = Report(findings=(finding,), rules_run=("lockset",))
+        log = json.loads(render_sarif(report, {"lockset": "d"}))
+        result = log["runs"][0]["results"][0]
+        assert result["suppressions"] == [{"kind": "inSource"}]
+
+    def test_empty_report_validates(self):
+        log = json.loads(render_sarif(Report(), rule_descriptions()))
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+        assert log["runs"][0]["results"] == []
+
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path):
+        report = racy_report()
+        path = tmp_path / "baseline.json"
+        path.write_text(baseline_payload(report), encoding="utf-8")
+        baseline = load_baseline(path)
+        assert len(baseline) == len(report.unsuppressed)
+        assert diff_against_baseline(report, baseline) == []
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == []
+
+    def test_new_finding_not_excused(self):
+        report = racy_report()
+        assert diff_against_baseline(report, []) == list(
+            report.unsuppressed
+        )
+
+    def test_multiset_semantics(self):
+        finding = Finding(
+            path="m.py", line=3, rule="lockset", message="x"
+        )
+        twice = Report(findings=(finding, finding.with_suppressed(False)))
+        once = [("m.py", "lockset", "x")]
+        # One baseline entry excuses exactly one occurrence.
+        assert len(diff_against_baseline(twice, once)) == 1
+
+    def test_line_shift_does_not_break_gate(self):
+        finding = Finding(
+            path="m.py", line=3, rule="lockset", message="x"
+        )
+        moved = Finding(
+            path="m.py", line=30, rule="lockset", message="x"
+        )
+        baseline = load_baseline_from(baseline_payload(
+            Report(findings=(finding,))
+        ))
+        assert diff_against_baseline(
+            Report(findings=(moved,)), baseline
+        ) == []
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+
+def load_baseline_from(payload: str):
+    data = json.loads(payload)
+    return [
+        (e["path"], e["rule"], e["message"])
+        for e in data["findings"]
+    ]
+
+
+def run_cli(*argv, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestCli:
+    def test_unknown_rule_exits_2_with_catalog(self):
+        proc = run_cli("analyze", "--rules", "definitely-not-a-rule")
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
+        # The full catalog is printed so the user can pick a real one.
+        for rule in ("lockset", "wall-clock", "span-pairing"):
+            assert rule in proc.stderr
+
+    def test_sarif_flag_writes_valid_log(self, tmp_path):
+        out = tmp_path / "out.sarif"
+        proc = run_cli(
+            "analyze",
+            "src/repro/serve/plane.py",
+            "--sarif",
+            str(out),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        log = json.loads(out.read_text(encoding="utf-8"))
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+
+    def test_baseline_gate_fails_injected_race(self, tmp_path):
+        racy = tmp_path / "racy.py"
+        racy.write_text(RACY_SOURCE, encoding="utf-8")
+        empty = tmp_path / "baseline.json"
+        empty.write_text(
+            '{"version": 1, "findings": []}', encoding="utf-8"
+        )
+        proc = run_cli(
+            "analyze", str(racy), "--baseline", str(empty)
+        )
+        assert proc.returncode == 1
+        assert "not in baseline" in proc.stderr
+        assert "lockset" in proc.stderr
+
+    def test_baseline_gate_passes_known_findings(self, tmp_path):
+        racy = tmp_path / "racy.py"
+        racy.write_text(RACY_SOURCE, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        wrote = run_cli(
+            "analyze", str(racy), "--write-baseline", str(baseline)
+        )
+        assert wrote.returncode == 0
+        proc = run_cli(
+            "analyze", str(racy), "--baseline", str(baseline)
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no findings beyond baseline" in proc.stdout
+
+    def test_suppressed_counts_in_summary(self):
+        proc = run_cli("analyze", "src/repro/serve/clock.py")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "suppressed: wall-clock: 3" in proc.stdout
+
+    def test_committed_baseline_matches_clean_tree(self):
+        # The committed baseline must stay empty: every real finding
+        # is either fixed or suppressed in source, never baselined.
+        committed = load_baseline(
+            REPO_ROOT / "analysis_baseline.json"
+        )
+        assert committed == []

@@ -196,7 +196,19 @@ class TestSpanPairing:
         )
         assert any("discarded" in f.message for f in findings)
 
-    def test_flags_begin_without_any_end(self):
+    def test_flags_begin_never_ended(self):
+        findings = run_rule(
+            "span-pairing",
+            """
+            def f(tracer):
+                span = tracer.begin("phase")
+                work()
+            """,
+        )
+        assert any("not .end()-ed" in f.message for f in findings)
+
+    def test_returned_span_transfers_ownership(self):
+        # The caller receives the handle; pairing is its problem now.
         findings = run_rule(
             "span-pairing",
             """
@@ -205,7 +217,20 @@ class TestSpanPairing:
                 return span
             """,
         )
-        assert any("never calls .end()" in f.message for f in findings)
+        assert findings == []
+
+    def test_flags_leak_on_early_return_path(self):
+        findings = run_rule(
+            "span-pairing",
+            """
+            def f(tracer, cond):
+                span = tracer.begin("phase")
+                if cond:
+                    return None
+                span.end()
+            """,
+        )
+        assert any("not .end()-ed" in f.message for f in findings)
 
     def test_paired_begin_end_ok(self):
         findings = run_rule(

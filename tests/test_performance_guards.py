@@ -99,3 +99,16 @@ def test_simulation_500_mops_under_10s():
     )
     assert verifier.consistent
     assert monitor_seconds < 2.0
+
+
+def test_full_repo_static_analysis_under_10s():
+    # The flow-sensitive passes (CFG + fixpoint per function) must not
+    # push a whole-tree `repro analyze` past the point where it can
+    # run on every lint/CI invocation.  tools/bench_gate.py enforces
+    # the same 10 s budget on BENCH_checkers.json's analyzer row.
+    from repro.analysis.static import analyze_repo
+
+    report, seconds = timed(analyze_repo)
+    assert report.files_analyzed > 50
+    assert len(report.rules_run) >= 8
+    assert seconds < 10.0

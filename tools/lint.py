@@ -9,8 +9,10 @@ checks the standard library can do on its own:
   errors, the bulk of ruff's E9xx class);
 * no file mixes tabs and spaces in indentation (``tokenize``);
 * the project's own static analyzer (``repro.analysis.static``) runs
-  its determinism/race passes over ``src/`` — it is stdlib-only, so it
-  is available wherever the package itself imports.
+  its full rule set over ``src/`` — the syntactic determinism lints
+  *and* the flow-sensitive passes (``lockset``, ``span-pairing``,
+  ``swallowed-error``, ``handler-atomicity``); it is stdlib-only, so
+  it is available wherever the package itself imports.
 
 Exit status 0 means clean under whichever linter ran.
 """
@@ -84,7 +86,8 @@ def _run_static_analyzer() -> int:
         return 0
     report = analyze_repo()
     print(
-        f"lint: repro analyze ran {len(report.rules_run)} rule(s) over "
+        f"lint: repro analyze ran {len(report.rules_run)} rule(s) "
+        f"({', '.join(report.rules_run)}) over "
         f"{report.files_analyzed} file(s): "
         f"{len(report.unsuppressed)} finding(s), "
         f"{len(report.errors)} error(s)"
