@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint analyze analyze-sarif chaos chaos-smoke report \
-	bench-json bench-gate run-smoke serve-smoke serve-gate
+	bench-json bench-gate run-smoke serve-smoke serve-gate \
+	bench-sim sim-gate
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -68,3 +69,16 @@ serve-gate:
 	$(PYTHON) -m benchmarks.bench_serve bench-serve-fresh.json --quick
 	$(PYTHON) tools/bench_gate.py bench-serve-fresh.json \
 		--baseline BENCH_serve.json
+
+## Simulation hot-path benchmark -> BENCH_sim.json (kernel drain,
+## protocol clusters, million-event workload).  SIM_ARGS passes
+## through, e.g. `make bench-sim SIM_ARGS=--quick`.
+bench-sim:
+	$(PYTHON) -m benchmarks.bench_sim $(SIM_ARGS)
+
+## Gate: fresh quick-profile sim run vs the committed BENCH_sim.json
+## (fails on >2x events/sec collapse on any shared row).
+sim-gate:
+	$(PYTHON) -m benchmarks.bench_sim bench-sim-fresh.json --quick
+	$(PYTHON) tools/bench_gate.py bench-sim-fresh.json \
+		--baseline BENCH_sim.json

@@ -104,7 +104,7 @@ from repro.workloads import (
     random_workloads,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "Cluster",

@@ -96,7 +96,17 @@ def satisfies_wo(history: History, closure: Relation) -> bool:
 
     Both OO- and WW-constraints imply WO (the paper uses WO to factor
     the proofs common to both).
+
+    Fast path mirrors :func:`satisfies_oo`: the index's write-conflict
+    masks give the number of co-writing pairs, and on an acyclic
+    closure the masked directed pair count must match it.
     """
+    if closure.nodes == history.uids and closure.is_acyclic():
+        index = HistoryIndex.of(history)
+        return (
+            closure.masked_pair_count(index.write_conflict_masks)
+            == index.write_conflict_pair_count
+        )
     updates = [m for m in history.all_mops if m.is_update]
     for i, a in enumerate(updates):
         for b in updates[i + 1 :]:

@@ -141,6 +141,9 @@ class HistoryIndex:
         "_triples_idx",
         "_positions",
         "_conflict_masks",
+        "_writer_masks",
+        "_write_conflict_masks",
+        "_rf_positional",
         "_bases",
     )
 
@@ -158,6 +161,11 @@ class HistoryIndex:
             uid: i for i, uid in enumerate(history.uids)
         }
         self._conflict_masks: Optional[List[int]] = None
+        self._writer_masks: Optional[Dict[str, int]] = None
+        self._write_conflict_masks: Optional[List[int]] = None
+        self._rf_positional: Optional[
+            List[Tuple[int, int, int, str]]
+        ] = None
         self._bases: Dict[Tuple[str, Tuple[Pair, ...]], Relation] = {}
 
     @classmethod
@@ -325,17 +333,50 @@ class HistoryIndex:
                 bad.append(triple)
         return bad
 
+    def _rf_positional_edges(self) -> List[Tuple[int, int, int, str]]:
+        """Reads-from edges as ``(a_uid, pos(a), pos(b), obj)``.
+
+        One entry per proper reads-from edge (reads of an m-op's own
+        write are skipped, matching :meth:`interfering_triples`); the
+        cached form the mask-based ``~rw`` scan consumes.
+        """
+        if self._rf_positional is None:
+            pos = self._positions
+            self._rf_positional = [
+                (a_uid, pos[a_uid], pos[b_uid], obj)
+                for (a_uid, obj), b_uid in sorted(
+                    self.history.reads_from_map.items()
+                )
+                if a_uid != b_uid
+            ]
+        return self._rf_positional
+
     def rw_pairs_under(self, closure: Relation) -> List[Pair]:
         """D 4.11 ``~rw`` pairs against a closed order over the full
         universe — the fast twin of
-        :func:`repro.core.constraints.rw_pairs`."""
+        :func:`repro.core.constraints.rw_pairs`.
+
+        Mask form of the triple scan: for each reads-from edge
+        ``b --x--> a``, every writer ``c`` of ``x`` with ``b ~H c``
+        forces ``a ~rw c`` — one AND of the closure row against the
+        object's writer mask per edge, instead of one bit test per
+        interfering triple.
+        """
         succ = closure._succ
+        nodes = closure.nodes
+        writer_masks = self.writer_masks
         pairs = set()
-        for (a_uid, _b_uid, c_uid), (_ia, ib, ic) in zip(
-            self.interfering_triples(), self._positional_triples()
-        ):
-            if succ[ib] >> ic & 1 and a_uid != c_uid:
-                pairs.add((a_uid, c_uid))
+        for a_uid, ia, ib, obj in self._rf_positional_edges():
+            cands = (
+                succ[ib]
+                & writer_masks.get(obj, 0)
+                & ~(1 << ia)
+                & ~(1 << ib)
+            )
+            while cands:
+                low = cands & -cands
+                pairs.add((a_uid, nodes[low.bit_length() - 1]))
+                cands ^= low
         return sorted(pairs)
 
     # ------------------------------------------------------------------
@@ -380,6 +421,60 @@ class HistoryIndex:
     def conflict_pair_count(self) -> int:
         """Number of unordered conflicting pairs (the OO denominator)."""
         return sum(mask.bit_count() for mask in self.conflict_masks) // 2
+
+    @property
+    def writer_masks(self) -> Dict[str, int]:
+        """Per-object bitmask of writer universe positions.
+
+        ``writer_masks[x]`` has bit ``i`` set iff the m-operation at
+        universe position ``i`` writes ``x`` (the initial m-operation
+        included) — the row the mask-based ``~rw`` scan and the WO
+        masks AND against.
+        """
+        if self._writer_masks is None:
+            pos = self._positions
+            masks: Dict[str, int] = {}
+            for obj, timeline in self.writer_timelines.items():
+                acc = 0
+                for uid in timeline:
+                    acc |= 1 << pos[uid]
+                masks[obj] = acc
+            self._writer_masks = masks
+        return self._writer_masks
+
+    @property
+    def write_conflict_masks(self) -> List[int]:
+        """Per-position bitmask of co-writers (the WO analogue of
+        :attr:`conflict_masks`).
+
+        ``write_conflict_masks[i]`` has bit ``j`` set iff the
+        m-operations at universe positions ``i`` and ``j`` both write
+        some common object — exactly the pairs the WO-constraint
+        (D 4.10) requires ordered.
+        """
+        if self._write_conflict_masks is None:
+            n = len(self.history.uids)
+            masks = [0] * n
+            pos = self._positions
+            writer_masks = self.writer_masks
+            for mop in self.history.all_mops:
+                wobjects = mop.wobjects
+                if not wobjects:
+                    continue
+                i = pos[mop.uid]
+                acc = 0
+                for obj in wobjects:
+                    acc |= writer_masks[obj]
+                masks[i] = acc & ~(1 << i)
+            self._write_conflict_masks = masks
+        return self._write_conflict_masks
+
+    @property
+    def write_conflict_pair_count(self) -> int:
+        """Number of unordered co-writing pairs (the WO denominator)."""
+        return (
+            sum(mask.bit_count() for mask in self.write_conflict_masks) // 2
+        )
 
     # ------------------------------------------------------------------
     # Generating orders (Section 2.3) from cover edges

@@ -19,6 +19,7 @@ both comparisons succeed.
 
 from __future__ import annotations
 
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
@@ -28,6 +29,111 @@ from repro.errors import ProtocolError
 #: The body of an m-operation program: runs reads/writes on a view and
 #: returns the m-operation's result value.
 ProgramBody = Callable[["ObjectView"], Any]
+
+#: Hash-consed canonical object tuples: every replica of the same
+#: object set shares one tuple (1000 replicas × 10k names would
+#: otherwise each carry their own copy).
+_INTERNED_OBJECTS: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+
+#: Delta-chain length at which a :class:`TsSnapshot` flattens back to
+#: a full dict.  Lookups walk at most this many override dicts.
+_MAX_TS_DEPTH = 16
+
+#: Shared ``wobjects`` value for executions that wrote nothing — one
+#: frozenset for every query record instead of one per execution.
+_EMPTY_WOBJECTS: FrozenSet[str] = frozenset()
+
+
+def intern_objects(objects: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Return the canonical shared instance of an object-name tuple."""
+    interned = _INTERNED_OBJECTS.get(objects)
+    if interned is None:
+        _INTERNED_OBJECTS[objects] = objects
+        return objects
+    return interned
+
+
+class TsSnapshot(MappingABC):
+    """An immutable version-vector snapshot (``ts``, Section 5).
+
+    The store's ``ts`` used to be snapshotted by copying the whole
+    per-object dict twice per :meth:`VersionedStore.execute` —
+    O(objects) allocation per update, the broadcast hot spot ROADMAP
+    item 4 calls out.  A snapshot is now a copy-on-write node: either
+    a ``full`` dict (root, or a flattened chain) or a small
+    ``overrides`` delta over a parent snapshot.  Version bumps
+    allocate O(written objects); lookups walk at most
+    :data:`_MAX_TS_DEPTH` deltas before hitting a full node.
+
+    Snapshots are shared, never mutated: ``execute`` hands the *same*
+    node out as one record's ``finish_ts`` and the next record's
+    ``start_ts``.  Iteration follows the interned canonical object
+    tuple, so rendering order is deterministic regardless of chain
+    shape.
+    """
+
+    __slots__ = ("_objects", "_full", "_parent", "_overrides", "_depth")
+
+    def __init__(
+        self,
+        objects: Tuple[str, ...],
+        *,
+        full: Optional[Dict[str, int]] = None,
+        parent: Optional["TsSnapshot"] = None,
+        overrides: Optional[Dict[str, int]] = None,
+        depth: int = 0,
+    ) -> None:
+        self._objects = objects
+        self._full = full
+        self._parent = parent
+        self._overrides = overrides
+        self._depth = depth
+
+    @classmethod
+    def root(
+        cls, objects: Tuple[str, ...], versions: Mapping[str, int]
+    ) -> "TsSnapshot":
+        return cls(intern_objects(objects), full=dict(versions))
+
+    def child(self, changes: Dict[str, int]) -> "TsSnapshot":
+        """The snapshot after applying ``changes`` (copy-on-write)."""
+        if self._depth >= _MAX_TS_DEPTH:
+            # Flatten by replaying deltas root -> leaf: one dict copy
+            # plus depth dict.update calls, not a per-key chain walk.
+            node = self
+            deltas = []
+            while node._full is None:
+                deltas.append(node._overrides)
+                node = node._parent
+            full = dict(node._full)
+            for overrides in reversed(deltas):
+                full.update(overrides)
+            full.update(changes)
+            return TsSnapshot(self._objects, full=full)
+        return TsSnapshot(
+            self._objects,
+            parent=self,
+            overrides=changes,
+            depth=self._depth + 1,
+        )
+
+    def __getitem__(self, obj: str) -> int:
+        node = self
+        while node._full is None:
+            value = node._overrides.get(obj)
+            if value is not None:
+                return value
+            node = node._parent
+        return node._full[obj]
+
+    def __iter__(self):
+        return iter(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __repr__(self) -> str:
+        return f"TsSnapshot({dict(self)!r})"
 
 
 @dataclass(frozen=True)
@@ -68,6 +174,17 @@ class ObjectView:
     entries afterwards.
     """
 
+    __slots__ = (
+        "_store",
+        "_values",
+        "_allow_writes",
+        "_allowed",
+        "_program_name",
+        "ops",
+        "read_versions",
+        "_written",
+    )
+
     def __init__(
         self,
         store: "VersionedStore",
@@ -77,6 +194,11 @@ class ObjectView:
         program_name: str = "",
     ) -> None:
         self._store = store
+        # Alias of the store's live value dict: views are allocated on
+        # every update delivery at every replica, and going through
+        # the store's accessor methods for each operation dominated
+        # profiles of the 1000-process workload.
+        self._values = store._values
         self._allow_writes = allow_writes
         self._allowed = allowed_objects
         self._program_name = program_name
@@ -87,25 +209,42 @@ class ObjectView:
 
     def read(self, obj: str) -> Any:
         """Read the current value of ``obj``."""
-        self._check_access(obj)
-        value = self._store.value_of(obj)
+        values = self._values
+        if obj not in values:
+            raise ProtocolError(f"unknown shared object {obj!r}")
+        allowed = self._allowed
+        if allowed is not None and obj not in allowed:
+            raise ProtocolError(
+                f"program {self._program_name!r} accessed {obj!r} outside "
+                f"its declared static_objects set"
+            )
+        value = values[obj]
         self.ops.append(read(obj, value))
         if obj not in self._written and obj not in self.read_versions:
+            store = self._store
             self.read_versions[obj] = (
-                self._store.version_of(obj),
-                self._store.writer_of(obj),
+                store._versions[obj],
+                store._writers[obj],
             )
         return value
 
     def write(self, obj: str, value: Any) -> None:
         """Write ``value`` to ``obj`` (updates the view's store)."""
-        self._check_access(obj)
+        values = self._values
+        if obj not in values:
+            raise ProtocolError(f"unknown shared object {obj!r}")
+        allowed = self._allowed
+        if allowed is not None and obj not in allowed:
+            raise ProtocolError(
+                f"program {self._program_name!r} accessed {obj!r} outside "
+                f"its declared static_objects set"
+            )
         if not self._allow_writes:
             raise ProtocolError(
                 f"program {self._program_name!r} declared may_write=False "
                 f"but wrote to {obj!r}"
             )
-        self._store.set_value(obj, value)
+        values[obj] = value
         self.ops.append(write(obj, value))
         self._written.add(obj)
 
@@ -114,19 +253,12 @@ class ObjectView:
         """Objects written so far (``wobjects``)."""
         return frozenset(self._written)
 
-    def _check_access(self, obj: str) -> None:
-        if not self._store.has_object(obj):
-            raise ProtocolError(f"unknown shared object {obj!r}")
-        if self._allowed is not None and obj not in self._allowed:
-            raise ProtocolError(
-                f"program {self._program_name!r} accessed {obj!r} outside "
-                f"its declared static_objects set"
-            )
 
-
-@dataclass
 class ExecutionRecord:
     """Everything observable about one program execution.
+
+    A plain ``__slots__`` record (one per update delivery per replica
+    — allocated on the simulator's hottest path).
 
     Attributes:
         result: the program's return value.
@@ -134,18 +266,39 @@ class ExecutionRecord:
         reads_from: obj -> writer uid, for external reads only.
         read_versions: obj -> version read, for external reads.
         wobjects: objects written.
-        start_ts: copy of the store's version vector before execution
-            (``ts(start)``, D 5.4).
-        finish_ts: copy after execution (``ts(finish)``, D 5.5).
+        start_ts: snapshot of the store's version vector before
+            execution (``ts(start)``, D 5.4) — an immutable
+            :class:`TsSnapshot` shared with the store, not a copy.
+        finish_ts: snapshot after execution (``ts(finish)``, D 5.5).
     """
 
-    result: Any
-    ops: Tuple[Operation, ...]
-    reads_from: Dict[str, int]
-    read_versions: Dict[str, int]
-    wobjects: FrozenSet[str]
-    start_ts: Dict[str, int]
-    finish_ts: Dict[str, int]
+    __slots__ = (
+        "result",
+        "ops",
+        "reads_from",
+        "read_versions",
+        "wobjects",
+        "start_ts",
+        "finish_ts",
+    )
+
+    def __init__(
+        self,
+        result: Any,
+        ops: Tuple[Operation, ...],
+        reads_from: Dict[str, int],
+        read_versions: Dict[str, int],
+        wobjects: FrozenSet[str],
+        start_ts: Mapping[str, int],
+        finish_ts: Mapping[str, int],
+    ) -> None:
+        self.result = result
+        self.ops = ops
+        self.reads_from = reads_from
+        self.read_versions = read_versions
+        self.wobjects = wobjects
+        self.start_ts = start_ts
+        self.finish_ts = finish_ts
 
 
 class VersionedStore:
@@ -163,7 +316,12 @@ class VersionedStore:
         self._writers: Dict[str, int] = {
             obj: INIT_UID for obj in initial_values
         }
-        self._objects: Tuple[str, ...] = tuple(sorted(initial_values))
+        self._objects: Tuple[str, ...] = intern_objects(
+            tuple(sorted(initial_values))
+        )
+        self._ts: TsSnapshot = TsSnapshot.root(
+            self._objects, self._versions
+        )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -198,9 +356,13 @@ class VersionedStore:
         """
         return tuple(self._versions[obj] for obj in self._objects)
 
-    def ts_map(self) -> Dict[str, int]:
-        """The version vector as an object-keyed dict."""
-        return dict(self._versions)
+    def ts_map(self) -> Mapping[str, int]:
+        """The version vector as an object-keyed mapping.
+
+        Returns the store's current immutable :class:`TsSnapshot` —
+        shared, not copied; callers must not mutate it.
+        """
+        return self._ts
 
     # ------------------------------------------------------------------
     # Execution
@@ -214,7 +376,7 @@ class VersionedStore:
         the version of every written object is incremented by one and
         its writer is recorded as ``mop_uid``.
         """
-        start_ts = self.ts_map()
+        start_ts = self._ts
         view = ObjectView(
             self,
             allow_writes=program.may_write,
@@ -222,22 +384,32 @@ class VersionedStore:
             program_name=program.name,
         )
         result = program.body(view)
-        for obj in view.written_objects:
-            self._versions[obj] += 1
-            self._writers[obj] = mop_uid
+        if view._written:
+            written = frozenset(view._written)
+            versions = self._versions
+            writers = self._writers
+            changes: Dict[str, int] = {}
+            for obj in written:
+                bumped = versions[obj] + 1
+                versions[obj] = bumped
+                writers[obj] = mop_uid
+                changes[obj] = bumped
+            self._ts = start_ts.child(changes)
+        else:
+            written = _EMPTY_WOBJECTS
+        reads_from: Dict[str, int] = {}
+        read_versions: Dict[str, int] = {}
+        for obj, (version, writer) in view.read_versions.items():
+            reads_from[obj] = writer
+            read_versions[obj] = version
         return ExecutionRecord(
             result=result,
             ops=tuple(view.ops),
-            reads_from={
-                obj: writer for obj, (_v, writer) in view.read_versions.items()
-            },
-            read_versions={
-                obj: version
-                for obj, (version, _w) in view.read_versions.items()
-            },
-            wobjects=view.written_objects,
+            reads_from=reads_from,
+            read_versions=read_versions,
+            wobjects=written,
             start_ts=start_ts,
-            finish_ts=self.ts_map(),
+            finish_ts=self._ts,
         )
 
     def apply_writes(
@@ -251,12 +423,16 @@ class VersionedStore:
         values it wrote, and remotes install them verbatim — one
         version bump per object, writer attribution to ``mop_uid``.
         """
+        changes: Dict[str, int] = {}
         for obj in sorted(values):
             if obj not in self._values:
                 raise ProtocolError(f"unknown shared object {obj!r}")
             self._values[obj] = values[obj]
             self._versions[obj] += 1
             self._writers[obj] = mop_uid
+            changes[obj] = self._versions[obj]
+        if changes:
+            self._ts = self._ts.child(changes)
 
     # ------------------------------------------------------------------
     # Crash / recovery
@@ -272,6 +448,7 @@ class VersionedStore:
         self._values = dict(self._initial)
         self._versions = {obj: 0 for obj in self._initial}
         self._writers = {obj: INIT_UID for obj in self._initial}
+        self._ts = TsSnapshot.root(self._objects, self._versions)
 
     def install(self, snapshot: Mapping[str, Tuple[Any, int, int]]) -> None:
         """Adopt a peer's exported state wholesale (snapshot recovery).
@@ -290,6 +467,7 @@ class VersionedStore:
             self._values[obj] = value
             self._versions[obj] = version
             self._writers[obj] = writer
+        self._ts = TsSnapshot.root(self._objects, self._versions)
 
     # ------------------------------------------------------------------
     # Replication helpers
@@ -320,6 +498,7 @@ class VersionedStore:
         for obj, (_value, version, writer) in snapshot.items():
             store._versions[obj] = version
             store._writers[obj] = writer
+        store._ts = TsSnapshot.root(store._objects, store._versions)
         return store
 
     def lex_ts(self, objects: Optional[FrozenSet[str]] = None) -> Tuple[int, ...]:

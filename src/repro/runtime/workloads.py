@@ -14,7 +14,7 @@ from repro.runtime.registry import WorkloadSpec, register_workload
 from repro.workloads.generator import BLIND_MIX, random_workloads
 from repro.workloads.scenarios import scenario_workloads
 
-__all__ = ["BLIND", "HOTSPOT", "RANDOM", "SCENARIO"]
+__all__ = ["BLIND", "HOTSPOT", "RANDOM", "SCENARIO", "ZIPFIAN"]
 
 
 def _random(n: int, objects: Sequence[str], ops: int, seed: int):
@@ -27,6 +27,10 @@ def _blind(n: int, objects: Sequence[str], ops: int, seed: int):
 
 def _hotspot(n: int, objects: Sequence[str], ops: int, seed: int):
     return random_workloads(n, objects, ops, seed=seed, zipf_s=1.5)
+
+
+def _zipfian(n: int, objects: Sequence[str], ops: int, seed: int):
+    return random_workloads(n, objects, ops, seed=seed, zipf_s=1.0)
 
 
 def _scenario(n: int, objects: Sequence[str], ops: int, seed: int) -> List:
@@ -56,6 +60,14 @@ HOTSPOT = register_workload(
         name="hotspot",
         builder=_hotspot,
         summary="zipf-skewed object choice (contention stress)",
+    )
+)
+
+ZIPFIAN = register_workload(
+    WorkloadSpec(
+        name="zipfian",
+        builder=_zipfian,
+        summary="zipf(1.0)-skewed object choice (moderate contention)",
     )
 )
 

@@ -235,11 +235,12 @@ class HeartbeatDetector:
             for target in range(self.n):
                 if target != pid:
                     self._last[(pid, target)] = now
+        # One immutable heartbeat per beat, reused across destinations
+        # (and its estimate_size cache with it), like any broadcast.
+        beat = Message(HEARTBEAT_KIND, pid)
         for dst in range(self.n):
             if dst != pid:
-                self.network.send(
-                    pid, dst, Message(HEARTBEAT_KIND, pid), reliable=False
-                )
+                self.network.send(pid, dst, beat, reliable=False)
         for target in range(self.n):
             if target == pid or target in self._suspects[pid]:
                 continue

@@ -6,6 +6,21 @@ model it with a classic discrete-event simulator: a priority queue of
 Virtual time is a float; ties are broken by insertion sequence, so
 runs are fully deterministic given deterministic callbacks.
 
+The drain loop is **batched**: all entries sharing the head timestamp
+are popped in one pass and fired in sequence order.  Callbacks that
+schedule at the current instant receive a higher sequence number than
+anything already queued, so they land in a later batch of the same
+timestamp — the firing order is exactly the per-entry pop order of the
+unbatched loop, and histories are byte-identical per seed.  Per-batch
+overhead outside the callbacks themselves is one attribute check when
+no tracer/metrics collector is installed.
+
+Bookkeeping is O(1): ``pending`` is a live counter (not a queue scan),
+and cancelled entries are dropped lazily — either when their timestamp
+arrives or, if they ever exceed half the queue, by a one-shot
+compaction that rebuilds the heap without them (``(time, seq)`` is a
+total order, so heapification preserves firing order).
+
 The kernel knows nothing about processes or messages — those live in
 :mod:`repro.sim.network` and :mod:`repro.sim.actor`.
 """
@@ -14,28 +29,50 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.obs import get_metrics, get_tracer
 
+#: Queues smaller than this are never compacted: a handful of stale
+#: entries drain naturally and the rebuild would cost more than it
+#: saves.
+_COMPACT_MIN_QUEUE = 64
 
-@dataclass(order=True)
+
 class _Entry:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """One scheduled event.
+
+    The heap itself holds ``(time, seq, entry)`` tuples so ordering is
+    decided by C-level float/int comparisons — ``seq`` is unique, so
+    the entry object is never compared.  The entry carries the mutable
+    state (``cancelled``/``fired``) plus the ``time`` the handle
+    exposes.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
 
 
 class EventHandle:
     """Handle to a scheduled event, supporting cancellation."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, sim: "Simulator") -> None:
         self._entry = entry
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -48,7 +85,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self._entry.cancelled = True
+        entry = self._entry
+        if entry.cancelled or entry.fired:
+            return
+        entry.cancelled = True
+        self._sim._on_cancel()
 
 
 class Simulator:
@@ -67,10 +108,17 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._queue: List[_Entry] = []
+        #: Min-heap of ``(time, seq, _Entry)`` tuples.
+        self._queue: List[tuple] = []
         self._seq = itertools.count()
         self._events_fired = 0
         self._running = False
+        # Live bookkeeping: ``_pending`` counts scheduled, unfired,
+        # uncancelled events (O(1) ``pending``); ``_stale`` estimates
+        # how many cancelled entries still sit in the heap, driving
+        # lazy compaction.
+        self._pending = 0
+        self._stale = 0
 
     @property
     def now(self) -> float:
@@ -84,8 +132,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return self._pending
 
     def schedule(
         self, delay: float, callback: Callable[[], None]
@@ -101,9 +149,30 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        entry = _Entry(self._now + delay, next(self._seq), callback)
-        heapq.heappush(self._queue, entry)
-        return EventHandle(entry)
+        time = self._now + delay
+        entry = _Entry(time, callback)
+        heapq.heappush(self._queue, (time, next(self._seq), entry))
+        self._pending += 1
+        return EventHandle(entry, self)
+
+    def post(
+        self, delay: float, callback: Callable[..., None], *args: object
+    ) -> None:
+        """Schedule a fire-and-forget event (no cancellation handle).
+
+        Identical ordering semantics to :meth:`schedule`, minus the
+        :class:`EventHandle` allocation — the right call on hot paths
+        (message delivery) where the handle is always discarded.
+        Positional ``args`` are passed to ``callback`` at fire time,
+        so delivery loops need no per-event closure.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        time = self._now + delay
+        heapq.heappush(
+            self._queue, (time, next(self._seq), _Entry(time, callback, args))
+        )
+        self._pending += 1
 
     def schedule_at(
         self, time: float, callback: Callable[[], None]
@@ -111,13 +180,36 @@ class Simulator:
         """Schedule ``callback`` at absolute virtual time ``time``."""
         return self.schedule(time - self._now, callback)
 
+    def _on_cancel(self) -> None:
+        """Bookkeeping for one newly cancelled, unfired entry."""
+        self._pending -= 1
+        self._stale += 1
+        if (
+            self._stale * 2 > len(self._queue)
+            and len(self._queue) >= _COMPACT_MIN_QUEUE
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        ``(time, seq)`` is a strict total order over entries, so the
+        rebuilt heap pops survivors in exactly the same order as the
+        original.  ``_stale`` may slightly overcount (an entry can be
+        cancelled after it was popped into the current batch), hence
+        reset rather than subtraction.
+        """
+        self._queue = [item for item in self._queue if not item[2].cancelled]
+        heapq.heapify(self._queue)
+        self._stale = 0
+
     def run(
         self,
         *,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> float:
-        """Drain the event queue.
+        """Drain the event queue in same-timestamp batches.
 
         Args:
             until: stop once virtual time would exceed this value
@@ -135,7 +227,7 @@ class Simulator:
         # Observability: while the queue drains, the installed tracer
         # reads *virtual* time, so spans emitted from simulated code
         # are deterministic under a fixed seed.  With no collector
-        # installed the per-event cost is one attribute check.
+        # installed the per-batch cost is one None check.
         tracer = get_tracer()
         binding = run_span = None
         if tracer.enabled:
@@ -146,27 +238,64 @@ class Simulator:
         depth_gauge = (
             metrics.gauge("kernel.queue_depth") if metrics is not None else None
         )
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
-                entry = self._queue[0]
-                if entry.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and entry.time > until:
+            while True:
+                if queue is not self._queue:  # compaction swapped it
+                    queue = self._queue
+                # Shed cancelled heads without firing or tracer work.
+                while queue and queue[0][2].cancelled:
+                    pop(queue)
+                    if self._stale:
+                        self._stale -= 1
+                if not queue:
+                    break
+                batch_time = queue[0][0]
+                if until is not None and batch_time > until:
                     break
                 if max_events is not None and fired_this_run >= max_events:
                     break
-                heapq.heappop(self._queue)
-                if entry.time < self._now:  # pragma: no cover - defensive
+                if batch_time < self._now:  # pragma: no cover - defensive
                     raise SimulationError(
-                        f"event queue disorder: {entry.time} < {self._now}"
+                        f"event queue disorder: {batch_time} < {self._now}"
                     )
-                self._now = entry.time
-                self._events_fired += 1
-                fired_this_run += 1
+                self._now = batch_time
+                # Pop the whole same-timestamp run in one pass, capped
+                # by the remaining event budget.  Callbacks scheduling
+                # at ``batch_time`` get higher sequence numbers than
+                # every entry still queued, so later batches of the
+                # same instant preserve global ``(time, seq)`` order.
+                budget = (
+                    None
+                    if max_events is None
+                    else max_events - fired_this_run
+                )
+                batch = [pop(queue)[2]]
+                while (
+                    queue
+                    and queue[0][0] == batch_time
+                    and (budget is None or len(batch) < budget)
+                ):
+                    batch.append(pop(queue)[2])
                 if depth_gauge is not None:
-                    depth_gauge.set(len(self._queue))
-                entry.callback()
+                    depth_gauge.set(self._pending)
+                for entry in batch:
+                    if entry.cancelled:
+                        # Cancelled while queued or mid-batch; it has
+                        # left the heap either way.
+                        if self._stale:
+                            self._stale -= 1
+                        continue
+                    entry.fired = True
+                    self._pending -= 1
+                    self._events_fired += 1
+                    fired_this_run += 1
+                    args = entry.args
+                    if args:
+                        entry.callback(*args)
+                    else:
+                        entry.callback()
         finally:
             self._running = False
             if run_span is not None:

@@ -39,8 +39,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import DeliveryTimeout, ProcessCrashed, SimulationError
 from repro.obs import MetricsRegistry, get_tracer
@@ -54,7 +53,6 @@ Handler = Callable[[int, "Message"], None]
 MAX_SIZE_DEPTH = 24
 
 
-@dataclass(frozen=True)
 class Message:
     """A network message.
 
@@ -63,10 +61,47 @@ class Message:
         payload: arbitrary payload; must be treated as immutable by
             receivers (the simulator delivers the same object to every
             destination of a broadcast).
+
+    Immutable (attribute assignment raises), ``__slots__``-backed, and
+    carries a lazily computed payload-size cache: a broadcast reuses
+    one ``Message`` across all destinations, so the
+    :func:`estimate_size` tree-walk runs once per message instead of
+    once per destination.  Messages are *not* recycled through a free
+    list — receivers legitimately retain them (dedup ledgers, recorded
+    histories), so reuse would alias live payloads.
     """
 
-    kind: str
-    payload: Any = None
+    __slots__ = ("kind", "payload", "_size")
+
+    def __init__(self, kind: str, payload: Any = None) -> None:
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "payload", payload)
+        object.__setattr__(self, "_size", None)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(
+            f"Message is immutable (cannot set {name!r})"
+        )
+
+    def __repr__(self) -> str:
+        return f"Message(kind={self.kind!r}, payload={self.payload!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return self.kind == other.kind and self.payload == other.payload
+
+    def __hash__(self) -> int:
+        return hash((Message, self.kind, self.payload))
+
+    @property
+    def size(self) -> int:
+        """Cached :func:`estimate_size` of the payload."""
+        size = self._size
+        if size is None:
+            size = estimate_size(self.payload)
+            object.__setattr__(self, "_size", size)
+        return size
 
 
 def estimate_size(value: Any) -> int:
@@ -131,6 +166,7 @@ class _CounterProperty:
     def __get__(self, obj: "NetworkStats", _objtype=None) -> int:
         if obj is None:  # pragma: no cover - class access
             return self
+        obj._flush()
         return getattr(obj, self.attr).value
 
     def __set__(self, obj: "NetworkStats", value: int) -> None:
@@ -179,6 +215,17 @@ class NetworkStats:
         self.registry = MetricsRegistry()
         for attr, metric in self._SCALARS:
             setattr(self, f"_{attr}", self.registry.counter(metric))
+        # Hot-path buffer: the simulated network is single-threaded,
+        # so per-send/per-delivery increments accumulate in plain ints
+        # (no instrument locks) and flush into the registry whenever a
+        # view property, ``by_kind``/``size_by_kind`` or ``snapshot``
+        # is read.  Cold-path counters (drops, retransmits, ...) still
+        # write through directly.
+        self._pending_sent = 0
+        self._pending_delivered = 0
+        self._pending_size = 0
+        # kind -> [sends, size units] awaiting flush.
+        self._pending_kind: Dict[str, List[int]] = {}
 
     sent = _CounterProperty("_sent")
     delivered = _CounterProperty("_delivered")
@@ -195,23 +242,62 @@ class NetworkStats:
     @property
     def by_kind(self) -> Dict[str, int]:
         """Logical sends per message kind (a fresh dict)."""
+        self._flush()
         return self.registry.by_label("net.sent_by_kind", "kind")
 
     @property
     def size_by_kind(self) -> Dict[str, int]:
         """Estimated payload units per message kind (a fresh dict)."""
+        self._flush()
         return self.registry.by_label("net.size_by_kind", "kind")
 
     def record_send(self, message: Message) -> None:
-        self._sent.inc()
-        size = estimate_size(message.payload)
-        self._total_size.inc(size)
-        registry = self.registry
-        registry.counter("net.sent_by_kind", kind=message.kind).inc()
-        registry.counter("net.size_by_kind", kind=message.kind).inc(size)
+        self._pending_sent += 1
+        size = message.size  # cached across broadcast destinations
+        self._pending_size += size
+        per_kind = self._pending_kind.get(message.kind)
+        if per_kind is None:
+            self._pending_kind[message.kind] = [1, size]
+        else:
+            per_kind[0] += 1
+            per_kind[1] += size
+
+    def record_broadcast(self, message: "Message", count: int) -> None:
+        """Record ``count`` identical sends in one buffered update."""
+        self._pending_sent += count
+        size = message.size
+        self._pending_size += size * count
+        per_kind = self._pending_kind.get(message.kind)
+        if per_kind is None:
+            self._pending_kind[message.kind] = [count, size * count]
+        else:
+            per_kind[0] += count
+            per_kind[1] += size * count
+
+    def record_delivered(self) -> None:
+        self._pending_delivered += 1
+
+    def _flush(self) -> None:
+        """Push buffered hot-path increments into the registry."""
+        if self._pending_sent:
+            self._sent.inc(self._pending_sent)
+            self._pending_sent = 0
+        if self._pending_delivered:
+            self._delivered.inc(self._pending_delivered)
+            self._pending_delivered = 0
+        if self._pending_size:
+            self._total_size.inc(self._pending_size)
+            self._pending_size = 0
+        if self._pending_kind:
+            registry = self.registry
+            for kind, (sends, size) in sorted(self._pending_kind.items()):
+                registry.counter("net.sent_by_kind", kind=kind).inc(sends)
+                registry.counter("net.size_by_kind", kind=kind).inc(size)
+            self._pending_kind.clear()
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """The registry's counters/gauges/histograms as a plain dict."""
+        self._flush()
         return self.registry.snapshot()
 
 
@@ -219,14 +305,26 @@ class NetworkStats:
 ChannelStats = NetworkStats
 
 
-@dataclass
 class _Transfer:
-    """Sender-side state of one unacknowledged reliable transfer."""
+    """Sender-side state of one unacknowledged reliable transfer.
 
-    dst: int
-    message: Message
-    attempts: int = 0
-    timer: Optional[EventHandle] = None
+    Instances are recycled through the owning network's free list
+    (``Network._transfer_pool``): under the reliable shim every
+    logical send allocates one, and in steady state acks retire them
+    at the same rate — the pool turns that churn into two list ops.
+    Recycling is safe because, unlike :class:`Message`, transfers
+    never escape the network: the retransmit/flush paths reach them
+    through ``_outstanding`` by id, so once popped (ack or crash) the
+    object is unreachable.
+    """
+
+    __slots__ = ("dst", "message", "attempts", "timer")
+
+    def __init__(self) -> None:
+        self.dst = -1
+        self.message: Optional[Message] = None
+        self.attempts = 0
+        self.timer: Optional[EventHandle] = None
 
 
 class Network:
@@ -313,6 +411,8 @@ class Network:
         }
         #: Receiver pid -> transfer ids already delivered (volatile).
         self._seen: Dict[int, Set[int]] = {pid: set() for pid in range(n)}
+        #: Retired transfer objects awaiting reuse (see ``_Transfer``).
+        self._transfer_pool: List[_Transfer] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -342,6 +442,7 @@ class Network:
         for transfer in self._outstanding[pid].values():
             if transfer.timer is not None:
                 transfer.timer.cancel()
+            self._recycle_transfer(transfer)
         self._outstanding[pid].clear()
         self._seen[pid].clear()
 
@@ -505,7 +606,7 @@ class Network:
             self._transmit(src, dst, ("data", None, message))
             return
         xfer = next(self._next_xfer)
-        self._outstanding[src][xfer] = _Transfer(dst=dst, message=message)
+        self._outstanding[src][xfer] = self._new_transfer(dst, message)
         self._transmit(src, dst, ("data", xfer, message))
         self._arm_timer(src, xfer)
 
@@ -517,11 +618,47 @@ class Network:
         This is the unordered "send to all processes" used by the
         Fig-6 query phase (actions A3/A4); total-order broadcast lives
         in :mod:`repro.abcast`.
+
+        When the network is in its clean configuration (no shim, no
+        faults, no cuts, no tracer) the per-destination loop inlines
+        the ``send``/``_transmit`` pair: stats, latency sample,
+        delivery event — nothing else.  The fault-free sequencer
+        fan-out is the simulator's hottest loop, and the RNG draw
+        order (one latency sample per destination, in pid order) is
+        identical to the general path, so histories don't shift.
         """
+        self._check_pid(src)
+        if src in self._down:
+            raise ProcessCrashed(f"endpoint {src} sent while down")
+        if (
+            type(self) is not Network  # subclasses may override send()
+            or self.reliable
+            or self._cut
+            or self.drop_prob
+            or self.dup_prob
+            or self.fifo
+            or self.delay_factor != 1.0
+            or get_tracer().enabled
+        ):
+            for dst in range(self.n):
+                if dst == src and not include_self:
+                    continue
+                self.send(src, dst, message)
+            return
+        sample = self.latency.sample
+        rng = self._rng
+        post = self.sim.post
+        deliver = self._deliver_data
+        self.stats.record_broadcast(
+            message, self.n if include_self else self.n - 1
+        )
         for dst in range(self.n):
             if dst == src and not include_self:
                 continue
-            self.send(src, dst, message)
+            delay = sample(rng, src, dst)
+            if delay < 0:
+                raise SimulationError("latency model produced negative delay")
+            post(delay, deliver, src, dst, message)
 
     # ------------------------------------------------------------------
     # Physical layer (fault injection lives here, for every path)
@@ -563,9 +700,7 @@ class Network:
                 arrival = max(arrival, floor + 1e-9)
                 self._last_delivery[(src, dst)] = arrival
                 delay = arrival - self.sim.now
-            self.sim.schedule(
-                delay, lambda: self._deliver_frame(src, dst, frame)
-            )
+            self.sim.post(delay, self._deliver_frame, src, dst, frame)
 
     def _schedule_delivery(
         self, src: int, dst: int, message: Message, delay: float
@@ -575,10 +710,33 @@ class Network:
         Bypasses fault injection; used by controlled/exploring
         networks that pick delivery orders themselves.
         """
-        self.sim.schedule(
-            delay,
-            lambda: self._deliver_frame(src, dst, ("data", None, message)),
+        self.sim.post(
+            delay, self._deliver_frame, src, dst, ("data", None, message)
         )
+
+    def _deliver_data(self, src: int, dst: int, message: Message) -> None:
+        """Clean-path delivery: a data frame with no reliable shim.
+
+        The semantic twin of :meth:`_deliver_frame` for the fast
+        broadcast path — crash check, handler dispatch, buffered
+        stats — minus the frame tuple and its kind dispatch.
+        """
+        if dst in self._down:
+            self.stats.lost_to_crash += 1
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise SimulationError(
+                f"message {message.kind!r} delivered to unregistered "
+                f"endpoint {dst}"
+            )
+        self.stats._pending_delivered += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "net.deliver", kind=message.kind, src=src, dst=dst
+            )
+        handler(src, message)
 
     def _deliver_frame(self, src: int, dst: int, frame: Tuple) -> None:
         kind = frame[0]
@@ -603,7 +761,7 @@ class Network:
                 f"message {message.kind!r} delivered to unregistered "
                 f"endpoint {dst}"
             )
-        self.stats.delivered += 1
+        self.stats.record_delivered()
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -657,7 +815,23 @@ class Network:
             return  # duplicate or post-crash ack
         if transfer.timer is not None:
             transfer.timer.cancel()
+        self._recycle_transfer(transfer)
         self.stats.acked += 1
+
+    def _new_transfer(self, dst: int, message: Message) -> _Transfer:
+        pool = self._transfer_pool
+        transfer = pool.pop() if pool else _Transfer()
+        transfer.dst = dst
+        transfer.message = message
+        transfer.attempts = 0
+        transfer.timer = None
+        return transfer
+
+    def _recycle_transfer(self, transfer: _Transfer) -> None:
+        # Drop payload/timer references so the pool never pins them.
+        transfer.message = None
+        transfer.timer = None
+        self._transfer_pool.append(transfer)
 
     def _check_pid(self, pid: int) -> None:
         if not 0 <= pid < self.n:

@@ -208,6 +208,16 @@ def random_workloads(
 # ----------------------------------------------------------------------
 
 
+#: ``HistoryShape.distribution`` -> zipf skew of object selection.
+#: 0 is uniform; higher values concentrate accesses on low-indexed
+#: objects, matching the program-workload ``zipf_s`` knob.
+DISTRIBUTION_SKEW: Dict[str, float] = {
+    "uniform": 0.0,
+    "zipfian": 1.0,
+    "hotspot": 1.5,
+}
+
+
 @dataclass(frozen=True)
 class HistoryShape:
     """Parameters of a random abstract history.
@@ -219,6 +229,9 @@ class HistoryShape:
         reads_per_mop: external reads per m-operation (upper bound).
         writes_per_mop: writes per m-operation (upper bound).
         query_fraction: fraction of m-operations that only read.
+        distribution: object-selection skew — one of
+            :data:`DISTRIBUTION_SKEW`.  The default ``"uniform"`` is
+            byte-identical to the pre-knob generator for every seed.
     """
 
     n_processes: int = 3
@@ -227,6 +240,41 @@ class HistoryShape:
     reads_per_mop: int = 2
     writes_per_mop: int = 2
     query_fraction: float = 0.4
+    distribution: str = "uniform"
+
+
+def _object_picker(rng: random.Random, distribution: str):
+    """A ``pick(pool, k)`` closure honouring the distribution knob.
+
+    The uniform path delegates straight to ``rng.sample`` — the exact
+    call the generators made before the knob existed, so uniform
+    histories are byte-identical per seed.  Skewed paths do weighted
+    sampling without replacement, mirroring ``random_workloads``.
+    """
+    skew = DISTRIBUTION_SKEW.get(distribution)
+    if skew is None:
+        raise WorkloadError(
+            f"unknown distribution {distribution!r}; expected one of "
+            f"{tuple(DISTRIBUTION_SKEW)}"
+        )
+    if skew == 0.0:
+        return lambda pool, k: rng.sample(pool, k=k)
+
+    def pick(pool: Sequence[str], k: int) -> List[str]:
+        pool = list(pool)
+        pool_weights = [
+            1.0 / (rank + 1) ** skew for rank in range(len(pool))
+        ]
+        chosen: List[str] = []
+        for _ in range(k):
+            index = rng.choices(
+                range(len(pool)), weights=pool_weights
+            )[0]
+            chosen.append(pool.pop(index))
+            pool_weights.pop(index)
+        return chosen
+
+    return pick
 
 
 def random_serial_history(
@@ -240,6 +288,7 @@ def random_serial_history(
     time, so every consistency condition holds.
     """
     rng = random.Random(seed)
+    pick = _object_picker(rng, shape.distribution)
     objects = [f"x{i}" for i in range(shape.n_objects)]
     store: Dict[str, int] = {obj: 0 for obj in objects}
     value_counter = itertools.count(1)
@@ -250,11 +299,11 @@ def random_serial_history(
         is_query = rng.random() < shape.query_fraction
         ops: List[Operation] = []
         n_reads = rng.randint(1, max(1, shape.reads_per_mop))
-        for obj in rng.sample(objects, k=min(n_reads, len(objects))):
+        for obj in pick(objects, min(n_reads, len(objects))):
             ops.append(read(obj, store[obj]))
         if not is_query:
             n_writes = rng.randint(1, max(1, shape.writes_per_mop))
-            for obj in rng.sample(objects, k=min(n_writes, len(objects))):
+            for obj in pick(objects, min(n_writes, len(objects))):
                 value = next(value_counter)
                 ops.append(write(obj, value))
                 store[obj] = value
@@ -291,6 +340,7 @@ def random_partitioned_history(
     sub-history can be checked in isolation.
     """
     rng = random.Random(seed)
+    pick = _object_picker(rng, shape.distribution)
     namespaces = [
         [f"x{p}_{k}" for k in range(shape.n_objects)]
         for p in range(shape.n_processes)
@@ -307,11 +357,11 @@ def random_partitioned_history(
         is_query = rng.random() < shape.query_fraction
         ops: List[Operation] = []
         n_reads = rng.randint(1, max(1, shape.reads_per_mop))
-        for obj in rng.sample(objects, k=min(n_reads, len(objects))):
+        for obj in pick(objects, min(n_reads, len(objects))):
             ops.append(read(obj, store[obj]))
         if not is_query:
             n_writes = rng.randint(1, max(1, shape.writes_per_mop))
-            for obj in rng.sample(objects, k=min(n_writes, len(objects))):
+            for obj in pick(objects, min(n_writes, len(objects))):
                 value = next(value_counter)
                 ops.append(write(obj, value))
                 store[obj] = value

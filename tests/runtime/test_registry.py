@@ -152,6 +152,7 @@ class TestWorkloadRegistry:
             "hotspot",
             "random",
             "scenario",
+            "zipfian",
         )
 
     def test_unknown_workload_error(self):

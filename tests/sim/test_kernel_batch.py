@@ -1,0 +1,181 @@
+"""Semantics of the batched drain loop.
+
+The kernel pops whole same-timestamp runs in one pass; these tests pin
+the properties that make that invisible to protocols: firing order
+equals the per-entry pop order, cancellation mid-batch is honoured,
+``until``/``max_events`` cut batches at the right entry, and the lazy
+compaction of cancelled entries never reorders survivors.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.kernel import _COMPACT_MIN_QUEUE
+
+
+class TestBatchOrder:
+    def test_same_instant_reschedule_fires_after_queued_ties(self):
+        # A callback scheduling at delay 0 lands in a *later* batch of
+        # the same instant: every entry already queued at that time
+        # fires first (higher insertion seq = later), exactly as the
+        # unbatched loop popped them.
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(0.0, lambda: fired.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: fired.append("second"))
+        sim.schedule(1.0, lambda: fired.append("third"))
+        sim.run()
+        assert fired == ["first", "second", "third", "nested"]
+        assert sim.now == 1.0
+
+    def test_batches_at_distinct_times_stay_ordered(self):
+        sim = Simulator()
+        fired = []
+        for t in (2.0, 1.0, 2.0, 1.0):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run()
+        assert fired == [1.0, 1.0, 2.0, 2.0]
+
+
+class TestCancellationInsideBatch:
+    def test_entry_cancelled_by_earlier_tie_does_not_fire(self):
+        # Both entries share a timestamp, so both are popped into the
+        # same batch; the first cancels the second before it runs.
+        sim = Simulator()
+        fired = []
+        handles = []
+
+        def canceller():
+            fired.append("canceller")
+            handles[0].cancel()
+
+        sim.schedule(1.0, canceller)
+        handles.append(sim.schedule(1.0, lambda: fired.append("victim")))
+        sim.run()
+        assert fired == ["canceller"]
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()
+        assert sim.pending == 0
+
+
+class TestRunLimitsMidBatch:
+    def test_max_events_splits_a_batch(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abcd":
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run(max_events=2)
+        assert fired == ["a", "b"]
+        assert sim.pending == 2
+        # The remainder of the batch fires on the next run, in order.
+        sim.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_until_stops_before_a_later_batch(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1.0))
+        sim.schedule(2.0, lambda: fired.append(2.0))
+        sim.run(until=1.5)
+        assert fired == [1.0]
+        # Time does not jump to ``until`` while work remains queued.
+        assert sim.now == 1.0
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+    def test_events_exactly_at_until_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("x"))
+        sim.schedule(1.0, lambda: fired.append("y"))
+        sim.run(until=1.0)
+        assert fired == ["x", "y"]
+
+    def test_step_fires_exactly_one_tie(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(1.0, lambda: fired.append("b"))
+        assert sim.step()
+        assert fired == ["a"]
+        assert sim.step()
+        assert fired == ["a", "b"]
+        assert not sim.step()
+
+
+class TestLazyCompaction:
+    def test_mass_cancellation_compacts_and_preserves_order(self):
+        # Cancel well over half of a large queue: compaction triggers,
+        # survivors still fire in (time, seq) order and the live
+        # pending counter tracks exactly.
+        sim = Simulator()
+        total = 4 * _COMPACT_MIN_QUEUE
+        fired = []
+        handles = [
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+            for i in range(total)
+        ]
+        for i, handle in enumerate(handles):
+            if i % 4 != 0:  # cancel 3 of every 4
+                handle.cancel()
+        survivors = [i for i in range(total) if i % 4 == 0]
+        assert sim.pending == len(survivors)
+        # Compaction actually shrank the heap (not just marked), and
+        # the post-compaction queue honours the staleness bound.
+        assert len(sim._queue) < total
+        assert sim._stale * 2 <= len(sim._queue)
+        sim.run()
+        assert fired == survivors
+        assert sim.pending == 0
+
+    def test_small_queues_skip_compaction(self):
+        sim = Simulator()
+        handles = [
+            sim.schedule(float(i), lambda: None) for i in range(8)
+        ]
+        for handle in handles[:6]:
+            handle.cancel()
+        # Below _COMPACT_MIN_QUEUE the cancelled entries stay queued
+        # (dropped lazily at their timestamps), but pending is live.
+        assert len(sim._queue) == 8
+        assert sim.pending == 2
+        sim.run()
+        assert sim.events_fired == 2
+
+    def test_cancel_during_run_keeps_counter_consistent(self):
+        sim = Simulator()
+        total = 4 * _COMPACT_MIN_QUEUE
+        handles = []
+
+        def cancel_rest():
+            for handle in handles:
+                handle.cancel()
+
+        sim.schedule(0.5, cancel_rest)
+        handles.extend(
+            sim.schedule(float(i + 1), lambda: None) for i in range(total)
+        )
+        sim.run()
+        assert sim.events_fired == 1
+        assert sim.pending == 0
+        assert sim.now == 0.5
+
+
+class TestReentrancy:
+    def test_run_is_not_reentrant(self):
+        from repro.errors import SimulationError
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.run())
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -2,7 +2,7 @@
 
 ``python tools/bench_gate.py FRESH.json --baseline BASELINE.json``
 compares a freshly produced benchmark artifact against its committed
-baseline, row by row.  Two row schemas are understood, auto-detected
+baseline, row by row.  Three row schemas are understood, auto-detected
 per row:
 
 * **checker rows** (``BENCH_checkers.json``), keyed by ``(condition,
@@ -14,7 +14,12 @@ per row:
   keyed by ``(profile, clients)`` — the gate fails when the median
   submission latency (``p50_s``) regresses by more than ``--factor``
   *or* sustained throughput (``specs_per_sec``) collapses below
-  ``1/factor`` of the baseline.
+  ``1/factor`` of the baseline;
+* **sim rows** (``BENCH_sim.json``, rows carrying ``events_per_sec``),
+  keyed by ``(protocol, workload, n, ops)`` — the gate fails when
+  simulation throughput collapses below ``1/factor`` of the baseline
+  (throughput-gated rather than wall-clock-gated, so quick-profile
+  artifacts with different run counts still compare).
 
 The default factor (2x) absorbs CI machine-class noise while still
 catching complexity-class slips.  Rows present in only one artifact
@@ -55,6 +60,10 @@ def _key(row: dict) -> Key:
     if "p50_s" in row:
         return ("serve", str(row.get("profile", "full")),
                 int(row.get("clients", 0)))
+    if "events_per_sec" in row:
+        return ("sim", str(row.get("protocol", "?")),
+                str(row.get("workload", "?")),
+                int(row.get("n", 0)), int(row.get("ops", 0)))
     return ("check", row["condition"], int(row["n_mops"]), row["method"])
 
 
@@ -114,6 +123,29 @@ def _gate_throughput(
     (failures if ratio > factor else notes).append(line)
 
 
+def _gate_events_throughput(
+    key: Key,
+    fresh_row: dict,
+    base_row: dict,
+    factor: float,
+    failures: List[str],
+    notes: List[str],
+) -> None:
+    base_rate = float(base_row["events_per_sec"])
+    fresh_rate = float(fresh_row["events_per_sec"])
+    if base_rate <= 0:
+        notes.append(
+            f"{_label(key)} events_per_sec: zero baseline (not gated)"
+        )
+        return
+    ratio = base_rate / fresh_rate if fresh_rate else float("inf")
+    line = (
+        f"{_label(key)} events_per_sec: {fresh_rate:.1f}/s vs baseline "
+        f"{base_rate:.1f}/s ({ratio:.2f}x slower)"
+    )
+    (failures if ratio > factor else notes).append(line)
+
+
 def _gate_analyzer(
     fresh: dict, failures: List[str], notes: List[str]
 ) -> None:
@@ -156,6 +188,10 @@ def gate(
                 failures, notes,
             )
             _gate_throughput(
+                key, fresh_row, base_row, factor, failures, notes
+            )
+        elif key[0] == "sim":
+            _gate_events_throughput(
                 key, fresh_row, base_row, factor, failures, notes
             )
         else:
